@@ -1,0 +1,64 @@
+#ifndef OVERLAP_BENCH_BENCH_UTIL_H_
+#define OVERLAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pod_runner.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace bench {
+
+/** Prints a section banner for a reproduced table/figure. */
+inline void
+Banner(const std::string& title, const std::string& paper_reference)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s)\n", paper_reference.c_str());
+    std::printf("================================================"
+                "============================\n");
+}
+
+/** Runs baseline + overlapped simulations for one model config. */
+struct ComparisonRow {
+    StepReport baseline;
+    StepReport overlapped;
+
+    double speedup() const
+    {
+        return baseline.step_seconds / overlapped.step_seconds;
+    }
+};
+
+inline StatusOr<ComparisonRow>
+CompareModel(const ModelConfig& config,
+             const CompilerOptions& overlap_options = CompilerOptions())
+{
+    auto baseline = SimulateModelStep(config, CompilerOptions::Baseline());
+    if (!baseline.ok()) return baseline.status();
+    auto overlapped = SimulateModelStep(config, overlap_options);
+    if (!overlapped.ok()) return overlapped.status();
+    ComparisonRow row;
+    row.baseline = std::move(baseline).value();
+    row.overlapped = std::move(overlapped).value();
+    return row;
+}
+
+/** ASCII bar of `value` out of `full_scale`. */
+inline std::string
+Bar(double value, double full_scale, int width = 40)
+{
+    int n = static_cast<int>(value / full_scale * width + 0.5);
+    if (n < 0) n = 0;
+    if (n > width) n = width;
+    return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace bench
+}  // namespace overlap
+
+#endif  // OVERLAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 16: bottom-up (Algorithm 2) vs top-down scheduling
+ * of the asynchronous CollectivePermutes. The paper reports the
+ * bottom-up approach ~5% faster on average, and adopts it.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace overlap;
+
+int
+main()
+{
+    bench::Banner("Scheduling approaches: bottom-up vs top-down",
+                  "Figure 16 of the paper");
+    std::printf("%-9s  %12s %12s  %s\n", "model", "top-down",
+                "bottom-up", "bottom-up advantage");
+    double product = 1.0;
+    int count = 0;
+    for (const ModelConfig& config : Table2GptModels()) {
+        CompilerOptions top_down;
+        top_down.scheduler = SchedulerKind::kTopDown;
+        auto td = SimulateModelStep(config, top_down);
+        auto bu = SimulateModelStep(config, CompilerOptions());
+        if (!td.ok() || !bu.ok()) {
+            std::printf("%-9s FAILED\n", config.name.c_str());
+            continue;
+        }
+        double advantage = td->step_seconds / bu->step_seconds;
+        std::printf("%-9s  %11.3fx %12s  %+5.1f%%\n", config.name.c_str(),
+                    advantage, "1.000x", (advantage - 1.0) * 100.0);
+        product *= advantage;
+        ++count;
+    }
+    if (count > 0) {
+        std::printf("\naverage bottom-up advantage: %+.1f%%\n",
+                    (std::pow(product, 1.0 / count) - 1.0) * 100.0);
+    }
+    std::printf("\nPaper: the bottom-up scheduler is ~5%% faster on "
+                "average and is the one the\nfinal system uses.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compiler passes themselves:
+ * decomposition, async conversion, fusion and the two schedulers. These
+ * measure *compile time* of the technique (the paper's optimization runs
+ * automatically during compilation), not simulated device time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/overlap_compiler.h"
+#include "hlo/builder.h"
+#include "models/step_builder.h"
+#include "passes/async.h"
+#include "passes/decompose.h"
+#include "passes/fusion.h"
+#include "passes/schedule.h"
+
+namespace overlap {
+namespace {
+
+std::unique_ptr<HloModule>
+BuildAgEinsum(int64_t n)
+{
+    auto module = std::make_unique<HloModule>("m");
+    Mesh mesh(n);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {8192 / n, 4096}));
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {4096, 8192}));
+    auto* ag = b.AllGather(p, 0, mesh.Groups(0));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+    return module;
+}
+
+void
+BM_DecomposeLoop(benchmark::State& state)
+{
+    int64_t n = state.range(0);
+    HardwareSpec spec;
+    CostModel cost(spec);
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    for (auto _ : state) {
+        auto module = BuildAgEinsum(n);
+        CollectiveEinsumDecomposer decomposer(Mesh(n), &cost, options);
+        auto stats = decomposer.Run(module->entry());
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetLabel("partitions=" + std::to_string(n));
+}
+BENCHMARK(BM_DecomposeLoop)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_FullPipelineOnLayerStep(benchmark::State& state)
+{
+    const ModelConfig* config = FindModel(
+        state.range(0) == 0 ? "GPT_32B" : "GPT_1T");
+    CompilerOptions options;
+    for (auto _ : state) {
+        auto module = BuildLayerStepModule(*config);
+        OverlapCompiler compiler(options);
+        auto report = compiler.Compile(module->get());
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetLabel(config->name);
+}
+BENCHMARK(BM_FullPipelineOnLayerStep)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BottomUpScheduler(benchmark::State& state)
+{
+    int64_t n = state.range(0);
+    HardwareSpec spec;
+    CostModel cost(spec);
+    auto module = BuildAgEinsum(n);
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    CollectiveEinsumDecomposer decomposer(Mesh(n), &cost, options);
+    (void)decomposer.Run(module->entry());
+    (void)CreateAsyncCollectivePermutes(module->entry());
+    for (auto _ : state) {
+        auto status = ScheduleComputation(module->entry(), cost,
+                                          SchedulerKind::kBottomUp);
+        benchmark::DoNotOptimize(status);
+    }
+    state.SetLabel("partitions=" + std::to_string(n));
+}
+BENCHMARK(BM_BottomUpScheduler)->Arg(8)->Arg(32);
+
+void
+BM_TopDownScheduler(benchmark::State& state)
+{
+    int64_t n = state.range(0);
+    HardwareSpec spec;
+    CostModel cost(spec);
+    auto module = BuildAgEinsum(n);
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    CollectiveEinsumDecomposer decomposer(Mesh(n), &cost, options);
+    (void)decomposer.Run(module->entry());
+    (void)CreateAsyncCollectivePermutes(module->entry());
+    for (auto _ : state) {
+        auto status = ScheduleComputation(module->entry(), cost,
+                                          SchedulerKind::kTopDown);
+        benchmark::DoNotOptimize(status);
+    }
+    state.SetLabel("partitions=" + std::to_string(n));
+}
+BENCHMARK(BM_TopDownScheduler)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace overlap
+
+BENCHMARK_MAIN();

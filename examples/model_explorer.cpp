@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Explore any model of the zoo (Tables 1 and 2) under any combination of
+ * the paper's features. Compiles the model's representative layer step
+ * and simulates it on the pod model.
+ *
+ * Usage:
+ *   model_explorer [model] [--baseline] [--no-unroll] [--no-bidi]
+ *                  [--top-down] [--no-cost-model] [--trace]
+ *
+ * Without arguments, prints the available models.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "core/pod_runner.h"
+#include "models/step_builder.h"
+#include "sim/trace_export.h"
+#include "support/strings.h"
+
+using namespace overlap;
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::printf("usage: %s <model> [--baseline] [--no-unroll] "
+                    "[--no-bidi] [--top-down]\n"
+                    "          [--no-cost-model] [--trace] "
+                    "[--chrome-trace FILE]\n\n",
+                    argv[0]);
+        std::printf("available models:\n");
+        for (const ModelConfig& m : Table1Models()) {
+            std::printf("  %s\n", m.ToString().c_str());
+        }
+        for (const ModelConfig& m : Table2GptModels()) {
+            std::printf("  %s\n", m.ToString().c_str());
+        }
+        return 0;
+    }
+
+    const ModelConfig* config = FindModel(argv[1]);
+    if (config == nullptr) {
+        std::printf("unknown model '%s'\n", argv[1]);
+        return 1;
+    }
+    CompilerOptions options;
+    bool trace = false;
+    const char* chrome_trace_path = nullptr;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--baseline")) {
+            options = CompilerOptions::Baseline();
+        } else if (!std::strcmp(argv[i], "--no-unroll")) {
+            options.decompose.unroll = false;
+        } else if (!std::strcmp(argv[i], "--no-bidi")) {
+            options.decompose.bidirectional = false;
+        } else if (!std::strcmp(argv[i], "--top-down")) {
+            options.scheduler = SchedulerKind::kTopDown;
+        } else if (!std::strcmp(argv[i], "--no-cost-model")) {
+            options.decompose.use_cost_model = false;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace = true;
+        } else if (!std::strcmp(argv[i], "--chrome-trace") &&
+                   i + 1 < argc) {
+            chrome_trace_path = argv[++i];
+        } else {
+            std::printf("unknown flag %s\n", argv[i]);
+            return 1;
+        }
+    }
+
+    std::printf("%s\n", config->ToString().c_str());
+    auto report = SimulateModelStep(*config, options);
+    if (!report.ok()) {
+        std::printf("failed: %s\n", report.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("  decomposed sites: %lld (AllGather %lld, ReduceScatter "
+                "%lld; %lld declined by the cost model)\n",
+                static_cast<long long>(
+                    report->compile.decompose.total_decomposed()),
+                static_cast<long long>(
+                    report->compile.decompose.allgather_sites),
+                static_cast<long long>(
+                    report->compile.decompose.reduce_scatter_sites),
+                static_cast<long long>(
+                    report->compile.decompose.rejected_by_cost_model));
+    std::printf("  async permutes: %lld, peak in flight: %lld\n",
+                static_cast<long long>(report->compile.async_permutes),
+                static_cast<long long>(report->layer.peak_in_flight));
+    std::printf("  layer time: %s   step time (x%lld layers): %s\n",
+                HumanTime(report->layer.step_seconds).c_str(),
+                static_cast<long long>(config->num_layers),
+                HumanTime(report->step_seconds).c_str());
+    std::printf("  model FLOPS utilization: %.1f%%   exposed "
+                "communication: %.1f%%\n",
+                report->mfu * 100.0, report->comm_fraction * 100.0);
+    std::printf("  step energy: %.2f MJ\n",
+                report->energy_joules / 1e6);
+    std::printf("  peak live memory per device: %s\n",
+                HumanBytes(static_cast<double>(
+                               report->layer.peak_memory_bytes))
+                    .c_str());
+
+    if (chrome_trace_path != nullptr) {
+        auto module = BuildLayerStepModule(*config);
+        OverlapCompiler compiler(options);
+        (void)compiler.Compile(module->get());
+        PodSimulator sim(config->mesh(), options.hardware);
+        auto result = sim.Run(**module, /*collect_trace=*/true);
+        if (result.ok()) {
+            std::ofstream out(chrome_trace_path);
+            out << TraceToChromeJson(*result, config->name);
+            std::printf("  wrote Chrome trace to %s (open in "
+                        "chrome://tracing)\n",
+                        chrome_trace_path);
+        }
+    }
+
+    if (trace) {
+        auto module = BuildLayerStepModule(*config);
+        OverlapCompiler compiler(options);
+        (void)compiler.Compile(module->get());
+        PodSimulator sim(config->mesh(), options.hardware);
+        auto result = sim.Run(**module, /*collect_trace=*/true);
+        if (result.ok()) {
+            std::printf("\nlayer timeline (first 60 events):\n");
+            int count = 0;
+            for (const TraceEvent& ev : result->trace) {
+                if (++count > 60) break;
+                const char* kind =
+                    ev.kind == TraceKind::kCompute ? "compute"
+                    : ev.kind == TraceKind::kCollective ? "comm  "
+                                                        : "wait  ";
+                std::printf("  [%9.2f ms .. %9.2f ms] %s %s\n",
+                            ev.start_seconds * 1e3, ev.end_seconds * 1e3,
+                            kind, ev.label.c_str());
+            }
+        }
+    }
+    return 0;
+}

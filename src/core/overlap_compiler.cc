@@ -1,0 +1,49 @@
+#include "core/overlap_compiler.h"
+
+#include "hlo/verifier.h"
+#include "passes/async.h"
+#include "passes/fusion_rewrites.h"
+
+namespace overlap {
+
+StatusOr<CompileReport>
+OverlapCompiler::Compile(HloModule* module) const
+{
+    if (module->entry() == nullptr || !module->mesh().has_value()) {
+        return InvalidArgument(
+            "compile needs a per-device module with a mesh");
+    }
+    OVERLAP_RETURN_IF_ERROR(VerifyModule(*module));
+    HloComputation* comp = module->entry();
+    CostModel cost(options_.hardware);
+    CompileReport report;
+
+    if (options_.enable_overlap) {
+        CollectiveEinsumDecomposer decomposer(*module->mesh(), &cost,
+                                              options_.decompose);
+        auto stats = decomposer.Run(comp);
+        if (!stats.ok()) return stats.status();
+        report.decompose = stats.value();
+
+        auto async = CreateAsyncCollectivePermutes(comp);
+        if (!async.ok()) return async.status();
+        report.async_permutes = async.value();
+
+        // §5.4.3 local rewrites that make operand pre-processing
+        // fusable with the consumer einsums.
+        auto rewrites = MakeConcatenatesFusionFriendly(comp);
+        if (!rewrites.ok()) return rewrites.status();
+        report.concat_rewrites = rewrites.value();
+    }
+
+    auto fused = RunFusionPass(comp, options_.fusion);
+    if (!fused.ok()) return fused.status();
+    report.fusion_groups = fused.value();
+
+    OVERLAP_RETURN_IF_ERROR(
+        ScheduleComputation(comp, cost, options_.scheduler));
+    OVERLAP_RETURN_IF_ERROR(VerifyModule(*module));
+    return report;
+}
+
+}  // namespace overlap

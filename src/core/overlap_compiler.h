@@ -1,0 +1,71 @@
+#ifndef OVERLAP_CORE_OVERLAP_COMPILER_H_
+#define OVERLAP_CORE_OVERLAP_COMPILER_H_
+
+#include "hlo/module.h"
+#include "passes/decompose.h"
+#include "passes/fusion.h"
+#include "passes/schedule.h"
+#include "sim/engine.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/**
+ * End-to-end configuration of the overlap compiler: which paper features
+ * are enabled and on what hardware the cost model reasons.
+ */
+struct CompilerOptions {
+    /**
+     * Master switch. When false the module is only fused and scheduled
+     * in the memory-minimizing baseline order — the "original" system of
+     * Figures 4/5 that every evaluation section compares against.
+     */
+    bool enable_overlap = true;
+
+    DecomposeOptions decompose;
+    FusionHeuristic fusion = FusionHeuristic::kOverlapAware;
+    SchedulerKind scheduler = SchedulerKind::kBottomUp;
+    HardwareSpec hardware;
+
+    /** The paper's baseline configuration. */
+    static CompilerOptions Baseline()
+    {
+        CompilerOptions options;
+        options.enable_overlap = false;
+        options.scheduler = SchedulerKind::kBaselineOnly;
+        return options;
+    }
+};
+
+/** What the compilation pipeline did to a module. */
+struct CompileReport {
+    DecomposeStats decompose;
+    int64_t async_permutes = 0;
+    int64_t fusion_groups = 0;
+    /// §5.4.3 Concatenate -> Max(Pad, Pad) rewrites applied.
+    int64_t concat_rewrites = 0;
+};
+
+/**
+ * The paper's compiler pipeline (§5): CollectiveEinsum decomposition →
+ * asynchronous CollectivePermute creation → overlap-aware fusion →
+ * overlap scheduling. Mutates `module` in place and attaches the final
+ * schedule; the module stays functionally equivalent throughout (the
+ * property the test suite checks with the SPMD interpreter).
+ */
+class OverlapCompiler {
+  public:
+    explicit OverlapCompiler(CompilerOptions options)
+        : options_(std::move(options)) {}
+
+    const CompilerOptions& options() const { return options_; }
+
+    StatusOr<CompileReport> Compile(HloModule* module) const;
+
+  private:
+    CompilerOptions options_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_CORE_OVERLAP_COMPILER_H_

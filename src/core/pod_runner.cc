@@ -1,0 +1,47 @@
+#include "core/pod_runner.h"
+
+#include "models/step_builder.h"
+#include "support/strings.h"
+
+namespace overlap {
+
+std::string
+StepReport::ToString() const
+{
+    return StrCat(config.name, ": step=", HumanTime(step_seconds),
+                  " mfu=", mfu * 100.0,
+                  "% comm=", comm_fraction * 100.0,
+                  "% energy=", energy_joules / 1e6, " MJ");
+}
+
+StatusOr<StepReport>
+SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
+{
+    auto module = BuildLayerStepModule(config);
+    if (!module.ok()) return module.status();
+
+    OverlapCompiler compiler(options);
+    auto compile_report = compiler.Compile(module->get());
+    if (!compile_report.ok()) return compile_report.status();
+
+    PodSimulator simulator(config.mesh(), options.hardware);
+    auto sim = simulator.Run(**module);
+    if (!sim.ok()) return sim.status();
+
+    StepReport report;
+    report.config = config;
+    report.compile = compile_report.value();
+    report.layer = sim.value();
+    double layers = static_cast<double>(config.num_layers);
+    report.step_seconds = sim->step_seconds * layers;
+    report.mfu = sim->Mfu(options.hardware);
+    report.comm_fraction =
+        sim->step_seconds > 0.0
+            ? sim->exposed_comm_seconds / sim->step_seconds
+            : 0.0;
+    report.energy_joules =
+        sim->EnergyJoules(options.hardware, config.num_chips) * layers;
+    return report;
+}
+
+}  // namespace overlap

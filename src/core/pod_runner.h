@@ -1,0 +1,41 @@
+#ifndef OVERLAP_CORE_POD_RUNNER_H_
+#define OVERLAP_CORE_POD_RUNNER_H_
+
+#include <string>
+
+#include "core/overlap_compiler.h"
+#include "models/model_config.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/** Step-level results for one model under one compiler configuration. */
+struct StepReport {
+    ModelConfig config;
+    CompileReport compile;
+    /// Results for the representative layer.
+    SimResult layer;
+    /// Whole-step wall time: layer time x layer count.
+    double step_seconds = 0.0;
+    /// Model FLOPS utilization against peak (the y-axis of Figure 12).
+    double mfu = 0.0;
+    /// Fraction of the step blocked on (exposed) communication — the
+    /// communication share of Figure 1.
+    double comm_fraction = 0.0;
+    /// §6.4: energy of the whole step at constant chip power.
+    double energy_joules = 0.0;
+
+    std::string ToString() const;
+};
+
+/**
+ * Builds a model's representative layer step, compiles it with the given
+ * options and simulates it on the configured pod — the workflow every
+ * evaluation figure uses.
+ */
+StatusOr<StepReport> SimulateModelStep(const ModelConfig& config,
+                                       const CompilerOptions& options);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_CORE_POD_RUNNER_H_

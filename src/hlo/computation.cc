@@ -1,0 +1,197 @@
+#include "hlo/computation.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/strings.h"
+
+namespace overlap {
+
+HloInstruction*
+HloComputation::AddInstruction(HloOpcode opcode, Shape shape,
+                               std::vector<HloInstruction*> operands,
+                               InstrAttrs attrs)
+{
+    auto instr = std::make_unique<HloInstruction>(
+        next_id_++, opcode, std::move(shape), std::move(operands),
+        std::move(attrs));
+    HloInstruction* raw = instr.get();
+    for (HloInstruction* operand : raw->operands()) {
+        OVERLAP_CHECK(operand != nullptr);
+        operand->AddUser(raw);
+    }
+    instructions_.push_back(std::move(instr));
+    if (root_ == nullptr) root_ = raw;
+    return raw;
+}
+
+std::vector<HloInstruction*>
+HloComputation::instructions() const
+{
+    std::vector<HloInstruction*> out;
+    out.reserve(instructions_.size());
+    for (const auto& instr : instructions_) out.push_back(instr.get());
+    return out;
+}
+
+std::vector<HloInstruction*>
+HloComputation::parameters() const
+{
+    std::vector<HloInstruction*> params;
+    for (const auto& instr : instructions_) {
+        if (instr->opcode() == HloOpcode::kParameter) {
+            params.push_back(instr.get());
+        }
+    }
+    std::sort(params.begin(), params.end(),
+              [](const HloInstruction* a, const HloInstruction* b) {
+                  return a->attrs().parameter_number <
+                         b->attrs().parameter_number;
+              });
+    return params;
+}
+
+void
+HloComputation::ReplaceAllUsesWith(HloInstruction* old_instr,
+                                   HloInstruction* new_instr)
+{
+    OVERLAP_CHECK(old_instr != new_instr);
+    // Copy: ReplaceOperand mutates the user list we are iterating.
+    std::vector<HloInstruction*> users = old_instr->users();
+    for (HloInstruction* user : users) {
+        for (int64_t i = 0; i < user->operand_count(); ++i) {
+            if (user->operand(i) == old_instr) {
+                user->ReplaceOperand(i, new_instr);
+            }
+        }
+    }
+    if (root_ == old_instr) root_ = new_instr;
+}
+
+int64_t
+HloComputation::RemoveDeadInstructions()
+{
+    OVERLAP_CHECK(root_ != nullptr);
+    std::unordered_set<const HloInstruction*> live;
+    std::vector<HloInstruction*> stack{root_};
+    while (!stack.empty()) {
+        HloInstruction* instr = stack.back();
+        stack.pop_back();
+        if (!live.insert(instr).second) continue;
+        for (HloInstruction* operand : instr->operands()) {
+            stack.push_back(operand);
+        }
+    }
+    for (const auto& instr : instructions_) {
+        if (instr->opcode() == HloOpcode::kParameter) {
+            live.insert(instr.get());
+        }
+    }
+    int64_t removed = 0;
+    // Detach user edges of dying instructions first.
+    for (const auto& instr : instructions_) {
+        if (live.count(instr.get())) continue;
+        for (HloInstruction* operand : instr->operands()) {
+            operand->RemoveUser(instr.get());
+        }
+        ++removed;
+    }
+    if (removed == 0) return 0;
+    instructions_.erase(
+        std::remove_if(instructions_.begin(), instructions_.end(),
+                       [&live](const std::unique_ptr<HloInstruction>& i) {
+                           return live.count(i.get()) == 0;
+                       }),
+        instructions_.end());
+    if (!schedule_.empty()) {
+        schedule_.erase(std::remove_if(schedule_.begin(), schedule_.end(),
+                                       [&live](const HloInstruction* i) {
+                                           return live.count(i) == 0;
+                                       }),
+                        schedule_.end());
+    }
+    return removed;
+}
+
+void
+HloComputation::SortTopologically()
+{
+    // Kahn's algorithm with a min-heap on the original list index, so the
+    // result deviates from the existing order only where required.
+    std::unordered_map<const HloInstruction*, int64_t> position;
+    std::unordered_map<HloInstruction*, int64_t> missing_operands;
+    for (size_t i = 0; i < instructions_.size(); ++i) {
+        position[instructions_[i].get()] = static_cast<int64_t>(i);
+    }
+    auto later = [&position](HloInstruction* a, HloInstruction* b) {
+        return position.at(a) > position.at(b);
+    };
+    std::priority_queue<HloInstruction*, std::vector<HloInstruction*>,
+                        decltype(later)>
+        ready(later);
+    for (const auto& instr : instructions_) {
+        // Count each distinct operand once.
+        std::unordered_set<const HloInstruction*> distinct(
+            instr->operands().begin(), instr->operands().end());
+        missing_operands[instr.get()] =
+            static_cast<int64_t>(distinct.size());
+        if (distinct.empty()) ready.push(instr.get());
+    }
+    std::vector<HloInstruction*> order;
+    order.reserve(instructions_.size());
+    std::unordered_set<const HloInstruction*> emitted;
+    while (!ready.empty()) {
+        HloInstruction* instr = ready.top();
+        ready.pop();
+        order.push_back(instr);
+        emitted.insert(instr);
+        for (HloInstruction* user : instr->users()) {
+            // A user may read this instruction through several operand
+            // slots; it was counted once above.
+            if (--missing_operands.at(user) == 0) ready.push(user);
+        }
+    }
+    OVERLAP_CHECK(order.size() == instructions_.size());
+    std::unordered_map<const HloInstruction*, int64_t> new_position;
+    for (size_t i = 0; i < order.size(); ++i) {
+        new_position[order[i]] = static_cast<int64_t>(i);
+    }
+    std::sort(instructions_.begin(), instructions_.end(),
+              [&new_position](const std::unique_ptr<HloInstruction>& a,
+                              const std::unique_ptr<HloInstruction>& b) {
+                  return new_position.at(a.get()) < new_position.at(b.get());
+              });
+    schedule_.clear();
+}
+
+void
+HloComputation::set_schedule(std::vector<HloInstruction*> schedule)
+{
+    OVERLAP_CHECK(schedule.size() == instructions_.size());
+    schedule_ = std::move(schedule);
+}
+
+std::vector<HloInstruction*>
+HloComputation::sequence() const
+{
+    if (!schedule_.empty()) return schedule_;
+    return instructions();
+}
+
+std::string
+HloComputation::ToString() const
+{
+    std::string out = StrCat("computation ", name_, " {\n");
+    for (const auto& instr : instructions_) {
+        out += "  ";
+        if (instr.get() == root_) out += "ROOT ";
+        out += instr->ToString();
+        out += "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace overlap

@@ -1,0 +1,26 @@
+#include "hlo/module.h"
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace overlap {
+
+HloComputation*
+HloModule::AddEntryComputation(const std::string& name)
+{
+    OVERLAP_CHECK(entry_ == nullptr);
+    entry_ = std::make_unique<HloComputation>(name);
+    return entry_.get();
+}
+
+std::string
+HloModule::ToString() const
+{
+    std::string out = StrCat("module ", name_);
+    if (mesh_.has_value()) out += StrCat(" ", mesh_->ToString());
+    out += "\n";
+    if (entry_ != nullptr) out += entry_->ToString();
+    return out;
+}
+
+}  // namespace overlap

@@ -1,0 +1,218 @@
+#include "hlo/verifier.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+Status
+VerifyShape(const HloInstruction* instr)
+{
+    switch (instr->opcode()) {
+      case HloOpcode::kParameter:
+          if (instr->attrs().parameter_number < 0) {
+              return InvalidArgument("parameter without parameter_number");
+          }
+          return Status::Ok();
+      case HloOpcode::kConstant:
+          if (!instr->attrs().literal.has_value()) {
+              return InvalidArgument("constant without literal");
+          }
+          if (!instr->attrs().literal->shape().SameDims(instr->shape())) {
+              return InvalidArgument(
+                  StrCat("constant shape mismatch at %", instr->name()));
+          }
+          return Status::Ok();
+      case HloOpcode::kBroadcast:
+          if (instr->operand_count() != 1 ||
+              instr->operand(0)->shape().rank() != 0) {
+              return InvalidArgument(
+                  StrCat("broadcast expects one scalar operand at %",
+                         instr->name()));
+          }
+          return Status::Ok();
+      default: {
+          auto inferred = InferInstructionShape(
+              instr->opcode(), instr->operands(), instr->attrs());
+          if (!inferred.ok()) {
+              return InvalidArgument(
+                  StrCat("shape inference failed at %", instr->name(), ": ",
+                         inferred.status().message()));
+          }
+          if (!(inferred.value() == instr->shape())) {
+              return InvalidArgument(StrCat(
+                  "shape mismatch at %", instr->name(), ": declared ",
+                  instr->shape().ToString(), " inferred ",
+                  inferred.value().ToString()));
+          }
+          return Status::Ok();
+      }
+    }
+}
+
+Status
+VerifyCollective(const HloInstruction* instr, int64_t num_devices)
+{
+    const InstrAttrs& attrs = instr->attrs();
+    if (IsBlockingCollective(instr->opcode())) {
+        if (attrs.groups.empty()) {
+            return InvalidArgument(
+                StrCat("collective without groups at %", instr->name()));
+        }
+        std::set<int64_t> seen;
+        size_t group_size = attrs.groups[0].size();
+        for (const auto& group : attrs.groups) {
+            if (group.size() != group_size) {
+                return InvalidArgument(StrCat(
+                    "ragged collective groups at %", instr->name()));
+            }
+            for (int64_t device : group) {
+                if (device < 0 ||
+                    (num_devices > 0 && device >= num_devices)) {
+                    return InvalidArgument(StrCat(
+                        "device ", device, " out of range at %",
+                        instr->name()));
+                }
+                if (!seen.insert(device).second) {
+                    return InvalidArgument(
+                        StrCat("device ", device,
+                               " appears twice in groups at %",
+                               instr->name()));
+                }
+            }
+        }
+        if (num_devices > 0 &&
+            static_cast<int64_t>(seen.size()) != num_devices) {
+            return InvalidArgument(
+                StrCat("collective groups do not cover all ", num_devices,
+                       " devices at %", instr->name()));
+        }
+    }
+    if (instr->opcode() == HloOpcode::kCollectivePermute ||
+        instr->opcode() == HloOpcode::kCollectivePermuteStart) {
+        std::set<int64_t> sources, targets;
+        for (const auto& [src, dst] : attrs.source_target_pairs) {
+            if (src < 0 || dst < 0 ||
+                (num_devices > 0 &&
+                 (src >= num_devices || dst >= num_devices))) {
+                return InvalidArgument(StrCat(
+                    "permute pair out of range at %", instr->name()));
+            }
+            if (!sources.insert(src).second) {
+                return InvalidArgument(StrCat(
+                    "duplicate permute source at %", instr->name()));
+            }
+            if (!targets.insert(dst).second) {
+                return InvalidArgument(StrCat(
+                    "duplicate permute target at %", instr->name()));
+            }
+        }
+    }
+    if (instr->opcode() == HloOpcode::kCollectivePermuteStart) {
+        int64_t done_users = 0;
+        for (const HloInstruction* user : instr->users()) {
+            if (user->opcode() == HloOpcode::kCollectivePermuteDone) {
+                ++done_users;
+            } else {
+                return InvalidArgument(
+                    StrCat("collective-permute-start used by non-done %",
+                           user->name()));
+            }
+        }
+        if (done_users != 1) {
+            return InvalidArgument(
+                StrCat("collective-permute-start needs exactly one done "
+                       "user at %",
+                       instr->name()));
+        }
+    }
+    return Status::Ok();
+}
+
+}  // namespace
+
+Status
+VerifyComputation(const HloComputation& computation, int64_t num_devices)
+{
+    if (computation.root() == nullptr) {
+        return InvalidArgument("computation has no root");
+    }
+    std::vector<HloInstruction*> instrs = computation.instructions();
+    std::unordered_set<const HloInstruction*> defined;
+    std::unordered_set<int64_t> param_numbers;
+    int64_t param_count = 0;
+    for (const HloInstruction* instr : instrs) {
+        for (const HloInstruction* operand : instr->operands()) {
+            if (defined.count(operand) == 0) {
+                return InvalidArgument(
+                    StrCat("operand %", operand->name(),
+                           " not defined before %", instr->name()));
+            }
+            if (!operand->HasUser(instr)) {
+                return Internal(StrCat("missing user edge %",
+                                       operand->name(), " -> %",
+                                       instr->name()));
+            }
+        }
+        OVERLAP_RETURN_IF_ERROR(VerifyShape(instr));
+        OVERLAP_RETURN_IF_ERROR(VerifyCollective(instr, num_devices));
+        if (instr->opcode() == HloOpcode::kParameter) {
+            ++param_count;
+            if (!param_numbers.insert(instr->attrs().parameter_number)
+                     .second) {
+                return InvalidArgument(
+                    StrCat("duplicate parameter number at %",
+                           instr->name()));
+            }
+        }
+        defined.insert(instr);
+    }
+    for (int64_t p = 0; p < param_count; ++p) {
+        if (param_numbers.count(p) == 0) {
+            return InvalidArgument(
+                StrCat("parameter numbers not dense: missing ", p));
+        }
+    }
+    if (defined.count(computation.root()) == 0) {
+        return InvalidArgument("root is not in the computation");
+    }
+
+    if (computation.has_schedule()) {
+        const auto& schedule = computation.schedule();
+        if (schedule.size() != instrs.size()) {
+            return InvalidArgument("schedule length mismatch");
+        }
+        std::unordered_set<const HloInstruction*> scheduled;
+        for (const HloInstruction* instr : schedule) {
+            for (const HloInstruction* operand : instr->operands()) {
+                if (scheduled.count(operand) == 0) {
+                    return InvalidArgument(
+                        StrCat("schedule places %", instr->name(),
+                               " before its operand %", operand->name()));
+                }
+            }
+            if (!scheduled.insert(instr).second) {
+                return InvalidArgument(StrCat(
+                    "schedule repeats %", instr->name()));
+            }
+        }
+    }
+    return Status::Ok();
+}
+
+Status
+VerifyModule(const HloModule& module)
+{
+    if (module.entry() == nullptr) {
+        return InvalidArgument("module has no entry computation");
+    }
+    int64_t num_devices =
+        module.mesh().has_value() ? module.mesh()->num_devices() : -1;
+    return VerifyComputation(*module.entry(), num_devices);
+}
+
+}  // namespace overlap

@@ -1,0 +1,31 @@
+#ifndef OVERLAP_HLO_VERIFIER_H_
+#define OVERLAP_HLO_VERIFIER_H_
+
+#include "hlo/module.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/**
+ * Structural and semantic validation of an HloModule.
+ *
+ * Checks performed:
+ *  - every instruction's shape matches shape inference;
+ *  - parameter numbers are unique and dense from 0;
+ *  - operand/user edges are consistent;
+ *  - collective groups partition the device set (when a mesh is present)
+ *    and CollectivePermute source/target pairs have unique sources and
+ *    unique targets within range;
+ *  - each CollectivePermuteStart has exactly one Done user;
+ *  - an attached schedule is a permutation of the instruction list and a
+ *    valid topological order.
+ */
+Status VerifyModule(const HloModule& module);
+
+/** Verifies one computation (without mesh-dependent collective checks). */
+Status VerifyComputation(const HloComputation& computation,
+                         int64_t num_devices = -1);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_HLO_VERIFIER_H_

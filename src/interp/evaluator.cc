@@ -1,0 +1,385 @@
+#include "interp/evaluator.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "hlo/builder.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+using PerDevice = std::vector<Tensor>;
+
+float
+ApplyBinary(HloOpcode opcode, float a, float b)
+{
+    switch (opcode) {
+      case HloOpcode::kAdd: return a + b;
+      case HloOpcode::kSubtract: return a - b;
+      case HloOpcode::kMultiply: return a * b;
+      case HloOpcode::kDivide: return a / b;
+      case HloOpcode::kMaximum: return a > b ? a : b;
+      case HloOpcode::kMinimum: return a < b ? a : b;
+      case HloOpcode::kRemainder: return std::fmod(a, b);
+      default: break;
+    }
+    OVERLAP_CHECK(false);
+    return 0.0f;
+}
+
+int64_t
+ScalarToIndex(const Tensor& t)
+{
+    return static_cast<int64_t>(std::llround(t.ScalarValue()));
+}
+
+/** Gathers the dynamic start indices for a DynamicSlice/UpdateSlice. */
+std::vector<int64_t>
+GatherStarts(const std::vector<const PerDevice*>& operand_values,
+             size_t first_index_operand, int64_t rank, int64_t device)
+{
+    std::vector<int64_t> starts(static_cast<size_t>(rank));
+    for (int64_t d = 0; d < rank; ++d) {
+        starts[static_cast<size_t>(d)] = ScalarToIndex(
+            (*operand_values[first_index_operand + static_cast<size_t>(d)])
+                [static_cast<size_t>(device)]);
+    }
+    return starts;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Tensor>>
+SpmdEvaluator::Evaluate(const HloComputation& computation,
+                        const std::vector<std::vector<Tensor>>& params) const
+{
+    const int64_t n = mesh_.num_devices();
+    std::unordered_map<const HloInstruction*, PerDevice> values;
+
+    for (const HloInstruction* instr : computation.instructions()) {
+        std::vector<const PerDevice*> inputs;
+        inputs.reserve(instr->operands().size());
+        for (const HloInstruction* operand : instr->operands()) {
+            inputs.push_back(&values.at(operand));
+        }
+        PerDevice out(static_cast<size_t>(n));
+
+        switch (instr->opcode()) {
+          case HloOpcode::kParameter: {
+              int64_t p = instr->attrs().parameter_number;
+              if (p < 0 || p >= static_cast<int64_t>(params.size())) {
+                  return InvalidArgument(
+                      StrCat("no value for parameter ", p));
+              }
+              const auto& provided = params[static_cast<size_t>(p)];
+              if (static_cast<int64_t>(provided.size()) != n &&
+                  provided.size() != 1) {
+                  return InvalidArgument(
+                      StrCat("parameter ", p, " needs 1 or ", n,
+                             " values, got ", provided.size()));
+              }
+              for (int64_t d = 0; d < n; ++d) {
+                  const Tensor& v =
+                      provided.size() == 1
+                          ? provided[0]
+                          : provided[static_cast<size_t>(d)];
+                  if (!v.shape().SameDims(instr->shape())) {
+                      return InvalidArgument(StrCat(
+                          "parameter ", p, " shape ", v.shape().ToString(),
+                          " != declared ", instr->shape().ToString()));
+                  }
+                  out[static_cast<size_t>(d)] = v;
+              }
+              break;
+          }
+
+          case HloOpcode::kConstant: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = *instr->attrs().literal;
+              }
+              break;
+          }
+
+          case HloOpcode::kPartitionId: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      Tensor(Shape(DType::kS32, {}),
+                             {static_cast<float>(d)});
+              }
+              break;
+          }
+
+          case HloOpcode::kAxisIndex: {
+              int64_t axis = instr->attrs().mesh_axis;
+              if (axis < 0 || axis >= mesh_.num_axes()) {
+                  return InvalidArgument("axis-index out of range");
+              }
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = Tensor(
+                      Shape(DType::kS32, {}),
+                      {static_cast<float>(mesh_.PositionInGroup(d, axis))});
+              }
+              break;
+          }
+
+          case HloOpcode::kNegate: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Map(
+                          [](float v) { return -v; });
+              }
+              break;
+          }
+
+          case HloOpcode::kCopy:
+          case HloOpcode::kCollectivePermuteDone: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)];
+              }
+              break;
+          }
+
+          case HloOpcode::kAdd:
+          case HloOpcode::kSubtract:
+          case HloOpcode::kMultiply:
+          case HloOpcode::kDivide:
+          case HloOpcode::kMaximum:
+          case HloOpcode::kMinimum:
+          case HloOpcode::kRemainder: {
+              HloOpcode op = instr->opcode();
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = Tensor::BinaryOp(
+                      (*inputs[0])[static_cast<size_t>(d)],
+                      (*inputs[1])[static_cast<size_t>(d)],
+                      [op](float a, float b) {
+                          return ApplyBinary(op, a, b);
+                      });
+              }
+              break;
+          }
+
+          case HloOpcode::kBroadcast: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = Tensor::Full(
+                      instr->shape(),
+                      (*inputs[0])[static_cast<size_t>(d)].ScalarValue());
+              }
+              break;
+          }
+
+          case HloOpcode::kReshape: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Reshape(
+                          instr->shape());
+              }
+              break;
+          }
+
+          case HloOpcode::kTranspose: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Transpose(
+                          instr->attrs().permutation);
+              }
+              break;
+          }
+
+          case HloOpcode::kConcatenate: {
+              for (int64_t d = 0; d < n; ++d) {
+                  std::vector<Tensor> parts;
+                  parts.reserve(inputs.size());
+                  for (const PerDevice* input : inputs) {
+                      parts.push_back((*input)[static_cast<size_t>(d)]);
+                  }
+                  out[static_cast<size_t>(d)] =
+                      Tensor::Concatenate(parts, instr->attrs().dim);
+              }
+              break;
+          }
+
+          case HloOpcode::kPad: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Pad(
+                          instr->attrs().pad_low, instr->attrs().pad_high,
+                          instr->attrs().pad_value);
+              }
+              break;
+          }
+
+          case HloOpcode::kSlice: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Slice(
+                          instr->attrs().starts, instr->attrs().sizes);
+              }
+              break;
+          }
+
+          case HloOpcode::kDynamicSlice: {
+              int64_t rank = instr->operand(0)->shape().rank();
+              for (int64_t d = 0; d < n; ++d) {
+                  std::vector<int64_t> starts =
+                      GatherStarts(inputs, 1, rank, d);
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].Slice(
+                          starts, instr->attrs().sizes);
+              }
+              break;
+          }
+
+          case HloOpcode::kDynamicUpdateSlice: {
+              int64_t rank = instr->operand(0)->shape().rank();
+              for (int64_t d = 0; d < n; ++d) {
+                  std::vector<int64_t> starts =
+                      GatherStarts(inputs, 2, rank, d);
+                  out[static_cast<size_t>(d)] =
+                      (*inputs[0])[static_cast<size_t>(d)].UpdateSlice(
+                          (*inputs[1])[static_cast<size_t>(d)], starts);
+              }
+              break;
+          }
+
+          case HloOpcode::kEinsum: {
+              const EinsumSpec& spec = instr->einsum();
+              for (int64_t d = 0; d < n; ++d) {
+                  auto result =
+                      spec.Evaluate((*inputs[0])[static_cast<size_t>(d)],
+                                    (*inputs[1])[static_cast<size_t>(d)]);
+                  if (!result.ok()) return result.status();
+                  out[static_cast<size_t>(d)] = std::move(result).value();
+              }
+              break;
+          }
+
+          case HloOpcode::kAllGather: {
+              for (const auto& group : instr->attrs().groups) {
+                  std::vector<Tensor> parts;
+                  parts.reserve(group.size());
+                  for (int64_t member : group) {
+                      parts.push_back(
+                          (*inputs[0])[static_cast<size_t>(member)]);
+                  }
+                  Tensor gathered =
+                      Tensor::Concatenate(parts, instr->attrs().dim);
+                  for (int64_t member : group) {
+                      out[static_cast<size_t>(member)] = gathered;
+                  }
+              }
+              break;
+          }
+
+          case HloOpcode::kReduceScatter: {
+              int64_t dim = instr->attrs().dim;
+              for (const auto& group : instr->attrs().groups) {
+                  Tensor sum = (*inputs[0])[static_cast<size_t>(group[0])];
+                  for (size_t i = 1; i < group.size(); ++i) {
+                      sum = Tensor::BinaryOp(
+                          sum,
+                          (*inputs[0])[static_cast<size_t>(group[i])],
+                          [](float a, float b) { return a + b; });
+                  }
+                  int64_t shard = instr->shape().dim(dim);
+                  for (size_t i = 0; i < group.size(); ++i) {
+                      std::vector<int64_t> starts(
+                          static_cast<size_t>(sum.shape().rank()), 0);
+                      starts[static_cast<size_t>(dim)] =
+                          static_cast<int64_t>(i) * shard;
+                      std::vector<int64_t> sizes = sum.shape().dims();
+                      sizes[static_cast<size_t>(dim)] = shard;
+                      out[static_cast<size_t>(group[i])] =
+                          sum.Slice(starts, sizes);
+                  }
+              }
+              break;
+          }
+
+          case HloOpcode::kAllReduce: {
+              for (const auto& group : instr->attrs().groups) {
+                  Tensor sum = (*inputs[0])[static_cast<size_t>(group[0])];
+                  for (size_t i = 1; i < group.size(); ++i) {
+                      sum = Tensor::BinaryOp(
+                          sum,
+                          (*inputs[0])[static_cast<size_t>(group[i])],
+                          [](float a, float b) { return a + b; });
+                  }
+                  for (int64_t member : group) {
+                      out[static_cast<size_t>(member)] = sum;
+                  }
+              }
+              break;
+          }
+
+          case HloOpcode::kAllToAll: {
+              int64_t dim = instr->attrs().dim;
+              for (const auto& group : instr->attrs().groups) {
+                  int64_t g = static_cast<int64_t>(group.size());
+                  const Shape& in_shape = instr->operand(0)->shape();
+                  if (in_shape.dim(dim) % g != 0) {
+                      return InvalidArgument(
+                          "all-to-all dim not divisible by group size");
+                  }
+                  int64_t piece = in_shape.dim(dim) / g;
+                  for (int64_t i = 0; i < g; ++i) {
+                      std::vector<Tensor> parts;
+                      parts.reserve(static_cast<size_t>(g));
+                      for (int64_t j = 0; j < g; ++j) {
+                          std::vector<int64_t> starts(
+                              static_cast<size_t>(in_shape.rank()), 0);
+                          starts[static_cast<size_t>(dim)] = i * piece;
+                          std::vector<int64_t> sizes = in_shape.dims();
+                          sizes[static_cast<size_t>(dim)] = piece;
+                          parts.push_back(
+                              (*inputs[0])[static_cast<size_t>(group[static_cast<size_t>(j)])]
+                                  .Slice(starts, sizes));
+                      }
+                      out[static_cast<size_t>(group[static_cast<size_t>(i)])] =
+                          Tensor::Concatenate(parts, dim);
+                  }
+              }
+              break;
+          }
+
+          case HloOpcode::kTuple: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = Tensor::Scalar(0.0f);
+              }
+              break;
+          }
+
+          case HloOpcode::kCollectivePermute:
+          case HloOpcode::kCollectivePermuteStart: {
+              for (int64_t d = 0; d < n; ++d) {
+                  out[static_cast<size_t>(d)] = Tensor(instr->shape());
+              }
+              for (const auto& [src, dst] :
+                   instr->attrs().source_target_pairs) {
+                  out[static_cast<size_t>(dst)] =
+                      (*inputs[0])[static_cast<size_t>(src)];
+              }
+              break;
+          }
+        }
+        values.emplace(instr, std::move(out));
+    }
+
+    return values.at(computation.root());
+}
+
+StatusOr<Tensor>
+EvaluateGlobal(const HloComputation& computation,
+               const std::vector<Tensor>& params)
+{
+    SpmdEvaluator evaluator((Mesh(1)));
+    std::vector<std::vector<Tensor>> per_device;
+    per_device.reserve(params.size());
+    for (const Tensor& p : params) per_device.push_back({p});
+    auto result = evaluator.Evaluate(computation, per_device);
+    if (!result.ok()) return result.status();
+    return std::move(result).value()[0];
+}
+
+}  // namespace overlap

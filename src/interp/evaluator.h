@@ -1,0 +1,58 @@
+#ifndef OVERLAP_INTERP_EVALUATOR_H_
+#define OVERLAP_INTERP_EVALUATOR_H_
+
+#include <vector>
+
+#include "hlo/module.h"
+#include "support/status.h"
+#include "tensor/mesh.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+
+/**
+ * Functional reference interpreter for SPMD HLO programs.
+ *
+ * Executes the entry computation on every device of the mesh in lock-step
+ * (one instruction at a time across all devices), with full collective
+ * semantics: AllGather concatenation in group order, ReduceScatter
+ * element-wise reduction + scatter, AllReduce, AllToAll, and
+ * CollectivePermute data movement (devices that receive nothing get
+ * zeros, matching XLA). CollectivePermuteStart/Done are functionally the
+ * identity — their timing behaviour lives in the simulator.
+ *
+ * This interpreter is the semantic ground truth the test suite uses to
+ * prove that the Looped CollectiveEinsum decomposition (in every variant)
+ * is equivalent to the original collective + einsum pair.
+ */
+class SpmdEvaluator {
+  public:
+    explicit SpmdEvaluator(Mesh mesh) : mesh_(std::move(mesh)) {}
+
+    /**
+     * Runs `computation`; `params[p][d]` is the value of parameter p on
+     * device d (the inner vector must have one entry per device, or
+     * exactly one entry meaning "replicated").
+     *
+     * @return the root value on each device.
+     */
+    StatusOr<std::vector<Tensor>> Evaluate(
+        const HloComputation& computation,
+        const std::vector<std::vector<Tensor>>& params) const;
+
+    const Mesh& mesh() const { return mesh_; }
+
+  private:
+    Mesh mesh_;
+};
+
+/**
+ * Convenience: evaluates a single-device (global) computation with one
+ * value per parameter.
+ */
+StatusOr<Tensor> EvaluateGlobal(const HloComputation& computation,
+                                const std::vector<Tensor>& params);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_INTERP_EVALUATOR_H_

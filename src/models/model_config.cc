@@ -1,0 +1,183 @@
+#include "models/model_config.h"
+
+#include "support/strings.h"
+
+namespace overlap {
+
+const char*
+ModelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::kDense: return "dense";
+      case ModelKind::kEncoderDecoder: return "encoder-decoder";
+      case ModelKind::kMoe: return "mixture-of-experts";
+      case ModelKind::kSpeech: return "speech";
+    }
+    return "?";
+}
+
+std::string
+ModelConfig::ToString() const
+{
+    return StrCat(name, " (", ModelKindName(kind), "): params=", num_params,
+                  "B layers=", num_layers, " d_model=", model_dim,
+                  " d_ff=", ff_dim, " batch=", batch_size, " seq=", seq_len,
+                  " chips=", num_chips, " mesh=[", mesh_x, ",", mesh_y, "]");
+}
+
+std::vector<ModelConfig>
+Table1Models()
+{
+    // Hyperparameters from Table 1. Mesh shapes are not published; they
+    // are chosen per model to give the best *baseline* performance, as
+    // the paper does (§6), with x the model/feature axis of Figure 3.
+    std::vector<ModelConfig> models;
+
+    ModelConfig gpt;
+    gpt.name = "GPT_1T";
+    gpt.kind = ModelKind::kDense;
+    gpt.num_params = 1030.0;
+    gpt.num_layers = 142;
+    gpt.model_dim = 24576;
+    gpt.ff_dim = 98304;
+    gpt.batch_size = 4096;
+    gpt.seq_len = 2048;
+    gpt.num_chips = 2048;
+    gpt.mesh_x = 16;
+    gpt.mesh_y = 128;
+    models.push_back(gpt);
+
+    ModelConfig meena;
+    meena.name = "Meena_500B";
+    meena.kind = ModelKind::kDense;
+    meena.num_params = 507.0;
+    meena.num_layers = 120;
+    meena.model_dim = 18432;
+    meena.ff_dim = 65536;
+    meena.batch_size = 2048;
+    meena.seq_len = 2048;
+    meena.num_chips = 1024;
+    meena.mesh_x = 8;
+    meena.mesh_y = 128;
+    models.push_back(meena);
+
+    ModelConfig mlperf;
+    mlperf.name = "MLPerf_200B";
+    mlperf.kind = ModelKind::kDense;
+    mlperf.num_params = 199.0;
+    mlperf.num_layers = 66;
+    mlperf.model_dim = 12288;
+    mlperf.ff_dim = 98304;
+    mlperf.batch_size = 4096;
+    mlperf.seq_len = 512;
+    mlperf.num_chips = 1024;
+    mlperf.mesh_x = 16;
+    mlperf.mesh_y = 64;
+    models.push_back(mlperf);
+
+    ModelConfig t5;
+    t5.name = "T5_300B";
+    t5.kind = ModelKind::kEncoderDecoder;
+    t5.num_params = 290.0;
+    t5.num_layers = 64;
+    t5.model_dim = 12288;
+    t5.ff_dim = 36864;
+    t5.batch_size = 3072;
+    t5.seq_len = 512;
+    t5.num_chips = 512;
+    t5.mesh_x = 8;
+    t5.mesh_y = 64;
+    models.push_back(t5);
+
+    ModelConfig glam;
+    glam.name = "GLaM_1T";
+    glam.kind = ModelKind::kMoe;
+    glam.num_params = 1160.0;
+    glam.num_layers = 32;
+    glam.model_dim = 8192;
+    glam.ff_dim = 32768;
+    glam.batch_size = 1024;
+    glam.seq_len = 1024;
+    glam.num_chips = 1024;
+    glam.mesh_x = 16;
+    glam.mesh_y = 64;
+    glam.num_experts = 64;
+    models.push_back(glam);
+
+    ModelConfig bigssl;
+    bigssl.name = "BigSSL_10B";
+    bigssl.kind = ModelKind::kSpeech;
+    bigssl.num_params = 10.4;
+    bigssl.num_layers = 48;
+    bigssl.model_dim = 3072;
+    bigssl.ff_dim = 12288;
+    bigssl.batch_size = 64;
+    // Long-form audio: acoustic frames per utterance; speech steps see
+    // more positions than text but far fewer FLOPs per position.
+    bigssl.seq_len = 6144;
+    bigssl.head_dim = 128;
+    bigssl.num_chips = 128;
+    // 1-D intra-layer partitioning of size 8 (the Figure 2 strategy)
+    // on the y axis; the x axis carries data parallelism.
+    bigssl.mesh_x = 16;
+    bigssl.mesh_y = 8;
+    models.push_back(bigssl);
+
+    return models;
+}
+
+std::vector<ModelConfig>
+Table2GptModels()
+{
+    struct Row {
+        const char* name;
+        double params;
+        int64_t layers, d, ff, batch, chips, mx, my;
+    };
+    // Table 2 with per-size meshes (x chosen so the overlapped dimension
+    // grows with the model, matching the §6.3 observation that GPT_32B
+    // and GPT_128B have few partitions along the overlapped dimension).
+    const Row rows[] = {
+        {"GPT_32B", 32.2, 40, 8192, 32768, 512, 64, 4, 16},
+        {"GPT_64B", 64.2, 51, 10240, 40960, 512, 128, 16, 8},
+        {"GPT_128B", 128.6, 71, 12288, 49152, 1024, 256, 8, 32},
+        {"GPT_256B", 257.7, 80, 16384, 65536, 2048, 512, 16, 32},
+        {"GPT_512B", 513.4, 102, 20480, 81920, 3072, 1024, 32, 32},
+        {"GPT_1T", 1030.0, 142, 24576, 98304, 4096, 2048, 16, 128},
+    };
+    std::vector<ModelConfig> models;
+    for (const Row& row : rows) {
+        ModelConfig config;
+        config.name = row.name;
+        config.kind = ModelKind::kDense;
+        config.num_params = row.params;
+        config.num_layers = row.layers;
+        config.model_dim = row.d;
+        config.ff_dim = row.ff;
+        config.batch_size = row.batch;
+        config.seq_len = 2048;
+        config.num_chips = row.chips;
+        config.mesh_x = row.mx;
+        config.mesh_y = row.my;
+        models.push_back(config);
+    }
+    return models;
+}
+
+const ModelConfig*
+FindModel(const std::string& name)
+{
+    static const std::vector<ModelConfig>* all = [] {
+        auto* models = new std::vector<ModelConfig>(Table1Models());
+        for (const ModelConfig& m : Table2GptModels()) {
+            models->push_back(m);
+        }
+        return models;
+    }();
+    for (const ModelConfig& m : *all) {
+        if (m.name == name) return &m;
+    }
+    return nullptr;
+}
+
+}  // namespace overlap

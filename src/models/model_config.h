@@ -1,0 +1,62 @@
+#ifndef OVERLAP_MODELS_MODEL_CONFIG_H_
+#define OVERLAP_MODELS_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/** Architecture family of an evaluated model (Table 1). */
+enum class ModelKind {
+    kDense,           ///< decoder-only dense transformer (GPT, Meena, BERT)
+    kEncoderDecoder,  ///< T5-style; extra backward AllToAlls (§6.1)
+    kMoe,             ///< GLaM-style sparse mixture-of-experts
+    kSpeech,          ///< BigSSL; 1-D partitioning (Figure 2 strategy)
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/**
+ * Hyperparameters of one evaluated model, mirroring Table 1 / Table 2.
+ * "Size of model dimension" and "size of feedforward dimension" follow
+ * the GPT-3 terminology the paper adopts.
+ */
+struct ModelConfig {
+    std::string name;
+    ModelKind kind = ModelKind::kDense;
+    double num_params = 0.0;  ///< reported parameter count
+    int64_t num_layers = 0;
+    int64_t model_dim = 0;
+    int64_t ff_dim = 0;
+    int64_t batch_size = 0;  ///< sequences per step
+    int64_t seq_len = 2048;
+    int64_t head_dim = 128;
+    int64_t num_chips = 0;
+    /// Device mesh [x, y]: x is the model/feature axis (M in Figure 3),
+    /// y the batch axis (N). x * y == num_chips.
+    int64_t mesh_x = 0;
+    int64_t mesh_y = 0;
+    int64_t num_experts = 0;  ///< MoE only
+
+    Mesh mesh() const { return Mesh(mesh_x, mesh_y); }
+    int64_t num_heads() const { return model_dim / head_dim; }
+    int64_t global_tokens() const { return batch_size * seq_len; }
+
+    std::string ToString() const;
+};
+
+/** The six production models of Table 1. */
+std::vector<ModelConfig> Table1Models();
+
+/** The weak-scaling GPT family of Table 2 (32B to 1T). */
+std::vector<ModelConfig> Table2GptModels();
+
+/** Looks up a model by name across both tables. */
+const ModelConfig* FindModel(const std::string& name);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_MODELS_MODEL_CONFIG_H_

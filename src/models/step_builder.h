@@ -1,0 +1,36 @@
+#ifndef OVERLAP_MODELS_STEP_BUILDER_H_
+#define OVERLAP_MODELS_STEP_BUILDER_H_
+
+#include <memory>
+
+#include "hlo/module.h"
+#include "models/model_config.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/**
+ * Builds the per-device SPMD program of one representative transformer
+ * layer's forward *and* backward pass for `config` (all layers of these
+ * models are identical in shape, so a full training step is num_layers
+ * executions of this graph — the standard way of estimating step time).
+ *
+ * The graph is produced through the SpmdBuilder, so every collective in
+ * it (activation/weight AllGathers, output and gradient ReduceScatters,
+ * MoE AllToAlls, data-parallel AllReduces) arises from the declared
+ * shardings of §2.2 rather than being placed by hand:
+ *  - dense / encoder-decoder models use the 2-D Figure 3 strategy
+ *    (x = model axis, y = batch axis);
+ *  - the speech model uses the 1-D Figure 2 strategy on y with data
+ *    parallelism on x;
+ *  - the MoE model adds AllToAll dispatch/combine around the expert FFN.
+ *
+ * The root is a Tuple over the layer output and all gradients, keeping
+ * the whole backward pass live through DCE.
+ */
+StatusOr<std::unique_ptr<HloModule>> BuildLayerStepModule(
+    const ModelConfig& config);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_MODELS_STEP_BUILDER_H_

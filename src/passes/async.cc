@@ -1,0 +1,31 @@
+#include "passes/async.h"
+
+#include "hlo/builder.h"
+
+namespace overlap {
+
+StatusOr<int64_t>
+CreateAsyncCollectivePermutes(HloComputation* computation)
+{
+    HloBuilder builder(computation);
+    int64_t converted = 0;
+    for (HloInstruction* instr : computation->instructions()) {
+        if (instr->opcode() != HloOpcode::kCollectivePermute) continue;
+        HloInstruction* start = builder.CollectivePermuteStart(
+            instr->operand(0), instr->attrs().source_target_pairs);
+        HloInstruction* done = builder.CollectivePermuteDone(start);
+        start->set_loop_group(instr->loop_group());
+        done->set_loop_group(instr->loop_group());
+        start->set_fusion_group(instr->fusion_group());
+        done->set_fusion_group(instr->fusion_group());
+        computation->ReplaceAllUsesWith(instr, done);
+        ++converted;
+    }
+    if (converted > 0) {
+        computation->RemoveDeadInstructions();
+        computation->SortTopologically();
+    }
+    return converted;
+}
+
+}  // namespace overlap

@@ -1,0 +1,25 @@
+#ifndef OVERLAP_PASSES_ASYNC_H_
+#define OVERLAP_PASSES_ASYNC_H_
+
+#include "hlo/computation.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/**
+ * Splits every synchronous CollectivePermute into an asynchronous
+ * CollectivePermuteStart / CollectivePermuteDone pair (§5.2).
+ *
+ * The Start issues the transfer and does not block; the Done marks its
+ * completion. Decoupling this from the decomposition keeps the loop
+ * generation modular (§5.1): the decomposer emits ordinary blocking
+ * permutes, this pass makes them non-blocking, and the schedulers then
+ * move Starts early and Dones late to expose the overlap.
+ *
+ * @return the number of permutes converted.
+ */
+StatusOr<int64_t> CreateAsyncCollectivePermutes(HloComputation* computation);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_PASSES_ASYNC_H_

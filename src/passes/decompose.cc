@@ -1,0 +1,615 @@
+#include "passes/decompose.h"
+
+#include <algorithm>
+
+#include "hlo/builder.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace overlap {
+
+std::vector<std::pair<int64_t, int64_t>>
+RingShiftPairs(const Mesh& mesh, int64_t axis, int64_t step)
+{
+    int64_t n = mesh.axis_size(axis);
+    OVERLAP_CHECK(((step % n) + n) % n != 0);
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (const auto& group : mesh.Groups(axis)) {
+        for (int64_t j = 0; j < n; ++j) {
+            int64_t dst = ((j - step) % n + n) % n;
+            pairs.emplace_back(group[static_cast<size_t>(j)],
+                               group[static_cast<size_t>(dst)]);
+        }
+    }
+    return pairs;
+}
+
+namespace {
+
+/** A matched AllGather-Einsum or Einsum-ReduceScatter overlap site. */
+struct Site {
+    HloInstruction* einsum = nullptr;
+    HloInstruction* collective = nullptr;  // the AG or RS to decompose
+    bool is_allgather = false;
+    /// Einsum operand index of the gathered operand (AG case) or of the
+    /// operand that carries the scattered output label (RS case).
+    int64_t side = 0;
+    int64_t mesh_axis = -1;
+    int64_t group_size = 0;  // N
+    char label = 0;          // the partitioned einsum label
+    EinsumDimKind kind = EinsumDimKind::kLhsFree;  // AG case only
+    /// Shard extent of `label` per loop iteration.
+    int64_t shard_extent = 0;
+    double benefit = 0.0;  // original minus overlapped estimated time
+};
+
+/** Labels of the einsum operand on the given side. */
+const std::string&
+SideLabels(const EinsumSpec& spec, int64_t side)
+{
+    return side == 0 ? spec.lhs_labels() : spec.rhs_labels();
+}
+
+int64_t
+SideDimOf(const EinsumSpec& spec, int64_t side, char label)
+{
+    return side == 0 ? spec.LhsDimOf(label) : spec.RhsDimOf(label);
+}
+
+/**
+ * Emits the unrolled Looped CollectiveEinsum for one site. Every
+ * instruction added is tagged with a fresh loop group.
+ */
+class LoopEmitter {
+  public:
+    LoopEmitter(HloComputation* computation, const Mesh& mesh,
+                const DecomposeOptions& options, const Site& site)
+        : computation_(computation),
+          builder_(computation),
+          mesh_(mesh),
+          options_(options),
+          site_(site),
+          n_(site.group_size)
+    {
+    }
+
+    /** Builds the loop; returns the value replacing the matched root. */
+    HloInstruction* Emit()
+    {
+        int64_t first_new = computation_->instruction_count();
+        axis_index_ = builder_.AxisIndex(site_.mesh_axis);
+        HloInstruction* result;
+        bool bidi = options_.bidirectional && n_ % 2 == 0 && n_ >= 4;
+        if (site_.is_allgather) {
+            if (options_.bidirectional && n_ == 2 &&
+                site_.shard_extent % 2 == 0) {
+                // 2-way parallelism: circulate the two halves of the
+                // peer's shard over the two opposite link directions
+                // concurrently (the §5.4.2 idea at its smallest scale,
+                // and what makes the §7.1 inference case profitable).
+                result = EmitAllGatherTwoWay();
+            } else {
+                result = bidi ? EmitAllGatherBidirectional()
+                              : EmitAllGatherUnidirectional();
+            }
+        } else {
+            if (bidi) {
+                result = EmitReduceScatterBidirectional();
+            } else if (options_.unroll && n_ % 2 == 0) {
+                result = EmitReduceScatterTwoChain();
+            } else {
+                result = EmitReduceScatterSingleChain();
+            }
+        }
+        int64_t group = computation_->NextLoopGroupId();
+        std::vector<HloInstruction*> instrs = computation_->instructions();
+        for (size_t i = static_cast<size_t>(first_new); i < instrs.size();
+             ++i) {
+            instrs[i]->set_loop_group(group);
+        }
+        return result;
+    }
+
+  private:
+    /** Scalar shard id (axis_index + delta) mod N; delta may be negative. */
+    HloInstruction* ShardId(int64_t delta)
+    {
+        int64_t normalized = ((delta % n_) + n_) % n_;
+        HloInstruction* sum =
+            normalized == 0
+                ? axis_index_
+                : builder_.Add(axis_index_,
+                               builder_.ConstantIndex(normalized));
+        return builder_.Remainder(sum, builder_.ConstantIndex(n_));
+    }
+
+    /** Scalar element offset shard_id * shard_extent (+ extra). */
+    HloInstruction* OffsetOf(HloInstruction* shard_id, int64_t extra = 0)
+    {
+        HloInstruction* off = builder_.Multiply(
+            shard_id, builder_.ConstantIndex(site_.shard_extent));
+        if (extra != 0) {
+            off = builder_.Add(off, builder_.ConstantIndex(extra));
+        }
+        return off;
+    }
+
+    /** Partial einsum keeping the original operand order. */
+    HloInstruction* PartialEinsum(HloInstruction* looped_like,
+                                  HloInstruction* other_like)
+    {
+        const std::string& spec = site_.einsum->attrs().einsum_spec;
+        return site_.side == 0
+                   ? builder_.Einsum(looped_like, other_like, spec)
+                   : builder_.Einsum(other_like, looped_like, spec);
+    }
+
+    /** Copy inserted before a CollectivePermute when not unrolling
+     *  (models the loop-carried aliasing copies of the naive loop). */
+    HloInstruction* MaybeCopy(HloInstruction* value)
+    {
+        return options_.unroll ? value : builder_.Copy(value);
+    }
+
+    HloInstruction* Permute(HloInstruction* value, int64_t step)
+    {
+        if (((step % n_) + n_) % n_ == 0) return value;  // identity
+        return builder_.CollectivePermute(
+            MaybeCopy(value), RingShiftPairs(mesh_, site_.mesh_axis, step));
+    }
+
+    // ---- AllGather-Einsum ------------------------------------------------
+
+    /**
+     * Combines one partial result into the accumulator, per the case:
+     *  - non-contracting (Case 1) and batch (Case 3): DynamicUpdateSlice
+     *    along the output label dimension at shard_id * extent;
+     *  - contracting (Case 2): Addition.
+     */
+    HloInstruction* CombineAllGatherPartial(HloInstruction* acc,
+                                            HloInstruction* partial,
+                                            HloInstruction* shard_id)
+    {
+        if (site_.kind == EinsumDimKind::kContracting) {
+            return builder_.Add(acc, partial);
+        }
+        const EinsumSpec& spec = site_.einsum->einsum();
+        int64_t out_dim = spec.OutDimOf(site_.label);
+        return builder_.DynamicUpdateSliceOnDim(acc, partial, out_dim,
+                                                OffsetOf(shard_id));
+    }
+
+    /**
+     * The non-gathered operand, sliced for this iteration when the
+     * partitioned label is contracting (Case 2) or batch (Case 3); the
+     * whole operand in Case 1.
+     */
+    HloInstruction* OtherOperandFor(HloInstruction* shard_id)
+    {
+        HloInstruction* other = site_.einsum->operand(1 - site_.side);
+        if (site_.kind == EinsumDimKind::kLhsFree ||
+            site_.kind == EinsumDimKind::kRhsFree) {
+            return other;
+        }
+        const EinsumSpec& spec = site_.einsum->einsum();
+        int64_t other_dim = SideDimOf(spec, 1 - site_.side, site_.label);
+        return builder_.DynamicSliceOnDim(other, other_dim,
+                                          OffsetOf(shard_id),
+                                          site_.shard_extent);
+    }
+
+    /**
+     * N == 2 bidirectional AllGather-Einsum: the local shard is computed
+     * immediately while its two halves travel to the peer on the two
+     * opposite ring directions, halving the transfer time relative to a
+     * single whole-shard permute.
+     */
+    HloInstruction* EmitAllGatherTwoWay()
+    {
+        HloInstruction* shard = site_.collective->operand(0);
+        const EinsumSpec& spec = site_.einsum->einsum();
+        int64_t dim = SideDimOf(spec, site_.side, site_.label);
+        int64_t half = site_.shard_extent / 2;
+        const Shape& shape = shard->shape();
+        std::vector<int64_t> lo_starts(static_cast<size_t>(shape.rank()),
+                                       0);
+        std::vector<int64_t> hi_starts = lo_starts;
+        hi_starts[static_cast<size_t>(dim)] = half;
+        std::vector<int64_t> sizes = shape.dims();
+        sizes[static_cast<size_t>(dim)] = half;
+        HloInstruction* lo = builder_.Slice(shard, lo_starts, sizes);
+        HloInstruction* hi = builder_.Slice(shard, hi_starts, sizes);
+        HloInstruction* lo_recv = Permute(lo, /*step=*/1);
+        HloInstruction* hi_recv = Permute(hi, /*step=*/-1);
+
+        HloInstruction* own_id = ShardId(0);
+        HloInstruction* peer_id = ShardId(1);
+        HloInstruction* acc = builder_.Zeros(site_.einsum->shape());
+        // Own shard computes while the halves are in flight.
+        HloInstruction* own_partial =
+            PartialEinsum(shard, OtherOperandFor(own_id));
+        acc = CombineAllGatherPartial(acc, own_partial, own_id);
+        acc = CombineTwoWayHalf(acc, lo_recv, peer_id, dim, half, 0);
+        acc = CombineTwoWayHalf(acc, hi_recv, peer_id, dim, half, half);
+        return acc;
+    }
+
+    /** Partial einsum + combine for one received half-shard. */
+    HloInstruction* CombineTwoWayHalf(HloInstruction* acc,
+                                      HloInstruction* received,
+                                      HloInstruction* peer_id, int64_t dim,
+                                      int64_t half, int64_t offset)
+    {
+        const EinsumSpec& spec = site_.einsum->einsum();
+        HloInstruction* other = site_.einsum->operand(1 - site_.side);
+        HloInstruction* partial;
+        if (site_.kind == EinsumDimKind::kLhsFree ||
+            site_.kind == EinsumDimKind::kRhsFree) {
+            partial = PartialEinsum(received, other);
+            int64_t out_dim = spec.OutDimOf(site_.label);
+            return builder_.DynamicUpdateSliceOnDim(
+                acc, partial, out_dim, OffsetOf(peer_id, offset));
+        }
+        int64_t other_dim = SideDimOf(spec, 1 - site_.side, site_.label);
+        HloInstruction* slice = builder_.DynamicSliceOnDim(
+            other, other_dim, OffsetOf(peer_id, offset), half);
+        partial = PartialEinsum(received, slice);
+        if (site_.kind == EinsumDimKind::kContracting) {
+            return builder_.Add(acc, partial);
+        }
+        int64_t out_dim = spec.OutDimOf(site_.label);
+        (void)dim;
+        return builder_.DynamicUpdateSliceOnDim(
+            acc, partial, out_dim, OffsetOf(peer_id, offset));
+    }
+
+    HloInstruction* EmitAllGatherUnidirectional()
+    {
+        HloInstruction* data = site_.collective->operand(0);
+        HloInstruction* acc = builder_.Zeros(site_.einsum->shape());
+        for (int64_t i = 0; i < n_; ++i) {
+            HloInstruction* shard_id = ShardId(i);
+            // Send the current shard while the partial einsum runs.
+            HloInstruction* next_data =
+                i < n_ - 1 ? Permute(data, /*step=*/1) : nullptr;
+            HloInstruction* partial =
+                PartialEinsum(data, OtherOperandFor(shard_id));
+            acc = CombineAllGatherPartial(acc, partial, shard_id);
+            data = next_data;
+        }
+        return acc;
+    }
+
+    HloInstruction* EmitAllGatherBidirectional()
+    {
+        HloInstruction* shard = site_.collective->operand(0);
+        HloInstruction* data_left = shard;
+        // Prologue (Figure 9): seed the clockwise stream with the right
+        // neighbour's shard.
+        HloInstruction* data_right = Permute(shard, /*step=*/-1);
+        HloInstruction* acc = builder_.Zeros(site_.einsum->shape());
+        int64_t half = n_ / 2;
+        for (int64_t k = 0; k < half; ++k) {
+            HloInstruction* id_left = ShardId(k);
+            HloInstruction* id_right = ShardId(-1 - k);
+            HloInstruction* next_left = nullptr;
+            HloInstruction* next_right = nullptr;
+            if (k < half - 1) {
+                next_left = Permute(data_left, /*step=*/1);
+                next_right = Permute(data_right, /*step=*/-1);
+            }
+            HloInstruction* partial_left =
+                PartialEinsum(data_left, OtherOperandFor(id_left));
+            HloInstruction* partial_right =
+                PartialEinsum(data_right, OtherOperandFor(id_right));
+            // The paired partials execute as one concatenated kernel
+            // (§5.4.2); the shared fusion group models that.
+            int64_t fusion = computation_->NextFusionGroupId();
+            partial_left->set_fusion_group(fusion);
+            partial_right->set_fusion_group(fusion);
+            acc = CombineAllGatherPartial(acc, partial_left, id_left);
+            acc = CombineAllGatherPartial(acc, partial_right, id_right);
+            data_left = next_left;
+            data_right = next_right;
+        }
+        return acc;
+    }
+
+    // ---- Einsum-ReduceScatter --------------------------------------------
+
+    /** The operand carrying the scattered label, sliced for `shard_id`;
+     *  `half_offset`/`extent` select a sub-range for bidirectional mode. */
+    HloInstruction* SlicedOperandFor(HloInstruction* shard_id)
+    {
+        HloInstruction* operand = site_.einsum->operand(site_.side);
+        const EinsumSpec& spec = site_.einsum->einsum();
+        int64_t dim = SideDimOf(spec, site_.side, site_.label);
+        return builder_.DynamicSliceOnDim(operand, dim, OffsetOf(shard_id),
+                                          site_.shard_extent);
+    }
+
+    HloInstruction* EmitReduceScatterSingleChain()
+    {
+        HloInstruction* acc = builder_.Zeros(site_.collective->shape());
+        for (int64_t i = 0; i < n_; ++i) {
+            HloInstruction* shard_id = ShardId(i + 1);
+            // Send the pre-update accumulator while computing (Figure 5);
+            // the first transfer carries the zero initializer, exactly as
+            // in Algorithm 1.
+            HloInstruction* received = Permute(acc, /*step=*/1);
+            HloInstruction* partial =
+                PartialEinsum(SlicedOperandFor(shard_id),
+                              site_.einsum->operand(1 - site_.side));
+            acc = builder_.Add(received, partial);
+        }
+        return acc;
+    }
+
+    HloInstruction* EmitReduceScatterTwoChain()
+    {
+        // Figure 8: two interleaved accumulation chains. Chain A
+        // accumulates then transfers; chain B transfers then accumulates,
+        // so chain B's in-flight permute can always overlap chain A's
+        // einsum even when the accumulation is fused with it.
+        const Shape& shard_shape = site_.collective->shape();
+        HloInstruction* acc_a = builder_.Zeros(shard_shape);
+        HloInstruction* acc_b = builder_.Zeros(shard_shape);
+        int64_t half = n_ / 2;
+        for (int64_t k = 0; k < half; ++k) {
+            HloInstruction* id_a = ShardId(2 * k + 2);
+            HloInstruction* id_b = ShardId(2 * k + 3);
+            HloInstruction* received_b = Permute(acc_b, /*step=*/2);
+            HloInstruction* partial_a =
+                PartialEinsum(SlicedOperandFor(id_a),
+                              site_.einsum->operand(1 - site_.side));
+            acc_a = builder_.Add(acc_a, partial_a);
+            if (k < half - 1) acc_a = Permute(acc_a, /*step=*/2);
+            HloInstruction* partial_b =
+                PartialEinsum(SlicedOperandFor(id_b),
+                              site_.einsum->operand(1 - site_.side));
+            acc_b = builder_.Add(received_b, partial_b);
+        }
+        // Epilogue: align chain B's result one step clockwise, then sum.
+        HloInstruction* aligned_b = Permute(acc_b, /*step=*/-1);
+        return builder_.Add(acc_a, aligned_b);
+    }
+
+    HloInstruction* EmitReduceScatterBidirectional()
+    {
+        // Two accumulator streams circulating in opposite directions
+        // (Figure 10). With unrolling, the counter-clockwise stream
+        // accumulates *then* transfers while the clockwise one transfers
+        // *then* accumulates — the Figure 8 interleave applied across the
+        // directions — so each stream's in-flight permute overlaps the
+        // other stream's (possibly accumulation-fused) einsum. Without
+        // unrolling both streams use the naive transfer-then-accumulate
+        // shape and carry the aliasing copies.
+        const Shape& shard_shape = site_.collective->shape();
+        HloInstruction* acc_left = builder_.Zeros(shard_shape);
+        HloInstruction* acc_right = builder_.Zeros(shard_shape);
+        int64_t half = n_ / 2;
+        for (int64_t k = 0; k < half; ++k) {
+            HloInstruction* id_left = ShardId(k - half + 1);
+            HloInstruction* id_right = ShardId(half - k);
+            HloInstruction* received_right = Permute(acc_right, /*step=*/-1);
+            HloInstruction* received_left =
+                options_.unroll ? nullptr : Permute(acc_left, /*step=*/1);
+            HloInstruction* partial_left =
+                PartialEinsum(SlicedOperandFor(id_left),
+                              site_.einsum->operand(1 - site_.side));
+            if (options_.unroll) {
+                acc_left = builder_.Add(acc_left, partial_left);
+                if (k < half - 1) acc_left = Permute(acc_left, /*step=*/1);
+            } else {
+                acc_left = builder_.Add(received_left, partial_left);
+            }
+            HloInstruction* partial_right =
+                PartialEinsum(SlicedOperandFor(id_right),
+                              site_.einsum->operand(1 - site_.side));
+            acc_right = builder_.Add(received_right, partial_right);
+        }
+        // Epilogue (Figure 10): shift the clockwise stream once more so
+        // both partial shards carry the device's own shard id, then sum.
+        HloInstruction* aligned_right = Permute(acc_right, /*step=*/-1);
+        return builder_.Add(acc_left, aligned_right);
+    }
+
+    HloComputation* computation_;
+    HloBuilder builder_;
+    const Mesh& mesh_;
+    const DecomposeOptions& options_;
+    const Site& site_;
+    int64_t n_;
+    HloInstruction* axis_index_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<DecomposeStats>
+CollectiveEinsumDecomposer::Run(HloComputation* computation)
+{
+    DecomposeStats stats;
+    std::vector<HloInstruction*> snapshot = computation->instructions();
+
+    // Collect candidate sites per einsum, then pick the best one each.
+    std::vector<Site> chosen;
+    for (HloInstruction* einsum : snapshot) {
+        if (einsum->opcode() != HloOpcode::kEinsum) continue;
+        const EinsumSpec& spec = einsum->einsum();
+        std::vector<Site> candidates;
+
+        // AllGather feeding either operand.
+        for (int64_t side = 0; side < 2; ++side) {
+            HloInstruction* operand = einsum->operand(side);
+            if (operand->opcode() != HloOpcode::kAllGather) continue;
+            if (operand->users().size() != 1 ||
+                einsum->operand(0) == einsum->operand(1)) {
+                ++stats.skipped_unsupported;
+                continue;
+            }
+            int64_t axis =
+                mesh_.InferGroupsAxis(operand->attrs().groups);
+            if (axis < 0) {
+                ++stats.skipped_unsupported;
+                continue;
+            }
+            int64_t n = mesh_.axis_size(axis);
+            if (n <= 1) continue;
+            Site site;
+            site.einsum = einsum;
+            site.collective = operand;
+            site.is_allgather = true;
+            site.side = side;
+            site.mesh_axis = axis;
+            site.group_size = n;
+            site.label = SideLabels(
+                spec, side)[static_cast<size_t>(operand->attrs().dim)];
+            site.kind = spec.KindOf(site.label);
+            site.shard_extent =
+                operand->operand(0)->shape().dim(operand->attrs().dim);
+            candidates.push_back(site);
+        }
+
+        // ReduceScatter consuming the einsum.
+        if (einsum->users().size() == 1 &&
+            einsum->users()[0]->opcode() == HloOpcode::kReduceScatter) {
+            HloInstruction* rs = einsum->users()[0];
+            int64_t axis = mesh_.InferGroupsAxis(rs->attrs().groups);
+            char label = spec.out_labels()[static_cast<size_t>(
+                rs->attrs().dim)];
+            EinsumDimKind kind = spec.KindOf(label);
+            if (axis < 0) {
+                ++stats.skipped_unsupported;
+            } else if (kind != EinsumDimKind::kLhsFree &&
+                       kind != EinsumDimKind::kRhsFree) {
+                // The scattered dimension must be non-contracting and
+                // belong to exactly one operand (§5.1).
+                ++stats.skipped_unsupported;
+            } else if (mesh_.axis_size(axis) > 1) {
+                Site site;
+                site.einsum = einsum;
+                site.collective = rs;
+                site.is_allgather = false;
+                site.side = kind == EinsumDimKind::kLhsFree ? 0 : 1;
+                site.mesh_axis = axis;
+                site.group_size = mesh_.axis_size(axis);
+                site.label = label;
+                site.kind = kind;
+                site.shard_extent =
+                    rs->shape().dim(rs->attrs().dim);
+                candidates.push_back(site);
+            }
+        }
+
+        if (candidates.empty()) continue;
+
+        // §5.5: estimate original vs overlapped time for each candidate.
+        for (Site& site : candidates) {
+            double comp_t = cost_model_->EinsumSeconds(site.einsum);
+            double comm_t =
+                cost_model_->BlockingCollectiveSeconds(site.collective);
+            int64_t n = site.group_size;
+            bool bidi =
+                options_.bidirectional && n % 2 == 0 && n >= 4;
+            int64_t shard_bytes =
+                site.is_allgather
+                    ? site.collective->operand(0)->shape().byte_size()
+                    : site.collective->shape().byte_size();
+            int64_t loop_steps, extra_steps;
+            if (site.is_allgather) {
+                loop_steps = bidi ? n / 2 - 1 : n - 1;
+                extra_steps = bidi ? 1 : 0;  // prologue
+                if (options_.bidirectional && n == 2 &&
+                    site.shard_extent % 2 == 0) {
+                    // Two-way half-shard exchange: one concurrent step
+                    // carrying half the shard per direction.
+                    shard_bytes /= 2;
+                    loop_steps = 1;
+                    extra_steps = 0;
+                }
+            } else {
+                loop_steps = bidi ? n / 2 : n;
+                extra_steps = bidi || options_.unroll ? 1 : 0;  // epilogue
+            }
+            double ring_t =
+                cost_model_->RingSequenceSeconds(shard_bytes, loop_steps);
+            // Prologue/epilogue permutes (conservatively un-overlapped),
+            // per-iteration launch overheads, and the element-wise
+            // combine traffic the loop adds. The combine cost depends on
+            // the case: DynamicUpdateSlices touch each output element
+            // once in total, but a *contracting*-dimension AllGather loop
+            // accumulates into the full result every iteration — N
+            // passes over the output — which is what makes decomposing
+            // large-N weight gathers unprofitable.
+            double output_bytes = static_cast<double>(
+                site.is_allgather ? site.einsum->shape().byte_size()
+                                  : site.collective->shape().byte_size());
+            double combine_passes =
+                site.is_allgather &&
+                        site.kind == EinsumDimKind::kContracting
+                    ? 0.5 * static_cast<double>(n)
+                    : 1.5;
+            double elem_bytes =
+                (1.0 + combine_passes) * output_bytes;  // zero-fill + adds
+            // Cases that DynamicSlice an operand each iteration: AG with
+            // a contracting/batch partitioned label slices the *other*
+            // operand, the RS loop slices the operand owning the
+            // scattered label.
+            if (site.is_allgather) {
+                if (site.kind == EinsumDimKind::kContracting ||
+                    site.kind == EinsumDimKind::kBatch) {
+                    elem_bytes +=
+                        2.0 * static_cast<double>(
+                                  site.einsum->operand(1 - site.side)
+                                      ->shape()
+                                      .byte_size());
+                }
+            } else {
+                elem_bytes += 2.0 * static_cast<double>(
+                                        site.einsum->operand(site.side)
+                                            ->shape()
+                                            .byte_size());
+            }
+            double extra_t =
+                cost_model_->RingSequenceSeconds(shard_bytes, extra_steps) +
+                static_cast<double>(n) *
+                    2.0 * cost_model_->spec().op_overhead +
+                elem_bytes / cost_model_->spec().mem_bandwidth;
+            site.benefit =
+                (comp_t + comm_t) - (std::max(comp_t, ring_t) + extra_t);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Site& a, const Site& b) {
+                      return a.benefit > b.benefit;
+                  });
+        const Site& best = candidates.front();
+        if (options_.use_cost_model && best.benefit < 0.0) {
+            ++stats.rejected_by_cost_model;
+            OVERLAP_LOG(kInfo)
+                << "decompose: rejected " << best.collective->name()
+                << " (benefit " << best.benefit << " s)";
+            continue;
+        }
+        chosen.push_back(best);
+    }
+
+    for (const Site& site : chosen) {
+        LoopEmitter emitter(computation, mesh_, options_, site);
+        HloInstruction* replacement = emitter.Emit();
+        HloInstruction* replaced =
+            site.is_allgather ? site.einsum : site.collective;
+        computation->ReplaceAllUsesWith(replaced, replacement);
+        if (site.is_allgather) {
+            ++stats.allgather_sites;
+        } else {
+            ++stats.reduce_scatter_sites;
+        }
+    }
+    if (!chosen.empty()) {
+        computation->RemoveDeadInstructions();
+        computation->SortTopologically();
+    }
+    return stats;
+}
+
+}  // namespace overlap

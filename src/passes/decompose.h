@@ -1,0 +1,103 @@
+#ifndef OVERLAP_PASSES_DECOMPOSE_H_
+#define OVERLAP_PASSES_DECOMPOSE_H_
+
+#include "hlo/computation.h"
+#include "sim/cost_model.h"
+#include "support/status.h"
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/** Tuning knobs of the Looped CollectiveEinsum rewrite (paper §5.1/§5.4). */
+struct DecomposeOptions {
+    /**
+     * Loop unrolling with degree 2 (§5.4.1). In this IR the loop is
+     * emitted fully unrolled, so the option controls the *structural*
+     * effects of unrolling: without it, a Copy of the transferred buffer
+     * is inserted before every CollectivePermute (modeling the
+     * loop-carried aliasing copies of the naive loop), and the
+     * Einsum-ReduceScatter case uses a single accumulation chain; with
+     * it, the copies disappear and the ReduceScatter case uses the two
+     * interleaved accumulation chains of Figure 8 plus the alignment
+     * epilogue.
+     */
+    bool unroll = true;
+
+    /**
+     * Bidirectional data transfer (§5.4.2): two data streams circulate in
+     * opposite ring directions, halving the number of serial ring steps;
+     * the paired partial Einsums of an iteration execute as one kernel
+     * (same fusion group). Adds the Figure 9 prologue (AllGather case) or
+     * the Figure 10 epilogue (ReduceScatter case). Requires an even
+     * number of partitions; odd sites fall back to unidirectional.
+     */
+    bool bidirectional = true;
+
+    /**
+     * §5.5 gating: decompose a site only when
+     * comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t. When false,
+     * every matched site is decomposed unconditionally (used by the
+     * ablation bench).
+     */
+    bool use_cost_model = true;
+};
+
+/** What the pass did, for logging, tests and the ablation benches. */
+struct DecomposeStats {
+    int64_t allgather_sites = 0;       ///< AllGather-Einsum loops built
+    int64_t reduce_scatter_sites = 0;  ///< Einsum-ReduceScatter loops built
+    int64_t rejected_by_cost_model = 0;
+    int64_t skipped_unsupported = 0;
+
+    int64_t total_decomposed() const
+    {
+        return allgather_sites + reduce_scatter_sites;
+    }
+};
+
+/**
+ * The paper's primary contribution (§5.1): rewrites AllGather-Einsum and
+ * Einsum-ReduceScatter pairs into semantically equivalent sequences of
+ * partial Einsums interleaved with point-to-point CollectivePermutes.
+ *
+ * Handles the three AllGather cases (gathered operand partitioned along a
+ * non-contracting / contracting / batch dimension), the ReduceScatter
+ * case, loop unrolling, and bidirectional transfer. Emitted
+ * CollectivePermutes are synchronous; the AsyncCollectiveCreator pass
+ * later splits them into Start/Done pairs (§5.2).
+ *
+ * When an Einsum has several overlap candidates (two AllGathers, or an
+ * AllGather and a ReduceScatter), the candidate with the higher estimated
+ * benefit is chosen (§5.5).
+ */
+class CollectiveEinsumDecomposer {
+  public:
+    CollectiveEinsumDecomposer(Mesh mesh, const CostModel* cost_model,
+                               DecomposeOptions options)
+        : mesh_(std::move(mesh)),
+          cost_model_(cost_model),
+          options_(options) {}
+
+    /** Rewrites all profitable sites in `computation`; runs DCE. */
+    StatusOr<DecomposeStats> Run(HloComputation* computation);
+
+  private:
+    Mesh mesh_;
+    const CostModel* cost_model_;
+    DecomposeOptions options_;
+};
+
+/**
+ * Returns the {source, target} pairs of a CollectivePermute that moves
+ * data `step` positions *down* along every ring of `axis` (data on ring
+ * position j arrives at position j - step, wrapping). Negative `step`
+ * moves data up (clockwise). `step` must not be a multiple of the ring
+ * size (that permute would be the identity).
+ */
+std::vector<std::pair<int64_t, int64_t>> RingShiftPairs(const Mesh& mesh,
+                                                        int64_t axis,
+                                                        int64_t step);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_PASSES_DECOMPOSE_H_

@@ -1,0 +1,60 @@
+#include "passes/fusion_rewrites.h"
+
+#include <limits>
+
+#include "hlo/builder.h"
+
+namespace overlap {
+
+StatusOr<int64_t>
+MakeConcatenatesFusionFriendly(HloComputation* computation)
+{
+    HloBuilder builder(computation);
+    int64_t rewritten = 0;
+    const float kNegInf = -std::numeric_limits<float>::infinity();
+    for (HloInstruction* instr : computation->instructions()) {
+        if (instr->opcode() != HloOpcode::kConcatenate) continue;
+        if (instr->operand_count() != 2) continue;
+        if (instr->users().size() != 1 ||
+            instr->users()[0]->opcode() != HloOpcode::kEinsum) {
+            continue;
+        }
+        HloInstruction* einsum = instr->users()[0];
+        HloInstruction* a = instr->operand(0);
+        HloInstruction* b = instr->operand(1);
+        int64_t dim = instr->attrs().dim;
+        int64_t rank = a->shape().rank();
+        std::vector<int64_t> zeros(static_cast<size_t>(rank), 0);
+        std::vector<int64_t> pad_a_high = zeros;
+        pad_a_high[static_cast<size_t>(dim)] = b->shape().dim(dim);
+        std::vector<int64_t> pad_b_low = zeros;
+        pad_b_low[static_cast<size_t>(dim)] = a->shape().dim(dim);
+        // [a, -inf] max [-inf, b] == [a, b].
+        HloInstruction* padded_a =
+            builder.Pad(a, zeros, pad_a_high, kNegInf);
+        HloInstruction* padded_b =
+            builder.Pad(b, pad_b_low, zeros, kNegInf);
+        HloInstruction* merged = builder.Maximum(padded_a, padded_b);
+
+        // Ride in the consumer einsum's kernel.
+        int64_t group = einsum->fusion_group();
+        if (group < 0) {
+            group = computation->NextFusionGroupId();
+            einsum->set_fusion_group(group);
+        }
+        padded_a->set_fusion_group(group);
+        padded_b->set_fusion_group(group);
+        merged->set_fusion_group(group);
+        merged->set_loop_group(instr->loop_group());
+
+        computation->ReplaceAllUsesWith(instr, merged);
+        ++rewritten;
+    }
+    if (rewritten > 0) {
+        computation->RemoveDeadInstructions();
+        computation->SortTopologically();
+    }
+    return rewritten;
+}
+
+}  // namespace overlap

@@ -1,0 +1,32 @@
+#ifndef OVERLAP_PASSES_FUSION_REWRITES_H_
+#define OVERLAP_PASSES_FUSION_REWRITES_H_
+
+#include "hlo/computation.h"
+#include "support/status.h"
+
+namespace overlap {
+
+/**
+ * The §5.4.3 local graph rewrite that makes operand pre-processing
+ * fusable with its consumer einsum: a two-operand Concatenation feeding
+ * an einsum is replaced by the semantically equivalent
+ *
+ *     Maximum(Pad_high(a, |b|, -inf), Pad_low(b, |a|, -inf))
+ *
+ * along the same dimension. XLA's (and this library's) fusion model can
+ * absorb element-wise Pads and the Maximum into the einsum kernel,
+ * whereas a Concatenate cannot fuse — so after this rewrite the entire
+ * local-operand preparation of a bidirectional CollectiveEinsum loop
+ * rides inside the einsum. The rewritten operations are placed in the
+ * consumer einsum's fusion group (creating one if necessary).
+ *
+ * Only Concatenates whose unique user is an einsum are rewritten.
+ *
+ * @return the number of Concatenates rewritten.
+ */
+StatusOr<int64_t> MakeConcatenatesFusionFriendly(
+    HloComputation* computation);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_PASSES_FUSION_REWRITES_H_

@@ -1,0 +1,58 @@
+#ifndef OVERLAP_SIM_COST_MODEL_H_
+#define OVERLAP_SIM_COST_MODEL_H_
+
+#include "hlo/instruction.h"
+#include "sim/hardware.h"
+
+namespace overlap {
+
+/**
+ * Analytic per-instruction timing against peak FLOPS and interconnect
+ * bandwidth (the paper's §5.5 estimation), shared by the compiler passes
+ * (decomposition gating, scheduler latencies) and the pod simulator
+ * (instruction durations).
+ *
+ * Blocking collectives are costed with standard bidirectional-ring
+ * formulas on the torus dimension they run over; a decomposed
+ * CollectivePermute step is a single unidirectional hop.
+ */
+class CostModel {
+  public:
+    explicit CostModel(HardwareSpec spec) : spec_(spec) {}
+
+    const HardwareSpec& spec() const { return spec_; }
+
+    /** Wall time of `instr`'s local work (no queueing/contention). */
+    double InstructionSeconds(const HloInstruction* instr) const;
+
+    /** Dense einsum time from its FLOP count. */
+    double EinsumSeconds(const HloInstruction* instr) const;
+
+    /**
+     * Memory-bound kernel time: total bytes read+written over HBM
+     * bandwidth plus launch overhead.
+     */
+    double ElementwiseSeconds(const HloInstruction* instr) const;
+
+    /** Blocking collective time (AG/RS/AR/A2A) via ring formulas. */
+    double BlockingCollectiveSeconds(const HloInstruction* instr) const;
+
+    /** One unidirectional ring hop moving `bytes`. */
+    double PermuteStepSeconds(int64_t bytes) const;
+
+    /**
+     * Total wire time of a decomposed CollectivePermute sequence of
+     * `steps` ring hops, each moving `shard_bytes` on one link — the
+     * paper's comm_t_ring. Bidirectional transfer shows up as a halved
+     * step count (both directions are active concurrently), not as
+     * smaller steps.
+     */
+    double RingSequenceSeconds(int64_t shard_bytes, int64_t steps) const;
+
+  private:
+    HardwareSpec spec_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SIM_COST_MODEL_H_

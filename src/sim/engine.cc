@@ -1,0 +1,233 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+/** Route of a CollectivePermute on the torus. */
+struct PermuteRoute {
+    int64_t axis = 0;
+    /// 0: toward lower ring position, 1: higher, -1: antipodal (either
+    /// direction works; the engine load-balances onto the freer one).
+    int64_t direction = 0;
+    int64_t hops = 1;
+};
+
+/**
+ * Derives the route from the first source-target pair (all pairs of one
+ * ring-shift permute are congruent by construction).
+ */
+StatusOr<PermuteRoute>
+RouteOf(const Mesh& mesh, const HloInstruction* permute)
+{
+    const auto& pairs = permute->attrs().source_target_pairs;
+    if (pairs.empty()) return InvalidArgument("permute without pairs");
+    auto [src, dst] = pairs.front();
+    std::vector<int64_t> src_coords = mesh.Coords(src);
+    std::vector<int64_t> dst_coords = mesh.Coords(dst);
+    PermuteRoute route;
+    bool found = false;
+    for (int64_t axis = 0; axis < mesh.num_axes(); ++axis) {
+        if (src_coords[static_cast<size_t>(axis)] ==
+            dst_coords[static_cast<size_t>(axis)]) {
+            continue;
+        }
+        if (found) {
+            return Unimplemented(
+                "multi-axis collective-permute routing not modeled");
+        }
+        found = true;
+        route.axis = axis;
+        int64_t n = mesh.axis_size(axis);
+        int64_t delta = (dst_coords[static_cast<size_t>(axis)] -
+                             src_coords[static_cast<size_t>(axis)] + n) %
+                        n;
+        if (2 * delta == n) {
+            // Antipodal move (e.g. the only hop of a 2-device ring):
+            // either direction reaches it; the caller load-balances.
+            route.direction = -1;
+            route.hops = delta;
+        } else if (delta < n - delta) {
+            route.direction = 1;
+            route.hops = delta;
+        } else {
+            route.direction = 0;
+            route.hops = n - delta;
+        }
+    }
+    if (!found) {
+        return InvalidArgument("self-permute should not reach the engine");
+    }
+    return route;
+}
+
+}  // namespace
+
+StatusOr<SimResult>
+PodSimulator::Run(const HloModule& module, bool collect_trace) const
+{
+    if (module.entry() == nullptr) {
+        return InvalidArgument("module has no entry computation");
+    }
+    const HloComputation& computation = *module.entry();
+    SchedGraph graph(computation, cost_);
+    std::vector<SchedUnit*> order =
+        graph.UnitOrderOf(computation.sequence());
+
+    // One link channel per (axis, direction); value = busy-until time.
+    std::vector<double> channel_free(
+        static_cast<size_t>(mesh_.num_axes()) * 2, 0.0);
+    auto channel = [this, &channel_free](int64_t axis,
+                                         int64_t dir) -> double& {
+        return channel_free[static_cast<size_t>(axis * 2 + dir)];
+    };
+
+    std::unordered_map<const SchedUnit*, double> arrival;
+    SimResult result;
+    double time = 0.0;
+    int64_t in_flight = 0;
+
+    // Liveness accounting over the executed order: a unit's result buffer
+    // is allocated when it runs and freed once its last reader has run.
+    std::unordered_map<const SchedUnit*, int64_t> remaining_readers;
+    for (const SchedUnit* unit : order) {
+        remaining_readers[unit] = static_cast<int64_t>(unit->users.size());
+    }
+    int64_t live_bytes = 0;
+    auto output_bytes = [](const SchedUnit* unit) {
+        return unit->members.back()->shape().byte_size();
+    };
+    auto account_memory = [&](const SchedUnit* unit) {
+        live_bytes += output_bytes(unit);
+        result.peak_memory_bytes =
+            std::max(result.peak_memory_bytes, live_bytes);
+        for (const SchedUnit* operand : unit->operands) {
+            if (--remaining_readers.at(operand) == 0) {
+                live_bytes -= output_bytes(operand);
+            }
+        }
+        if (unit->users.empty()) live_bytes -= output_bytes(unit);
+    };
+
+    auto record = [&](const std::string& label, TraceKind kind,
+                      double start, double end) {
+        if (collect_trace && end > start) {
+            result.trace.push_back({label, kind, start, end});
+        }
+    };
+
+    for (const SchedUnit* unit : order) {
+        const HloInstruction* head = unit->members.front();
+        account_memory(unit);
+        if (unit->IsPermuteStart()) {
+            auto route = RouteOf(mesh_, head);
+            if (!route.ok()) return route.status();
+            double bytes = static_cast<double>(unit->TransferBytes());
+            double wire = static_cast<double>(route->hops) * bytes /
+                          spec_.link_bandwidth;
+            int64_t direction = route->direction;
+            if (direction < 0) {
+                direction = channel(route->axis, 0) <=
+                                    channel(route->axis, 1)
+                                ? 0
+                                : 1;
+            }
+            double& free_at = channel(route->axis, direction);
+            double begin = std::max(time, free_at);
+            free_at = begin + wire;
+            arrival[unit] = begin + wire +
+                            static_cast<double>(route->hops) *
+                                spec_.link_latency;
+            result.transferred_bytes += bytes;
+            ++result.num_async_transfers;
+            ++in_flight;
+            result.peak_in_flight =
+                std::max(result.peak_in_flight, in_flight);
+        } else if (unit->IsPermuteDone()) {
+            double arrived = arrival.at(unit->operands.front());
+            if (arrived > time) {
+                record(head->name(), TraceKind::kTransferWait, time,
+                       arrived);
+                result.exposed_comm_seconds += arrived - time;
+                time = arrived;
+            }
+            --in_flight;
+        } else if (unit->members.size() == 1 &&
+                   head->opcode() == HloOpcode::kCollectivePermute) {
+            // Synchronous permute: the device blocks for the transfer.
+            auto route = RouteOf(mesh_, head);
+            if (!route.ok()) return route.status();
+            double bytes = static_cast<double>(unit->TransferBytes());
+            double wire = static_cast<double>(route->hops) * bytes /
+                          spec_.link_bandwidth;
+            int64_t direction = route->direction;
+            if (direction < 0) {
+                direction = channel(route->axis, 0) <=
+                                    channel(route->axis, 1)
+                                ? 0
+                                : 1;
+            }
+            double& free_at = channel(route->axis, direction);
+            double begin = std::max(time, free_at);
+            double end = begin + wire +
+                         static_cast<double>(route->hops) *
+                             spec_.link_latency;
+            free_at = begin + wire;
+            record(head->name(), TraceKind::kCollective, time, end);
+            result.exposed_comm_seconds += end - time;
+            result.transferred_bytes += bytes;
+            time = end;
+        } else if (unit->members.size() == 1 &&
+                   IsBlockingCollective(head->opcode())) {
+            const auto& groups = head->attrs().groups;
+            int64_t group_size =
+                groups.empty() ? 1
+                               : static_cast<int64_t>(groups[0].size());
+            double duration = cost_.BlockingCollectiveSeconds(head);
+            double begin = time;
+            if (group_size > 1) {
+                int64_t axis = mesh_.InferGroupsAxis(groups);
+                // Occupy the axis's two directions; a collective whose
+                // groups span several axes occupies every channel.
+                size_t first = axis >= 0 ? static_cast<size_t>(axis * 2)
+                                         : 0;
+                size_t last = axis >= 0 ? first + 2 : channel_free.size();
+                for (size_t c = first; c < last; ++c) {
+                    begin = std::max(begin, channel_free[c]);
+                }
+                for (size_t c = first; c < last; ++c) {
+                    channel_free[c] = begin + duration;
+                }
+            }
+            double end = begin + duration;
+            record(head->name(), TraceKind::kCollective, time, end);
+            result.exposed_comm_seconds += end - time;
+            result.transferred_bytes +=
+                static_cast<double>(head->shape().byte_size());
+            ++result.num_blocking_collectives;
+            time = end;
+        } else if (unit->latency > 0.0) {
+            // Compute kernel (possibly a fusion group).
+            record(unit->members.back()->name(), TraceKind::kCompute, time,
+                   time + unit->latency);
+            result.compute_seconds += unit->latency;
+            for (const HloInstruction* member : unit->members) {
+                if (member->opcode() == HloOpcode::kEinsum) {
+                    result.einsum_flops += static_cast<double>(
+                        member->einsum().FlopCount(
+                            member->operand(0)->shape(),
+                            member->operand(1)->shape()));
+                }
+            }
+            time += unit->latency;
+        }
+    }
+    result.step_seconds = time;
+    return result;
+}
+
+}  // namespace overlap

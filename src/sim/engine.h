@@ -1,0 +1,111 @@
+#ifndef OVERLAP_SIM_ENGINE_H_
+#define OVERLAP_SIM_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "hlo/module.h"
+#include "sim/cost_model.h"
+#include "sim/sched_graph.h"
+#include "support/status.h"
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/** What a trace entry spent its time on. */
+enum class TraceKind {
+    kCompute,       ///< einsum / element-wise kernel
+    kCollective,    ///< blocking collective occupying the device
+    kTransferWait,  ///< stall at a CollectivePermuteDone
+};
+
+/** One executed kernel/event on the modeled device's timeline. */
+struct TraceEvent {
+    std::string label;
+    TraceKind kind;
+    double start_seconds = 0.0;
+    double end_seconds = 0.0;
+};
+
+/** Timing outcome of one simulated step of an SPMD program. */
+struct SimResult {
+    /// End-to-end wall time of the program on every device.
+    double step_seconds = 0.0;
+    /// Device-busy kernel time (compute kernels only).
+    double compute_seconds = 0.0;
+    /// Time the device was blocked on communication: blocking
+    /// collectives plus stalls at CollectivePermuteDones. This is the
+    /// *exposed* communication; overlapped transfer time does not count.
+    double exposed_comm_seconds = 0.0;
+    /// Useful model FLOPs executed per device (einsum kernels).
+    double einsum_flops = 0.0;
+    /// Total bytes each device put on ICI links.
+    double transferred_bytes = 0.0;
+    int64_t num_async_transfers = 0;
+    int64_t num_blocking_collectives = 0;
+    /// Peak live buffer bytes under the executed schedule (parameters
+    /// plus every kernel result, freed after its last reader). The
+    /// quantity the paper's 2-D strategy trades communication to keep
+    /// low (§2.2), and what the baseline memory-minimizing scheduler
+    /// optimizes.
+    int64_t peak_memory_bytes = 0;
+    /// Largest number of concurrently in-flight async permutes observed.
+    int64_t peak_in_flight = 0;
+    std::vector<TraceEvent> trace;
+
+    /** Model FLOPS utilization against one chip's peak. */
+    double Mfu(const HardwareSpec& spec) const
+    {
+        return step_seconds > 0.0
+                   ? einsum_flops / (step_seconds * spec.peak_flops)
+                   : 0.0;
+    }
+
+    /** §6.4: energy at constant chip power over the step. */
+    double EnergyJoules(const HardwareSpec& spec, int64_t num_chips) const
+    {
+        return step_seconds * spec.chip_power_watts *
+               static_cast<double>(num_chips);
+    }
+};
+
+/**
+ * Discrete-event simulator of an SPMD program on a TPU-pod-like torus
+ * (DESIGN.md §2/§5).
+ *
+ * By SPMD symmetry every device executes the same scheduled sequence
+ * with identical op durations, so the engine models one device's
+ * timeline plus the state of its ICI link channels — one channel per
+ * (mesh axis, ring direction). Asynchronous CollectivePermuteStarts
+ * enqueue transfers on a channel (serializing with other traffic in the
+ * same direction, which is why a decomposed unidirectional loop only
+ * reaches half the ring bandwidth, §5.5); the matching Done blocks until
+ * the transfer arrives. Blocking collectives occupy the device *and*
+ * both channels of their axis for their ring duration.
+ */
+class PodSimulator {
+  public:
+    PodSimulator(Mesh mesh, HardwareSpec spec)
+        : mesh_(std::move(mesh)), spec_(spec), cost_(spec) {}
+
+    const CostModel& cost_model() const { return cost_; }
+    const HardwareSpec& spec() const { return spec_; }
+    const Mesh& mesh() const { return mesh_; }
+
+    /**
+     * Simulates one execution of the module's entry computation (using
+     * its schedule when attached, else the instruction order).
+     * `collect_trace` additionally records the device-0 timeline.
+     */
+    StatusOr<SimResult> Run(const HloModule& module,
+                            bool collect_trace = false) const;
+
+  private:
+    Mesh mesh_;
+    HardwareSpec spec_;
+    CostModel cost_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SIM_ENGINE_H_

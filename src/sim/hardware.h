@@ -1,0 +1,47 @@
+#ifndef OVERLAP_SIM_HARDWARE_H_
+#define OVERLAP_SIM_HARDWARE_H_
+
+#include <cstdint>
+
+namespace overlap {
+
+/**
+ * Performance parameters of one accelerator chip and its interconnect,
+ * defaulted to public TPU v4 figures (see DESIGN.md §5).
+ *
+ * The same spec drives both the compiler's cost model (§5.5 gating) and
+ * the discrete-event pod simulator, mirroring how XLA estimates against
+ * peak FLOPS and interconnect bandwidth.
+ */
+struct HardwareSpec {
+    /// Peak dense-matmul throughput per chip, FLOP/s (bf16).
+    double peak_flops = 275e12;
+
+    /// Fraction of peak a large partitioned einsum actually achieves
+    /// (systolic-array utilization on big tiles).
+    double einsum_efficiency = 0.85;
+
+    /// HBM bandwidth per chip, bytes/s; costs element-wise kernels.
+    double mem_bandwidth = 1.2e12;
+
+    /// ICI bandwidth per link per direction, bytes/s.
+    double link_bandwidth = 50e9;
+
+    /// Per-hop link latency, seconds.
+    double link_latency = 1e-6;
+
+    /// Fixed per-kernel launch/dispatch overhead, seconds.
+    double op_overhead = 0.5e-6;
+
+    /// Maximum number of in-flight asynchronous CollectivePermutes
+    /// (limited by hardware synchronization flags, §5.2).
+    int64_t max_in_flight_async = 32;
+
+    /// Average power draw per chip, watts (TPU v4 ballpark); used only by
+    /// the §6.4 energy accounting (constant power while the step runs).
+    double chip_power_watts = 200.0;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SIM_HARDWARE_H_

@@ -1,0 +1,60 @@
+#include "sim/trace_export.h"
+
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+/** Escapes the few characters that can appear in instruction names. */
+std::string
+JsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+TraceToChromeJson(const SimResult& result, const std::string& device_name)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceEvent& ev : result.trace) {
+        int tid;
+        const char* category;
+        switch (ev.kind) {
+          case TraceKind::kCompute:
+              tid = 0;
+              category = "compute";
+              break;
+          case TraceKind::kCollective:
+              tid = 1;
+              category = "collective";
+              break;
+          default:
+              tid = 2;
+              category = "wait";
+              break;
+        }
+        if (!first) out += ",\n";
+        first = false;
+        out += StrCat("{\"name\":\"", JsonEscape(ev.label),
+                      "\",\"cat\":\"", category,
+                      "\",\"ph\":\"X\",\"pid\":0,\"tid\":", tid,
+                      ",\"ts\":", ev.start_seconds * 1e6,
+                      ",\"dur\":",
+                      (ev.end_seconds - ev.start_seconds) * 1e6, "}");
+    }
+    out += StrCat(
+        "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{\"device\":\"",
+        JsonEscape(device_name), "\"}}\n");
+    return out;
+}
+
+}  // namespace overlap

@@ -1,0 +1,22 @@
+#ifndef OVERLAP_SIM_TRACE_EXPORT_H_
+#define OVERLAP_SIM_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace overlap {
+
+/**
+ * Serializes a simulation trace to the Chrome trace-event JSON format
+ * (load in chrome://tracing or https://ui.perfetto.dev). Compute,
+ * blocking-collective and transfer-wait events land on three separate
+ * rows of one device track so the overlap structure is visible at a
+ * glance.
+ */
+std::string TraceToChromeJson(const SimResult& result,
+                              const std::string& device_name = "device0");
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SIM_TRACE_EXPORT_H_

@@ -1,0 +1,47 @@
+#ifndef OVERLAP_SUPPORT_LOGGING_H_
+#define OVERLAP_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace overlap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/** Sets the global minimum level; messages below it are dropped. */
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/** Stream-style log sink; emits on destruction. */
+class LogMessage {
+  public:
+    LogMessage(LogLevel level, const char* file, int line);
+    ~LogMessage();
+
+    template <typename T>
+    LogMessage& operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define OVERLAP_LOG(level)                                                \
+    ::overlap::internal::LogMessage(::overlap::LogLevel::level, __FILE__, \
+                                    __LINE__)
+
+#define OVERLAP_VLOG()                                                    \
+    ::overlap::internal::LogMessage(::overlap::LogLevel::kDebug,          \
+                                    __FILE__, __LINE__)
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SUPPORT_LOGGING_H_

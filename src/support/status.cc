@@ -1,0 +1,63 @@
+#include "support/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace overlap {
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+Status
+InvalidArgument(const std::string& message)
+{
+    return Status(StatusCode::kInvalidArgument, message);
+}
+
+Status
+FailedPrecondition(const std::string& message)
+{
+    return Status(StatusCode::kFailedPrecondition, message);
+}
+
+Status
+Internal(const std::string& message)
+{
+    return Status(StatusCode::kInternal, message);
+}
+
+Status
+Unimplemented(const std::string& message)
+{
+    return Status(StatusCode::kUnimplemented, message);
+}
+
+namespace internal {
+
+void
+CheckFailed(const char* condition, const char* file, int line)
+{
+    std::fprintf(stderr, "OVERLAP_CHECK failed: %s at %s:%d\n", condition,
+                 file, line);
+    std::abort();
+}
+
+}  // namespace internal
+}  // namespace overlap

@@ -1,0 +1,135 @@
+#ifndef OVERLAP_SUPPORT_STATUS_H_
+#define OVERLAP_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace overlap {
+
+/**
+ * Error category for a failed operation.
+ *
+ * kInvalidArgument: caller passed something malformed (user error).
+ * kFailedPrecondition: the operation is not applicable to the given state.
+ * kInternal: an invariant of the library itself was violated (a bug).
+ * kUnimplemented: the feature is intentionally out of scope.
+ */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kFailedPrecondition,
+    kInternal,
+    kUnimplemented,
+};
+
+/** Returns a human-readable name for a status code. */
+const char* StatusCodeName(StatusCode code);
+
+/**
+ * A lightweight success-or-error result, modeled after absl::Status.
+ *
+ * The library reports recoverable errors through Status/StatusOr rather than
+ * exceptions so that compiler passes can decline gracefully (e.g. the cost
+ * model rejecting an unprofitable rewrite is not an error).
+ */
+class Status {
+  public:
+    /** Constructs an OK status. */
+    Status() : code_(StatusCode::kOk) {}
+
+    /** Constructs an error status with a message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status Ok() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** Returns "OK" or "<CODE>: <message>". */
+    std::string ToString() const;
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+Status InvalidArgument(const std::string& message);
+Status FailedPrecondition(const std::string& message);
+Status Internal(const std::string& message);
+Status Unimplemented(const std::string& message);
+
+/**
+ * Holds either a value of type T or an error Status.
+ *
+ * Accessing value() on an error aborts via std::logic_error; call ok() first.
+ */
+template <typename T>
+class StatusOr {
+  public:
+    StatusOr(T value) : value_(std::move(value)) {}
+    StatusOr(Status status) : status_(std::move(status)) {
+        if (status_.ok()) {
+            status_ = Internal("StatusOr constructed from OK status");
+        }
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status& status() const { return status_; }
+
+    const T& value() const& {
+        CheckHasValue();
+        return *value_;
+    }
+    T& value() & {
+        CheckHasValue();
+        return *value_;
+    }
+    T&& value() && {
+        CheckHasValue();
+        return *std::move(value_);
+    }
+
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+  private:
+    void CheckHasValue() const {
+        if (!value_.has_value()) {
+            throw std::logic_error("StatusOr has no value: " +
+                                   status_.ToString());
+        }
+    }
+
+    std::optional<T> value_;
+    Status status_ = Status::Ok();
+};
+
+/** Aborts with a diagnostic if `condition` is false (library bug). */
+#define OVERLAP_CHECK(condition)                                          \
+    do {                                                                  \
+        if (!(condition)) {                                               \
+            ::overlap::internal::CheckFailed(#condition, __FILE__,        \
+                                             __LINE__);                   \
+        }                                                                 \
+    } while (false)
+
+#define OVERLAP_RETURN_IF_ERROR(expr)                                     \
+    do {                                                                  \
+        ::overlap::Status overlap_status_ = (expr);                       \
+        if (!overlap_status_.ok()) return overlap_status_;                \
+    } while (false)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* condition, const char* file,
+                              int line);
+}  // namespace internal
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SUPPORT_STATUS_H_

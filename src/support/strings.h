@@ -1,0 +1,50 @@
+#ifndef OVERLAP_SUPPORT_STRINGS_H_
+#define OVERLAP_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace overlap {
+
+/** Joins the elements of `items` with `sep`, using operator<< to format. */
+template <typename Container>
+std::string
+StrJoin(const Container& items, const std::string& sep)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto& item : items) {
+        if (!first) out << sep;
+        out << item;
+        first = false;
+    }
+    return out.str();
+}
+
+/** Concatenates all arguments using operator<< formatting. */
+template <typename... Args>
+std::string
+StrCat(const Args&... args)
+{
+    std::ostringstream out;
+    (out << ... << args);
+    return out.str();
+}
+
+/** Splits `text` on `sep`, keeping empty fields. */
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+/** Formats a byte count with an SI suffix, e.g. "1.50 GB". */
+std::string HumanBytes(double bytes);
+
+/** Formats a duration in seconds, e.g. "1.23 ms". */
+std::string HumanTime(double seconds);
+
+/** Formats a FLOP count, e.g. "2.40 TFLOP". */
+std::string HumanFlops(double flops);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SUPPORT_STRINGS_H_

@@ -1,0 +1,232 @@
+#include "tensor/einsum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+bool
+HasDuplicates(const std::string& labels)
+{
+    std::string sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+}  // namespace
+
+const char*
+EinsumDimKindName(EinsumDimKind kind)
+{
+    switch (kind) {
+      case EinsumDimKind::kBatch: return "batch";
+      case EinsumDimKind::kContracting: return "contracting";
+      case EinsumDimKind::kLhsFree: return "lhs_free";
+      case EinsumDimKind::kRhsFree: return "rhs_free";
+    }
+    return "?";
+}
+
+StatusOr<EinsumSpec>
+EinsumSpec::Parse(const std::string& spec)
+{
+    auto arrow = spec.find("->");
+    if (arrow == std::string::npos) {
+        return InvalidArgument("einsum spec missing '->': " + spec);
+    }
+    std::string inputs = spec.substr(0, arrow);
+    std::string out = spec.substr(arrow + 2);
+    auto comma = inputs.find(',');
+    if (comma == std::string::npos) {
+        return InvalidArgument("einsum spec needs two operands: " + spec);
+    }
+    EinsumSpec result;
+    result.lhs_ = inputs.substr(0, comma);
+    result.rhs_ = inputs.substr(comma + 1);
+    result.out_ = out;
+    if (result.lhs_.empty() || result.rhs_.empty()) {
+        return InvalidArgument("einsum operands must be non-empty: " + spec);
+    }
+    if (HasDuplicates(result.lhs_) || HasDuplicates(result.rhs_) ||
+        HasDuplicates(result.out_)) {
+        return InvalidArgument("repeated label within one operand: " + spec);
+    }
+    for (char c : result.out_) {
+        if (result.lhs_.find(c) == std::string::npos &&
+            result.rhs_.find(c) == std::string::npos) {
+            return InvalidArgument(
+                StrCat("output label '", c, "' not in any input: ", spec));
+        }
+    }
+    result.all_ = result.lhs_;
+    for (char c : result.rhs_) {
+        if (result.all_.find(c) == std::string::npos) result.all_ += c;
+    }
+    for (char c : result.all_) {
+        bool in_lhs = result.lhs_.find(c) != std::string::npos;
+        bool in_rhs = result.rhs_.find(c) != std::string::npos;
+        bool in_out = result.out_.find(c) != std::string::npos;
+        if (!in_out && !(in_lhs && in_rhs)) {
+            return InvalidArgument(
+                StrCat("label '", c,
+                       "' appears in one input only and not in the output "
+                       "(diagonal/reduction labels unsupported): ",
+                       spec));
+        }
+    }
+    return result;
+}
+
+std::string
+EinsumSpec::ToString() const
+{
+    return StrCat(lhs_, ",", rhs_, "->", out_);
+}
+
+EinsumDimKind
+EinsumSpec::KindOf(char label) const
+{
+    bool in_lhs = lhs_.find(label) != std::string::npos;
+    bool in_rhs = rhs_.find(label) != std::string::npos;
+    bool in_out = out_.find(label) != std::string::npos;
+    OVERLAP_CHECK(in_lhs || in_rhs);
+    if (in_lhs && in_rhs) {
+        return in_out ? EinsumDimKind::kBatch : EinsumDimKind::kContracting;
+    }
+    return in_lhs ? EinsumDimKind::kLhsFree : EinsumDimKind::kRhsFree;
+}
+
+int64_t
+EinsumSpec::LhsDimOf(char label) const
+{
+    auto pos = lhs_.find(label);
+    return pos == std::string::npos ? -1 : static_cast<int64_t>(pos);
+}
+
+int64_t
+EinsumSpec::RhsDimOf(char label) const
+{
+    auto pos = rhs_.find(label);
+    return pos == std::string::npos ? -1 : static_cast<int64_t>(pos);
+}
+
+int64_t
+EinsumSpec::OutDimOf(char label) const
+{
+    auto pos = out_.find(label);
+    return pos == std::string::npos ? -1 : static_cast<int64_t>(pos);
+}
+
+StatusOr<Shape>
+EinsumSpec::InferOutputShape(const Shape& lhs, const Shape& rhs) const
+{
+    if (lhs.rank() != static_cast<int64_t>(lhs_.size())) {
+        return InvalidArgument(StrCat("lhs rank ", lhs.rank(),
+                                      " != spec rank ", lhs_.size(), " for ",
+                                      ToString()));
+    }
+    if (rhs.rank() != static_cast<int64_t>(rhs_.size())) {
+        return InvalidArgument(StrCat("rhs rank ", rhs.rank(),
+                                      " != spec rank ", rhs_.size(), " for ",
+                                      ToString()));
+    }
+    std::map<char, int64_t> sizes;
+    for (size_t i = 0; i < lhs_.size(); ++i) {
+        sizes[lhs_[i]] = lhs.dim(static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < rhs_.size(); ++i) {
+        char c = rhs_[i];
+        int64_t size = rhs.dim(static_cast<int64_t>(i));
+        auto it = sizes.find(c);
+        if (it != sizes.end() && it->second != size) {
+            return InvalidArgument(
+                StrCat("label '", c, "' size mismatch: ", it->second, " vs ",
+                       size, " for ", ToString()));
+        }
+        sizes[c] = size;
+    }
+    std::vector<int64_t> out_dims;
+    out_dims.reserve(out_.size());
+    for (char c : out_) out_dims.push_back(sizes.at(c));
+    return Shape(lhs.dtype(), out_dims);
+}
+
+int64_t
+EinsumSpec::FlopCount(const Shape& lhs, const Shape& rhs) const
+{
+    std::map<char, int64_t> sizes;
+    for (size_t i = 0; i < lhs_.size(); ++i) {
+        sizes[lhs_[i]] = lhs.dim(static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < rhs_.size(); ++i) {
+        sizes[rhs_[i]] = rhs.dim(static_cast<int64_t>(i));
+    }
+    int64_t total = 1;
+    for (char c : all_) total *= sizes.at(c);
+    return 2 * total;
+}
+
+StatusOr<Tensor>
+EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
+{
+    auto out_shape = InferOutputShape(lhs.shape(), rhs.shape());
+    if (!out_shape.ok()) return out_shape.status();
+
+    std::map<char, int64_t> sizes;
+    for (size_t i = 0; i < lhs_.size(); ++i) {
+        sizes[lhs_[i]] = lhs.shape().dim(static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < rhs_.size(); ++i) {
+        sizes[rhs_[i]] = rhs.shape().dim(static_cast<int64_t>(i));
+    }
+
+    // Iterate over the full label space; accumulate products into the
+    // output coordinate. Test shapes are small, so the naive loop is fine.
+    std::vector<char> labels(all_.begin(), all_.end());
+    std::vector<int64_t> extents;
+    extents.reserve(labels.size());
+    for (char c : labels) extents.push_back(sizes.at(c));
+
+    Tensor out(out_shape.value());
+    std::vector<int64_t> idx(labels.size(), 0);
+    std::vector<int64_t> lhs_idx(lhs_.size()), rhs_idx(rhs_.size()),
+        out_idx(out_.size());
+    bool done = labels.empty();
+    while (true) {
+        for (size_t i = 0; i < labels.size(); ++i) {
+            char c = labels[i];
+            int64_t l = LhsDimOf(c);
+            int64_t r = RhsDimOf(c);
+            int64_t o = OutDimOf(c);
+            if (l >= 0) lhs_idx[static_cast<size_t>(l)] = idx[i];
+            if (r >= 0) rhs_idx[static_cast<size_t>(r)] = idx[i];
+            if (o >= 0) out_idx[static_cast<size_t>(o)] = idx[i];
+        }
+        float product = lhs.at(lhs_idx) * rhs.at(rhs_idx);
+        out.set(out_idx, out.at(out_idx) + product);
+        if (done) break;
+        bool advanced = false;
+        for (int64_t d = static_cast<int64_t>(labels.size()) - 1; d >= 0;
+             --d) {
+            if (++idx[static_cast<size_t>(d)] <
+                extents[static_cast<size_t>(d)]) {
+                advanced = true;
+                break;
+            }
+            idx[static_cast<size_t>(d)] = 0;
+        }
+        if (!advanced) break;
+    }
+    return out;
+}
+
+std::string
+EinsumSpec::SwappedSpec() const
+{
+    return StrCat(rhs_, ",", lhs_, "->", out_);
+}
+
+}  // namespace overlap

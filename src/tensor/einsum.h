@@ -1,0 +1,87 @@
+#ifndef OVERLAP_TENSOR_EINSUM_H_
+#define OVERLAP_TENSOR_EINSUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+
+/** Role of a dimension label inside an einsum, following the paper's terms. */
+enum class EinsumDimKind {
+    kBatch,        ///< appears in LHS, RHS and output
+    kContracting,  ///< appears in LHS and RHS, summed away
+    kLhsFree,      ///< appears in LHS and output only (non-contracting)
+    kRhsFree,      ///< appears in RHS and output only (non-contracting)
+};
+
+const char* EinsumDimKindName(EinsumDimKind kind);
+
+/**
+ * A parsed Einstein-summation specification such as "bf,fh->bh".
+ *
+ * Each label is a single character; a label must not repeat within one
+ * operand. This covers every contraction pattern used by intra-layer model
+ * parallelism in the paper (batched matmuls with arbitrary free/batch dims).
+ */
+class EinsumSpec {
+  public:
+    /** Parses `spec` ("<lhs>,<rhs>-><out>"); reports malformed specs. */
+    static StatusOr<EinsumSpec> Parse(const std::string& spec);
+
+    const std::string& lhs_labels() const { return lhs_; }
+    const std::string& rhs_labels() const { return rhs_; }
+    const std::string& out_labels() const { return out_; }
+
+    /** Original textual form, e.g. "bf,fh->bh". */
+    std::string ToString() const;
+
+    /** Classifies a label; label must occur in the spec. */
+    EinsumDimKind KindOf(char label) const;
+
+    /** Index of `label` in the operand strings, or -1 if absent. */
+    int64_t LhsDimOf(char label) const;
+    int64_t RhsDimOf(char label) const;
+    int64_t OutDimOf(char label) const;
+
+    /** Labels in deterministic order (lhs order, then rhs-only labels). */
+    const std::string& all_labels() const { return all_; }
+
+    /**
+     * Infers the output shape for the given operand shapes. Fails if ranks
+     * or shared-label sizes are inconsistent.
+     */
+    StatusOr<Shape> InferOutputShape(const Shape& lhs,
+                                     const Shape& rhs) const;
+
+    /**
+     * Number of floating-point operations (multiply-adds counted as 2) for
+     * the given operand shapes.
+     */
+    int64_t FlopCount(const Shape& lhs, const Shape& rhs) const;
+
+    /** Reference execution used by the interpreter. */
+    StatusOr<Tensor> Evaluate(const Tensor& lhs, const Tensor& rhs) const;
+
+    /**
+     * Returns a spec string equal to this one with the operands swapped
+     * ("<rhs>,<lhs>-><out>").
+     */
+    std::string SwappedSpec() const;
+
+  private:
+    EinsumSpec() = default;
+
+    std::string lhs_;
+    std::string rhs_;
+    std::string out_;
+    std::string all_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_TENSOR_EINSUM_H_

@@ -1,0 +1,45 @@
+#include "tensor/shape.h"
+
+#include "support/strings.h"
+
+namespace overlap {
+
+int64_t
+DTypeSize(DType dtype)
+{
+    switch (dtype) {
+      case DType::kF32: return 4;
+      case DType::kBF16: return 2;
+      case DType::kS32: return 4;
+      case DType::kPred: return 1;
+    }
+    return 4;
+}
+
+const char*
+DTypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::kF32: return "f32";
+      case DType::kBF16: return "bf16";
+      case DType::kS32: return "s32";
+      case DType::kPred: return "pred";
+    }
+    return "?";
+}
+
+int64_t
+Shape::num_elements() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+}
+
+std::string
+Shape::ToString() const
+{
+    return StrCat(DTypeName(dtype_), "[", StrJoin(dims_, ","), "]");
+}
+
+}  // namespace overlap

@@ -1,0 +1,76 @@
+#ifndef OVERLAP_TENSOR_SHAPE_H_
+#define OVERLAP_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overlap {
+
+/**
+ * Element type of a tensor.
+ *
+ * The functional interpreter computes in f32. The simulator only needs the
+ * element *size*; bf16 exists so model graphs carry realistic byte counts.
+ */
+enum class DType : uint8_t {
+    kF32 = 0,
+    kBF16 = 1,
+    kS32 = 2,
+    kPred = 3,
+};
+
+/** Returns the size in bytes of one element of `dtype`. */
+int64_t DTypeSize(DType dtype);
+
+/** Returns a short name such as "f32". */
+const char* DTypeName(DType dtype);
+
+/**
+ * The static shape of a dense, row-major tensor: a dtype plus a list of
+ * dimension sizes. Rank 0 denotes a scalar.
+ */
+class Shape {
+  public:
+    Shape() = default;
+    Shape(DType dtype, std::vector<int64_t> dims)
+        : dtype_(dtype), dims_(std::move(dims)) {}
+
+    /** Convenience f32 shape. */
+    explicit Shape(std::vector<int64_t> dims)
+        : dtype_(DType::kF32), dims_(std::move(dims)) {}
+
+    DType dtype() const { return dtype_; }
+    void set_dtype(DType dtype) { dtype_ = dtype; }
+
+    int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+    int64_t dim(int64_t i) const { return dims_.at(i); }
+    void set_dim(int64_t i, int64_t value) { dims_.at(i) = value; }
+    const std::vector<int64_t>& dims() const { return dims_; }
+
+    /** Total number of elements (1 for scalars). */
+    int64_t num_elements() const;
+
+    /** Total size in bytes given the dtype. */
+    int64_t byte_size() const { return num_elements() * DTypeSize(dtype_); }
+
+    /** Returns e.g. "f32[128,256]". */
+    std::string ToString() const;
+
+    bool operator==(const Shape& other) const
+    {
+        return dtype_ == other.dtype_ && dims_ == other.dims_;
+    }
+    bool operator!=(const Shape& other) const { return !(*this == other); }
+
+    /** True if dims match, ignoring dtype. */
+    bool SameDims(const Shape& other) const { return dims_ == other.dims_; }
+
+  private:
+    DType dtype_ = DType::kF32;
+    std::vector<int64_t> dims_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_TENSOR_SHAPE_H_

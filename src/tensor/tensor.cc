@@ -1,0 +1,289 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+/** Advances a multi-dimensional index in row-major order. */
+bool
+NextIndex(std::vector<int64_t>& index, const std::vector<int64_t>& dims)
+{
+    for (int64_t d = static_cast<int64_t>(dims.size()) - 1; d >= 0; --d) {
+        if (++index[d] < dims[d]) return true;
+        index[d] = 0;
+    }
+    return false;
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      values_(static_cast<size_t>(shape_.num_elements()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), values_(std::move(values))
+{
+    OVERLAP_CHECK(static_cast<int64_t>(values_.size()) ==
+                  shape_.num_elements());
+}
+
+Tensor
+Tensor::Scalar(float value)
+{
+    return Tensor(Shape(DType::kF32, {}), {value});
+}
+
+Tensor
+Tensor::Full(const Shape& shape, float value)
+{
+    Tensor t(shape);
+    std::fill(t.values_.begin(), t.values_.end(), value);
+    return t;
+}
+
+Tensor
+Tensor::Iota(const Shape& shape, float start, float step)
+{
+    Tensor t(shape);
+    float v = start;
+    for (float& e : t.values_) {
+        e = v;
+        v += step;
+    }
+    return t;
+}
+
+Tensor
+Tensor::Random(const Shape& shape, uint64_t seed)
+{
+    Tensor t(shape);
+    // SplitMix64: small, deterministic, good enough for test data.
+    uint64_t state = seed + 0x9E3779B97f4A7C15ull;
+    for (float& e : t.values_) {
+        uint64_t z = (state += 0x9E3779B97f4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        z = z ^ (z >> 31);
+        e = static_cast<float>(static_cast<double>(z) /
+                               static_cast<double>(UINT64_MAX)) *
+                2.0f -
+            1.0f;
+    }
+    return t;
+}
+
+int64_t
+Tensor::FlatIndex(const std::vector<int64_t>& index) const
+{
+    OVERLAP_CHECK(static_cast<int64_t>(index.size()) == shape_.rank());
+    int64_t flat = 0;
+    for (int64_t d = 0; d < shape_.rank(); ++d) {
+        OVERLAP_CHECK(index[d] >= 0 && index[d] < shape_.dim(d));
+        flat = flat * shape_.dim(d) + index[d];
+    }
+    return flat;
+}
+
+float
+Tensor::at(const std::vector<int64_t>& index) const
+{
+    return values_[static_cast<size_t>(FlatIndex(index))];
+}
+
+void
+Tensor::set(const std::vector<int64_t>& index, float value)
+{
+    values_[static_cast<size_t>(FlatIndex(index))] = value;
+}
+
+float
+Tensor::ScalarValue() const
+{
+    OVERLAP_CHECK(num_elements() == 1);
+    return values_[0];
+}
+
+Tensor
+Tensor::Slice(const std::vector<int64_t>& starts,
+              const std::vector<int64_t>& sizes) const
+{
+    OVERLAP_CHECK(static_cast<int64_t>(starts.size()) == shape_.rank());
+    OVERLAP_CHECK(static_cast<int64_t>(sizes.size()) == shape_.rank());
+    std::vector<int64_t> clamped(starts.size());
+    for (int64_t d = 0; d < shape_.rank(); ++d) {
+        OVERLAP_CHECK(sizes[d] >= 0 && sizes[d] <= shape_.dim(d));
+        clamped[d] = std::clamp<int64_t>(starts[d], 0,
+                                         shape_.dim(d) - sizes[d]);
+    }
+    Shape out_shape(shape_.dtype(), sizes);
+    Tensor out(out_shape);
+    if (out.num_elements() == 0) return out;
+    std::vector<int64_t> idx(sizes.size(), 0);
+    do {
+        std::vector<int64_t> src = idx;
+        for (size_t d = 0; d < src.size(); ++d) src[d] += clamped[d];
+        out.set(idx, at(src));
+    } while (NextIndex(idx, sizes));
+    return out;
+}
+
+Tensor
+Tensor::UpdateSlice(const Tensor& update,
+                    const std::vector<int64_t>& starts) const
+{
+    OVERLAP_CHECK(update.shape().rank() == shape_.rank());
+    std::vector<int64_t> clamped(starts.size());
+    for (int64_t d = 0; d < shape_.rank(); ++d) {
+        OVERLAP_CHECK(update.shape().dim(d) <= shape_.dim(d));
+        clamped[d] = std::clamp<int64_t>(
+            starts[d], 0, shape_.dim(d) - update.shape().dim(d));
+    }
+    Tensor out = *this;
+    if (update.num_elements() == 0) return out;
+    std::vector<int64_t> idx(starts.size(), 0);
+    do {
+        std::vector<int64_t> dst = idx;
+        for (size_t d = 0; d < dst.size(); ++d) dst[d] += clamped[d];
+        out.set(dst, update.at(idx));
+    } while (NextIndex(idx, update.shape().dims()));
+    return out;
+}
+
+Tensor
+Tensor::Concatenate(const std::vector<Tensor>& parts, int64_t dim)
+{
+    OVERLAP_CHECK(!parts.empty());
+    const Shape& first = parts[0].shape();
+    int64_t total = 0;
+    for (const Tensor& p : parts) {
+        OVERLAP_CHECK(p.shape().rank() == first.rank());
+        for (int64_t d = 0; d < first.rank(); ++d) {
+            if (d != dim) OVERLAP_CHECK(p.shape().dim(d) == first.dim(d));
+        }
+        total += p.shape().dim(dim);
+    }
+    std::vector<int64_t> out_dims = first.dims();
+    out_dims[dim] = total;
+    Tensor out(Shape(first.dtype(), out_dims));
+    int64_t offset = 0;
+    for (const Tensor& p : parts) {
+        std::vector<int64_t> starts(first.rank(), 0);
+        starts[dim] = offset;
+        out = out.UpdateSlice(p, starts);
+        offset += p.shape().dim(dim);
+    }
+    return out;
+}
+
+Tensor
+Tensor::Pad(const std::vector<int64_t>& low, const std::vector<int64_t>& high,
+            float pad_value) const
+{
+    OVERLAP_CHECK(static_cast<int64_t>(low.size()) == shape_.rank());
+    OVERLAP_CHECK(static_cast<int64_t>(high.size()) == shape_.rank());
+    std::vector<int64_t> out_dims = shape_.dims();
+    for (int64_t d = 0; d < shape_.rank(); ++d) {
+        OVERLAP_CHECK(low[d] >= 0 && high[d] >= 0);
+        out_dims[d] += low[d] + high[d];
+    }
+    Tensor out = Tensor::Full(Shape(shape_.dtype(), out_dims), pad_value);
+    if (num_elements() == 0) return out;
+    std::vector<int64_t> idx(shape_.rank(), 0);
+    do {
+        std::vector<int64_t> dst = idx;
+        for (size_t d = 0; d < dst.size(); ++d) dst[d] += low[d];
+        out.set(dst, at(idx));
+    } while (NextIndex(idx, shape_.dims()));
+    return out;
+}
+
+Tensor
+Tensor::Reshape(const Shape& shape) const
+{
+    OVERLAP_CHECK(shape.num_elements() == num_elements());
+    return Tensor(shape, values_);
+}
+
+Tensor
+Tensor::Transpose(const std::vector<int64_t>& permutation) const
+{
+    OVERLAP_CHECK(static_cast<int64_t>(permutation.size()) == shape_.rank());
+    std::vector<int64_t> out_dims(shape_.rank());
+    for (int64_t d = 0; d < shape_.rank(); ++d) {
+        out_dims[d] = shape_.dim(permutation[d]);
+    }
+    Tensor out(Shape(shape_.dtype(), out_dims));
+    if (num_elements() == 0) return out;
+    std::vector<int64_t> idx(shape_.rank(), 0);
+    do {
+        std::vector<int64_t> src(shape_.rank());
+        for (int64_t d = 0; d < shape_.rank(); ++d) {
+            src[permutation[d]] = idx[d];
+        }
+        out.set(idx, at(src));
+    } while (NextIndex(idx, out_dims));
+    return out;
+}
+
+Tensor
+Tensor::Map(const std::function<float(float)>& fn) const
+{
+    Tensor out = *this;
+    for (float& v : out.values_) v = fn(v);
+    return out;
+}
+
+Tensor
+Tensor::BinaryOp(const Tensor& lhs, const Tensor& rhs,
+                 const std::function<float(float, float)>& fn)
+{
+    OVERLAP_CHECK(lhs.shape().SameDims(rhs.shape()));
+    Tensor out = lhs;
+    for (size_t i = 0; i < out.values_.size(); ++i) {
+        out.values_[i] = fn(lhs.values_[i], rhs.values_[i]);
+    }
+    return out;
+}
+
+float
+Tensor::MaxAbsDiff(const Tensor& lhs, const Tensor& rhs)
+{
+    OVERLAP_CHECK(lhs.shape().SameDims(rhs.shape()));
+    float max_diff = 0.0f;
+    for (size_t i = 0; i < lhs.values_.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::fabs(lhs.values_[i] - rhs.values_[i]));
+    }
+    return max_diff;
+}
+
+bool
+Tensor::AllClose(const Tensor& other, float tolerance) const
+{
+    if (!shape_.SameDims(other.shape())) return false;
+    return MaxAbsDiff(*this, other) <= tolerance;
+}
+
+std::string
+Tensor::ToString(int64_t max_elements) const
+{
+    std::string out = shape_.ToString() + " {";
+    int64_t n = std::min<int64_t>(num_elements(), max_elements);
+    for (int64_t i = 0; i < n; ++i) {
+        if (i > 0) out += ", ";
+        out += StrCat(values_[static_cast<size_t>(i)]);
+    }
+    if (n < num_elements()) out += ", ...";
+    out += "}";
+    return out;
+}
+
+}  // namespace overlap

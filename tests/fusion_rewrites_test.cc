@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "hlo/builder.h"
+#include "hlo/module.h"
+#include "hlo/verifier.h"
+#include "interp/evaluator.h"
+#include "passes/fusion_rewrites.h"
+
+namespace overlap {
+namespace {
+
+int64_t
+CountOps(const HloComputation& comp, HloOpcode opcode)
+{
+    int64_t count = 0;
+    for (const HloInstruction* instr : comp.instructions()) {
+        if (instr->opcode() == opcode) ++count;
+    }
+    return count;
+}
+
+TEST(FusionRewriteTest, ConcatBecomesMaxOfPads)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* a = b.Parameter(0, Shape({2, 3}));
+    auto* c = b.Parameter(1, Shape({2, 5}));
+    auto* w = b.Parameter(2, Shape({8, 4}));
+    auto* concat = b.Concatenate({a, c}, 1);
+    auto* einsum = b.Einsum(concat, w, "bf,fh->bh");
+    comp->set_root(einsum);
+
+    // Reference value before the rewrite (includes negative inputs, which
+    // is what the -inf padding must survive).
+    Tensor ta = Tensor::Random(Shape({2, 3}), 5);
+    Tensor tc = Tensor::Random(Shape({2, 5}), 6);
+    Tensor tw = Tensor::Random(Shape({8, 4}), 7);
+    auto before = EvaluateGlobal(*comp, {ta, tc, tw});
+    ASSERT_TRUE(before.ok());
+
+    auto rewritten = MakeConcatenatesFusionFriendly(comp);
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_EQ(rewritten.value(), 1);
+    EXPECT_EQ(CountOps(*comp, HloOpcode::kConcatenate), 0);
+    EXPECT_EQ(CountOps(*comp, HloOpcode::kPad), 2);
+    EXPECT_EQ(CountOps(*comp, HloOpcode::kMaximum), 1);
+    EXPECT_TRUE(VerifyComputation(*comp).ok());
+
+    auto after = EvaluateGlobal(*comp, {ta, tc, tw});
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->AllClose(*before, 1e-4f));
+}
+
+TEST(FusionRewriteTest, RewrittenOpsJoinTheEinsumKernel)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* a = b.Parameter(0, Shape({2, 3}));
+    auto* c = b.Parameter(1, Shape({2, 3}));
+    auto* w = b.Parameter(2, Shape({6, 4}));
+    auto* concat = b.Concatenate({a, c}, 1);
+    auto* einsum = b.Einsum(concat, w, "bf,fh->bh");
+    comp->set_root(einsum);
+    ASSERT_TRUE(MakeConcatenatesFusionFriendly(comp).ok());
+    ASSERT_GE(einsum->fusion_group(), 0);
+    for (const HloInstruction* instr : comp->instructions()) {
+        if (instr->opcode() == HloOpcode::kPad ||
+            instr->opcode() == HloOpcode::kMaximum) {
+            EXPECT_EQ(instr->fusion_group(), einsum->fusion_group());
+        }
+    }
+}
+
+TEST(FusionRewriteTest, LeavesNonEinsumConsumersAlone)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* a = b.Parameter(0, Shape({2, 3}));
+    auto* c = b.Parameter(1, Shape({2, 5}));
+    auto* concat = b.Concatenate({a, c}, 1);
+    comp->set_root(b.Negate(concat));
+    auto rewritten = MakeConcatenatesFusionFriendly(comp);
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_EQ(rewritten.value(), 0);
+    EXPECT_EQ(CountOps(*comp, HloOpcode::kConcatenate), 1);
+}
+
+TEST(FusionRewriteTest, LeavesThreeWayConcatsAlone)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* a = b.Parameter(0, Shape({2, 2}));
+    auto* w = b.Parameter(1, Shape({6, 4}));
+    auto* concat = b.Concatenate({a, a, a}, 1);
+    comp->set_root(b.Einsum(concat, w, "bf,fh->bh"));
+    auto rewritten = MakeConcatenatesFusionFriendly(comp);
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_EQ(rewritten.value(), 0);
+}
+
+}  // namespace
+}  // namespace overlap

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "hlo/builder.h"
+#include "hlo/module.h"
+#include "interp/evaluator.h"
+#include "test_util.h"
+
+namespace overlap {
+namespace {
+
+using testing_util::ShardTensor;
+
+TEST(EvaluatorTest, GlobalEinsum)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* lhs = b.Parameter(0, Shape({2, 3}));
+    auto* rhs = b.Parameter(1, Shape({3, 2}));
+    comp->set_root(b.Einsum(lhs, rhs, "mk,kn->mn"));
+    auto result = EvaluateGlobal(*comp, {Tensor::Iota(Shape({2, 3})),
+                                         Tensor::Iota(Shape({3, 2}))});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ(result->at({0, 0}), 10.0f);
+}
+
+TEST(EvaluatorTest, PartitionIdAndAxisIndex)
+{
+    Mesh mesh(2, 3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    comp->set_root(b.AxisIndex(1));
+    SpmdEvaluator eval(mesh);
+    auto result = eval.Evaluate(*comp, {});
+    ASSERT_TRUE(result.ok());
+    for (int64_t d = 0; d < 6; ++d) {
+        EXPECT_FLOAT_EQ((*result)[static_cast<size_t>(d)].ScalarValue(),
+                        static_cast<float>(d % 3));
+    }
+}
+
+TEST(EvaluatorTest, AllGatherConcatenatesInGroupOrder)
+{
+    Mesh mesh(4);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1, 2}));
+    comp->set_root(b.AllGather(p, 0, mesh.Groups(0)));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> shards;
+    for (int64_t d = 0; d < 4; ++d) {
+        shards.push_back(Tensor::Full(Shape({1, 2}),
+                                      static_cast<float>(d)));
+    }
+    auto result = eval.Evaluate(*comp, {shards});
+    ASSERT_TRUE(result.ok());
+    for (int64_t d = 0; d < 4; ++d) {
+        const Tensor& t = (*result)[static_cast<size_t>(d)];
+        EXPECT_EQ(t.shape().dims(), (std::vector<int64_t>{4, 2}));
+        for (int64_t row = 0; row < 4; ++row) {
+            EXPECT_FLOAT_EQ(t.at({row, 0}), static_cast<float>(row));
+        }
+    }
+}
+
+TEST(EvaluatorTest, ReduceScatterSumsAndSlices)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({4}));
+    comp->set_root(b.ReduceScatter(p, 0, mesh.Groups(0)));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs = {
+        Tensor(Shape({4}), {1, 2, 3, 4}),
+        Tensor(Shape({4}), {10, 20, 30, 40}),
+    };
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 11.0f);
+    EXPECT_FLOAT_EQ((*result)[0].at({1}), 22.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 33.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({1}), 44.0f);
+}
+
+TEST(EvaluatorTest, AllReduceSubgroups)
+{
+    Mesh mesh(2, 2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    comp->set_root(b.AllReduce(p, mesh.Groups(1)));  // rows {0,1},{2,3}
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs;
+    for (int64_t d = 0; d < 4; ++d) {
+        inputs.push_back(Tensor(Shape({1}), {static_cast<float>(1 << d)}));
+    }
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 3.0f);   // 1 + 2
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 3.0f);
+    EXPECT_FLOAT_EQ((*result)[2].at({0}), 12.0f);  // 4 + 8
+    EXPECT_FLOAT_EQ((*result)[3].at({0}), 12.0f);
+}
+
+TEST(EvaluatorTest, AllToAllTransposesShards)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({2}));
+    comp->set_root(b.AllToAll(p, 0, mesh.Groups(0)));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs = {Tensor(Shape({2}), {1, 2}),
+                                  Tensor(Shape({2}), {3, 4})};
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 1.0f);
+    EXPECT_FLOAT_EQ((*result)[0].at({1}), 3.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 2.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({1}), 4.0f);
+}
+
+TEST(EvaluatorTest, CollectivePermuteMovesAndZeroFills)
+{
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    // 0 -> 1, 1 -> 2; device 0 receives nothing.
+    comp->set_root(b.CollectivePermute(p, {{0, 1}, {1, 2}}));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs = {Tensor(Shape({1}), {5}),
+                                  Tensor(Shape({1}), {6}),
+                                  Tensor(Shape({1}), {7})};
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 0.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 5.0f);
+    EXPECT_FLOAT_EQ((*result)[2].at({0}), 6.0f);
+}
+
+TEST(EvaluatorTest, AsyncPermutePairBehavesLikeSync)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    auto* start = b.CollectivePermuteStart(p, {{0, 1}, {1, 0}});
+    comp->set_root(b.CollectivePermuteDone(start));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs = {Tensor(Shape({1}), {5}),
+                                  Tensor(Shape({1}), {6})};
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 6.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 5.0f);
+}
+
+TEST(EvaluatorTest, DynamicSliceUsesPerDeviceIndices)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({4}));
+    auto* idx = b.Multiply(b.AxisIndex(0), b.ConstantIndex(2));
+    comp->set_root(b.DynamicSliceOnDim(p, 0, idx, 2));
+    SpmdEvaluator eval(mesh);
+    Tensor data(Shape({4}), {1, 2, 3, 4});
+    auto result = eval.Evaluate(*comp, {{data}});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FLOAT_EQ((*result)[0].at({0}), 1.0f);
+    EXPECT_FLOAT_EQ((*result)[1].at({0}), 3.0f);
+}
+
+TEST(EvaluatorTest, MissingParameterReported)
+{
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    comp->set_root(b.Parameter(0, Shape({1})));
+    SpmdEvaluator eval((Mesh(1)));
+    auto result = eval.Evaluate(*comp, {});
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(EvaluatorTest, ShardRoundTripHelper)
+{
+    Mesh mesh(2, 2);
+    Tensor global = Tensor::Iota(Shape({4, 4}));
+    TensorSharding sharding = TensorSharding::OnDims(2, 0, 0, 1, 1);
+    auto shards = ShardTensor(global, sharding, mesh);
+    ASSERT_EQ(shards.size(), 4u);
+    Tensor back = testing_util::UnshardTensor(shards, global.shape(),
+                                              sharding, mesh);
+    EXPECT_TRUE(back.AllClose(global, 0.0f));
+}
+
+}  // namespace
+}  // namespace overlap

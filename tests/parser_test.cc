@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "hlo/builder.h"
+#include "hlo/parser.h"
+#include "hlo/verifier.h"
+#include "interp/evaluator.h"
+#include "passes/async.h"
+#include "passes/decompose.h"
+
+namespace overlap {
+namespace {
+
+TEST(ParserTest, OpcodeNamesRoundTrip)
+{
+    for (int op = 0; op <= static_cast<int>(HloOpcode::kTuple); ++op) {
+        HloOpcode opcode = static_cast<HloOpcode>(op);
+        auto parsed = HloOpcodeFromName(HloOpcodeName(opcode));
+        ASSERT_TRUE(parsed.ok()) << HloOpcodeName(opcode);
+        EXPECT_EQ(parsed.value(), opcode);
+    }
+    EXPECT_FALSE(HloOpcodeFromName("frobnicate").ok());
+}
+
+TEST(ParserTest, ParsesHandWrittenModule)
+{
+    const char* text = R"(
+module tiny mesh[4]
+computation main {
+  %x = f32[2,4] parameter(), index=0
+  %w = f32[4,8] parameter(), index=1
+  %g = f32[8,4] all-gather(%x), dim=0, groups={0,1,2,3}
+  ROOT %y = f32[8,8] einsum(%g, %w), spec=bf,fh->bh
+}
+)";
+    auto module = ParseHloModule(text);
+    ASSERT_TRUE(module.ok()) << module.status().ToString();
+    EXPECT_EQ((*module)->name(), "tiny");
+    ASSERT_TRUE((*module)->mesh().has_value());
+    EXPECT_EQ((*module)->mesh()->num_devices(), 4);
+    HloComputation* comp = (*module)->entry();
+    EXPECT_EQ(comp->instruction_count(), 4);
+    EXPECT_EQ(comp->root()->opcode(), HloOpcode::kEinsum);
+    EXPECT_EQ(comp->root()->attrs().einsum_spec, "bf,fh->bh");
+}
+
+TEST(ParserTest, RoundTripsBuilderModule)
+{
+    HloModule module("roundtrip");
+    module.set_mesh(Mesh(2, 2));
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {4, 8}), "acts");
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {8, 4}));
+    auto* ag = b.AllGather(p, 0, Mesh(2, 2).Groups(1));
+    auto* e = b.Einsum(ag, w, "bf,fh->bh");
+    auto* rs = b.ReduceScatter(e, 1, Mesh(2, 2).Groups(0));
+    auto* idx = b.Multiply(b.AxisIndex(0), b.ConstantIndex(2));
+    auto* sliced = b.DynamicSliceOnDim(rs, 0, idx, 2);
+    comp->set_root(b.Pad(sliced, {1, 0}, {0, 1}, -1.5f));
+
+    std::string text = module.ToString();
+    auto parsed = ParseHloModule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString()
+                             << "\ntext was:\n"
+                             << text;
+    // Printing the parsed module reproduces the text exactly.
+    EXPECT_EQ((*parsed)->ToString(), text);
+}
+
+TEST(ParserTest, RoundTripPreservesSemantics)
+{
+    HloModule module("sem");
+    module.set_mesh(Mesh(2));
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({2, 2}));
+    auto* c = b.Constant(Tensor(Shape({2, 2}), {1, 2, 3, 4}));
+    comp->set_root(b.Einsum(b.Add(p, c), c, "mk,kn->mn"));
+
+    auto parsed = ParseHloModule(module.ToString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+    SpmdEvaluator eval((Mesh(2)));
+    Tensor input = Tensor::Random(Shape({2, 2}), 3);
+    auto original = eval.Evaluate(*comp, {{input}});
+    auto reparsed = eval.Evaluate(*(*parsed)->entry(), {{input}});
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reparsed.ok());
+    for (int d = 0; d < 2; ++d) {
+        EXPECT_TRUE((*reparsed)[d].AllClose((*original)[d], 1e-5f));
+    }
+}
+
+TEST(ParserTest, RoundTripsDecomposedLoop)
+{
+    // The acid test: a full unrolled CollectiveEinsum loop with async
+    // permutes, fusion groups, loop groups and index arithmetic.
+    HloModule module("loop");
+    Mesh mesh(4);
+    module.set_mesh(mesh);
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {8, 16}));
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {16, 8}));
+    auto* ag = b.AllGather(p, 0, mesh.Groups(0));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+    CostModel cost{HardwareSpec{}};
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
+    ASSERT_TRUE(decomposer.Run(comp).ok());
+    ASSERT_TRUE(CreateAsyncCollectivePermutes(comp).ok());
+
+    std::string text = module.ToString();
+    auto parsed = ParseHloModule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ((*parsed)->ToString(), text);
+    EXPECT_TRUE(VerifyModule(**parsed).ok());
+}
+
+TEST(ParserTest, RejectsMalformedInput)
+{
+    EXPECT_FALSE(ParseHloModule("nonsense").ok());
+    EXPECT_FALSE(ParseHloModule("module m\ncomputation c {\n").ok());
+    EXPECT_FALSE(ParseHloModule("module m\ncomputation c {\n"
+                                "  %a = f32[2] negate(%missing)\n}\n")
+                     .ok());
+    EXPECT_FALSE(ParseHloModule("module m\ncomputation c {\n"
+                                "  %a = f32[2] frobnicate()\n}\n")
+                     .ok());
+    // Shape mismatch caught by the verifier.
+    EXPECT_FALSE(ParseHloModule("module m\ncomputation c {\n"
+                                "  %a = f32[2] parameter(), index=0\n"
+                                "  ROOT %b = f32[3] negate(%a)\n}\n")
+                     .ok());
+}
+
+}  // namespace
+}  // namespace overlap

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+TEST(StatusTest, OkByDefault)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s = InvalidArgument("bad shape");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad shape");
+    EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+    EXPECT_EQ(FailedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus)
+{
+    StatusOr<int> ok(42);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(*ok, 42);
+    StatusOr<int> err(InvalidArgument("nope"));
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_THROW(err.value(), std::logic_error);
+}
+
+TEST(StatusOrTest, MoveOutValue)
+{
+    StatusOr<std::string> s(std::string("hello"));
+    std::string moved = std::move(s).value();
+    EXPECT_EQ(moved, "hello");
+}
+
+TEST(StringsTest, StrJoinAndStrCat)
+{
+    std::vector<int> v{1, 2, 3};
+    EXPECT_EQ(StrJoin(v, ","), "1,2,3");
+    EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+    EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields)
+{
+    auto parts = StrSplit("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, HumanFormats)
+{
+    EXPECT_EQ(HumanBytes(1536.0), "1.50 KB");
+    EXPECT_EQ(HumanTime(0.0015), "1.500 ms");
+    EXPECT_EQ(HumanTime(2.0), "2.000 s");
+    EXPECT_EQ(HumanTime(2.5e-6), "2.500 us");
+    EXPECT_EQ(HumanFlops(2.4e12), "2.40 TFLOP");
+}
+
+TEST(LoggingTest, LevelGatesOutput)
+{
+    LogLevel old = GetLogLevel();
+    SetLogLevel(LogLevel::kError);
+    // No crash, message dropped below threshold.
+    OVERLAP_LOG(kInfo) << "dropped";
+    OVERLAP_LOG(kError) << "kept (stderr)";
+    SetLogLevel(old);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace overlap
