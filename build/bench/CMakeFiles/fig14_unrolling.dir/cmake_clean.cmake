@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_unrolling.dir/fig14_unrolling.cpp.o"
+  "CMakeFiles/fig14_unrolling.dir/fig14_unrolling.cpp.o.d"
+  "fig14_unrolling"
+  "fig14_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

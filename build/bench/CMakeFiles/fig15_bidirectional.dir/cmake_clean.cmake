@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bidirectional.dir/fig15_bidirectional.cpp.o"
+  "CMakeFiles/fig15_bidirectional.dir/fig15_bidirectional.cpp.o.d"
+  "fig15_bidirectional"
+  "fig15_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

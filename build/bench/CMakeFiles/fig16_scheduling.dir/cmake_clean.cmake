@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scheduling.dir/fig16_scheduling.cpp.o"
+  "CMakeFiles/fig16_scheduling.dir/fig16_scheduling.cpp.o.d"
+  "fig16_scheduling"
+  "fig16_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_timeline.dir/mech_timeline.cpp.o"
+  "CMakeFiles/mech_timeline.dir/mech_timeline.cpp.o.d"
+  "mech_timeline"
+  "mech_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_energy.dir/sec64_energy.cpp.o"
+  "CMakeFiles/sec64_energy.dir/sec64_energy.cpp.o.d"
+  "sec64_energy"
+  "sec64_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec71_inference.dir/sec71_inference.cpp.o"
+  "CMakeFiles/sec71_inference.dir/sec71_inference.cpp.o.d"
+  "sec71_inference"
+  "sec71_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec71_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

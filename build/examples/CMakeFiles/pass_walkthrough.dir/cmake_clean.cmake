@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_walkthrough.dir/pass_walkthrough.cpp.o"
+  "CMakeFiles/pass_walkthrough.dir/pass_walkthrough.cpp.o.d"
+  "pass_walkthrough"
+  "pass_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_core.dir/overlap_compiler.cc.o"
+  "CMakeFiles/overlap_core.dir/overlap_compiler.cc.o.d"
+  "CMakeFiles/overlap_core.dir/pod_runner.cc.o"
+  "CMakeFiles/overlap_core.dir/pod_runner.cc.o.d"
+  "liboverlap_core.a"
+  "liboverlap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

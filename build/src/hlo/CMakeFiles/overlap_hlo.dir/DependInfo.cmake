@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlo/builder.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/builder.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/builder.cc.o.d"
+  "/root/repo/src/hlo/computation.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/computation.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/computation.cc.o.d"
+  "/root/repo/src/hlo/instruction.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/instruction.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/instruction.cc.o.d"
+  "/root/repo/src/hlo/module.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/module.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/module.cc.o.d"
+  "/root/repo/src/hlo/opcode.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/opcode.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/opcode.cc.o.d"
+  "/root/repo/src/hlo/parser.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/parser.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/parser.cc.o.d"
+  "/root/repo/src/hlo/verifier.cc" "src/hlo/CMakeFiles/overlap_hlo.dir/verifier.cc.o" "gcc" "src/hlo/CMakeFiles/overlap_hlo.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/overlap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/overlap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

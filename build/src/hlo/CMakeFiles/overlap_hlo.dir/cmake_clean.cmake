@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_hlo.dir/builder.cc.o"
+  "CMakeFiles/overlap_hlo.dir/builder.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/computation.cc.o"
+  "CMakeFiles/overlap_hlo.dir/computation.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/instruction.cc.o"
+  "CMakeFiles/overlap_hlo.dir/instruction.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/module.cc.o"
+  "CMakeFiles/overlap_hlo.dir/module.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/opcode.cc.o"
+  "CMakeFiles/overlap_hlo.dir/opcode.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/parser.cc.o"
+  "CMakeFiles/overlap_hlo.dir/parser.cc.o.d"
+  "CMakeFiles/overlap_hlo.dir/verifier.cc.o"
+  "CMakeFiles/overlap_hlo.dir/verifier.cc.o.d"
+  "liboverlap_hlo.a"
+  "liboverlap_hlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_hlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

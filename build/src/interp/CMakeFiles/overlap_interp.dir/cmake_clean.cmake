@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_interp.dir/evaluator.cc.o"
+  "CMakeFiles/overlap_interp.dir/evaluator.cc.o.d"
+  "liboverlap_interp.a"
+  "liboverlap_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_models.dir/model_config.cc.o"
+  "CMakeFiles/overlap_models.dir/model_config.cc.o.d"
+  "CMakeFiles/overlap_models.dir/step_builder.cc.o"
+  "CMakeFiles/overlap_models.dir/step_builder.cc.o.d"
+  "liboverlap_models.a"
+  "liboverlap_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

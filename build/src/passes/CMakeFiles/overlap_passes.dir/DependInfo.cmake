@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/async.cc" "src/passes/CMakeFiles/overlap_passes.dir/async.cc.o" "gcc" "src/passes/CMakeFiles/overlap_passes.dir/async.cc.o.d"
+  "/root/repo/src/passes/decompose.cc" "src/passes/CMakeFiles/overlap_passes.dir/decompose.cc.o" "gcc" "src/passes/CMakeFiles/overlap_passes.dir/decompose.cc.o.d"
+  "/root/repo/src/passes/fusion.cc" "src/passes/CMakeFiles/overlap_passes.dir/fusion.cc.o" "gcc" "src/passes/CMakeFiles/overlap_passes.dir/fusion.cc.o.d"
+  "/root/repo/src/passes/fusion_rewrites.cc" "src/passes/CMakeFiles/overlap_passes.dir/fusion_rewrites.cc.o" "gcc" "src/passes/CMakeFiles/overlap_passes.dir/fusion_rewrites.cc.o.d"
+  "/root/repo/src/passes/schedule.cc" "src/passes/CMakeFiles/overlap_passes.dir/schedule.cc.o" "gcc" "src/passes/CMakeFiles/overlap_passes.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlo/CMakeFiles/overlap_hlo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/overlap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/overlap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/overlap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

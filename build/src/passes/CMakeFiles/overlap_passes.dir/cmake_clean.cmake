@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_passes.dir/async.cc.o"
+  "CMakeFiles/overlap_passes.dir/async.cc.o.d"
+  "CMakeFiles/overlap_passes.dir/decompose.cc.o"
+  "CMakeFiles/overlap_passes.dir/decompose.cc.o.d"
+  "CMakeFiles/overlap_passes.dir/fusion.cc.o"
+  "CMakeFiles/overlap_passes.dir/fusion.cc.o.d"
+  "CMakeFiles/overlap_passes.dir/fusion_rewrites.cc.o"
+  "CMakeFiles/overlap_passes.dir/fusion_rewrites.cc.o.d"
+  "CMakeFiles/overlap_passes.dir/schedule.cc.o"
+  "CMakeFiles/overlap_passes.dir/schedule.cc.o.d"
+  "liboverlap_passes.a"
+  "liboverlap_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

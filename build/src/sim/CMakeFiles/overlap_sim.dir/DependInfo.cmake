@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/overlap_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/overlap_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/overlap_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/overlap_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/sched_graph.cc" "src/sim/CMakeFiles/overlap_sim.dir/sched_graph.cc.o" "gcc" "src/sim/CMakeFiles/overlap_sim.dir/sched_graph.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/overlap_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/overlap_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlo/CMakeFiles/overlap_hlo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/overlap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/overlap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

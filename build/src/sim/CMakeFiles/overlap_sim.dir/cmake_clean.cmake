@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_sim.dir/cost_model.cc.o"
+  "CMakeFiles/overlap_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/overlap_sim.dir/engine.cc.o"
+  "CMakeFiles/overlap_sim.dir/engine.cc.o.d"
+  "CMakeFiles/overlap_sim.dir/sched_graph.cc.o"
+  "CMakeFiles/overlap_sim.dir/sched_graph.cc.o.d"
+  "CMakeFiles/overlap_sim.dir/trace_export.cc.o"
+  "CMakeFiles/overlap_sim.dir/trace_export.cc.o.d"
+  "liboverlap_sim.a"
+  "liboverlap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

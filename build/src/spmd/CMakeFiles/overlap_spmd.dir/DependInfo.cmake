@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spmd/spmd_builder.cc" "src/spmd/CMakeFiles/overlap_spmd.dir/spmd_builder.cc.o" "gcc" "src/spmd/CMakeFiles/overlap_spmd.dir/spmd_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlo/CMakeFiles/overlap_hlo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/overlap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/overlap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_spmd.dir/spmd_builder.cc.o"
+  "CMakeFiles/overlap_spmd.dir/spmd_builder.cc.o.d"
+  "liboverlap_spmd.a"
+  "liboverlap_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

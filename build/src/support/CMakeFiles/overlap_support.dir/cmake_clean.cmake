@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_support.dir/logging.cc.o"
+  "CMakeFiles/overlap_support.dir/logging.cc.o.d"
+  "CMakeFiles/overlap_support.dir/status.cc.o"
+  "CMakeFiles/overlap_support.dir/status.cc.o.d"
+  "CMakeFiles/overlap_support.dir/strings.cc.o"
+  "CMakeFiles/overlap_support.dir/strings.cc.o.d"
+  "liboverlap_support.a"
+  "liboverlap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

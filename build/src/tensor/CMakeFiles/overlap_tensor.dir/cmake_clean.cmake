@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_tensor.dir/einsum.cc.o"
+  "CMakeFiles/overlap_tensor.dir/einsum.cc.o.d"
+  "CMakeFiles/overlap_tensor.dir/mesh.cc.o"
+  "CMakeFiles/overlap_tensor.dir/mesh.cc.o.d"
+  "CMakeFiles/overlap_tensor.dir/shape.cc.o"
+  "CMakeFiles/overlap_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/overlap_tensor.dir/sharding.cc.o"
+  "CMakeFiles/overlap_tensor.dir/sharding.cc.o.d"
+  "CMakeFiles/overlap_tensor.dir/tensor.cc.o"
+  "CMakeFiles/overlap_tensor.dir/tensor.cc.o.d"
+  "liboverlap_tensor.a"
+  "liboverlap_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboverlap_tensor.a"
+)

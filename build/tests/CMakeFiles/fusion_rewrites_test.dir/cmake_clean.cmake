@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_rewrites_test.dir/fusion_rewrites_test.cc.o"
+  "CMakeFiles/fusion_rewrites_test.dir/fusion_rewrites_test.cc.o.d"
+  "fusion_rewrites_test"
+  "fusion_rewrites_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_rewrites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlo_test.dir/hlo_test.cc.o"
+  "CMakeFiles/hlo_test.dir/hlo_test.cc.o.d"
+  "hlo_test"
+  "hlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_structure_test.dir/loop_structure_test.cc.o"
+  "CMakeFiles/loop_structure_test.dir/loop_structure_test.cc.o.d"
+  "loop_structure_test"
+  "loop_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/overlap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/overlap_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/overlap_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmd/CMakeFiles/overlap_spmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/overlap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/overlap_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlo/CMakeFiles/overlap_hlo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/overlap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/overlap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
