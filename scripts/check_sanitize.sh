@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the project with AddressSanitizer + UndefinedBehaviorSanitizer
+# in a separate build tree and runs the full test suite under them.
+#
+# Usage: scripts/check_sanitize.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOVERLAP_SANITIZE=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# abort_on_error gives non-zero exit (and a stack) on the first report.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"

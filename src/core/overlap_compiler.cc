@@ -1,10 +1,31 @@
 #include "core/overlap_compiler.h"
 
+#include <utility>
+
 #include "hlo/verifier.h"
 #include "passes/async.h"
 #include "passes/fusion_rewrites.h"
+#include "support/logging.h"
+#include "support/strings.h"
 
 namespace overlap {
+namespace {
+
+/** A named pipeline stage operating on the module's current entry. */
+struct PipelinePass {
+    std::string name;
+    std::function<Status()> run;
+};
+
+}  // namespace
+
+std::string
+PassDiagnostic::ToString() const
+{
+    return StrCat("pass '", pass_name, "' ",
+                  rolled_back ? "rolled back" : "failed", ": ",
+                  StatusCodeName(code), ": ", error);
+}
 
 StatusOr<CompileReport>
 OverlapCompiler::Compile(HloModule* module) const
@@ -14,34 +35,88 @@ OverlapCompiler::Compile(HloModule* module) const
             "compile needs a per-device module with a mesh");
     }
     OVERLAP_RETURN_IF_ERROR(VerifyModule(*module));
-    HloComputation* comp = module->entry();
     CostModel cost(options_.hardware);
+    FaultModel fault(options_.fault);
     CompileReport report;
 
+    // The pipeline: each pass re-fetches module->entry() when it runs,
+    // because a rollback replaces the entry computation wholesale.
+    std::vector<PipelinePass> pipeline;
     if (options_.enable_overlap) {
-        CollectiveEinsumDecomposer decomposer(*module->mesh(), &cost,
-                                              options_.decompose);
-        auto stats = decomposer.Run(comp);
-        if (!stats.ok()) return stats.status();
-        report.decompose = stats.value();
-
-        auto async = CreateAsyncCollectivePermutes(comp);
-        if (!async.ok()) return async.status();
-        report.async_permutes = async.value();
-
+        pipeline.push_back(
+            {"decompose", [&]() -> Status {
+                 CollectiveEinsumDecomposer decomposer(
+                     *module->mesh(), &cost, options_.decompose);
+                 decomposer.set_fault_model(&fault);
+                 auto stats = decomposer.Run(module->entry());
+                 if (!stats.ok()) return stats.status();
+                 report.decompose = std::move(stats).value();
+                 return Status::Ok();
+             }});
+        pipeline.push_back(
+            {"async-permute-creation", [&]() -> Status {
+                 auto async =
+                     CreateAsyncCollectivePermutes(module->entry());
+                 if (!async.ok()) return async.status();
+                 report.async_permutes = async.value();
+                 return Status::Ok();
+             }});
         // §5.4.3 local rewrites that make operand pre-processing
         // fusable with the consumer einsums.
-        auto rewrites = MakeConcatenatesFusionFriendly(comp);
-        if (!rewrites.ok()) return rewrites.status();
-        report.concat_rewrites = rewrites.value();
+        pipeline.push_back(
+            {"concat-fusion-rewrites", [&]() -> Status {
+                 auto rewrites =
+                     MakeConcatenatesFusionFriendly(module->entry());
+                 if (!rewrites.ok()) return rewrites.status();
+                 report.concat_rewrites = rewrites.value();
+                 return Status::Ok();
+             }});
+    }
+    for (const InjectedPass& injected : options_.extra_passes) {
+        pipeline.push_back(
+            {injected.name,
+             [&injected, module]() { return injected.run(module); }});
+    }
+    pipeline.push_back({"fusion", [&]() -> Status {
+                            auto fused = RunFusionPass(module->entry(),
+                                                       options_.fusion);
+                            if (!fused.ok()) return fused.status();
+                            report.fusion_groups = fused.value();
+                            return Status::Ok();
+                        }});
+    pipeline.push_back({"schedule", [&]() -> Status {
+                            return ScheduleComputation(module->entry(),
+                                                       cost,
+                                                       options_.scheduler);
+                        }});
+
+    for (const PipelinePass& pass : pipeline) {
+        std::unique_ptr<HloComputation> snapshot;
+        CompileReport report_snapshot;
+        if (options_.guard_passes) {
+            snapshot = module->entry()->Clone();
+            report_snapshot = report;
+        }
+        Status status = pass.run();
+        if (status.ok()) status = VerifyModule(*module);
+        if (status.ok()) continue;
+        if (!options_.guard_passes) return status;
+        // The pass errored or emitted invalid HLO: restore the pre-pass
+        // snapshot (module and report), disable the pass for this
+        // module, and surface a structured diagnostic instead of a
+        // broken module.
+        module->ReplaceEntry(std::move(snapshot));
+        report = std::move(report_snapshot);
+        PassDiagnostic diagnostic;
+        diagnostic.pass_name = pass.name;
+        diagnostic.code = status.code();
+        diagnostic.error = status.message();
+        diagnostic.rolled_back = true;
+        OVERLAP_LOG(kWarning)
+            << "guarded pipeline: " << diagnostic.ToString();
+        report.pass_diagnostics.push_back(std::move(diagnostic));
     }
 
-    auto fused = RunFusionPass(comp, options_.fusion);
-    if (!fused.ok()) return fused.status();
-    report.fusion_groups = fused.value();
-
-    OVERLAP_RETURN_IF_ERROR(
-        ScheduleComputation(comp, cost, options_.scheduler));
     OVERLAP_RETURN_IF_ERROR(VerifyModule(*module));
     return report;
 }

@@ -1,6 +1,10 @@
 #ifndef OVERLAP_CORE_OVERLAP_COMPILER_H_
 #define OVERLAP_CORE_OVERLAP_COMPILER_H_
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "hlo/module.h"
 #include "passes/decompose.h"
 #include "passes/fusion.h"
@@ -9,6 +13,17 @@
 #include "support/status.h"
 
 namespace overlap {
+
+/**
+ * A pass injected into the pipeline between the overlap rewrites and
+ * fusion. Used by tests (fault/rollback injection) and as an extension
+ * point; injected passes run under the same post-pass verification and
+ * rollback guard as the built-in ones.
+ */
+struct InjectedPass {
+    std::string name;
+    std::function<Status(HloModule*)> run;
+};
 
 /**
  * End-to-end configuration of the overlap compiler: which paper features
@@ -27,6 +42,28 @@ struct CompilerOptions {
     SchedulerKind scheduler = SchedulerKind::kBottomUp;
     HardwareSpec hardware;
 
+    /**
+     * Pod degradation the compiler should be robust to. A non-trivial
+     * spec makes the §5.5 gate variance-aware (each site is re-costed
+     * against the slowest link/chip of its ring and falls back to the
+     * blocking collective or a unidirectional loop when the decomposed
+     * ring no longer wins) and is forwarded to the simulator by the
+     * pod runner. The default spec is fault-free and changes nothing.
+     */
+    FaultSpec fault;
+
+    /**
+     * Guarded pipeline: verify the module after every pass and, on
+     * failure, roll back to the pre-pass snapshot, skip the offending
+     * pass and record a structured diagnostic instead of propagating a
+     * broken module. When false a failing pass aborts compilation with
+     * its Status (the pre-guard behavior).
+     */
+    bool guard_passes = true;
+
+    /** Extra passes run (guarded) after the overlap rewrites. */
+    std::vector<InjectedPass> extra_passes;
+
     /** The paper's baseline configuration. */
     static CompilerOptions Baseline()
     {
@@ -37,6 +74,20 @@ struct CompilerOptions {
     }
 };
 
+/**
+ * One guarded-pipeline incident: the named pass either returned an
+ * error or produced a module the verifier rejected, and the module was
+ * rolled back to its pre-pass state.
+ */
+struct PassDiagnostic {
+    std::string pass_name;
+    StatusCode code = StatusCode::kOk;
+    std::string error;
+    bool rolled_back = false;
+
+    std::string ToString() const;
+};
+
 /** What the compilation pipeline did to a module. */
 struct CompileReport {
     DecomposeStats decompose;
@@ -44,6 +95,8 @@ struct CompileReport {
     int64_t fusion_groups = 0;
     /// §5.4.3 Concatenate -> Max(Pad, Pad) rewrites applied.
     int64_t concat_rewrites = 0;
+    /// Guarded-pipeline incidents (empty on a clean compile).
+    std::vector<PassDiagnostic> pass_diagnostics;
 };
 
 /**
@@ -52,6 +105,11 @@ struct CompileReport {
  * overlap scheduling. Mutates `module` in place and attaches the final
  * schedule; the module stays functionally equivalent throughout (the
  * property the test suite checks with the SPMD interpreter).
+ *
+ * Every pass runs under a verification guard (see
+ * CompilerOptions::guard_passes): a pass that emits invalid HLO is
+ * rolled back and reported in CompileReport::pass_diagnostics rather
+ * than poisoning downstream passes or the simulator.
  */
 class OverlapCompiler {
   public:

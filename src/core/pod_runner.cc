@@ -24,7 +24,8 @@ SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
     auto compile_report = compiler.Compile(module->get());
     if (!compile_report.ok()) return compile_report.status();
 
-    PodSimulator simulator(config.mesh(), options.hardware);
+    PodSimulator simulator(config.mesh(), options.hardware,
+                           FaultModel(options.fault));
     auto sim = simulator.Run(**module);
     if (!sim.ok()) return sim.status();
 
@@ -41,6 +42,41 @@ SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
             : 0.0;
     report.energy_joules =
         sim->EnergyJoules(options.hardware, config.num_chips) * layers;
+    return report;
+}
+
+std::string
+StepTrialReport::ToString() const
+{
+    return StrCat(config.name, ": p50=", HumanTime(p50_step_seconds),
+                  " p99=", HumanTime(p99_step_seconds),
+                  " retries=", trials.total_retries, " over ",
+                  trials.num_trials, " trials");
+}
+
+StatusOr<StepTrialReport>
+SimulateModelStepTrials(const ModelConfig& config,
+                        const CompilerOptions& options, int64_t num_trials)
+{
+    auto module = BuildLayerStepModule(config);
+    if (!module.ok()) return module.status();
+
+    OverlapCompiler compiler(options);
+    auto compile_report = compiler.Compile(module->get());
+    if (!compile_report.ok()) return compile_report.status();
+
+    PodSimulator simulator(config.mesh(), options.hardware,
+                           FaultModel(options.fault));
+    auto trials = simulator.RunTrials(**module, num_trials);
+    if (!trials.ok()) return trials.status();
+
+    StepTrialReport report;
+    report.config = config;
+    report.compile = compile_report.value();
+    report.trials = std::move(trials).value();
+    double layers = static_cast<double>(config.num_layers);
+    report.p50_step_seconds = report.trials.p50_step_seconds * layers;
+    report.p99_step_seconds = report.trials.p99_step_seconds * layers;
     return report;
 }
 

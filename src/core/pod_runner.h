@@ -31,10 +31,32 @@ struct StepReport {
 /**
  * Builds a model's representative layer step, compiles it with the given
  * options and simulates it on the configured pod — the workflow every
- * evaluation figure uses.
+ * evaluation figure uses. `options.fault` (when non-trivial) degrades
+ * the pod for both the variance-aware gate and the simulation.
  */
 StatusOr<StepReport> SimulateModelStep(const ModelConfig& config,
                                        const CompilerOptions& options);
+
+/** Step-time distribution of one model over seeded fault trials. */
+struct StepTrialReport {
+    ModelConfig config;
+    CompileReport compile;
+    TrialStats trials;
+    /// Whole-step percentiles: layer percentiles x layer count.
+    double p50_step_seconds = 0.0;
+    double p99_step_seconds = 0.0;
+
+    std::string ToString() const;
+};
+
+/**
+ * Like SimulateModelStep, but runs `num_trials` seeded simulations of
+ * the compiled layer under `options.fault` and reports the step-time
+ * distribution (the fault-sweep bench's workflow).
+ */
+StatusOr<StepTrialReport> SimulateModelStepTrials(
+    const ModelConfig& config, const CompilerOptions& options,
+    int64_t num_trials);
 
 }  // namespace overlap
 

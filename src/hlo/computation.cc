@@ -27,6 +27,40 @@ HloComputation::AddInstruction(HloOpcode opcode, Shape shape,
     return raw;
 }
 
+std::unique_ptr<HloComputation>
+HloComputation::Clone() const
+{
+    auto clone = std::make_unique<HloComputation>(name_);
+    std::unordered_map<const HloInstruction*, HloInstruction*> map;
+    for (const auto& instr : instructions_) {
+        std::vector<HloInstruction*> operands;
+        operands.reserve(instr->operands().size());
+        for (const HloInstruction* operand : instr->operands()) {
+            operands.push_back(map.at(operand));
+        }
+        HloInstruction* copy = clone->AddInstruction(
+            instr->opcode(), instr->shape(), std::move(operands),
+            instr->attrs());
+        copy->id_ = instr->id();
+        copy->set_name(instr->name());
+        copy->set_fusion_group(instr->fusion_group());
+        copy->set_loop_group(instr->loop_group());
+        if (instr->sharding().has_value()) {
+            copy->set_sharding(*instr->sharding());
+        }
+        map[instr.get()] = copy;
+    }
+    clone->root_ = root_ != nullptr ? map.at(root_) : nullptr;
+    clone->schedule_.reserve(schedule_.size());
+    for (const HloInstruction* instr : schedule_) {
+        clone->schedule_.push_back(map.at(instr));
+    }
+    clone->next_id_ = next_id_;
+    clone->next_loop_group_ = next_loop_group_;
+    clone->next_fusion_group_ = next_fusion_group_;
+    return clone;
+}
+
 std::vector<HloInstruction*>
 HloComputation::instructions() const
 {

@@ -28,6 +28,15 @@ class HloComputation {
     const std::string& name() const { return name_; }
 
     /**
+     * Deep copy: clones every instruction (preserving ids, names,
+     * fusion/loop groups and shardings), the root, an attached schedule
+     * and the group-id counters. Used by the guarded pass pipeline to
+     * snapshot a module before a pass and roll back if the pass emits
+     * an invalid graph.
+     */
+    std::unique_ptr<HloComputation> Clone() const;
+
+    /**
      * Creates and appends an instruction with an explicit result shape.
      * Operand pointers must belong to this computation.
      */

@@ -13,6 +13,23 @@ HloModule::AddEntryComputation(const std::string& name)
     return entry_.get();
 }
 
+HloComputation*
+HloModule::ReplaceEntry(std::unique_ptr<HloComputation> entry)
+{
+    OVERLAP_CHECK(entry != nullptr);
+    entry_ = std::move(entry);
+    return entry_.get();
+}
+
+std::unique_ptr<HloModule>
+HloModule::Clone() const
+{
+    auto clone = std::make_unique<HloModule>(name_);
+    if (entry_ != nullptr) clone->entry_ = entry_->Clone();
+    clone->mesh_ = mesh_;
+    return clone;
+}
+
 std::string
 HloModule::ToString() const
 {

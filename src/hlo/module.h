@@ -28,6 +28,16 @@ class HloModule {
 
     HloComputation* entry() const { return entry_.get(); }
 
+    /**
+     * Swaps in a replacement entry computation and returns it; used by
+     * the guarded pass pipeline to roll back to a pre-pass snapshot.
+     * Every HloInstruction* into the old entry is invalidated.
+     */
+    HloComputation* ReplaceEntry(std::unique_ptr<HloComputation> entry);
+
+    /** Deep copy of the module (entry computation, mesh, name). */
+    std::unique_ptr<HloModule> Clone() const;
+
     /** Device mesh for SPMD execution (set on per-device modules). */
     const std::optional<Mesh>& mesh() const { return mesh_; }
     void set_mesh(Mesh mesh) { mesh_ = std::move(mesh); }

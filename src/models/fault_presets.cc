@@ -1,0 +1,81 @@
+#include "models/fault_presets.h"
+
+namespace overlap {
+
+FaultScenario
+HealthyPod()
+{
+    return {"healthy", "uniform pod, no faults", FaultSpec()};
+}
+
+FaultScenario
+SingleDegradedLink(const Mesh& mesh, int64_t axis, double bandwidth_factor)
+{
+    FaultScenario scenario;
+    scenario.name = "single_degraded_link";
+    scenario.description =
+        "one directed ring link at reduced bandwidth (serializes the "
+        "decomposed ring; blocking collectives route around it)";
+    LinkFault fault;
+    fault.src = 0;
+    // Engine direction 0 carries data toward the lower ring position.
+    fault.dst = mesh.RingNeighbor(0, axis, -1);
+    fault.bandwidth_factor = bandwidth_factor;
+    fault.latency_factor = 1.0 / bandwidth_factor;
+    scenario.spec.link_faults.push_back(fault);
+    return scenario;
+}
+
+FaultScenario
+StragglerChip(double compute_factor)
+{
+    FaultScenario scenario;
+    scenario.name = "straggler_chip";
+    scenario.description =
+        "one chip at reduced compute throughput (lockstep SPMD pins the "
+        "pod to it)";
+    ChipFault fault;
+    fault.chip = 0;
+    fault.compute_factor = compute_factor;
+    scenario.spec.chip_faults.push_back(fault);
+    return scenario;
+}
+
+FaultScenario
+FlakyFabric(double failure_probability, uint64_t seed)
+{
+    FaultScenario scenario;
+    scenario.name = "flaky_fabric";
+    scenario.description =
+        "transient CollectivePermute failures with retry-after-timeout";
+    scenario.spec.seed = seed;
+    scenario.spec.transient_failure_probability = failure_probability;
+    scenario.spec.max_transfer_retries = 3;
+    scenario.spec.retry_timeout_seconds = 25e-6;
+    return scenario;
+}
+
+FaultScenario
+AgingPod(uint64_t seed)
+{
+    FaultScenario scenario;
+    scenario.name = "aging_pod";
+    scenario.description =
+        "seeded mild link degradation plus per-trial link/compute jitter";
+    scenario.spec.seed = seed;
+    scenario.spec.link_degrade_probability = 0.05;
+    scenario.spec.link_degrade_factor = 0.5;
+    scenario.spec.link_degrade_latency_factor = 2.0;
+    scenario.spec.link_jitter = 0.1;
+    scenario.spec.compute_jitter = 0.05;
+    return scenario;
+}
+
+std::vector<FaultScenario>
+PodFaultScenarios(const Mesh& mesh)
+{
+    return {HealthyPod(), SingleDegradedLink(mesh), StragglerChip(),
+            FlakyFabric(), AgingPod()};
+}
+
+}  // namespace overlap

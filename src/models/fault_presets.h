@@ -1,0 +1,52 @@
+#ifndef OVERLAP_MODELS_FAULT_PRESETS_H_
+#define OVERLAP_MODELS_FAULT_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/fault_model.h"
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/** A named pod-degradation scenario for benches and tests. */
+struct FaultScenario {
+    std::string name;
+    std::string description;
+    FaultSpec spec;
+};
+
+/** The trivial scenario: every factor 1.0, zero failures. */
+FaultScenario HealthyPod();
+
+/**
+ * One directed ring link on mesh axis `axis` (the link device 0 sends
+ * on in engine direction 0) runs at `bandwidth_factor` of nominal
+ * bandwidth — the single-slow-link case that serializes a decomposed
+ * ring while the runtime's blocking collectives route around it.
+ */
+FaultScenario SingleDegradedLink(const Mesh& mesh, int64_t axis = 0,
+                                 double bandwidth_factor = 0.25);
+
+/** Chip 0 computes at `compute_factor` of nominal throughput. */
+FaultScenario StragglerChip(double compute_factor = 0.6);
+
+/**
+ * Transient CollectivePermute failures at `failure_probability` per
+ * attempt, retried after a timeout (tail latency from retries).
+ */
+FaultScenario FlakyFabric(double failure_probability = 0.02,
+                          uint64_t seed = 7);
+
+/**
+ * A worn pod: mild seeded per-link degradation plus per-trial link and
+ * compute jitter, for p50/p99 spread studies.
+ */
+FaultScenario AgingPod(uint64_t seed = 11);
+
+/** All of the above, for sweep-style benches. */
+std::vector<FaultScenario> PodFaultScenarios(const Mesh& mesh);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_MODELS_FAULT_PRESETS_H_

@@ -41,7 +41,89 @@ struct Site {
     /// Shard extent of `label` per loop iteration.
     int64_t shard_extent = 0;
     double benefit = 0.0;  // original minus overlapped estimated time
+    /// Healthy-pod benefit (== benefit without a fault model).
+    double benefit_nominal = 0.0;
+    /// Variance-aware lowering: emit a unidirectional loop even though
+    /// bidirectional transfer is enabled and structurally possible.
+    bool force_unidirectional = false;
 };
+
+/**
+ * §5.5 estimate of original minus overlapped time for one site under
+ * the given cost model (possibly derated for a degraded ring). The
+ * blocking-collective term intentionally uses healthy rates even on a
+ * derated model (see CostModel::SetFaultDerating).
+ * `allow_bidirectional` gates the §5.4.2 structures so the variance-
+ * aware caller can evaluate the unidirectional lowering separately.
+ */
+double
+EstimateBenefit(const Site& site, const CostModel& cost,
+                const DecomposeOptions& options, bool allow_bidirectional)
+{
+    double comp_t = cost.EinsumSeconds(site.einsum);
+    double comm_t = cost.BlockingCollectiveSeconds(site.collective);
+    int64_t n = site.group_size;
+    bool bidi_enabled = allow_bidirectional && options.bidirectional;
+    bool bidi = bidi_enabled && n % 2 == 0 && n >= 4;
+    int64_t shard_bytes =
+        site.is_allgather
+            ? site.collective->operand(0)->shape().byte_size()
+            : site.collective->shape().byte_size();
+    int64_t loop_steps, extra_steps;
+    if (site.is_allgather) {
+        loop_steps = bidi ? n / 2 - 1 : n - 1;
+        extra_steps = bidi ? 1 : 0;  // prologue
+        if (bidi_enabled && n == 2 && site.shard_extent % 2 == 0) {
+            // Two-way half-shard exchange: one concurrent step
+            // carrying half the shard per direction.
+            shard_bytes /= 2;
+            loop_steps = 1;
+            extra_steps = 0;
+        }
+    } else {
+        loop_steps = bidi ? n / 2 : n;
+        extra_steps = bidi || options.unroll ? 1 : 0;  // epilogue
+    }
+    double ring_t = cost.RingSequenceSeconds(shard_bytes, loop_steps);
+    // Prologue/epilogue permutes (conservatively un-overlapped),
+    // per-iteration launch overheads, and the element-wise combine
+    // traffic the loop adds. The combine cost depends on the case:
+    // DynamicUpdateSlices touch each output element once in total, but
+    // a *contracting*-dimension AllGather loop accumulates into the
+    // full result every iteration — N passes over the output — which
+    // is what makes decomposing large-N weight gathers unprofitable.
+    double output_bytes = static_cast<double>(
+        site.is_allgather ? site.einsum->shape().byte_size()
+                          : site.collective->shape().byte_size());
+    double combine_passes =
+        site.is_allgather && site.kind == EinsumDimKind::kContracting
+            ? 0.5 * static_cast<double>(n)
+            : 1.5;
+    double elem_bytes =
+        (1.0 + combine_passes) * output_bytes;  // zero-fill + adds
+    // Cases that DynamicSlice an operand each iteration: AG with a
+    // contracting/batch partitioned label slices the *other* operand,
+    // the RS loop slices the operand owning the scattered label.
+    if (site.is_allgather) {
+        if (site.kind == EinsumDimKind::kContracting ||
+            site.kind == EinsumDimKind::kBatch) {
+            elem_bytes += 2.0 * static_cast<double>(
+                                    site.einsum->operand(1 - site.side)
+                                        ->shape()
+                                        .byte_size());
+        }
+    } else {
+        elem_bytes += 2.0 * static_cast<double>(
+                                site.einsum->operand(site.side)
+                                    ->shape()
+                                    .byte_size());
+    }
+    double extra_t =
+        cost.RingSequenceSeconds(shard_bytes, extra_steps) +
+        static_cast<double>(n) * 2.0 * cost.spec().op_overhead +
+        elem_bytes / (cost.spec().mem_bandwidth * cost.compute_derate());
+    return (comp_t + comm_t) - (std::max(comp_t, ring_t) + extra_t);
+}
 
 /** Labels of the einsum operand on the given side. */
 const std::string&
@@ -505,96 +587,119 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
 
         // §5.5: estimate original vs overlapped time for each candidate.
         for (Site& site : candidates) {
-            double comp_t = cost_model_->EinsumSeconds(site.einsum);
-            double comm_t =
-                cost_model_->BlockingCollectiveSeconds(site.collective);
-            int64_t n = site.group_size;
-            bool bidi =
-                options_.bidirectional && n % 2 == 0 && n >= 4;
-            int64_t shard_bytes =
-                site.is_allgather
-                    ? site.collective->operand(0)->shape().byte_size()
-                    : site.collective->shape().byte_size();
-            int64_t loop_steps, extra_steps;
-            if (site.is_allgather) {
-                loop_steps = bidi ? n / 2 - 1 : n - 1;
-                extra_steps = bidi ? 1 : 0;  // prologue
-                if (options_.bidirectional && n == 2 &&
-                    site.shard_extent % 2 == 0) {
-                    // Two-way half-shard exchange: one concurrent step
-                    // carrying half the shard per direction.
-                    shard_bytes /= 2;
-                    loop_steps = 1;
-                    extra_steps = 0;
-                }
-            } else {
-                loop_steps = bidi ? n / 2 : n;
-                extra_steps = bidi || options_.unroll ? 1 : 0;  // epilogue
-            }
-            double ring_t =
-                cost_model_->RingSequenceSeconds(shard_bytes, loop_steps);
-            // Prologue/epilogue permutes (conservatively un-overlapped),
-            // per-iteration launch overheads, and the element-wise
-            // combine traffic the loop adds. The combine cost depends on
-            // the case: DynamicUpdateSlices touch each output element
-            // once in total, but a *contracting*-dimension AllGather loop
-            // accumulates into the full result every iteration — N
-            // passes over the output — which is what makes decomposing
-            // large-N weight gathers unprofitable.
-            double output_bytes = static_cast<double>(
-                site.is_allgather ? site.einsum->shape().byte_size()
-                                  : site.collective->shape().byte_size());
-            double combine_passes =
-                site.is_allgather &&
-                        site.kind == EinsumDimKind::kContracting
-                    ? 0.5 * static_cast<double>(n)
-                    : 1.5;
-            double elem_bytes =
-                (1.0 + combine_passes) * output_bytes;  // zero-fill + adds
-            // Cases that DynamicSlice an operand each iteration: AG with
-            // a contracting/batch partitioned label slices the *other*
-            // operand, the RS loop slices the operand owning the
-            // scattered label.
-            if (site.is_allgather) {
-                if (site.kind == EinsumDimKind::kContracting ||
-                    site.kind == EinsumDimKind::kBatch) {
-                    elem_bytes +=
-                        2.0 * static_cast<double>(
-                                  site.einsum->operand(1 - site.side)
-                                      ->shape()
-                                      .byte_size());
-                }
-            } else {
-                elem_bytes += 2.0 * static_cast<double>(
-                                        site.einsum->operand(site.side)
-                                            ->shape()
-                                            .byte_size());
-            }
-            double extra_t =
-                cost_model_->RingSequenceSeconds(shard_bytes, extra_steps) +
-                static_cast<double>(n) *
-                    2.0 * cost_model_->spec().op_overhead +
-                elem_bytes / cost_model_->spec().mem_bandwidth;
             site.benefit =
-                (comp_t + comm_t) - (std::max(comp_t, ring_t) + extra_t);
+                EstimateBenefit(site, *cost_model_, options_,
+                                /*allow_bidirectional=*/true);
+            site.benefit_nominal = site.benefit;
+        }
+
+        // Variance-aware re-costing (fault model attached): gate on the
+        // slowest link/chip of the site's ring instead of nominal
+        // rates. A bidirectional loop needs both directions healthy; a
+        // unidirectional lowering only the emitter's fixed direction
+        // (Permute(step=+1) routes toward the lower ring position,
+        // i.e. engine direction 0).
+        bool faulted = fault_model_ != nullptr &&
+                       !fault_model_->fault_free();
+        if (faulted) {
+            for (Site& site : candidates) {
+                double chip = fault_model_->SlowestChipFactor(
+                    mesh_.num_devices());
+                double f0 = fault_model_->SlowestLinkFactor(
+                    mesh_, site.mesh_axis, 0);
+                double f1 = fault_model_->SlowestLinkFactor(
+                    mesh_, site.mesh_axis, 1);
+                double l0 = fault_model_->WorstLinkLatencyFactor(
+                    mesh_, site.mesh_axis, 0);
+                double l1 = fault_model_->WorstLinkLatencyFactor(
+                    mesh_, site.mesh_axis, 1);
+                CostModel bidi_cost = *cost_model_;
+                bidi_cost.SetFaultDerating(chip, std::min(f0, f1),
+                                           std::max(l0, l1));
+                double benefit_bidi =
+                    EstimateBenefit(site, bidi_cost, options_,
+                                    /*allow_bidirectional=*/true);
+                CostModel uni_cost = *cost_model_;
+                uni_cost.SetFaultDerating(chip, f0, l0);
+                double benefit_uni =
+                    EstimateBenefit(site, uni_cost, options_,
+                                    /*allow_bidirectional=*/false);
+                // Prefer the configured (bidirectional) structure while
+                // it still wins on the degraded ring; lower to the
+                // healthier single direction only once it no longer
+                // does (ISSUE: "fall back to blocking collective or
+                // lower unroll degree when the decomposed ring no
+                // longer wins").
+                if (benefit_bidi < 0.0 && benefit_uni > benefit_bidi) {
+                    site.benefit = benefit_uni;
+                    site.force_unidirectional = true;
+                } else {
+                    site.benefit = benefit_bidi;
+                }
+            }
         }
         std::sort(candidates.begin(), candidates.end(),
                   [](const Site& a, const Site& b) {
                       return a.benefit > b.benefit;
                   });
-        const Site& best = candidates.front();
+        Site& best = candidates.front();
+        // The healthy-pod yardstick for the fallback classification:
+        // the best nominal benefit over all candidates (the derated
+        // ranking may have promoted a different candidate).
+        double nominal_best = best.benefit_nominal;
+        for (const Site& site : candidates) {
+            nominal_best = std::max(nominal_best, site.benefit_nominal);
+        }
+
+        SiteDecision decision;
+        decision.collective = best.collective->name();
+        decision.einsum = best.einsum->name();
+        decision.benefit_nominal = nominal_best;
+        decision.benefit_derated = best.benefit;
         if (options_.use_cost_model && best.benefit < 0.0) {
-            ++stats.rejected_by_cost_model;
-            OVERLAP_LOG(kInfo)
-                << "decompose: rejected " << best.collective->name()
-                << " (benefit " << best.benefit << " s)";
+            if (faulted && nominal_best >= 0.0) {
+                // Profitable on a healthy pod, but the degraded ring no
+                // longer wins: fall back to the blocking collective.
+                ++stats.fault_fallbacks;
+                decision.reason = "fault_fallback_blocking";
+                OVERLAP_LOG(kInfo)
+                    << "decompose: fault fallback for "
+                    << best.collective->name() << " (nominal benefit "
+                    << nominal_best << " s, derated " << best.benefit
+                    << " s)";
+            } else {
+                ++stats.rejected_by_cost_model;
+                decision.reason = "rejected_by_cost_model";
+                OVERLAP_LOG(kInfo)
+                    << "decompose: rejected " << best.collective->name()
+                    << " (benefit " << best.benefit << " s)";
+            }
+            stats.decisions.push_back(std::move(decision));
             continue;
         }
+        // Only honour the lowering when the gate is active and the
+        // structure would actually have been bidirectional (§5.4.2
+        // needs an even ring).
+        best.force_unidirectional =
+            best.force_unidirectional && options_.use_cost_model &&
+            options_.bidirectional && best.group_size % 2 == 0;
+        if (best.force_unidirectional) {
+            ++stats.fault_lowered;
+            decision.lowered_to_unidirectional = true;
+            OVERLAP_LOG(kInfo)
+                << "decompose: lowered " << best.collective->name()
+                << " to unidirectional (degraded ring direction)";
+        }
+        decision.decomposed = true;
+        decision.reason = "decomposed";
+        stats.decisions.push_back(std::move(decision));
         chosen.push_back(best);
     }
 
     for (const Site& site : chosen) {
-        LoopEmitter emitter(computation, mesh_, options_, site);
+        DecomposeOptions site_options = options_;
+        if (site.force_unidirectional) site_options.bidirectional = false;
+        LoopEmitter emitter(computation, mesh_, site_options, site);
         HloInstruction* replacement = emitter.Emit();
         HloInstruction* replaced =
             site.is_allgather ? site.einsum : site.collective;

@@ -1,8 +1,11 @@
 #ifndef OVERLAP_PASSES_DECOMPOSE_H_
 #define OVERLAP_PASSES_DECOMPOSE_H_
 
+#include <string>
+
 #include "hlo/computation.h"
 #include "sim/cost_model.h"
+#include "sim/fault_model.h"
 #include "support/status.h"
 #include "tensor/mesh.h"
 
@@ -42,12 +45,43 @@ struct DecomposeOptions {
     bool use_cost_model = true;
 };
 
+/**
+ * The §5.5 gate's verdict for one matched overlap site, including the
+ * variance-aware re-costing against the slowest link/chip of the ring
+ * when a fault model is attached. Recorded into DecomposeStats (and
+ * thence CompileReport) so degraded-pod fallbacks are auditable.
+ */
+struct SiteDecision {
+    std::string collective;  ///< name of the AG/RS at the site
+    std::string einsum;      ///< name of the paired einsum
+    /// Estimated original-minus-overlapped time on a healthy pod.
+    double benefit_nominal = 0.0;
+    /// Same estimate re-costed against the slowest ring link and chip
+    /// (equals benefit_nominal without a fault model).
+    double benefit_derated = 0.0;
+    bool decomposed = false;
+    /// Fault-aware lowering: the bidirectional ring no longer won, but
+    /// a unidirectional loop over the healthier direction still did.
+    bool lowered_to_unidirectional = false;
+    /// "decomposed", "rejected_by_cost_model" (unprofitable even when
+    /// healthy) or "fault_fallback_blocking" (profitable when healthy
+    /// but not on the degraded ring).
+    std::string reason;
+};
+
 /** What the pass did, for logging, tests and the ablation benches. */
 struct DecomposeStats {
     int64_t allgather_sites = 0;       ///< AllGather-Einsum loops built
     int64_t reduce_scatter_sites = 0;  ///< Einsum-ReduceScatter loops built
     int64_t rejected_by_cost_model = 0;
     int64_t skipped_unsupported = 0;
+    /// Sites the variance-aware gate sent back to the blocking
+    /// collective because the degraded ring no longer won.
+    int64_t fault_fallbacks = 0;
+    /// Sites lowered from bidirectional to unidirectional by the gate.
+    int64_t fault_lowered = 0;
+    /// Per-site gate verdicts, in program order of the einsums.
+    std::vector<SiteDecision> decisions;
 
     int64_t total_decomposed() const
     {
@@ -78,12 +112,23 @@ class CollectiveEinsumDecomposer {
           cost_model_(cost_model),
           options_(options) {}
 
+    /**
+     * Makes the §5.5 gate variance-aware: each site is re-costed with
+     * the cost model derated to the slowest link/chip on its ring, and
+     * the site falls back to the blocking collective (or to a
+     * unidirectional loop) when the decomposed ring no longer wins.
+     * Pass nullptr (or a fault-free model) to gate on nominal rates.
+     * The pointer must outlive Run().
+     */
+    void set_fault_model(const FaultModel* fault) { fault_model_ = fault; }
+
     /** Rewrites all profitable sites in `computation`; runs DCE. */
     StatusOr<DecomposeStats> Run(HloComputation* computation);
 
   private:
     Mesh mesh_;
     const CostModel* cost_model_;
+    const FaultModel* fault_model_ = nullptr;
     DecomposeOptions options_;
 };
 

@@ -29,7 +29,8 @@ CostModel::EinsumSeconds(const HloInstruction* instr) const
     const EinsumSpec& spec = instr->einsum();
     double flops = static_cast<double>(spec.FlopCount(
         instr->operand(0)->shape(), instr->operand(1)->shape()));
-    return flops / (spec_.peak_flops * spec_.einsum_efficiency) +
+    return flops / (spec_.peak_flops * spec_.einsum_efficiency *
+                    compute_derate_) +
            spec_.op_overhead;
 }
 
@@ -59,7 +60,8 @@ CostModel::ElementwiseSeconds(const HloInstruction* instr) const
           break;
       }
     }
-    return bytes / spec_.mem_bandwidth + spec_.op_overhead;
+    return bytes / (spec_.mem_bandwidth * compute_derate_) +
+           spec_.op_overhead;
 }
 
 double
@@ -108,16 +110,17 @@ CostModel::BlockingCollectiveSeconds(const HloInstruction* instr) const
 double
 CostModel::PermuteStepSeconds(int64_t bytes) const
 {
-    return static_cast<double>(bytes) / spec_.link_bandwidth +
-           spec_.link_latency;
+    return static_cast<double>(bytes) /
+               (spec_.link_bandwidth * link_derate_) +
+           spec_.link_latency * link_latency_derate_;
 }
 
 double
 CostModel::RingSequenceSeconds(int64_t shard_bytes, int64_t steps) const
 {
     double per_step = static_cast<double>(shard_bytes) /
-                          spec_.link_bandwidth +
-                      spec_.link_latency;
+                          (spec_.link_bandwidth * link_derate_) +
+                      spec_.link_latency * link_latency_derate_;
     return per_step * static_cast<double>(steps);
 }
 

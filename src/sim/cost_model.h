@@ -22,6 +22,28 @@ class CostModel {
 
     const HardwareSpec& spec() const { return spec_; }
 
+    /**
+     * Derates the model for a degraded pod (the variance-aware §5.5
+     * gate): compute-bound times divide by `compute_factor`, ring-hop
+     * wire times by `link_bandwidth_factor`, and per-hop latencies
+     * multiply by `link_latency_factor`. Blocking collectives stay at
+     * healthy rates — the runtime's built-in collectives are assumed to
+     * rebalance around a degraded link, while decomposed
+     * CollectivePermutes are pinned to the compiler-chosen route (see
+     * FaultModel). Factors of 1.0 leave every estimate bit-identical.
+     */
+    void SetFaultDerating(double compute_factor,
+                          double link_bandwidth_factor,
+                          double link_latency_factor)
+    {
+        compute_derate_ = compute_factor;
+        link_derate_ = link_bandwidth_factor;
+        link_latency_derate_ = link_latency_factor;
+    }
+
+    double compute_derate() const { return compute_derate_; }
+    double link_derate() const { return link_derate_; }
+
     /** Wall time of `instr`'s local work (no queueing/contention). */
     double InstructionSeconds(const HloInstruction* instr) const;
 
@@ -51,6 +73,9 @@ class CostModel {
 
   private:
     HardwareSpec spec_;
+    double compute_derate_ = 1.0;
+    double link_derate_ = 1.0;
+    double link_latency_derate_ = 1.0;
 };
 
 }  // namespace overlap

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "support/strings.h"
@@ -68,7 +69,8 @@ RouteOf(const Mesh& mesh, const HloInstruction* permute)
 }  // namespace
 
 StatusOr<SimResult>
-PodSimulator::Run(const HloModule& module, bool collect_trace) const
+PodSimulator::Run(const HloModule& module, bool collect_trace,
+                  int64_t trial) const
 {
     if (module.entry() == nullptr) {
         return InvalidArgument("module has no entry computation");
@@ -85,6 +87,31 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
                                          int64_t dir) -> double& {
         return channel_free[static_cast<size_t>(axis * 2 + dir)];
     };
+
+    // Effective per-channel rates under the fault model: a ring step
+    // completes lockstep when its slowest link does, so each channel
+    // takes the min bandwidth factor (and max latency multiplier) over
+    // the directed links of its axis+direction. Lockstep at each sync
+    // point likewise pins compute throughput to the slowest chip. A
+    // fault-free model yields factors of exactly 1.0, keeping results
+    // bit-identical to a simulation without one.
+    std::vector<double> channel_bw_factor(channel_free.size(), 1.0);
+    std::vector<double> channel_lat_factor(channel_free.size(), 1.0);
+    double compute_factor = 1.0;
+    if (!fault_.fault_free()) {
+        for (int64_t axis = 0; axis < mesh_.num_axes(); ++axis) {
+            for (int64_t dir = 0; dir < 2; ++dir) {
+                size_t c = static_cast<size_t>(axis * 2 + dir);
+                channel_bw_factor[c] =
+                    fault_.SlowestLinkFactor(mesh_, axis, dir, trial);
+                channel_lat_factor[c] =
+                    fault_.WorstLinkLatencyFactor(mesh_, axis, dir);
+            }
+        }
+        compute_factor =
+            fault_.SlowestChipFactor(mesh_.num_devices(), trial);
+    }
+    int64_t transfer_index = 0;
 
     std::unordered_map<const SchedUnit*, double> arrival;
     SimResult result;
@@ -127,8 +154,6 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
             auto route = RouteOf(mesh_, head);
             if (!route.ok()) return route.status();
             double bytes = static_cast<double>(unit->TransferBytes());
-            double wire = static_cast<double>(route->hops) * bytes /
-                          spec_.link_bandwidth;
             int64_t direction = route->direction;
             if (direction < 0) {
                 direction = channel(route->axis, 0) <=
@@ -136,13 +161,25 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
                                 ? 0
                                 : 1;
             }
+            size_t ch = static_cast<size_t>(route->axis * 2 + direction);
+            double wire =
+                static_cast<double>(route->hops) * bytes /
+                (spec_.link_bandwidth * channel_bw_factor[ch]);
+            int64_t failures =
+                fault_.TransferFailures(transfer_index++, trial);
+            double retry_delay =
+                static_cast<double>(failures) *
+                (wire + fault_.spec().retry_timeout_seconds);
             double& free_at = channel(route->axis, direction);
             double begin = std::max(time, free_at);
-            free_at = begin + wire;
-            arrival[unit] = begin + wire +
+            free_at = begin + retry_delay + wire;
+            arrival[unit] = free_at +
                             static_cast<double>(route->hops) *
-                                spec_.link_latency;
-            result.transferred_bytes += bytes;
+                                spec_.link_latency *
+                                channel_lat_factor[ch];
+            result.transferred_bytes +=
+                bytes * static_cast<double>(1 + failures);
+            result.transfer_retries += failures;
             ++result.num_async_transfers;
             ++in_flight;
             result.peak_in_flight =
@@ -162,8 +199,6 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
             auto route = RouteOf(mesh_, head);
             if (!route.ok()) return route.status();
             double bytes = static_cast<double>(unit->TransferBytes());
-            double wire = static_cast<double>(route->hops) * bytes /
-                          spec_.link_bandwidth;
             int64_t direction = route->direction;
             if (direction < 0) {
                 direction = channel(route->axis, 0) <=
@@ -171,15 +206,27 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
                                 ? 0
                                 : 1;
             }
+            size_t ch = static_cast<size_t>(route->axis * 2 + direction);
+            double wire =
+                static_cast<double>(route->hops) * bytes /
+                (spec_.link_bandwidth * channel_bw_factor[ch]);
+            int64_t failures =
+                fault_.TransferFailures(transfer_index++, trial);
+            double retry_delay =
+                static_cast<double>(failures) *
+                (wire + fault_.spec().retry_timeout_seconds);
             double& free_at = channel(route->axis, direction);
             double begin = std::max(time, free_at);
-            double end = begin + wire +
+            double end = begin + retry_delay + wire +
                          static_cast<double>(route->hops) *
-                             spec_.link_latency;
-            free_at = begin + wire;
+                             spec_.link_latency *
+                             channel_lat_factor[ch];
+            free_at = begin + retry_delay + wire;
             record(head->name(), TraceKind::kCollective, time, end);
             result.exposed_comm_seconds += end - time;
-            result.transferred_bytes += bytes;
+            result.transferred_bytes +=
+                bytes * static_cast<double>(1 + failures);
+            result.transfer_retries += failures;
             time = end;
         } else if (unit->members.size() == 1 &&
                    IsBlockingCollective(head->opcode())) {
@@ -211,10 +258,13 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
             ++result.num_blocking_collectives;
             time = end;
         } else if (unit->latency > 0.0) {
-            // Compute kernel (possibly a fusion group).
+            // Compute kernel (possibly a fusion group); a straggler chip
+            // stretches every kernel by the slowest chip's factor.
+            double actual = unit->latency / compute_factor;
             record(unit->members.back()->name(), TraceKind::kCompute, time,
-                   time + unit->latency);
-            result.compute_seconds += unit->latency;
+                   time + actual);
+            result.compute_seconds += actual;
+            result.straggler_stall_seconds += actual - unit->latency;
             for (const HloInstruction* member : unit->members) {
                 if (member->opcode() == HloOpcode::kEinsum) {
                     result.einsum_flops += static_cast<double>(
@@ -223,11 +273,49 @@ PodSimulator::Run(const HloModule& module, bool collect_trace) const
                             member->operand(1)->shape()));
                 }
             }
-            time += unit->latency;
+            time += actual;
         }
     }
     result.step_seconds = time;
     return result;
+}
+
+StatusOr<TrialStats>
+PodSimulator::RunTrials(const HloModule& module, int64_t num_trials) const
+{
+    if (num_trials < 1) {
+        return InvalidArgument("RunTrials needs at least one trial");
+    }
+    TrialStats stats;
+    stats.num_trials = num_trials;
+    stats.step_seconds.reserve(static_cast<size_t>(num_trials));
+    for (int64_t trial = 0; trial < num_trials; ++trial) {
+        auto result = Run(module, /*collect_trace=*/false, trial);
+        if (!result.ok()) return result.status();
+        stats.step_seconds.push_back(result->step_seconds);
+        stats.mean_step_seconds += result->step_seconds;
+        stats.total_retries += result->transfer_retries;
+        stats.total_straggler_stall_seconds +=
+            result->straggler_stall_seconds;
+    }
+    stats.mean_step_seconds /= static_cast<double>(num_trials);
+    std::vector<double> sorted = stats.step_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank percentile: smallest value with at least q*n samples
+    // at or below it.
+    auto percentile = [&sorted](double q) {
+        size_t n = sorted.size();
+        size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        if (rank == 0) rank = 1;
+        if (rank > n) rank = n;
+        return sorted[rank - 1];
+    };
+    stats.p50_step_seconds = percentile(0.50);
+    stats.p99_step_seconds = percentile(0.99);
+    stats.min_step_seconds = sorted.front();
+    stats.max_step_seconds = sorted.back();
+    return stats;
 }
 
 }  // namespace overlap

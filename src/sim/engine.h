@@ -6,6 +6,7 @@
 
 #include "hlo/module.h"
 #include "sim/cost_model.h"
+#include "sim/fault_model.h"
 #include "sim/sched_graph.h"
 #include "support/status.h"
 #include "tensor/mesh.h"
@@ -51,6 +52,12 @@ struct SimResult {
     int64_t peak_memory_bytes = 0;
     /// Largest number of concurrently in-flight async permutes observed.
     int64_t peak_in_flight = 0;
+    /// Fault model only: CollectivePermute attempts that failed and were
+    /// re-sent after the retry timeout.
+    int64_t transfer_retries = 0;
+    /// Fault model only: extra device time attributable to compute-
+    /// throughput stragglers (actual minus nominal kernel time).
+    double straggler_stall_seconds = 0.0;
     std::vector<TraceEvent> trace;
 
     /** Model FLOPS utilization against one chip's peak. */
@@ -70,6 +77,24 @@ struct SimResult {
 };
 
 /**
+ * Step-time distribution over seeded fault-model trials (per-trial
+ * jitter and transient-failure draws differ; persistent degraded links
+ * and stragglers are shared by every trial).
+ */
+struct TrialStats {
+    int64_t num_trials = 0;
+    double p50_step_seconds = 0.0;
+    double p99_step_seconds = 0.0;
+    double mean_step_seconds = 0.0;
+    double min_step_seconds = 0.0;
+    double max_step_seconds = 0.0;
+    int64_t total_retries = 0;
+    double total_straggler_stall_seconds = 0.0;
+    /// Per-trial step times, in trial order (unsorted).
+    std::vector<double> step_seconds;
+};
+
+/**
  * Discrete-event simulator of an SPMD program on a TPU-pod-like torus
  * (DESIGN.md §2/§5).
  *
@@ -85,25 +110,47 @@ struct SimResult {
  */
 class PodSimulator {
   public:
-    PodSimulator(Mesh mesh, HardwareSpec spec)
-        : mesh_(std::move(mesh)), spec_(spec), cost_(spec) {}
+    /**
+     * `fault` injects deterministic link/chip degradation and transient
+     * transfer failures; the default fault-free model leaves every
+     * result bit-identical to a simulation without one.
+     */
+    PodSimulator(Mesh mesh, HardwareSpec spec,
+                 FaultModel fault = FaultModel())
+        : mesh_(std::move(mesh)),
+          spec_(spec),
+          cost_(spec),
+          fault_(std::move(fault)) {}
 
     const CostModel& cost_model() const { return cost_; }
     const HardwareSpec& spec() const { return spec_; }
     const Mesh& mesh() const { return mesh_; }
+    const FaultModel& fault_model() const { return fault_; }
 
     /**
      * Simulates one execution of the module's entry computation (using
      * its schedule when attached, else the instruction order).
      * `collect_trace` additionally records the device-0 timeline.
+     * `trial` selects the fault model's per-trial noise draw (jitter,
+     * transient failures); it is ignored by a fault-free model.
      */
     StatusOr<SimResult> Run(const HloModule& module,
-                            bool collect_trace = false) const;
+                            bool collect_trace = false,
+                            int64_t trial = 0) const;
+
+    /**
+     * Runs `num_trials` seeded simulations (trial = 0..n-1) and reports
+     * the step-time distribution; the same seed reproduces identical
+     * statistics across calls.
+     */
+    StatusOr<TrialStats> RunTrials(const HloModule& module,
+                                   int64_t num_trials) const;
 
   private:
     Mesh mesh_;
     HardwareSpec spec_;
     CostModel cost_;
+    FaultModel fault_;
 };
 
 }  // namespace overlap

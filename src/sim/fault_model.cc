@@ -1,0 +1,220 @@
+#include "sim/fault_model.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace overlap {
+namespace {
+
+/// Domain-separation tags so link / chip / jitter / retry streams drawn
+/// from one seed are independent.
+constexpr uint64_t kLinkTag = 0x11;
+constexpr uint64_t kChipTag = 0x22;
+constexpr uint64_t kLinkJitterTag = 0x33;
+constexpr uint64_t kChipJitterTag = 0x44;
+constexpr uint64_t kRetryTag = 0x55;
+
+/** splitmix64 finalizer: high-quality 64-bit mixing. */
+uint64_t
+Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+Hash(uint64_t seed, uint64_t tag, uint64_t a, uint64_t b = 0,
+     uint64_t c = 0)
+{
+    uint64_t h = Mix64(seed ^ Mix64(tag));
+    h = Mix64(h ^ Mix64(a));
+    h = Mix64(h ^ Mix64(b));
+    h = Mix64(h ^ Mix64(c));
+    return h;
+}
+
+/** Uniform double in [0, 1) from a hash. */
+double
+UnitUniform(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
+{
+    OVERLAP_CHECK(spec_.link_degrade_probability >= 0.0 &&
+                  spec_.link_degrade_probability <= 1.0);
+    OVERLAP_CHECK(spec_.straggler_probability >= 0.0 &&
+                  spec_.straggler_probability <= 1.0);
+    OVERLAP_CHECK(spec_.transient_failure_probability >= 0.0 &&
+                  spec_.transient_failure_probability < 1.0);
+    OVERLAP_CHECK(spec_.link_jitter >= 0.0 && spec_.link_jitter < 1.0);
+    OVERLAP_CHECK(spec_.compute_jitter >= 0.0 &&
+                  spec_.compute_jitter < 1.0);
+    OVERLAP_CHECK(spec_.max_transfer_retries >= 0);
+    auto healthy_link = [](const LinkFault& f) {
+        return f.bandwidth_factor == 1.0 && f.latency_factor == 1.0;
+    };
+    auto healthy_chip = [](const ChipFault& f) {
+        return f.compute_factor == 1.0;
+    };
+    fault_free_ =
+        std::all_of(spec_.link_faults.begin(), spec_.link_faults.end(),
+                    healthy_link) &&
+        std::all_of(spec_.chip_faults.begin(), spec_.chip_faults.end(),
+                    healthy_chip) &&
+        spec_.link_degrade_probability == 0.0 &&
+        spec_.straggler_probability == 0.0 && spec_.link_jitter == 0.0 &&
+        spec_.compute_jitter == 0.0 &&
+        spec_.transient_failure_probability == 0.0;
+}
+
+double
+FaultModel::LinkBandwidthFactor(int64_t src, int64_t dst) const
+{
+    if (fault_free_) return 1.0;
+    double factor = 1.0;
+    for (const LinkFault& fault : spec_.link_faults) {
+        if (fault.src == src && fault.dst == dst) {
+            factor *= fault.bandwidth_factor;
+        }
+    }
+    if (spec_.link_degrade_probability > 0.0 &&
+        UnitUniform(Hash(spec_.seed, kLinkTag,
+                         static_cast<uint64_t>(src),
+                         static_cast<uint64_t>(dst))) <
+            spec_.link_degrade_probability) {
+        factor *= spec_.link_degrade_factor;
+    }
+    return factor;
+}
+
+double
+FaultModel::LinkLatencyFactor(int64_t src, int64_t dst) const
+{
+    if (fault_free_) return 1.0;
+    double factor = 1.0;
+    for (const LinkFault& fault : spec_.link_faults) {
+        if (fault.src == src && fault.dst == dst) {
+            factor *= fault.latency_factor;
+        }
+    }
+    if (spec_.link_degrade_probability > 0.0 &&
+        UnitUniform(Hash(spec_.seed, kLinkTag,
+                         static_cast<uint64_t>(src),
+                         static_cast<uint64_t>(dst))) <
+            spec_.link_degrade_probability) {
+        factor *= spec_.link_degrade_latency_factor;
+    }
+    return factor;
+}
+
+double
+FaultModel::ChipComputeFactor(int64_t chip) const
+{
+    if (fault_free_) return 1.0;
+    double factor = 1.0;
+    for (const ChipFault& fault : spec_.chip_faults) {
+        if (fault.chip == chip) factor *= fault.compute_factor;
+    }
+    if (spec_.straggler_probability > 0.0 &&
+        UnitUniform(Hash(spec_.seed, kChipTag,
+                         static_cast<uint64_t>(chip))) <
+            spec_.straggler_probability) {
+        factor *= spec_.straggler_factor;
+    }
+    return factor;
+}
+
+double
+FaultModel::TrialLinkFactor(int64_t src, int64_t dst, int64_t trial) const
+{
+    double factor = LinkBandwidthFactor(src, dst);
+    if (spec_.link_jitter > 0.0) {
+        factor *= 1.0 - spec_.link_jitter *
+                            UnitUniform(Hash(
+                                spec_.seed, kLinkJitterTag,
+                                static_cast<uint64_t>(src),
+                                static_cast<uint64_t>(dst),
+                                static_cast<uint64_t>(trial)));
+    }
+    return factor;
+}
+
+double
+FaultModel::TrialChipFactor(int64_t chip, int64_t trial) const
+{
+    double factor = ChipComputeFactor(chip);
+    if (spec_.compute_jitter > 0.0) {
+        factor *= 1.0 - spec_.compute_jitter *
+                            UnitUniform(Hash(
+                                spec_.seed, kChipJitterTag,
+                                static_cast<uint64_t>(chip),
+                                static_cast<uint64_t>(trial)));
+    }
+    return factor;
+}
+
+double
+FaultModel::SlowestLinkFactor(const Mesh& mesh, int64_t axis,
+                              int64_t direction, int64_t trial) const
+{
+    if (fault_free_) return 1.0;
+    int64_t step = direction == 0 ? -1 : 1;
+    double worst = 1.0;
+    for (int64_t d = 0; d < mesh.num_devices(); ++d) {
+        int64_t dst = mesh.RingNeighbor(d, axis, step);
+        if (dst == d) continue;  // axis of size 1: no links
+        worst = std::min(worst, TrialLinkFactor(d, dst, trial));
+    }
+    return worst;
+}
+
+double
+FaultModel::WorstLinkLatencyFactor(const Mesh& mesh, int64_t axis,
+                                   int64_t direction) const
+{
+    if (fault_free_) return 1.0;
+    int64_t step = direction == 0 ? -1 : 1;
+    double worst = 1.0;
+    for (int64_t d = 0; d < mesh.num_devices(); ++d) {
+        int64_t dst = mesh.RingNeighbor(d, axis, step);
+        if (dst == d) continue;
+        worst = std::max(worst, LinkLatencyFactor(d, dst));
+    }
+    return worst;
+}
+
+double
+FaultModel::SlowestChipFactor(int64_t num_chips, int64_t trial) const
+{
+    if (fault_free_) return 1.0;
+    double worst = 1.0;
+    for (int64_t chip = 0; chip < num_chips; ++chip) {
+        worst = std::min(worst, TrialChipFactor(chip, trial));
+    }
+    return worst;
+}
+
+int64_t
+FaultModel::TransferFailures(int64_t transfer_index, int64_t trial) const
+{
+    if (spec_.transient_failure_probability <= 0.0) return 0;
+    int64_t failures = 0;
+    while (failures < spec_.max_transfer_retries &&
+           UnitUniform(Hash(spec_.seed, kRetryTag,
+                            static_cast<uint64_t>(transfer_index),
+                            static_cast<uint64_t>(trial),
+                            static_cast<uint64_t>(failures))) <
+               spec_.transient_failure_probability) {
+        ++failures;
+    }
+    return failures;
+}
+
+}  // namespace overlap

@@ -1,0 +1,146 @@
+#ifndef OVERLAP_SIM_FAULT_MODEL_H_
+#define OVERLAP_SIM_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/** A persistent degradation of one directed ICI link (src -> dst). */
+struct LinkFault {
+    int64_t src = -1;
+    int64_t dst = -1;
+    /// Effective bandwidth = link_bandwidth * bandwidth_factor (0 < f <= 1).
+    double bandwidth_factor = 1.0;
+    /// Effective per-hop latency = link_latency * latency_factor (>= 1).
+    double latency_factor = 1.0;
+};
+
+/** A persistent compute-throughput straggler on one chip. */
+struct ChipFault {
+    int64_t chip = -1;
+    /// Effective FLOPS / HBM bandwidth = peak * compute_factor (0 < f <= 1).
+    double compute_factor = 1.0;
+};
+
+/**
+ * Configuration of the pod fault model. The default value describes a
+ * healthy pod: every query of the resulting FaultModel returns a factor
+ * of exactly 1.0 and zero failures, so simulations are bit-identical to
+ * runs without a fault model.
+ *
+ * All randomness is a pure hash of (seed, entity, trial): the same spec
+ * reproduces the same degraded links, stragglers and transient failures
+ * on every run, and a trial index re-samples only the per-trial noise
+ * (jitter and transient failures), not the persistent faults.
+ */
+struct FaultSpec {
+    uint64_t seed = 0;
+
+    /// Explicitly degraded links / chips (deterministic placement).
+    std::vector<LinkFault> link_faults;
+    std::vector<ChipFault> chip_faults;
+
+    /// Seed-driven persistent degradation: each directed link is degraded
+    /// independently with this probability...
+    double link_degrade_probability = 0.0;
+    /// ...to this fraction of nominal bandwidth.
+    double link_degrade_factor = 0.25;
+    /// Latency multiplier applied to seed-degraded links.
+    double link_degrade_latency_factor = 4.0;
+
+    /// Seed-driven persistent stragglers: each chip independently...
+    double straggler_probability = 0.0;
+    /// ...runs compute at this fraction of nominal throughput.
+    double straggler_factor = 0.5;
+
+    /// Per-trial uniform noise: a link's trial bandwidth factor is drawn
+    /// from [1 - link_jitter, 1], a chip's from [1 - compute_jitter, 1].
+    double link_jitter = 0.0;
+    double compute_jitter = 0.0;
+
+    /// Transient CollectivePermute failures: each transfer attempt fails
+    /// independently with this probability; a failed attempt is detected
+    /// after `retry_timeout_seconds` and the payload is re-sent, up to
+    /// `max_transfer_retries` retries (the model assumes the final
+    /// attempt succeeds -- failures are transient, not permanent).
+    double transient_failure_probability = 0.0;
+    int64_t max_transfer_retries = 3;
+    double retry_timeout_seconds = 25e-6;
+};
+
+/**
+ * Deterministic, seed-driven fault injection for the pod simulator and
+ * the variance-aware §5.5 gate (ISSUE: production pods have degraded
+ * links, stragglers and transient failures; ring-decomposed
+ * CollectiveEinsum serializes on the slowest link of the ring).
+ *
+ * Per-entity factors combine the explicit faults with the seed-sampled
+ * persistent degradation; trial-level queries additionally apply the
+ * per-trial jitter. Blocking collectives are intentionally *not* derated
+ * by this model: the runtime's built-in collectives are assumed to
+ * rebalance traffic around a degraded link (bidirectional ring with
+ * spare capacity), whereas compiler-decomposed CollectivePermutes take
+ * the fixed route the pass emitted and bear the full serialization --
+ * exactly the fragility the variance-aware gate protects against.
+ */
+class FaultModel {
+  public:
+    /** Fault-free model; every factor is exactly 1.0. */
+    FaultModel() = default;
+
+    explicit FaultModel(FaultSpec spec);
+
+    const FaultSpec& spec() const { return spec_; }
+
+    /** True when every query returns 1.0 / zero (healthy pod). */
+    bool fault_free() const { return fault_free_; }
+
+    // ---- Persistent (trial-independent) factors, in (0, 1] ----------
+
+    double LinkBandwidthFactor(int64_t src, int64_t dst) const;
+    /** Latency multiplier of a directed link, >= 1. */
+    double LinkLatencyFactor(int64_t src, int64_t dst) const;
+    double ChipComputeFactor(int64_t chip) const;
+
+    // ---- Per-trial factors (persistent x jitter) --------------------
+
+    double TrialLinkFactor(int64_t src, int64_t dst, int64_t trial) const;
+    double TrialChipFactor(int64_t chip, int64_t trial) const;
+
+    // ---- Ring-level aggregates --------------------------------------
+    //
+    // The engine models one SPMD timeline with one channel per
+    // (mesh axis, ring direction); a ring step completes lockstep when
+    // the slowest link finishes, so the channel's effective rate is the
+    // min over the directed links of that axis+direction. Direction
+    // follows the engine's convention: 0 moves data toward the lower
+    // ring position, 1 toward the higher.
+
+    double SlowestLinkFactor(const Mesh& mesh, int64_t axis,
+                             int64_t direction, int64_t trial = 0) const;
+    /** Max latency multiplier over the directed links of axis+direction. */
+    double WorstLinkLatencyFactor(const Mesh& mesh, int64_t axis,
+                                  int64_t direction) const;
+    /** Min compute factor over chips (lockstep at each sync point). */
+    double SlowestChipFactor(int64_t num_chips, int64_t trial = 0) const;
+
+    // ---- Transient transfer failures --------------------------------
+
+    /**
+     * Number of failed attempts (0..max_transfer_retries) before the
+     * `transfer_index`-th transfer of `trial` goes through. Pure
+     * function of (seed, transfer_index, trial).
+     */
+    int64_t TransferFailures(int64_t transfer_index, int64_t trial) const;
+
+  private:
+    FaultSpec spec_;
+    bool fault_free_ = true;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SIM_FAULT_MODEL_H_

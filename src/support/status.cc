@@ -1,7 +1,8 @@
 #include "support/status.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace overlap {
 
@@ -54,9 +55,10 @@ namespace internal {
 void
 CheckFailed(const char* condition, const char* file, int line)
 {
-    std::fprintf(stderr, "OVERLAP_CHECK failed: %s at %s:%d\n", condition,
-                 file, line);
-    std::abort();
+    std::string message = std::string("OVERLAP_CHECK failed: ") + condition +
+                          " at " + file + ":" + std::to_string(line);
+    std::fprintf(stderr, "%s\n", message.c_str());
+    throw std::logic_error(message);
 }
 
 }  // namespace internal

@@ -65,7 +65,8 @@ Status Unimplemented(const std::string& message);
 /**
  * Holds either a value of type T or an error Status.
  *
- * Accessing value() on an error aborts via std::logic_error; call ok() first.
+ * Accessing value() on an error throws std::logic_error carrying the
+ * status message; call ok() first.
  */
 template <typename T>
 class StatusOr {
@@ -110,7 +111,10 @@ class StatusOr {
     Status status_ = Status::Ok();
 };
 
-/** Aborts with a diagnostic if `condition` is false (library bug). */
+/**
+ * Throws std::logic_error with a diagnostic if `condition` is false
+ * (library bug). The message names the condition and its source location.
+ */
 #define OVERLAP_CHECK(condition)                                          \
     do {                                                                  \
         if (!(condition)) {                                               \

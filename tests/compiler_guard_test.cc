@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Guarded pass pipeline: a pass that emits invalid HLO or returns an
+ * error Status is rolled back to the pre-pass snapshot, disabled, and
+ * reported as a structured PassDiagnostic -- compilation proceeds and
+ * the final module is exactly what the healthy pipeline produces.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/overlap_compiler.h"
+#include "hlo/builder.h"
+#include "hlo/module.h"
+#include "hlo/verifier.h"
+#include "sim/engine.h"
+
+namespace overlap {
+namespace {
+
+std::unique_ptr<HloModule>
+BuildModule()
+{
+    auto module = std::make_unique<HloModule>("m");
+    Mesh mesh(8);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {2048, 4096}));
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {4096, 8192}));
+    auto* ag = b.AllGather(p, 0, mesh.Groups(0));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+    return module;
+}
+
+/** A pass that corrupts the graph: declares a wrong result shape. */
+InjectedPass
+CorruptingPass()
+{
+    return {"corrupt-shapes", [](HloModule* module) -> Status {
+                HloComputation* comp = module->entry();
+                comp->set_root(comp->AddInstruction(
+                    HloOpcode::kNegate, Shape({3, 3}), {comp->root()}));
+                return Status::Ok();  // the verifier must catch it
+            }};
+}
+
+/** A pass that mutates the graph and then reports failure itself. */
+InjectedPass
+SelfReportingBrokenPass()
+{
+    return {"self-reporting", [](HloModule* module) -> Status {
+                HloComputation* comp = module->entry();
+                HloBuilder b(comp);
+                comp->set_root(b.Negate(comp->root()));
+                return Internal("pass gave up halfway through");
+            }};
+}
+
+TEST(CompilerGuardTest, CleanCompileHasNoDiagnostics)
+{
+    auto module = BuildModule();
+    auto report = OverlapCompiler(CompilerOptions{}).Compile(module.get());
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->pass_diagnostics.empty());
+    EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(CompilerGuardTest, InvalidHloIsCaughtRolledBackAndReported)
+{
+    auto reference = BuildModule();
+    auto guarded = BuildModule();
+
+    CompilerOptions clean;
+    ASSERT_TRUE(OverlapCompiler(clean).Compile(reference.get()).ok());
+
+    CompilerOptions broken;
+    broken.extra_passes.push_back(CorruptingPass());
+    auto report = OverlapCompiler(broken).Compile(guarded.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    ASSERT_EQ(report->pass_diagnostics.size(), 1u);
+    const PassDiagnostic& diagnostic = report->pass_diagnostics[0];
+    EXPECT_EQ(diagnostic.pass_name, "corrupt-shapes");
+    EXPECT_EQ(diagnostic.code, StatusCode::kInvalidArgument);
+    EXPECT_TRUE(diagnostic.rolled_back);
+    EXPECT_NE(diagnostic.error.find("shape mismatch"), std::string::npos)
+        << diagnostic.error;
+    EXPECT_NE(diagnostic.ToString().find("corrupt-shapes"),
+              std::string::npos);
+    EXPECT_NE(diagnostic.ToString().find("INVALID_ARGUMENT"),
+              std::string::npos);
+
+    // The rollback is exact: the guarded module ends up instruction-for-
+    // instruction identical to a compile without the broken pass.
+    EXPECT_TRUE(VerifyModule(*guarded).ok());
+    EXPECT_EQ(guarded->entry()->ToString(), reference->entry()->ToString());
+
+    // And it still simulates.
+    auto run = PodSimulator(Mesh(8), HardwareSpec()).Run(*guarded);
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT(run->step_seconds, 0.0);
+}
+
+TEST(CompilerGuardTest, ErrorStatusRollsBackTheMutation)
+{
+    auto reference = BuildModule();
+    auto guarded = BuildModule();
+
+    ASSERT_TRUE(
+        OverlapCompiler(CompilerOptions{}).Compile(reference.get()).ok());
+
+    CompilerOptions broken;
+    broken.extra_passes.push_back(SelfReportingBrokenPass());
+    auto report = OverlapCompiler(broken).Compile(guarded.get());
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->pass_diagnostics.size(), 1u);
+    EXPECT_EQ(report->pass_diagnostics[0].pass_name, "self-reporting");
+    EXPECT_EQ(report->pass_diagnostics[0].code, StatusCode::kInternal);
+    // The Negate the pass added before failing must be gone.
+    EXPECT_EQ(guarded->entry()->ToString(), reference->entry()->ToString());
+}
+
+TEST(CompilerGuardTest, UnguardedPipelinePropagatesTheFailure)
+{
+    auto module = BuildModule();
+    CompilerOptions options;
+    options.guard_passes = false;
+    options.extra_passes.push_back(CorruptingPass());
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompilerGuardTest, EachBrokenPassGetsItsOwnDiagnostic)
+{
+    auto module = BuildModule();
+    CompilerOptions options;
+    options.extra_passes.push_back(CorruptingPass());
+    options.extra_passes.push_back(SelfReportingBrokenPass());
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->pass_diagnostics.size(), 2u);
+    EXPECT_EQ(report->pass_diagnostics[0].pass_name, "corrupt-shapes");
+    EXPECT_EQ(report->pass_diagnostics[1].pass_name, "self-reporting");
+    EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(CompilerGuardTest, ValidInjectedPassRunsThroughTheGuard)
+{
+    auto module = BuildModule();
+    CompilerOptions options;
+    options.extra_passes.push_back(
+        {"extra-negate", [](HloModule* m) -> Status {
+             HloBuilder b(m->entry());
+             m->entry()->set_root(b.Negate(m->entry()->root()));
+             return Status::Ok();
+         }});
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->pass_diagnostics.empty());
+    EXPECT_EQ(module->entry()->root()->opcode(), HloOpcode::kNegate);
+}
+
+TEST(CompilerGuardTest, RollbackPreservesEarlierPassResults)
+{
+    // The decompose stats gathered before the broken pass must survive
+    // its rollback (the report snapshot restores, then keeps, them).
+    auto module = BuildModule();
+    CompilerOptions options;
+    options.decompose.use_cost_model = false;
+    options.extra_passes.push_back(CorruptingPass());
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->decompose.total_decomposed(), 1);
+    EXPECT_GT(report->async_permutes, 0);
+    ASSERT_EQ(report->pass_diagnostics.size(), 1u);
+}
+
+}  // namespace
+}  // namespace overlap

@@ -8,7 +8,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <memory>
 
 #include "core/overlap_compiler.h"
 #include "hlo/builder.h"
@@ -166,6 +168,218 @@ TEST_P(PipelineFuzz, RandomScenarioStaysEquivalent)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(1, 61));
+
+// ---------------------------------------------------------------------------
+// Verifier-targeted fuzzing: malformed modules must come back as error
+// Status from VerifyModule, never crash (and never throw). These are the
+// graphs a buggy pass could emit; the guarded pipeline relies on the
+// verifier catching every one of them.
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int64_t, int64_t>>
+RingPairs(int64_t n)
+{
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (int64_t d = 0; d < n; ++d) pairs.push_back({d, (d + 1) % n});
+    return pairs;
+}
+
+/** A tiny valid module: parameter -> permute-start -> done (root). */
+std::unique_ptr<HloModule>
+BuildPermuteModule(HloInstruction** start_out = nullptr,
+                   HloInstruction** done_out = nullptr)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    Mesh mesh(4);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    auto* start = b.CollectivePermuteStart(p, RingPairs(4));
+    auto* done = b.CollectivePermuteDone(start);
+    comp->set_root(done);
+    if (start_out != nullptr) *start_out = start;
+    if (done_out != nullptr) *done_out = done;
+    return module;
+}
+
+TEST(VerifierFuzz, StartWithoutDoneIsRejected)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    module->set_mesh(Mesh(4));
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    b.CollectivePermuteStart(p, RingPairs(4));
+    comp->set_root(p);
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("exactly one done"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, TwoDonesPerStartAreRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    HloBuilder b(module->entry());
+    b.CollectivePermuteDone(start);
+    EXPECT_FALSE(VerifyModule(*module).ok());
+}
+
+TEST(VerifierFuzz, StartConsumedByNonDoneIsRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    HloBuilder b(module->entry());
+    module->entry()->set_root(b.Negate(start));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("non-done"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, DuplicatePermuteSourcesAreRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    start->mutable_attrs().source_target_pairs = {{0, 1}, {0, 2}};
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("duplicate permute source"),
+              std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, DuplicatePermuteTargetsAreRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    start->mutable_attrs().source_target_pairs = {{0, 1}, {2, 1}};
+    EXPECT_FALSE(VerifyModule(*module).ok());
+}
+
+TEST(VerifierFuzz, PermutePairOutOfMeshRangeIsRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    start->mutable_attrs().source_target_pairs = {{0, 99}};
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("out of range"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, DanglingOperandFromForeignComputationIsRejected)
+{
+    // An operand edge pointing at an instruction that lives in a different
+    // computation: the classic dangling pointer a rollback-less pipeline
+    // could leave behind.
+    HloComputation foreign("foreign");
+    HloBuilder fb(&foreign);
+    auto* alien = fb.Parameter(0, Shape({8, 8}));
+
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    module->set_mesh(Mesh(4));
+    HloComputation* comp = module->AddEntryComputation("main");
+    comp->set_root(comp->AddInstruction(HloOpcode::kNegate, Shape({8, 8}),
+                                        {alien}));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("not defined before"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, NonTopologicalScheduleIsRejected)
+{
+    auto module = BuildPermuteModule();
+    HloComputation* comp = module->entry();
+    std::vector<HloInstruction*> reversed = comp->instructions();
+    std::reverse(reversed.begin(), reversed.end());
+    comp->set_schedule(reversed);  // passes the size CHECK...
+    Status status = VerifyModule(*module);  // ...but not the verifier
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("before its operand"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, ScheduleRepeatingAnInstructionIsRejected)
+{
+    HloInstruction* start = nullptr;
+    HloInstruction* done = nullptr;
+    auto module = BuildPermuteModule(&start, &done);
+    HloComputation* comp = module->entry();
+    std::vector<HloInstruction*> instrs = comp->instructions();
+    ASSERT_EQ(instrs.size(), 3u);
+    comp->set_schedule({instrs[0], start, start});
+    EXPECT_FALSE(VerifyModule(*module).ok());
+}
+
+TEST(VerifierFuzz, DeclaredShapeMismatchIsRejected)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    module->set_mesh(Mesh(4));
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    // Negate must preserve shape; declare something else.
+    comp->set_root(
+        comp->AddInstruction(HloOpcode::kNegate, Shape({3, 3}), {p}));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("shape mismatch"), std::string::npos)
+        << status.ToString();
+}
+
+/**
+ * Seeded corruption loop: start from a valid module, apply one random
+ * corruption, and require an error Status (no crash, no throw, no false
+ * acceptance).
+ */
+class VerifierCorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierCorruptionFuzz, CorruptedModuleNeverCrashesVerifier)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919u + 3u);
+    HloInstruction* start = nullptr;
+    HloInstruction* done = nullptr;
+    auto module = BuildPermuteModule(&start, &done);
+    HloComputation* comp = module->entry();
+    ASSERT_TRUE(VerifyModule(*module).ok());
+
+    switch (rng.Next() % 5) {
+      case 0:
+          start->mutable_attrs().source_target_pairs = {
+              {0, 1}, {0, static_cast<int64_t>(rng.Next() % 4)}};
+          break;
+      case 1:
+          start->mutable_attrs().source_target_pairs = {
+              {static_cast<int64_t>(rng.Next() % 1000) + 4, 0}};
+          break;
+      case 2: {
+          std::vector<HloInstruction*> sched = comp->instructions();
+          std::reverse(sched.begin(), sched.end());
+          comp->set_schedule(sched);
+          break;
+      }
+      case 3: {
+          HloBuilder b(comp);
+          comp->set_root(b.Negate(start));
+          break;
+      }
+      default:
+          done->mutable_attrs().source_target_pairs = {{0, 1}, {1, 0}};
+          comp->set_root(comp->AddInstruction(
+              HloOpcode::kNegate, Shape({2, 2}), {done}));
+          break;
+    }
+    Status status;
+    EXPECT_NO_THROW(status = VerifyModule(*module));
+    EXPECT_FALSE(status.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierCorruptionFuzz,
+                         ::testing::Range(1, 33));
 
 }  // namespace
 }  // namespace overlap

@@ -38,6 +38,36 @@ TEST(StatusOrTest, HoldsValueOrStatus)
     EXPECT_THROW(err.value(), std::logic_error);
 }
 
+TEST(StatusOrTest, ValueThrowCarriesStatusMessage)
+{
+    StatusOr<int> err(Internal("ring schedule corrupted"));
+    try {
+        err.value();
+        FAIL() << "value() on an error must throw std::logic_error";
+    } catch (const std::logic_error& e) {
+        EXPECT_NE(std::string(e.what()).find("ring schedule corrupted"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("INTERNAL"), std::string::npos);
+    }
+}
+
+TEST(CheckTest, FailedCheckThrowsLogicErrorWithLocation)
+{
+    try {
+        OVERLAP_CHECK(1 + 1 == 3);
+        FAIL() << "OVERLAP_CHECK must throw std::logic_error on failure";
+    } catch (const std::logic_error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+        EXPECT_NE(what.find("support_test.cc"), std::string::npos);
+    }
+}
+
+TEST(CheckTest, PassingCheckIsSilent)
+{
+    EXPECT_NO_THROW(OVERLAP_CHECK(2 + 2 == 4));
+}
+
 TEST(StatusOrTest, MoveOutValue)
 {
     StatusOr<std::string> s(std::string("hello"));
