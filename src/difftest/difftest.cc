@@ -1,0 +1,457 @@
+#include "difftest/difftest.h"
+
+#include <random>
+
+#include "hlo/builder.h"
+#include "hlo/verifier.h"
+#include "interp/evaluator.h"
+#include "passes/async.h"
+#include "passes/decompose.h"
+#include "support/strings.h"
+#include "tensor/sharding.h"
+
+namespace overlap {
+namespace difftest {
+namespace {
+
+/** Splits a global tensor into one shard per device of `mesh`. */
+std::vector<Tensor>
+ShardTensor(const Tensor& global, const TensorSharding& sharding,
+            const Mesh& mesh)
+{
+    std::vector<Tensor> shards;
+    shards.reserve(static_cast<size_t>(mesh.num_devices()));
+    Shape shard_shape = sharding.ShardShape(global.shape(), mesh);
+    for (int64_t d = 0; d < mesh.num_devices(); ++d) {
+        shards.push_back(
+            global.Slice(sharding.ShardOffsets(global.shape(), mesh, d),
+                         shard_shape.dims()));
+    }
+    return shards;
+}
+
+StatusOr<DType>
+DTypeFromName(const std::string& name)
+{
+    if (name == "f32") return DType::kF32;
+    if (name == "bf16") return DType::kBF16;
+    if (name == "s32") return DType::kS32;
+    if (name == "pred") return DType::kPred;
+    return InvalidArgument(StrCat("unknown dtype '", name, "'"));
+}
+
+}  // namespace
+
+const char*
+SiteCaseName(SiteCase c)
+{
+    switch (c) {
+      case SiteCase::kAllGatherFree: return "ag_free";
+      case SiteCase::kAllGatherContracting: return "ag_contract";
+      case SiteCase::kAllGatherBatch: return "ag_batch";
+      case SiteCase::kReduceScatter: return "rs";
+    }
+    OVERLAP_CHECK(false);
+    return "";
+}
+
+Mesh
+SiteSpec::mesh() const
+{
+    OVERLAP_CHECK(!mesh_dims.empty() && mesh_dims.size() <= 2);
+    return mesh_dims.size() == 1 ? Mesh(mesh_dims[0])
+                                 : Mesh(mesh_dims[0], mesh_dims[1]);
+}
+
+int64_t
+SiteSpec::ring_size() const
+{
+    return mesh_dims.at(static_cast<size_t>(axis));
+}
+
+int64_t
+SiteSpec::reduction_extent() const
+{
+    switch (site_case) {
+      case SiteCase::kAllGatherFree:
+      case SiteCase::kAllGatherBatch: return contract;
+      case SiteCase::kAllGatherContracting:
+          return ring_size() * shard_extent;
+      case SiteCase::kReduceScatter: return ring_size() * contract;
+    }
+    OVERLAP_CHECK(false);
+    return 1;
+}
+
+std::string
+SiteSpec::ToString() const
+{
+    return StrCat("case=", SiteCaseName(site_case),
+                  " mesh=", StrJoin(mesh_dims, "x"), " axis=", axis,
+                  " side=", side, " extent=", shard_extent,
+                  " free0=", free0, " free1=", free1,
+                  " contract=", contract, " dtype=", DTypeName(dtype),
+                  " seed=", data_seed);
+}
+
+StatusOr<SiteSpec>
+SiteSpec::Parse(const std::string& line)
+{
+    SiteSpec spec;
+    bool saw_case = false;
+    for (const std::string& field : StrSplit(line, ' ')) {
+        if (field.empty()) continue;
+        size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            return InvalidArgument(
+                StrCat("bad site-spec field '", field, "'"));
+        }
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        auto as_int = [&value]() -> int64_t {
+            return std::strtoll(value.c_str(), nullptr, 10);
+        };
+        if (key == "case") {
+            saw_case = true;
+            if (value == "ag_free") {
+                spec.site_case = SiteCase::kAllGatherFree;
+            } else if (value == "ag_contract") {
+                spec.site_case = SiteCase::kAllGatherContracting;
+            } else if (value == "ag_batch") {
+                spec.site_case = SiteCase::kAllGatherBatch;
+            } else if (value == "rs") {
+                spec.site_case = SiteCase::kReduceScatter;
+            } else {
+                return InvalidArgument(
+                    StrCat("unknown site case '", value, "'"));
+            }
+        } else if (key == "mesh") {
+            spec.mesh_dims.clear();
+            for (const std::string& dim : StrSplit(value, 'x')) {
+                spec.mesh_dims.push_back(
+                    std::strtoll(dim.c_str(), nullptr, 10));
+            }
+            if (spec.mesh_dims.empty() || spec.mesh_dims.size() > 2) {
+                return InvalidArgument(
+                    StrCat("bad mesh '", value, "'"));
+            }
+        } else if (key == "axis") {
+            spec.axis = as_int();
+        } else if (key == "side") {
+            spec.side = as_int();
+        } else if (key == "extent") {
+            spec.shard_extent = as_int();
+        } else if (key == "free0") {
+            spec.free0 = as_int();
+        } else if (key == "free1") {
+            spec.free1 = as_int();
+        } else if (key == "contract") {
+            spec.contract = as_int();
+        } else if (key == "dtype") {
+            auto dtype = DTypeFromName(value);
+            if (!dtype.ok()) return dtype.status();
+            spec.dtype = dtype.value();
+        } else if (key == "seed") {
+            spec.data_seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else {
+            return InvalidArgument(
+                StrCat("unknown site-spec key '", key, "'"));
+        }
+    }
+    if (!saw_case) return InvalidArgument("site spec missing 'case='");
+    if (spec.axis < 0 ||
+        spec.axis >= static_cast<int64_t>(spec.mesh_dims.size())) {
+        return InvalidArgument("site-spec axis out of range");
+    }
+    return spec;
+}
+
+SiteSpec
+GenerateSiteSpec(uint64_t seed, int64_t index)
+{
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL +
+                        static_cast<uint64_t>(index) + 1);
+    auto pick = [&rng](int64_t lo, int64_t hi) -> int64_t {
+        return lo + static_cast<int64_t>(rng() % static_cast<uint64_t>(
+                                                     hi - lo + 1));
+    };
+    SiteSpec spec;
+    spec.site_case = static_cast<SiteCase>(index % 4);
+    // Stratified parity: indices 0-3 even extents, 4-7 odd, repeating.
+    bool odd = (index / 4) % 2 == 1;
+    spec.shard_extent = odd ? (pick(0, 1) == 0 ? 1 : 3)
+                            : (pick(0, 1) == 0 ? 2 : 4);
+    int64_t ring = pick(2, 8);
+    if (pick(0, 3) == 0) {
+        // Torus subgroup ring: the collective runs over the second axis.
+        spec.mesh_dims = {2, ring};
+        spec.axis = 1;
+    } else {
+        spec.mesh_dims = {ring};
+        spec.axis = 0;
+    }
+    spec.side = pick(0, 1);
+    spec.free0 = pick(1, 5);
+    spec.free1 = pick(1, 5);
+    spec.contract = pick(1, 4);
+    spec.dtype = pick(0, 3) == 0 ? DType::kBF16 : DType::kF32;
+    spec.data_seed = rng();
+    return spec;
+}
+
+const std::vector<DecomposeVariant>&
+AllDecomposeVariants()
+{
+    static const std::vector<DecomposeVariant>* variants =
+        new std::vector<DecomposeVariant>{
+            {"uni", false, false, false},
+            {"uni_unroll", true, false, false},
+            {"forced_uni", false, true, true},
+            {"forced_uni_unroll", true, true, true},
+            {"bidi", false, true, false},
+            {"bidi_unroll", true, true, false},
+        };
+    return *variants;
+}
+
+StatusOr<DecomposeVariant>
+FindVariant(const std::string& name)
+{
+    for (const DecomposeVariant& v : AllDecomposeVariants()) {
+        if (name == v.name) return v;
+    }
+    return InvalidArgument(StrCat("unknown variant '", name, "'"));
+}
+
+StatusOr<SiteScenario>
+BuildSiteScenario(const SiteSpec& spec)
+{
+    Mesh mesh = spec.mesh();
+    const int64_t n = spec.ring_size();
+    if (n < 2) return InvalidArgument("ring size must be >= 2");
+    if (spec.shard_extent < 1 || spec.free0 < 1 || spec.free1 < 1 ||
+        spec.contract < 1) {
+        return InvalidArgument("site-spec extents must be >= 1");
+    }
+    SiteScenario s;
+    s.module = std::make_unique<HloModule>("difftest");
+    s.module->set_mesh(mesh);
+    HloComputation* comp = s.module->AddEntryComputation("main");
+    HloBuilder b(comp);
+
+    if (spec.site_case == SiteCase::kReduceScatter) {
+        // "bf,fh->bh" with 'f' sharded; scatter along 'b' (side 0) or
+        // 'h' (side 1).
+        int64_t b_size =
+            spec.side == 0 ? n * spec.shard_extent : spec.free0;
+        int64_t h_size =
+            spec.side == 1 ? n * spec.shard_extent : spec.free1;
+        Shape lhs_global(spec.dtype, {b_size, n * spec.contract});
+        Shape rhs_global(spec.dtype, {n * spec.contract, h_size});
+        TensorSharding lhs_sharding = TensorSharding::OnDim(2, 1, spec.axis);
+        TensorSharding rhs_sharding = TensorSharding::OnDim(2, 0, spec.axis);
+        auto* lhs =
+            b.Parameter(0, lhs_sharding.ShardShape(lhs_global, mesh));
+        auto* rhs =
+            b.Parameter(1, rhs_sharding.ShardShape(rhs_global, mesh));
+        auto* einsum = b.Einsum(lhs, rhs, "bf,fh->bh");
+        int64_t rs_dim = spec.side == 0 ? 0 : 1;
+        comp->set_root(
+            b.ReduceScatter(einsum, rs_dim, mesh.Groups(spec.axis)));
+
+        Tensor lhs_data = Tensor::Random(lhs_global, spec.data_seed + 1);
+        Tensor rhs_data = Tensor::Random(rhs_global, spec.data_seed + 2);
+        s.params.push_back(ShardTensor(lhs_data, lhs_sharding, mesh));
+        s.params.push_back(ShardTensor(rhs_data, rhs_sharding, mesh));
+        auto parsed = EinsumSpec::Parse("bf,fh->bh");
+        auto global = parsed->Evaluate(lhs_data, rhs_data);
+        if (!global.ok()) return global.status();
+        s.expected = ShardTensor(
+            global.value(), TensorSharding::OnDim(2, rs_dim, spec.axis),
+            mesh);
+        return s;
+    }
+
+    // The three AllGather cases.
+    std::string einsum_spec;
+    Shape lhs_global, rhs_global;
+    int64_t gathered_dim = 0;
+    int64_t gathered_side = spec.side;
+    if (spec.site_case == SiteCase::kAllGatherBatch) {
+        einsum_spec = "bmf,bfh->bmh";
+        lhs_global = Shape(spec.dtype, {n * spec.shard_extent, spec.free0,
+                                        spec.contract});
+        rhs_global = Shape(spec.dtype, {n * spec.shard_extent,
+                                        spec.contract, spec.free1});
+        gathered_dim = 0;  // 'b' in both operands
+    } else if (spec.site_case == SiteCase::kAllGatherContracting) {
+        einsum_spec = "bf,fh->bh";
+        lhs_global =
+            Shape(spec.dtype, {spec.free0, n * spec.shard_extent});
+        rhs_global =
+            Shape(spec.dtype, {n * spec.shard_extent, spec.free1});
+        gathered_dim = gathered_side == 0 ? 1 : 0;  // 'f'
+    } else {
+        einsum_spec = "bf,fh->bh";
+        if (gathered_side == 0) {
+            lhs_global = Shape(spec.dtype,
+                               {n * spec.shard_extent, spec.contract});
+            rhs_global = Shape(spec.dtype, {spec.contract, spec.free1});
+            gathered_dim = 0;  // 'b'
+        } else {
+            lhs_global = Shape(spec.dtype, {spec.free0, spec.contract});
+            rhs_global = Shape(spec.dtype,
+                               {spec.contract, n * spec.shard_extent});
+            gathered_dim = 1;  // 'h'
+        }
+    }
+    const Shape& gathered_global =
+        gathered_side == 0 ? lhs_global : rhs_global;
+    const Shape& other_global =
+        gathered_side == 0 ? rhs_global : lhs_global;
+    TensorSharding sharding = TensorSharding::OnDim(
+        gathered_global.rank(), gathered_dim, spec.axis);
+
+    auto* shard_param = b.Parameter(
+        0, sharding.ShardShape(gathered_global, mesh), "gathered_shard");
+    auto* other_param = b.Parameter(1, other_global, "other");
+    auto* ag =
+        b.AllGather(shard_param, gathered_dim, mesh.Groups(spec.axis));
+    comp->set_root(gathered_side == 0
+                       ? b.Einsum(ag, other_param, einsum_spec)
+                       : b.Einsum(other_param, ag, einsum_spec));
+
+    Tensor gathered_data =
+        Tensor::Random(gathered_global, spec.data_seed + 1);
+    Tensor other_data = Tensor::Random(other_global, spec.data_seed + 2);
+    s.params.push_back(ShardTensor(gathered_data, sharding, mesh));
+    s.params.push_back({other_data});
+    auto parsed = EinsumSpec::Parse(einsum_spec);
+    auto global = gathered_side == 0
+                      ? parsed->Evaluate(gathered_data, other_data)
+                      : parsed->Evaluate(other_data, gathered_data);
+    if (!global.ok()) return global.status();
+    s.expected.assign(static_cast<size_t>(mesh.num_devices()),
+                      global.value());
+    return s;
+}
+
+namespace {
+
+/** Decomposes + async-splits the scenario module under `variant`. */
+Status
+TransformScenario(SiteScenario* scenario, const DecomposeVariant& variant,
+                  bool inject_shard_id_bug)
+{
+    DecomposeOptions options;
+    options.unroll = variant.unroll;
+    options.bidirectional = variant.bidirectional;
+    options.force_unidirectional = variant.force_unidirectional;
+    options.test_shard_id_bug = inject_shard_id_bug;
+    options.use_cost_model = false;  // the oracle checks every site
+    const Mesh& mesh = *scenario->module->mesh();
+    CostModel cost((HardwareSpec()));
+    CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
+    HloComputation* comp = scenario->module->entry();
+    auto stats = decomposer.Run(comp);
+    if (!stats.ok()) return stats.status();
+    if (stats->total_decomposed() != 1) {
+        return Internal(StrCat("expected 1 decomposed site, got ",
+                               stats->total_decomposed()));
+    }
+    if (!stats->BucketsConsistent()) {
+        return Internal("decompose stats buckets inconsistent");
+    }
+    OVERLAP_RETURN_IF_ERROR(VerifyModule(*scenario->module));
+    auto converted = CreateAsyncCollectivePermutes(comp);
+    if (!converted.ok()) return converted.status();
+    return VerifyModule(*scenario->module);
+}
+
+}  // namespace
+
+StatusOr<OutputComparison>
+RunSingleCase(const SiteSpec& spec, const DecomposeVariant& variant,
+              bool inject_shard_id_bug)
+{
+    auto reference = BuildSiteScenario(spec);
+    if (!reference.ok()) return reference.status();
+    auto transformed = BuildSiteScenario(spec);
+    if (!transformed.ok()) return transformed.status();
+    OVERLAP_RETURN_IF_ERROR(TransformScenario(
+        &transformed.value(), variant, inject_shard_id_bug));
+
+    SpmdEvaluator evaluator(*reference->module->mesh());
+    auto outputs = evaluator.EvaluateBatch(
+        {reference->module->entry(), transformed->module->entry()},
+        reference->params);
+    if (!outputs.ok()) return outputs.status();
+    double tolerance =
+        EquivalenceTolerance(spec.dtype, spec.reduction_extent());
+    // Sanity: the blocking program must match the analytic ground truth
+    // (otherwise the harness, not the pass, is broken).
+    OutputComparison baseline = CompareOutputs(
+        reference->expected, (*outputs)[0], tolerance);
+    if (!baseline.equal) {
+        return Internal(StrCat("blocking reference disagrees with ground "
+                               "truth: ",
+                               baseline.ToString()));
+    }
+    return CompareOutputs((*outputs)[0], (*outputs)[1], tolerance);
+}
+
+std::string
+DiffTestSummary::ToString() const
+{
+    std::string out = StrCat(
+        "difftest: ", cases_run, " cases, ", variants_run, " variants, ",
+        mismatches, " mismatches; coverage ag_free=", cases_by_site[0],
+        " ag_contract=", cases_by_site[1], " ag_batch=", cases_by_site[2],
+        " rs=", cases_by_site[3], " odd_extent=", odd_extent_cases,
+        " even_extent=", even_extent_cases);
+    for (const CaseFailure& f : failures) {
+        out += StrCat("\n  FAIL [", f.variant, "] ", f.spec.ToString(),
+                      " -> ", f.comparison.ToString());
+    }
+    return out;
+}
+
+StatusOr<DiffTestSummary>
+RunDiffTest(const DiffTestConfig& config)
+{
+    DiffTestSummary summary;
+    for (int64_t i = 0; i < config.num_cases; ++i) {
+        SiteSpec spec = GenerateSiteSpec(config.seed, i);
+        ++summary.cases_run;
+        ++summary.cases_by_site[static_cast<size_t>(spec.site_case)];
+        if (spec.shard_extent % 2 == 1) {
+            ++summary.odd_extent_cases;
+        } else {
+            ++summary.even_extent_cases;
+        }
+        for (const DecomposeVariant& variant : AllDecomposeVariants()) {
+            auto comparison = RunSingleCase(spec, variant,
+                                            config.inject_shard_id_bug);
+            if (!comparison.ok()) return comparison.status();
+            ++summary.variants_run;
+            if (!comparison->equal) {
+                ++summary.mismatches;
+                if (config.max_failures == 0 ||
+                    static_cast<int64_t>(summary.failures.size()) <
+                        config.max_failures) {
+                    summary.failures.push_back(
+                        {spec, variant.name, comparison.value()});
+                }
+            }
+        }
+        if (config.max_failures > 0 &&
+            static_cast<int64_t>(summary.failures.size()) >=
+                config.max_failures) {
+            break;
+        }
+    }
+    return summary;
+}
+
+}  // namespace difftest
+}  // namespace overlap

@@ -1,0 +1,144 @@
+#ifndef OVERLAP_DIFFTEST_DIFFTEST_H_
+#define OVERLAP_DIFFTEST_DIFFTEST_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hlo/module.h"
+#include "interp/comparison.h"
+#include "support/status.h"
+#include "tensor/mesh.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+namespace difftest {
+
+/**
+ * The four overlap-site shapes of §5.1: the three AllGather-Einsum
+ * cases (gathered operand partitioned along a non-contracting /
+ * contracting / batch dimension) and the Einsum-ReduceScatter case.
+ */
+enum class SiteCase {
+    kAllGatherFree = 0,
+    kAllGatherContracting = 1,
+    kAllGatherBatch = 2,
+    kReduceScatter = 3,
+};
+
+const char* SiteCaseName(SiteCase c);
+
+/**
+ * A complete, deterministic description of one differential-test case:
+ * everything needed to rebuild the module, its parameter data and its
+ * ground truth. Serializes to a single `key=value` line — the repro
+ * format the minimizer writes to disk.
+ */
+struct SiteSpec {
+    SiteCase site_case = SiteCase::kAllGatherFree;
+    /// Mesh dims (1 or 2 axes); `axis` is the ring the collective runs on.
+    std::vector<int64_t> mesh_dims = {4};
+    int64_t axis = 0;
+    /// Operand carrying the gathered (AG) or scattered (RS) label.
+    int64_t side = 0;
+    /// Per-device extent of the partitioned label (odd extents stress
+    /// the bidirectional-eligibility predicates).
+    int64_t shard_extent = 2;
+    /// Extents of the non-partitioned labels.
+    int64_t free0 = 3;
+    int64_t free1 = 5;
+    int64_t contract = 4;
+    DType dtype = DType::kF32;
+    uint64_t data_seed = 0;
+
+    Mesh mesh() const;
+    int64_t ring_size() const;
+    /// Global extent of the summed-over dimension (drives the tolerance).
+    int64_t reduction_extent() const;
+
+    /** One line, e.g. "case=ag_free mesh=4 axis=0 side=0 extent=3 ...". */
+    std::string ToString() const;
+    static StatusOr<SiteSpec> Parse(const std::string& line);
+};
+
+/**
+ * Deterministic stratified generator: case index `index` under `seed`
+ * cycles through the four site cases and both shard-extent parities
+ * (so any 8 consecutive indices cover all case x parity combinations),
+ * with ring size, mesh rank, dims, dtype and data drawn pseudo-randomly.
+ */
+SiteSpec GenerateSiteSpec(uint64_t seed, int64_t index);
+
+/** One decomposition configuration the driver compiles a case under. */
+struct DecomposeVariant {
+    const char* name;
+    bool unroll;
+    bool bidirectional;
+    /// Exercises DecomposeOptions::force_unidirectional (the structure
+    /// the §5.5 fault gate lowers to).
+    bool force_unidirectional;
+};
+
+/** All six variants, simplest structure first. */
+const std::vector<DecomposeVariant>& AllDecomposeVariants();
+
+/** Variant lookup by name; error on unknown names. */
+StatusOr<DecomposeVariant> FindVariant(const std::string& name);
+
+/** A built scenario: module + parameter bindings + ground truth. */
+struct SiteScenario {
+    std::unique_ptr<HloModule> module;
+    std::vector<std::vector<Tensor>> params;
+    std::vector<Tensor> expected;
+};
+
+/** Materializes the blocking (pre-pass) module for `spec`. */
+StatusOr<SiteScenario> BuildSiteScenario(const SiteSpec& spec);
+
+/**
+ * Compiles `spec` twice — blocking reference vs. decomposed under
+ * `variant` (use_cost_model off, every site rewritten) — runs both
+ * through the SpmdEvaluator (decomposed also through the async split)
+ * and compares per-device outputs under the dtype-aware tolerance.
+ * `inject_shard_id_bug` forwards to DecomposeOptions::test_shard_id_bug.
+ */
+StatusOr<OutputComparison> RunSingleCase(const SiteSpec& spec,
+                                         const DecomposeVariant& variant,
+                                         bool inject_shard_id_bug);
+
+struct DiffTestConfig {
+    int64_t num_cases = 64;
+    uint64_t seed = 1;
+    /// Forward the deliberate off-by-one to the pass (minimizer tests).
+    bool inject_shard_id_bug = false;
+    /// Stop after this many failing (spec, variant) pairs (0 = no cap).
+    int64_t max_failures = 16;
+};
+
+struct CaseFailure {
+    SiteSpec spec;
+    std::string variant;
+    OutputComparison comparison;
+};
+
+struct DiffTestSummary {
+    int64_t cases_run = 0;
+    int64_t variants_run = 0;
+    int64_t mismatches = 0;
+    std::vector<CaseFailure> failures;
+    /// Coverage: cases per SiteCase, and per shard-extent parity.
+    std::array<int64_t, 4> cases_by_site = {0, 0, 0, 0};
+    int64_t odd_extent_cases = 0;
+    int64_t even_extent_cases = 0;
+
+    std::string ToString() const;
+};
+
+/** Runs the seeded sweep; errors only on harness bugs, not mismatches. */
+StatusOr<DiffTestSummary> RunDiffTest(const DiffTestConfig& config);
+
+}  // namespace difftest
+}  // namespace overlap
+
+#endif  // OVERLAP_DIFFTEST_DIFFTEST_H_

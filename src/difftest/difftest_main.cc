@@ -1,0 +1,120 @@
+/**
+ * Differential-equivalence sweep over the decomposition space.
+ *
+ *   difftest_runner [--cases N] [--seed S] [--quick] [--inject-bug]
+ *                   [--out DIR] [--repro FILE]
+ *
+ * Generates N seeded random overlap sites, compiles each one blocking
+ * vs. decomposed under all six {unroll, bidirectional, forced-uni}
+ * variants, and diffs per-device outputs through the SpmdEvaluator.
+ * On a mismatch the first failing case is greedily minimized and a
+ * one-line repro (+ round-trippable HLO) is written under --out; exit
+ * status 1. `--repro X` re-runs a previously written .spec file, or,
+ * if X is not a readable file, X itself as a literal repro line.
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "difftest/difftest.h"
+#include "difftest/minimizer.h"
+
+namespace {
+
+int64_t
+ParseInt(const char* s)
+{
+    return std::strtoll(s, nullptr, 10);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace overlap;
+    using namespace overlap::difftest;
+
+    DiffTestConfig config;
+    config.num_cases = 5000;
+    config.seed = 1;
+    std::string out_dir = "difftest_repros";
+    std::string repro_file;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--cases" && i + 1 < argc) {
+            config.num_cases = ParseInt(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            config.seed = static_cast<uint64_t>(ParseInt(argv[++i]));
+        } else if (arg == "--quick") {
+            config.num_cases = 256;
+        } else if (arg == "--inject-bug") {
+            config.inject_shard_id_bug = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (arg == "--repro" && i + 1 < argc) {
+            repro_file = argv[++i];
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    if (!repro_file.empty()) {
+        std::string line = repro_file;  // literal repro line fallback
+        std::ifstream in(repro_file);
+        if (in) {
+            std::getline(in, line);
+        }
+        auto repro = ParseReproLine(line);
+        if (!repro.ok()) {
+            std::cerr << repro.status().message() << "\n";
+            return 2;
+        }
+        auto comparison =
+            RunSingleCase(repro->spec, repro->variant,
+                          repro->inject_shard_id_bug);
+        if (!comparison.ok()) {
+            std::cerr << comparison.status().message() << "\n";
+            return 2;
+        }
+        std::cout << "[" << repro->variant.name << "] "
+                  << repro->spec.ToString() << " -> "
+                  << comparison->ToString() << "\n";
+        return comparison->equal ? 0 : 1;
+    }
+
+    auto summary = RunDiffTest(config);
+    if (!summary.ok()) {
+        std::cerr << "harness error: " << summary.status().message()
+                  << "\n";
+        return 2;
+    }
+    std::cout << summary->ToString() << "\n";
+    if (summary->mismatches == 0) return 0;
+
+    const CaseFailure& first = summary->failures.front();
+    auto variant = FindVariant(first.variant);
+    if (!variant.ok()) {
+        std::cerr << variant.status().message() << "\n";
+        return 2;
+    }
+    auto minimized = MinimizeFailure(first.spec, variant.value(),
+                                     config.inject_shard_id_bug);
+    if (!minimized.ok()) {
+        std::cerr << "minimizer error: " << minimized.status().message()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "minimized repro: " << minimized->repro_line << "\n";
+    auto written = WriteRepro(*minimized, out_dir, "repro");
+    if (!written.ok()) {
+        std::cerr << written.message() << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_dir << "/repro.spec and " << out_dir
+              << "/repro.hlo (" << minimized->module_instructions
+              << " instructions)\n";
+    return 1;
+}

@@ -1,0 +1,199 @@
+#include "difftest/minimizer.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "hlo/parser.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace difftest {
+namespace {
+
+/**
+ * True when the pair still mismatches. Build/transform errors after a
+ * shrink (e.g. an extent driven below a structural minimum) reject the
+ * shrink rather than aborting the search.
+ */
+bool
+StillFails(const SiteSpec& spec, const DecomposeVariant& variant,
+           bool inject)
+{
+    auto comparison = RunSingleCase(spec, variant, inject);
+    return comparison.ok() && !comparison->equal;
+}
+
+/** Accepts `candidate` if the mismatch persists under it. */
+bool
+TryShrink(SiteSpec* spec, const SiteSpec& candidate,
+          const DecomposeVariant& variant, bool inject)
+{
+    if (!StillFails(candidate, variant, inject)) return false;
+    *spec = candidate;
+    return true;
+}
+
+}  // namespace
+
+StatusOr<MinimizedRepro>
+MinimizeFailure(const SiteSpec& spec, const DecomposeVariant& variant,
+                bool inject_shard_id_bug)
+{
+    auto initial = RunSingleCase(spec, variant, inject_shard_id_bug);
+    if (!initial.ok()) return initial.status();
+    if (initial->equal) {
+        return InvalidArgument(
+            "MinimizeFailure called on a passing case");
+    }
+
+    SiteSpec best = spec;
+    DecomposeVariant best_variant = variant;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Structurally simpler variant (AllDecomposeVariants is ordered
+        // simplest first).
+        for (const DecomposeVariant& v : AllDecomposeVariants()) {
+            if (std::string(v.name) == best_variant.name) break;
+            if (StillFails(best, v, inject_shard_id_bug)) {
+                best_variant = v;
+                progress = true;
+                break;
+            }
+        }
+
+        // Drop the second mesh axis, keeping the ring.
+        if (best.mesh_dims.size() == 2) {
+            SiteSpec candidate = best;
+            candidate.mesh_dims = {best.ring_size()};
+            candidate.axis = 0;
+            progress |= TryShrink(&best, candidate, best_variant,
+                                  inject_shard_id_bug);
+        }
+        // Shrink the ring: straight to 2, else one step down.
+        for (int64_t ring : {int64_t{2}, best.ring_size() - 1}) {
+            if (ring < 2 || ring >= best.ring_size()) continue;
+            SiteSpec candidate = best;
+            candidate.mesh_dims[static_cast<size_t>(candidate.axis)] =
+                ring;
+            if (TryShrink(&best, candidate, best_variant,
+                          inject_shard_id_bug)) {
+                progress = true;
+                break;
+            }
+        }
+        // Shrink each extent: straight to 1, else halve, else decrement.
+        for (int64_t SiteSpec::*field :
+             {&SiteSpec::shard_extent, &SiteSpec::free0, &SiteSpec::free1,
+              &SiteSpec::contract}) {
+            for (int64_t value :
+                 {int64_t{1}, best.*field / 2, best.*field - 1}) {
+                if (value < 1 || value >= best.*field) continue;
+                SiteSpec candidate = best;
+                candidate.*field = value;
+                if (TryShrink(&best, candidate, best_variant,
+                              inject_shard_id_bug)) {
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        // Simplify the dtype.
+        if (best.dtype != DType::kF32) {
+            SiteSpec candidate = best;
+            candidate.dtype = DType::kF32;
+            progress |= TryShrink(&best, candidate, best_variant,
+                                  inject_shard_id_bug);
+        }
+        // Canonicalize the data seed (the smallest one that still fails).
+        if (best.data_seed != 0) {
+            SiteSpec candidate = best;
+            candidate.data_seed = 0;
+            progress |= TryShrink(&best, candidate, best_variant,
+                                  inject_shard_id_bug);
+        }
+    }
+
+    MinimizedRepro repro;
+    repro.spec = best;
+    repro.variant = best_variant;
+    repro.inject_shard_id_bug = inject_shard_id_bug;
+    repro.repro_line =
+        StrCat(best.ToString(), " variant=", best_variant.name,
+               " inject=", inject_shard_id_bug ? 1 : 0);
+    auto scenario = BuildSiteScenario(best);
+    if (!scenario.ok()) return scenario.status();
+    repro.module_text = scenario->module->ToString();
+    repro.module_instructions =
+        scenario->module->entry()->instruction_count();
+    // The repro is only useful if it parses back; check now rather than
+    // when someone tries to load it.
+    auto reparsed = ParseHloModule(repro.module_text);
+    if (!reparsed.ok()) return reparsed.status();
+    if ((*reparsed)->ToString() != repro.module_text) {
+        return Internal("minimized repro does not round-trip the parser");
+    }
+    return repro;
+}
+
+StatusOr<MinimizedRepro>
+ParseReproLine(const std::string& line)
+{
+    // Split off the trailing variant= / inject= fields; the rest is the
+    // site spec.
+    std::string spec_part;
+    std::string variant_name;
+    bool inject = false;
+    for (const std::string& field : StrSplit(line, ' ')) {
+        if (field.rfind("variant=", 0) == 0) {
+            variant_name = field.substr(8);
+        } else if (field.rfind("inject=", 0) == 0) {
+            inject = field.substr(7) == "1";
+        } else if (!field.empty()) {
+            if (!spec_part.empty()) spec_part += ' ';
+            spec_part += field;
+        }
+    }
+    if (variant_name.empty()) {
+        return InvalidArgument("repro line missing 'variant='");
+    }
+    auto spec = SiteSpec::Parse(spec_part);
+    if (!spec.ok()) return spec.status();
+    auto variant = FindVariant(variant_name);
+    if (!variant.ok()) return variant.status();
+    MinimizedRepro repro;
+    repro.spec = std::move(spec).value();
+    repro.variant = variant.value();
+    repro.inject_shard_id_bug = inject;
+    repro.repro_line = line;
+    return repro;
+}
+
+Status
+WriteRepro(const MinimizedRepro& repro, const std::string& dir,
+           const std::string& label)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        return Internal(
+            StrCat("cannot create '", dir, "': ", ec.message()));
+    }
+    auto write = [&dir](const std::string& name,
+                        const std::string& body) -> Status {
+        std::string path = StrCat(dir, "/", name);
+        std::ofstream out(path);
+        if (!out) {
+            return Internal(StrCat("cannot write '", path, "'"));
+        }
+        out << body;
+        return Status::Ok();
+    };
+    OVERLAP_RETURN_IF_ERROR(
+        write(StrCat(label, ".spec"), repro.repro_line + "\n"));
+    return write(StrCat(label, ".hlo"), repro.module_text);
+}
+
+}  // namespace difftest
+}  // namespace overlap

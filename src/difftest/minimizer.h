@@ -1,0 +1,55 @@
+#ifndef OVERLAP_DIFFTEST_MINIMIZER_H_
+#define OVERLAP_DIFFTEST_MINIMIZER_H_
+
+#include <string>
+
+#include "difftest/difftest.h"
+#include "support/status.h"
+
+namespace overlap {
+namespace difftest {
+
+/**
+ * A failing case shrunk to its smallest still-failing form: the spec,
+ * the variant it fails under, a one-line textual repro, and the
+ * blocking module's HLO text (guaranteed to round-trip through
+ * ParseHloModule by construction — the minimizer checks).
+ */
+struct MinimizedRepro {
+    SiteSpec spec;
+    DecomposeVariant variant;
+    bool inject_shard_id_bug = false;
+    /// `<site spec> variant=<name> inject=<0|1>` — feed back to
+    /// ParseReproLine / `difftest_runner --repro`.
+    std::string repro_line;
+    /// Blocking module text for the minimized spec.
+    std::string module_text;
+    int64_t module_instructions = 0;
+};
+
+/**
+ * Greedy shrink of a mismatching (spec, variant) pair: repeatedly try
+ * to drop the second mesh axis, shrink the ring, shrink the shard
+ * extent and free/contracting dims, simplify the dtype and swap in a
+ * structurally simpler variant — keeping any change under which the
+ * mismatch persists — until a fixpoint. The input pair must actually
+ * fail (returns InvalidArgument otherwise).
+ */
+StatusOr<MinimizedRepro> MinimizeFailure(const SiteSpec& spec,
+                                         const DecomposeVariant& variant,
+                                         bool inject_shard_id_bug);
+
+/** Parses a line in the `repro_line` format back into its parts. */
+StatusOr<MinimizedRepro> ParseReproLine(const std::string& line);
+
+/**
+ * Writes `<dir>/<label>.spec` (the one-line repro) and
+ * `<dir>/<label>.hlo` (the blocking module), creating `dir` if needed.
+ */
+Status WriteRepro(const MinimizedRepro& repro, const std::string& dir,
+                  const std::string& label);
+
+}  // namespace difftest
+}  // namespace overlap
+
+#endif  // OVERLAP_DIFFTEST_MINIMIZER_H_

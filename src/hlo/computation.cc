@@ -214,6 +214,16 @@ HloComputation::sequence() const
     return instructions();
 }
 
+int64_t
+HloComputation::NextChannelId() const
+{
+    int64_t next = 0;
+    for (const auto& instr : instructions_) {
+        next = std::max(next, instr->attrs().channel_id + 1);
+    }
+    return next;
+}
+
 std::string
 HloComputation::ToString() const
 {

@@ -96,6 +96,13 @@ class HloComputation {
     /** Next unused fusion group id (shared by all fusion-forming passes). */
     int64_t NextFusionGroupId() { return next_fusion_group_++; }
 
+    /**
+     * Next unused collective channel id: one past the largest channel
+     * in the graph. Computed by scanning (channels arrive via builders,
+     * the parser and Clone alike, so a counter would go stale).
+     */
+    int64_t NextChannelId() const;
+
     /** Multi-line textual dump of the computation. */
     std::string ToString() const;
 

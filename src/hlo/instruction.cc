@@ -166,6 +166,9 @@ HloInstruction::ToString() const
       default:
           break;
     }
+    if (attrs_.channel_id >= 0) {
+        out += StrCat(", channel=", attrs_.channel_id);
+    }
     if (sharding_.has_value()) {
         out += StrCat(", sharding=", sharding_->ToString());
     }

@@ -58,6 +58,10 @@ struct InstrAttrs {
     /// kCollectivePermute(Start): {source, destination} device pairs.
     std::vector<std::pair<int64_t, int64_t>> source_target_pairs;
 
+    /// Collectives: optional channel id (-1 = none). An async Start and
+    /// its Done carry the same id; the printer/parser round-trip it.
+    int64_t channel_id = -1;
+
     /// kAxisIndex: which mesh axis's coordinate to return.
     int64_t mesh_axis = -1;
 };

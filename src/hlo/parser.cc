@@ -294,6 +294,8 @@ class Parser {
             attrs->dim = as_int();
         } else if (key == "axis") {
             attrs->mesh_axis = as_int();
+        } else if (key == "channel") {
+            attrs->channel_id = as_int();
         } else if (key == "fusion") {
             *fusion_group = as_int();
         } else if (key == "loop") {

@@ -24,8 +24,9 @@ namespace overlap {
  * Attributes follow the printer exactly: `index=`, `spec=`, `value={..}`,
  * `starts={..}`, `sizes={..}`, `dims={..}`, `low={..}`, `high={..}`,
  * `value=`, `dim=`, `perm={..}`, `axis=`, `groups={..}{..}`,
- * `pairs={s,t}{s,t}`, `fusion=`, `loop=`. Constants whose literal was
- * elided by the printer (more than 16 elements) parse as zeros.
+ * `pairs={s,t}{s,t}`, `channel=`, `fusion=`, `loop=`. Constants whose
+ * literal was elided by the printer (more than 16 elements) parse as
+ * zeros.
  *
  * The parsed module is verified before being returned.
  */

@@ -130,6 +130,16 @@ VerifyCollective(const HloInstruction* instr, int64_t num_devices)
                        instr->name()));
         }
     }
+    if (instr->opcode() == HloOpcode::kCollectivePermuteDone &&
+        instr->operand_count() == 1 &&
+        instr->operand(0)->attrs().channel_id !=
+            instr->attrs().channel_id) {
+        return InvalidArgument(
+            StrCat("collective-permute-done channel ",
+                   instr->attrs().channel_id, " != its start's channel ",
+                   instr->operand(0)->attrs().channel_id, " at %",
+                   instr->name()));
+    }
     return Status::Ok();
 }
 

@@ -1,0 +1,65 @@
+#include "interp/comparison.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace overlap {
+
+double
+EquivalenceTolerance(DType dtype, int64_t reduction_extent)
+{
+    double steps =
+        std::sqrt(static_cast<double>(std::max<int64_t>(reduction_extent, 1)));
+    switch (dtype) {
+      case DType::kF32: return 1e-4 * (1.0 + steps);
+      case DType::kBF16: return 1e-2 * (1.0 + steps);
+      case DType::kS32:
+      case DType::kPred: return 0.0;
+    }
+    OVERLAP_CHECK(false);
+    return 0.0;
+}
+
+std::string
+OutputComparison::ToString() const
+{
+    if (equal) {
+        return StrCat("OK max|d|=", max_abs_diff, " tol=", tolerance);
+    }
+    return StrCat("MISMATCH ", mismatched_devices, " device(s), first=",
+                  first_mismatch_device, ", max|d|=", max_abs_diff,
+                  " tol=", tolerance);
+}
+
+OutputComparison
+CompareOutputs(const std::vector<Tensor>& reference,
+               const std::vector<Tensor>& candidate, double tolerance)
+{
+    OVERLAP_CHECK(reference.size() == candidate.size());
+    OutputComparison cmp;
+    cmp.tolerance = tolerance;
+    for (size_t d = 0; d < reference.size(); ++d) {
+        double diff;
+        if (!reference[d].shape().SameDims(candidate[d].shape())) {
+            diff = std::numeric_limits<double>::infinity();
+        } else {
+            diff = static_cast<double>(
+                Tensor::MaxAbsDiff(reference[d], candidate[d]));
+        }
+        cmp.max_abs_diff = std::max(cmp.max_abs_diff, diff);
+        if (diff > tolerance) {
+            ++cmp.mismatched_devices;
+            if (cmp.first_mismatch_device < 0) {
+                cmp.first_mismatch_device = static_cast<int64_t>(d);
+            }
+        }
+    }
+    cmp.equal = cmp.mismatched_devices == 0;
+    return cmp;
+}
+
+}  // namespace overlap

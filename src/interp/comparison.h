@@ -1,0 +1,50 @@
+#ifndef OVERLAP_INTERP_COMPARISON_H_
+#define OVERLAP_INTERP_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+
+/**
+ * Absolute tolerance for declaring a reference and a transformed
+ * per-device output equivalent. The decomposed loop reassociates the
+ * reduction (partial sums in ring order instead of one einsum), so the
+ * bound grows with the contraction/reduction extent; bf16 carries a
+ * much coarser mantissa than f32, and integer/predicate outputs must
+ * match bit-exactly (the loop only reorders integer adds, which are
+ * exact).
+ */
+double EquivalenceTolerance(DType dtype, int64_t reduction_extent);
+
+/** Result of comparing per-device outputs of two evaluations. */
+struct OutputComparison {
+    bool equal = true;
+    /// Devices whose outputs differ by more than the tolerance.
+    int64_t mismatched_devices = 0;
+    /// Lowest-numbered mismatching device (-1 when equal).
+    int64_t first_mismatch_device = -1;
+    /// Largest |ref - got| over all devices and elements.
+    double max_abs_diff = 0.0;
+    /// The tolerance the comparison ran with.
+    double tolerance = 0.0;
+
+    /** One line, e.g. "MISMATCH 3/8 devices, first=1, max|d|=0.25". */
+    std::string ToString() const;
+};
+
+/**
+ * Element-wise comparison of two per-device output vectors (same
+ * length, same shapes). Shape disagreement on any device counts as a
+ * mismatch of that device with max_abs_diff = infinity.
+ */
+OutputComparison CompareOutputs(const std::vector<Tensor>& reference,
+                                const std::vector<Tensor>& candidate,
+                                double tolerance);
+
+}  // namespace overlap
+
+#endif  // OVERLAP_INTERP_COMPARISON_H_

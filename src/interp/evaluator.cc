@@ -352,6 +352,32 @@ SpmdEvaluator::Evaluate(const HloComputation& computation,
 
           case HloOpcode::kCollectivePermute:
           case HloOpcode::kCollectivePermuteStart: {
+              // A device may appear at most once as a source and once
+              // as a target; a duplicate target would make the result
+              // depend on pair order, so it is an error (as in XLA),
+              // not a silent overwrite.
+              std::vector<bool> seen_src(static_cast<size_t>(n), false);
+              std::vector<bool> seen_dst(static_cast<size_t>(n), false);
+              for (const auto& [src, dst] :
+                   instr->attrs().source_target_pairs) {
+                  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+                      return InvalidArgument(StrCat(
+                          instr->name(), ": source-target pair {", src,
+                          ",", dst, "} outside the ", n, "-device mesh"));
+                  }
+                  if (seen_src[static_cast<size_t>(src)]) {
+                      return InvalidArgument(
+                          StrCat(instr->name(), ": duplicate source ",
+                                 src, " in source-target pairs"));
+                  }
+                  if (seen_dst[static_cast<size_t>(dst)]) {
+                      return InvalidArgument(
+                          StrCat(instr->name(), ": duplicate target ",
+                                 dst, " in source-target pairs"));
+                  }
+                  seen_src[static_cast<size_t>(src)] = true;
+                  seen_dst[static_cast<size_t>(dst)] = true;
+              }
               for (int64_t d = 0; d < n; ++d) {
                   out[static_cast<size_t>(d)] = Tensor(instr->shape());
               }
@@ -367,6 +393,21 @@ SpmdEvaluator::Evaluate(const HloComputation& computation,
     }
 
     return values.at(computation.root());
+}
+
+StatusOr<std::vector<std::vector<Tensor>>>
+SpmdEvaluator::EvaluateBatch(
+    const std::vector<const HloComputation*>& computations,
+    const std::vector<std::vector<Tensor>>& params) const
+{
+    std::vector<std::vector<Tensor>> outputs;
+    outputs.reserve(computations.size());
+    for (const HloComputation* computation : computations) {
+        auto result = Evaluate(*computation, params);
+        if (!result.ok()) return result.status();
+        outputs.push_back(std::move(result).value());
+    }
+    return outputs;
 }
 
 StatusOr<Tensor>

@@ -18,8 +18,11 @@ namespace overlap {
  * semantics: AllGather concatenation in group order, ReduceScatter
  * element-wise reduction + scatter, AllReduce, AllToAll, and
  * CollectivePermute data movement (devices that receive nothing get
- * zeros, matching XLA). CollectivePermuteStart/Done are functionally the
- * identity — their timing behaviour lives in the simulator.
+ * zeros, matching XLA). A CollectivePermuteStart performs the data
+ * movement and its Done is the identity, so the async pair behaves
+ * exactly like the sync op — their timing behaviour lives in the
+ * simulator. Source-target pairs with a duplicate source or target, or
+ * with a device id outside the mesh, are rejected as invalid.
  *
  * This interpreter is the semantic ground truth the test suite uses to
  * prove that the Looped CollectiveEinsum decomposition (in every variant)
@@ -38,6 +41,16 @@ class SpmdEvaluator {
      */
     StatusOr<std::vector<Tensor>> Evaluate(
         const HloComputation& computation,
+        const std::vector<std::vector<Tensor>>& params) const;
+
+    /**
+     * Evaluates several computations against the *same* parameter
+     * bindings — the shape of a differential test (one reference, many
+     * transformed variants). Returns one per-device output vector per
+     * computation, in order; fails fast on the first evaluation error.
+     */
+    StatusOr<std::vector<std::vector<Tensor>>> EvaluateBatch(
+        const std::vector<const HloComputation*>& computations,
         const std::vector<std::vector<Tensor>>& params) const;
 
     const Mesh& mesh() const { return mesh_; }

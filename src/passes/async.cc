@@ -9,11 +9,19 @@ CreateAsyncCollectivePermutes(HloComputation* computation)
 {
     HloBuilder builder(computation);
     int64_t converted = 0;
+    int64_t next_channel = computation->NextChannelId();
     for (HloInstruction* instr : computation->instructions()) {
         if (instr->opcode() != HloOpcode::kCollectivePermute) continue;
         HloInstruction* start = builder.CollectivePermuteStart(
             instr->operand(0), instr->attrs().source_target_pairs);
         HloInstruction* done = builder.CollectivePermuteDone(start);
+        // Each Start/Done pair gets its own channel (preserved by the
+        // sync op's channel when it already had one).
+        int64_t channel = instr->attrs().channel_id >= 0
+                              ? instr->attrs().channel_id
+                              : next_channel++;
+        start->mutable_attrs().channel_id = channel;
+        done->mutable_attrs().channel_id = channel;
         start->set_loop_group(instr->loop_group());
         done->set_loop_group(instr->loop_group());
         start->set_fusion_group(instr->fusion_group());

@@ -24,6 +24,18 @@ RingShiftPairs(const Mesh& mesh, int64_t axis, int64_t step)
     return pairs;
 }
 
+bool
+BidirectionalRingEligible(int64_t ring_size, int64_t shard_extent)
+{
+    return ring_size >= 4 && ring_size % 2 == 0 && shard_extent % 2 == 0;
+}
+
+bool
+TwoWayExchangeEligible(int64_t ring_size, int64_t shard_extent)
+{
+    return ring_size == 2 && shard_extent % 2 == 0;
+}
+
 namespace {
 
 /** A matched AllGather-Einsum or Einsum-ReduceScatter overlap site. */
@@ -63,8 +75,10 @@ EstimateBenefit(const Site& site, const CostModel& cost,
     double comp_t = cost.EinsumSeconds(site.einsum);
     double comm_t = cost.BlockingCollectiveSeconds(site.collective);
     int64_t n = site.group_size;
-    bool bidi_enabled = allow_bidirectional && options.bidirectional;
-    bool bidi = bidi_enabled && n % 2 == 0 && n >= 4;
+    bool bidi_enabled = allow_bidirectional && options.bidirectional &&
+                        !options.force_unidirectional;
+    bool bidi =
+        bidi_enabled && BidirectionalRingEligible(n, site.shard_extent);
     int64_t shard_bytes =
         site.is_allgather
             ? site.collective->operand(0)->shape().byte_size()
@@ -73,7 +87,7 @@ EstimateBenefit(const Site& site, const CostModel& cost,
     if (site.is_allgather) {
         loop_steps = bidi ? n / 2 - 1 : n - 1;
         extra_steps = bidi ? 1 : 0;  // prologue
-        if (bidi_enabled && n == 2 && site.shard_extent % 2 == 0) {
+        if (bidi_enabled && TwoWayExchangeEligible(n, site.shard_extent)) {
             // Two-way half-shard exchange: one concurrent step
             // carrying half the shard per direction.
             shard_bytes /= 2;
@@ -161,10 +175,11 @@ class LoopEmitter {
         int64_t first_new = computation_->instruction_count();
         axis_index_ = builder_.AxisIndex(site_.mesh_axis);
         HloInstruction* result;
-        bool bidi = options_.bidirectional && n_ % 2 == 0 && n_ >= 4;
+        bool bidi = options_.bidirectional &&
+                    BidirectionalRingEligible(n_, site_.shard_extent);
         if (site_.is_allgather) {
-            if (options_.bidirectional && n_ == 2 &&
-                site_.shard_extent % 2 == 0) {
+            if (options_.bidirectional &&
+                TwoWayExchangeEligible(n_, site_.shard_extent)) {
                 // 2-way parallelism: circulate the two halves of the
                 // peer's shard over the two opposite link directions
                 // concurrently (the §5.4.2 idea at its smallest scale,
@@ -196,6 +211,7 @@ class LoopEmitter {
     /** Scalar shard id (axis_index + delta) mod N; delta may be negative. */
     HloInstruction* ShardId(int64_t delta)
     {
+        if (options_.test_shard_id_bug) ++delta;  // deliberate, TEST-ONLY
         int64_t normalized = ((delta % n_) + n_) % n_;
         HloInstruction* sum =
             normalized == 0
@@ -678,11 +694,14 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
             continue;
         }
         // Only honour the lowering when the gate is active and the
-        // structure would actually have been bidirectional (§5.4.2
-        // needs an even ring).
+        // structure would actually have been bidirectional — otherwise
+        // the "lowering" changes nothing and must not be counted.
         best.force_unidirectional =
             best.force_unidirectional && options_.use_cost_model &&
-            options_.bidirectional && best.group_size % 2 == 0;
+            options_.bidirectional && !options_.force_unidirectional &&
+            (BidirectionalRingEligible(best.group_size,
+                                       best.shard_extent) ||
+             TwoWayExchangeEligible(best.group_size, best.shard_extent));
         if (best.force_unidirectional) {
             ++stats.fault_lowered;
             decision.lowered_to_unidirectional = true;
@@ -698,7 +717,9 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
 
     for (const Site& site : chosen) {
         DecomposeOptions site_options = options_;
-        if (site.force_unidirectional) site_options.bidirectional = false;
+        if (site.force_unidirectional || options_.force_unidirectional) {
+            site_options.bidirectional = false;
+        }
         LoopEmitter emitter(computation, mesh_, site_options, site);
         HloInstruction* replacement = emitter.Emit();
         HloInstruction* replaced =

@@ -32,7 +32,9 @@ struct DecomposeOptions {
      * the paired partial Einsums of an iteration execute as one kernel
      * (same fusion group). Adds the Figure 9 prologue (AllGather case) or
      * the Figure 10 epilogue (ReduceScatter case). Requires an even
-     * number of partitions; odd sites fall back to unidirectional.
+     * number of partitions and an even shard extent (see
+     * BidirectionalRingEligible); ineligible sites fall back to the
+     * unidirectional loop.
      */
     bool bidirectional = true;
 
@@ -43,7 +45,44 @@ struct DecomposeOptions {
      * ablation bench).
      */
     bool use_cost_model = true;
+
+    /**
+     * Forcing hook for the differential-equivalence harness: emit every
+     * site with the unidirectional loop structure even when
+     * `bidirectional` is set and structurally possible. This exercises
+     * exactly the lowering the variance-aware §5.5 gate applies on a
+     * degraded ring, without needing a fault model. Does not affect the
+     * fault_lowered statistics.
+     */
+    bool force_unidirectional = false;
+
+    /**
+     * Deliberate off-by-one in the loop's shard-id arithmetic
+     * (TEST-ONLY): every ShardId(delta) computes delta + 1 instead.
+     * Exists so the difftest minimizer has a real, reproducible
+     * mismatch to shrink; never set outside tests.
+     */
+    bool test_shard_id_bug = false;
 };
+
+/**
+ * True when the §5.4.2 two-stream bidirectional structures (Figures
+ * 9/10) are structurally legal: the ring must have an even number of
+ * partitions (>= 4; N == 2 has its own exchange, below) and the
+ * partitioned label's per-shard extent must be even, so the two
+ * counter-rotating streams split the work into equal halves. Sites that
+ * fail the predicate fall back to the unidirectional loop. Shared by
+ * the cost estimator, the emitter and the gate's lowering
+ * classification so the three can never disagree.
+ */
+bool BidirectionalRingEligible(int64_t ring_size, int64_t shard_extent);
+
+/**
+ * True when the N == 2 two-way half-shard exchange (the §5.4.2 idea at
+ * its smallest scale) is structurally legal: exactly two partitions and
+ * an even shard extent (each direction carries half the shard).
+ */
+bool TwoWayExchangeEligible(int64_t ring_size, int64_t shard_extent);
 
 /**
  * The §5.5 gate's verdict for one matched overlap site, including the
@@ -69,7 +108,18 @@ struct SiteDecision {
     std::string reason;
 };
 
-/** What the pass did, for logging, tests and the ablation benches. */
+/**
+ * What the pass did, for logging, tests and the ablation benches.
+ *
+ * Every gated site lands in exactly one of three buckets — decomposed
+ * (allgather_sites + reduce_scatter_sites), rejected_by_cost_model, or
+ * fault_fallbacks — so `decisions.size() == total_decomposed() +
+ * rejected_by_cost_model + fault_fallbacks` always holds (asserted in
+ * compiler_guard_test). `fault_lowered` is a sub-count of the
+ * decomposed bucket (sites emitted unidirectionally by the gate), never
+ * a fourth bucket; a site the gate lowers and *then* sends back to the
+ * blocking collective counts only as a fallback.
+ */
 struct DecomposeStats {
     int64_t allgather_sites = 0;       ///< AllGather-Einsum loops built
     int64_t reduce_scatter_sites = 0;  ///< Einsum-ReduceScatter loops built
@@ -78,7 +128,10 @@ struct DecomposeStats {
     /// Sites the variance-aware gate sent back to the blocking
     /// collective because the degraded ring no longer won.
     int64_t fault_fallbacks = 0;
-    /// Sites lowered from bidirectional to unidirectional by the gate.
+    /// Of the decomposed sites, how many the gate lowered from a
+    /// bidirectional structure to the unidirectional loop. Counted only
+    /// when the site would actually have been bidirectional (see
+    /// BidirectionalRingEligible / TwoWayExchangeEligible).
     int64_t fault_lowered = 0;
     /// Per-site gate verdicts, in program order of the einsums.
     std::vector<SiteDecision> decisions;
@@ -86,6 +139,18 @@ struct DecomposeStats {
     int64_t total_decomposed() const
     {
         return allgather_sites + reduce_scatter_sites;
+    }
+
+    /**
+     * The bucket-partition invariant above; every Run() result
+     * satisfies it.
+     */
+    bool BucketsConsistent() const
+    {
+        return static_cast<int64_t>(decisions.size()) ==
+                   total_decomposed() + rejected_by_cost_model +
+                       fault_fallbacks &&
+               fault_lowered <= total_decomposed();
     }
 };
 

@@ -13,7 +13,9 @@
 #include "hlo/builder.h"
 #include "hlo/module.h"
 #include "hlo/verifier.h"
+#include "models/fault_presets.h"
 #include "sim/engine.h"
+#include "sim/fault_model.h"
 
 namespace overlap {
 namespace {
@@ -175,6 +177,123 @@ TEST(CompilerGuardTest, RollbackPreservesEarlierPassResults)
     EXPECT_EQ(report->decompose.total_decomposed(), 1);
     EXPECT_GT(report->async_permutes, 0);
     ASSERT_EQ(report->pass_diagnostics.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-partition invariant: every decompose decision lands in exactly
+// one of {decomposed, rejected_by_cost_model, fault_fallbacks}, with
+// fault_lowered a refinement of the decomposed bucket. A site that was
+// lowered to unidirectional must never also count as a fallback (the
+// historical double-count), and a site the bidirectional emitter could
+// never have used must not count as fault_lowered at all.
+// ---------------------------------------------------------------------------
+
+/** Two sites: one large enough to decompose, one the gate rejects. */
+std::unique_ptr<HloModule>
+BuildMixedSitesModule(const Mesh& mesh)
+{
+    auto module = std::make_unique<HloModule>("mixed");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* big_p = b.Parameter(0, Shape(DType::kBF16, {2048, 4096}));
+    auto* big_w = b.Parameter(1, Shape(DType::kBF16, {4096, 8192}));
+    auto* big = b.Einsum(b.AllGather(big_p, 0, mesh.Groups(0)), big_w,
+                         "bf,fh->bh");
+    auto* tiny_p = b.Parameter(2, Shape({2, 8}));
+    auto* tiny_w = b.Parameter(3, Shape({8, 8}));
+    auto* tiny = b.Einsum(b.AllGather(tiny_p, 0, mesh.Groups(0)), tiny_w,
+                          "bf,fh->bh");
+    comp->set_root(b.Tuple({big, tiny}));
+    return module;
+}
+
+TEST(CompilerGuardTest, DecisionBucketsPartitionMixedOutcomes)
+{
+    Mesh mesh(8);
+    auto module = BuildMixedSitesModule(mesh);
+    auto report = OverlapCompiler(CompilerOptions{}).Compile(module.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const DecomposeStats& stats = report->decompose;
+    ASSERT_EQ(stats.decisions.size(), 2u);
+    EXPECT_EQ(stats.total_decomposed(), 1);
+    EXPECT_EQ(stats.rejected_by_cost_model, 1);
+    EXPECT_EQ(stats.fault_fallbacks, 0);
+    EXPECT_EQ(stats.fault_lowered, 0);
+    EXPECT_TRUE(stats.BucketsConsistent());
+}
+
+TEST(CompilerGuardTest, FaultFallbackLandsInExactlyOneBucket)
+{
+    Mesh mesh(8);
+    auto module = BuildModule();
+    CompilerOptions options;
+    options.fault = SingleDegradedLink(mesh, 0, 0.02).spec;
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const DecomposeStats& stats = report->decompose;
+    ASSERT_EQ(stats.decisions.size(), 1u);
+    EXPECT_EQ(stats.fault_fallbacks, 1);
+    EXPECT_EQ(stats.total_decomposed(), 0);
+    EXPECT_EQ(stats.rejected_by_cost_model, 0);
+    // The fallback must not *also* register as a lowering: that was the
+    // double-count — a fault_lowered tick with no decomposed site.
+    EXPECT_EQ(stats.fault_lowered, 0);
+    EXPECT_TRUE(stats.BucketsConsistent());
+}
+
+TEST(CompilerGuardTest, FaultLoweredStaysInsideDecomposedBucket)
+{
+    Mesh mesh(8);
+    auto module = BuildModule();
+    CompilerOptions options;
+    LinkFault fault;
+    fault.src = 0;
+    fault.dst = mesh.RingNeighbor(0, 0, 1);
+    fault.bandwidth_factor = 0.05;
+    fault.latency_factor = 20.0;
+    options.fault.link_faults.push_back(fault);
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const DecomposeStats& stats = report->decompose;
+    ASSERT_EQ(stats.decisions.size(), 1u);
+    EXPECT_EQ(stats.total_decomposed(), 1);
+    EXPECT_EQ(stats.fault_lowered, 1);
+    EXPECT_EQ(stats.fault_fallbacks, 0);
+    EXPECT_EQ(stats.rejected_by_cost_model, 0);
+    EXPECT_TRUE(stats.BucketsConsistent());
+    EXPECT_LE(stats.fault_lowered, stats.total_decomposed());
+}
+
+TEST(CompilerGuardTest, IneligibleSiteIsNeverCountedFaultLowered)
+{
+    // Odd shard extent: the bidirectional emitter would refuse this
+    // site, so a one-direction fault has nothing to lower — the site
+    // must stay a plain decomposed (unidirectional) entry, not leak a
+    // fault_lowered tick for a lowering that never happened.
+    Mesh mesh(8);
+    auto module = std::make_unique<HloModule>("odd");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {2047, 4096}));
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {4096, 8192}));
+    auto* ag = b.AllGather(p, 0, mesh.Groups(0));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+
+    CompilerOptions options;
+    LinkFault fault;
+    fault.src = 0;
+    fault.dst = mesh.RingNeighbor(0, 0, 1);
+    fault.bandwidth_factor = 0.05;
+    fault.latency_factor = 20.0;
+    options.fault.link_faults.push_back(fault);
+    auto report = OverlapCompiler(options).Compile(module.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const DecomposeStats& stats = report->decompose;
+    ASSERT_EQ(stats.decisions.size(), 1u);
+    EXPECT_EQ(stats.fault_lowered, 0);
+    EXPECT_TRUE(stats.BucketsConsistent());
 }
 
 }  // namespace

@@ -43,10 +43,9 @@ CountOps(const HloComputation& comp, HloOpcode opcode)
  */
 Scenario
 BuildAllGatherScenario(const Mesh& mesh, int64_t axis, EinsumDimKind kind,
-                       int64_t gathered_side)
+                       int64_t gathered_side, int64_t shard = 2)
 {
     const int64_t n = mesh.axis_size(axis);
-    const int64_t shard = 2;
     Scenario s;
     s.module = std::make_unique<HloModule>("ag_scenario");
     s.module->set_mesh(mesh);
@@ -116,7 +115,7 @@ BuildAllGatherScenario(const Mesh& mesh, int64_t axis, EinsumDimKind kind,
  */
 Scenario
 BuildReduceScatterScenario(const Mesh& mesh, int64_t axis,
-                           int64_t sliced_side)
+                           int64_t sliced_side, int64_t out_shard = 2)
 {
     const int64_t n = mesh.axis_size(axis);
     const int64_t f_shard = 3;
@@ -127,8 +126,8 @@ BuildReduceScatterScenario(const Mesh& mesh, int64_t axis,
     HloBuilder b(comp);
 
     // "bf,fh->bh"; scatter along 'b' (lhs-free) or 'h' (rhs-free).
-    int64_t b_size = sliced_side == 0 ? 2 * n : 3;
-    int64_t h_size = sliced_side == 1 ? 2 * n : 5;
+    int64_t b_size = sliced_side == 0 ? out_shard * n : 3;
+    int64_t h_size = sliced_side == 1 ? out_shard * n : 5;
     Shape lhs_global({b_size, n * f_shard});
     Shape rhs_global({n * f_shard, h_size});
     TensorSharding lhs_sharding = TensorSharding::OnDim(2, 1, axis);
@@ -295,6 +294,148 @@ INSTANTIATE_TEST_SUITE_P(
                (std::get<1>(info.param) ? "_unroll" : "_nounroll") +
                (std::get<2>(info.param) ? "_bidi" : "_uni");
     });
+
+// ---------------------------------------------------------------------------
+// Odd-shape oracle sweep: all four site cases with an odd shard extent,
+// on both an odd ring (N=5, no §5.4.2 structure possible) and an even
+// ring (N=4, where an odd extent must force the unidirectional
+// fallback). Only even/even paths were exercised before.
+// ---------------------------------------------------------------------------
+
+class OddShapeEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>> {
+  protected:
+    DecomposeOptions Options() const
+    {
+        DecomposeOptions options;
+        options.unroll = std::get<1>(GetParam());
+        options.bidirectional = std::get<2>(GetParam());
+        options.use_cost_model = false;
+        return options;
+    }
+    int64_t N() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(OddShapeEquivalence, AllGatherNonContractingOddExtent)
+{
+    Mesh mesh(N());
+    auto s = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kLhsFree, 0,
+                                    /*shard=*/3);
+    CheckEquivalence(s, Options());
+}
+
+TEST_P(OddShapeEquivalence, AllGatherContractingOddExtent)
+{
+    Mesh mesh(N());
+    auto s = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kContracting,
+                                    0, /*shard=*/3);
+    CheckEquivalence(s, Options());
+}
+
+TEST_P(OddShapeEquivalence, AllGatherBatchOddExtent)
+{
+    Mesh mesh(N());
+    auto s = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kBatch, 0,
+                                    /*shard=*/3);
+    CheckEquivalence(s, Options());
+}
+
+TEST_P(OddShapeEquivalence, ReduceScatterOddExtent)
+{
+    Mesh mesh(N());
+    auto s = BuildReduceScatterScenario(mesh, 0, 0, /*out_shard=*/3);
+    CheckEquivalence(s, Options());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddSweep, OddShapeEquivalence,
+    ::testing::Combine(::testing::Values(2, 4, 5),
+                       ::testing::Bool(),   // unroll
+                       ::testing::Bool()),  // bidirectional
+    [](const ::testing::TestParamInfo<std::tuple<int, bool, bool>>& info) {
+        return "N" + std::to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "_unroll" : "_nounroll") +
+               (std::get<2>(info.param) ? "_bidi" : "_uni");
+    });
+
+// ---------------------------------------------------------------------------
+// Bidirectional gating consistency (the predicate shared by estimator,
+// emitter and gate).
+// ---------------------------------------------------------------------------
+
+TEST(BidirectionalEligibilityTest, PredicatesAgreeOnParity)
+{
+    EXPECT_TRUE(BidirectionalRingEligible(4, 2));
+    EXPECT_TRUE(BidirectionalRingEligible(8, 4));
+    EXPECT_FALSE(BidirectionalRingEligible(4, 3));  // odd shard extent
+    EXPECT_FALSE(BidirectionalRingEligible(3, 2));  // odd ring
+    EXPECT_FALSE(BidirectionalRingEligible(2, 2));  // two-way territory
+    EXPECT_TRUE(TwoWayExchangeEligible(2, 2));
+    EXPECT_FALSE(TwoWayExchangeEligible(2, 3));  // odd shard extent
+    EXPECT_FALSE(TwoWayExchangeEligible(4, 2));
+}
+
+TEST(BidirectionalEligibilityTest, OddExtentFallsBackToUnidirectional)
+{
+    // N=4 with an odd shard extent: the two counter-rotating streams
+    // cannot split the work evenly, so the emitter must fall back to
+    // the unidirectional loop — whose partial einsums carry no fusion
+    // pairing — instead of emitting a half-shard split.
+    Mesh mesh(4);
+    auto even = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kLhsFree,
+                                       0, /*shard=*/2);
+    auto odd = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kLhsFree,
+                                      0, /*shard=*/3);
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    options.bidirectional = true;
+    CostModel cost((HardwareSpec()));
+    auto fused_einsums = [](const HloComputation& comp) {
+        int64_t fused = 0;
+        for (const HloInstruction* instr : comp.instructions()) {
+            if (instr->opcode() == HloOpcode::kEinsum &&
+                instr->fusion_group() >= 0) {
+                ++fused;
+            }
+        }
+        return fused;
+    };
+    CollectiveEinsumDecomposer even_decomposer(mesh, &cost, options);
+    ASSERT_TRUE(even_decomposer.Run(even.module->entry()).ok());
+    EXPECT_GT(fused_einsums(*even.module->entry()), 0);
+    CollectiveEinsumDecomposer odd_decomposer(mesh, &cost, options);
+    ASSERT_TRUE(odd_decomposer.Run(odd.module->entry()).ok());
+    EXPECT_EQ(fused_einsums(*odd.module->entry()), 0);
+    // Unidirectional AllGather over N=4: N-1 = 3 permutes, N einsums.
+    EXPECT_EQ(CountOps(*odd.module->entry(),
+                       HloOpcode::kCollectivePermute),
+              3);
+    EXPECT_EQ(CountOps(*odd.module->entry(), HloOpcode::kEinsum), 4);
+}
+
+TEST(BidirectionalEligibilityTest, OddExtentTwoWayFallsBack)
+{
+    // N=2 with an odd shard extent cannot halve the shard: no kSlice
+    // half-split ops may appear; the plain unidirectional loop runs.
+    Mesh mesh(2);
+    auto even = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kLhsFree,
+                                       0, /*shard=*/2);
+    auto odd = BuildAllGatherScenario(mesh, 0, EinsumDimKind::kLhsFree,
+                                      0, /*shard=*/3);
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    options.bidirectional = true;
+    CostModel cost((HardwareSpec()));
+    CollectiveEinsumDecomposer even_decomposer(mesh, &cost, options);
+    ASSERT_TRUE(even_decomposer.Run(even.module->entry()).ok());
+    EXPECT_EQ(CountOps(*even.module->entry(), HloOpcode::kSlice), 2);
+    CollectiveEinsumDecomposer odd_decomposer(mesh, &cost, options);
+    ASSERT_TRUE(odd_decomposer.Run(odd.module->entry()).ok());
+    EXPECT_EQ(CountOps(*odd.module->entry(), HloOpcode::kSlice), 0);
+    EXPECT_EQ(CountOps(*odd.module->entry(),
+                       HloOpcode::kCollectivePermute),
+              1);
+}
 
 // ---------------------------------------------------------------------------
 // Targeted behaviour tests.

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "difftest/difftest.h"
+#include "difftest/minimizer.h"
+#include "hlo/parser.h"
+#include "passes/decompose.h"
+
+namespace overlap {
+namespace difftest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tier-1 sweep: 64 seeded cases x all six decomposition variants. The
+// stratified generator guarantees every 8 consecutive indices cover all
+// four site cases under both shard-extent parities.
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, Tier1SweepHasZeroMismatches)
+{
+    DiffTestConfig config;
+    config.num_cases = 64;
+    config.seed = 42;
+    auto summary = RunDiffTest(config);
+    ASSERT_TRUE(summary.ok()) << summary.status().message();
+    EXPECT_EQ(summary->cases_run, 64);
+    EXPECT_EQ(summary->variants_run,
+              64 * static_cast<int64_t>(AllDecomposeVariants().size()));
+    EXPECT_EQ(summary->mismatches, 0) << summary->ToString();
+    // Coverage: all four site cases, both parities.
+    for (size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(summary->cases_by_site[c], 16)
+            << "site case " << c << " under-covered";
+    }
+    EXPECT_EQ(summary->odd_extent_cases, 32);
+    EXPECT_EQ(summary->even_extent_cases, 32);
+}
+
+TEST(DiffTest, SweepIsDeterministicPerSeed)
+{
+    SiteSpec a = GenerateSiteSpec(7, 13);
+    SiteSpec b = GenerateSiteSpec(7, 13);
+    EXPECT_EQ(a.ToString(), b.ToString());
+    SiteSpec c = GenerateSiteSpec(8, 13);
+    EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(DiffTest, SpecLineRoundTrips)
+{
+    for (int64_t i = 0; i < 32; ++i) {
+        SiteSpec spec = GenerateSiteSpec(99, i);
+        auto parsed = SiteSpec::Parse(spec.ToString());
+        ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+        EXPECT_EQ(parsed->ToString(), spec.ToString());
+    }
+}
+
+TEST(DiffTest, SpecParseRejectsGarbage)
+{
+    EXPECT_FALSE(SiteSpec::Parse("mesh=4 axis=0").ok());  // no case
+    EXPECT_FALSE(SiteSpec::Parse("case=nope mesh=4").ok());
+    EXPECT_FALSE(SiteSpec::Parse("case=rs mesh=2x2x2").ok());
+    EXPECT_FALSE(SiteSpec::Parse("case=rs mesh=4 axis=1").ok());
+    EXPECT_FALSE(SiteSpec::Parse("case=rs bogus").ok());
+}
+
+TEST(DiffTest, ReproLineRoundTrips)
+{
+    SiteSpec spec = GenerateSiteSpec(3, 5);
+    std::string line =
+        spec.ToString() + " variant=bidi_unroll inject=1";
+    auto repro = ParseReproLine(line);
+    ASSERT_TRUE(repro.ok()) << repro.status().message();
+    EXPECT_EQ(repro->spec.ToString(), spec.ToString());
+    EXPECT_STREQ(repro->variant.name, "bidi_unroll");
+    EXPECT_TRUE(repro->inject_shard_id_bug);
+    EXPECT_FALSE(ParseReproLine(spec.ToString()).ok());  // no variant
+}
+
+// ---------------------------------------------------------------------------
+// The minimizer, pointed at a deliberately injected decompose bug
+// (DecomposeOptions::test_shard_id_bug), must catch the mismatch and
+// shrink it to a <= 8-instruction module the parser round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, InjectedBugIsCaughtAndMinimized)
+{
+    DiffTestConfig config;
+    config.num_cases = 8;
+    config.seed = 42;
+    config.inject_shard_id_bug = true;
+    auto summary = RunDiffTest(config);
+    ASSERT_TRUE(summary.ok()) << summary.status().message();
+    ASSERT_GT(summary->mismatches, 0)
+        << "injected shard-id bug was not detected";
+    ASSERT_FALSE(summary->failures.empty());
+
+    const CaseFailure& failure = summary->failures.front();
+    auto variant = FindVariant(failure.variant);
+    ASSERT_TRUE(variant.ok());
+    auto minimized = MinimizeFailure(failure.spec, variant.value(),
+                                     /*inject_shard_id_bug=*/true);
+    ASSERT_TRUE(minimized.ok()) << minimized.status().message();
+
+    // The shrunken module is tiny and still fails.
+    EXPECT_LE(minimized->module_instructions, 8)
+        << minimized->module_text;
+    auto check = RunSingleCase(minimized->spec, minimized->variant,
+                               /*inject_shard_id_bug=*/true);
+    ASSERT_TRUE(check.ok());
+    EXPECT_FALSE(check->equal);
+
+    // ...and parses back to the identical text.
+    auto reparsed = ParseHloModule(minimized->module_text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+    EXPECT_EQ((*reparsed)->ToString(), minimized->module_text);
+
+    // The one-line repro re-runs through the repro-line pipeline.
+    auto repro = ParseReproLine(minimized->repro_line);
+    ASSERT_TRUE(repro.ok());
+    auto rerun = RunSingleCase(repro->spec, repro->variant,
+                               repro->inject_shard_id_bug);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_FALSE(rerun->equal);
+}
+
+TEST(DiffTest, MinimizerRejectsPassingCase)
+{
+    SiteSpec spec = GenerateSiteSpec(42, 0);
+    auto result = MinimizeFailure(spec, AllDecomposeVariants().front(),
+                                  /*inject_shard_id_bug=*/false);
+    EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// The forced-unidirectional hook really changes the lowering: under a
+// bidirectional-eligible site the forced variant emits no fused einsum
+// pairs (the §5.4.2 signature) while the plain bidi variant does.
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, ForcedUnidirectionalDropsBidirectionalStructure)
+{
+    SiteSpec spec;
+    spec.site_case = SiteCase::kAllGatherFree;
+    spec.mesh_dims = {4};
+    spec.shard_extent = 2;  // BidirectionalRingEligible
+    spec.data_seed = 5;
+
+    auto count_fused_einsums = [&](bool force) -> int64_t {
+        auto scenario = BuildSiteScenario(spec);
+        EXPECT_TRUE(scenario.ok());
+        DecomposeOptions options;
+        options.use_cost_model = false;
+        options.bidirectional = true;
+        options.force_unidirectional = force;
+        CostModel cost((HardwareSpec()));
+        CollectiveEinsumDecomposer decomposer(*scenario->module->mesh(),
+                                              &cost, options);
+        EXPECT_TRUE(decomposer.Run(scenario->module->entry()).ok());
+        int64_t fused = 0;
+        for (const HloInstruction* instr :
+             scenario->module->entry()->instructions()) {
+            if (instr->opcode() == HloOpcode::kEinsum &&
+                instr->fusion_group() >= 0) {
+                ++fused;
+            }
+        }
+        return fused;
+    };
+    EXPECT_GT(count_fused_einsums(false), 0);
+    EXPECT_EQ(count_fused_einsums(true), 0);
+}
+
+}  // namespace
+}  // namespace difftest
+}  // namespace overlap

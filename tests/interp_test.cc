@@ -2,6 +2,7 @@
 
 #include "hlo/builder.h"
 #include "hlo/module.h"
+#include "interp/comparison.h"
 #include "interp/evaluator.h"
 #include "test_util.h"
 
@@ -162,6 +163,133 @@ TEST(EvaluatorTest, AsyncPermutePairBehavesLikeSync)
     ASSERT_TRUE(result.ok());
     EXPECT_FLOAT_EQ((*result)[0].at({0}), 6.0f);
     EXPECT_FLOAT_EQ((*result)[1].at({0}), 5.0f);
+}
+
+TEST(EvaluatorTest, CollectivePermuteRejectsDuplicateTarget)
+{
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    // Two sources feeding device 2: order-dependent, must be rejected.
+    comp->set_root(b.CollectivePermute(p, {{0, 2}, {1, 2}}));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs(3, Tensor(Shape({1}), {1}));
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("duplicate target"),
+              std::string::npos);
+}
+
+TEST(EvaluatorTest, CollectivePermuteRejectsDuplicateSource)
+{
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    comp->set_root(b.CollectivePermute(p, {{0, 1}, {0, 2}}));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs(3, Tensor(Shape({1}), {1}));
+    auto result = eval.Evaluate(*comp, {inputs});
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("duplicate source"),
+              std::string::npos);
+}
+
+TEST(EvaluatorTest, CollectivePermuteRejectsOutOfRangeDevice)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    comp->set_root(b.CollectivePermute(p, {{0, 5}}));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs(2, Tensor(Shape({1}), {1}));
+    EXPECT_FALSE(eval.Evaluate(*comp, {inputs}).ok());
+}
+
+TEST(EvaluatorTest, AsyncStartValidatesPairsLikeSyncOp)
+{
+    // Start/Done must behave identically to the sync op, including the
+    // rejection of duplicate targets.
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    auto* start = b.CollectivePermuteStart(p, {{0, 2}, {1, 2}});
+    comp->set_root(b.CollectivePermuteDone(start));
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs(3, Tensor(Shape({1}), {1}));
+    EXPECT_FALSE(eval.Evaluate(*comp, {inputs}).ok());
+}
+
+TEST(EvaluatorTest, EvaluateBatchSharesParams)
+{
+    Mesh mesh(2);
+    HloModule add_module("add");
+    HloComputation* add_comp = add_module.AddEntryComputation("main");
+    {
+        HloBuilder b(add_comp);
+        auto* p = b.Parameter(0, Shape({1}));
+        add_comp->set_root(b.Add(p, p));
+    }
+    HloModule neg_module("neg");
+    HloComputation* neg_comp = neg_module.AddEntryComputation("main");
+    {
+        HloBuilder b(neg_comp);
+        neg_comp->set_root(b.Negate(b.Parameter(0, Shape({1}))));
+    }
+    SpmdEvaluator eval(mesh);
+    std::vector<Tensor> inputs = {Tensor(Shape({1}), {3}),
+                                  Tensor(Shape({1}), {4})};
+    auto outputs = eval.EvaluateBatch({add_comp, neg_comp}, {inputs});
+    ASSERT_TRUE(outputs.ok());
+    ASSERT_EQ(outputs->size(), 2u);
+    EXPECT_FLOAT_EQ((*outputs)[0][0].at({0}), 6.0f);
+    EXPECT_FLOAT_EQ((*outputs)[0][1].at({0}), 8.0f);
+    EXPECT_FLOAT_EQ((*outputs)[1][0].at({0}), -3.0f);
+    EXPECT_FLOAT_EQ((*outputs)[1][1].at({0}), -4.0f);
+}
+
+TEST(ComparisonTest, ToleranceScalesWithDtypeAndReduction)
+{
+    EXPECT_LT(EquivalenceTolerance(DType::kF32, 16),
+              EquivalenceTolerance(DType::kBF16, 16));
+    EXPECT_LT(EquivalenceTolerance(DType::kF32, 4),
+              EquivalenceTolerance(DType::kF32, 4096));
+    EXPECT_EQ(EquivalenceTolerance(DType::kS32, 100), 0.0);
+}
+
+TEST(ComparisonTest, CompareOutputsFindsFirstMismatch)
+{
+    std::vector<Tensor> ref = {Tensor(Shape({2}), {1, 2}),
+                               Tensor(Shape({2}), {3, 4})};
+    std::vector<Tensor> same = ref;
+    OutputComparison ok = CompareOutputs(ref, same, 1e-6);
+    EXPECT_TRUE(ok.equal);
+    EXPECT_EQ(ok.mismatched_devices, 0);
+    EXPECT_EQ(ok.first_mismatch_device, -1);
+
+    std::vector<Tensor> bad = {Tensor(Shape({2}), {1, 2}),
+                               Tensor(Shape({2}), {3, 9})};
+    OutputComparison cmp = CompareOutputs(ref, bad, 1e-6);
+    EXPECT_FALSE(cmp.equal);
+    EXPECT_EQ(cmp.mismatched_devices, 1);
+    EXPECT_EQ(cmp.first_mismatch_device, 1);
+    EXPECT_NEAR(cmp.max_abs_diff, 5.0, 1e-9);
+    EXPECT_NE(cmp.ToString().find("MISMATCH"), std::string::npos);
+}
+
+TEST(ComparisonTest, ShapeDisagreementIsAMismatch)
+{
+    std::vector<Tensor> ref = {Tensor(Shape({2}), {1, 2})};
+    std::vector<Tensor> other = {Tensor(Shape({3}), {1, 2, 3})};
+    OutputComparison cmp = CompareOutputs(ref, other, 1e9);
+    EXPECT_FALSE(cmp.equal);
 }
 
 TEST(EvaluatorTest, DynamicSliceUsesPerDeviceIndices)
