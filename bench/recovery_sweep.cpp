@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Elastic-recovery sweep (DESIGN.md §11): recovery latency and total run
+ * overhead of a mid-run permanent chip failure, swept over checkpoint
+ * intervals and failure times. Short intervals pay checkpoint traffic
+ * but replay little; long intervals replay most of the work since the
+ * last snapshot. Emits the sweep as JSON (--json for machine-readable
+ * output only, --quick for the sanitize-suite subset).
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "models/fault_presets.h"
+
+using namespace overlap;
+
+namespace {
+
+struct SweepPoint {
+    int64_t checkpoint_interval = 0;
+    int64_t fail_step = 0;
+    ElasticRunReport report;
+};
+
+std::string
+PointJson(const SweepPoint& point)
+{
+    const RecoveryStats& r = point.report.recovery;
+    return StrCat(
+        "    {\"checkpoint_interval\": ", point.checkpoint_interval,
+        ", \"fail_step\": ", point.fail_step,
+        ", \"recovered\": ", r.recovered ? "true" : "false",
+        ", \"detection_s\": ", r.detection_seconds,
+        ", \"restore_s\": ", r.restore_seconds,
+        ", \"replan_s\": ", r.replan_seconds,
+        ", \"replay_s\": ", r.replay_seconds,
+        ", \"recovery_latency_s\": ", r.RecoveryLatencySeconds(),
+        ", \"replayed_steps\": ", r.replayed_steps,
+        ", \"checkpoint_bytes\": ", r.checkpoint_bytes,
+        ", \"total_s\": ", point.report.total_seconds,
+        ", \"p50_step_s\": ", point.report.steps.p50_step_seconds, "}");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool json_only = false;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json_only = true;
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    }
+
+    const Mesh mesh(4);
+    const int64_t kNumSteps = quick ? 8 : 16;
+    const std::vector<int64_t> intervals =
+        quick ? std::vector<int64_t>{1, 2, 4}
+              : std::vector<int64_t>{1, 2, 4, 8};
+    // Odd steps land between checkpoints, so longer intervals actually
+    // replay work instead of resuming from a snapshot taken at the
+    // failure point.
+    const std::vector<int64_t> fail_steps =
+        quick ? std::vector<int64_t>{kNumSteps - 1}
+              : std::vector<int64_t>{3, kNumSteps / 2 + 1, kNumSteps - 3};
+
+    ElasticProgramSpec program;
+    program.logical_rows = 8;
+    program.feature = 4;
+
+    if (!json_only) {
+        bench::Banner(
+            StrCat("Recovery sweep on ", mesh.ToString(), ": ",
+                   kNumSteps, " steps, chip 1 dies mid-run"),
+            "checkpoint interval vs. replay: the elastic runtime's "
+            "core trade-off");
+        std::printf("%-9s %-6s  %10s %10s %10s %10s   %6s\n", "interval",
+                    "fail@", "detect", "restore", "replay", "latency",
+                    "replay#");
+    }
+
+    std::vector<SweepPoint> sweep;
+    for (int64_t interval : intervals) {
+        for (int64_t fail_step : fail_steps) {
+            ElasticRunOptions options;
+            options.num_steps = kNumSteps;
+            options.checkpoint_interval = interval;
+            options.program = program;
+            options.compiler.decompose.use_cost_model = false;
+            options.compiler.fault =
+                ChipDeath(/*chip=*/1, fail_step).spec;
+
+            auto report = RunElasticTraining(mesh, options);
+            if (!report.ok()) {
+                std::fprintf(stderr, "sweep point (k=%lld, t=%lld): %s\n",
+                             static_cast<long long>(interval),
+                             static_cast<long long>(fail_step),
+                             report.status().ToString().c_str());
+                return 1;
+            }
+            SweepPoint point;
+            point.checkpoint_interval = interval;
+            point.fail_step = fail_step;
+            point.report = std::move(report).value();
+            const RecoveryStats& r = point.report.recovery;
+            if (!r.recovered) {
+                std::fprintf(stderr,
+                             "sweep point (k=%lld, t=%lld) did not "
+                             "recover\n",
+                             static_cast<long long>(interval),
+                             static_cast<long long>(fail_step));
+                return 1;
+            }
+            if (!json_only) {
+                std::printf(
+                    "%-9lld %-6lld  %10s %10s %10s %10s   %6lld\n",
+                    static_cast<long long>(interval),
+                    static_cast<long long>(fail_step),
+                    HumanTime(r.detection_seconds).c_str(),
+                    HumanTime(r.restore_seconds).c_str(),
+                    HumanTime(r.replay_seconds).c_str(),
+                    HumanTime(r.RecoveryLatencySeconds()).c_str(),
+                    static_cast<long long>(r.replayed_steps));
+            }
+            sweep.push_back(std::move(point));
+        }
+    }
+
+    if (!json_only) {
+        std::printf(
+            "\nReplay grows with the checkpoint interval (work since the "
+            "last snapshot is\nlost); detection and restore are "
+            "interval-independent. The survivor ring is\nodd, so the "
+            "recompile's §5.5 gate lowers the replanned loops to "
+            "unidirectional.\n\nJSON:\n");
+    }
+    std::printf("{\n  \"mesh\": \"%s\",\n  \"num_steps\": %lld,\n"
+                "  \"sweep\": [\n",
+                mesh.ToString().c_str(),
+                static_cast<long long>(kNumSteps));
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        std::printf("%s%s\n", PointJson(sweep[i]).c_str(),
+                    i + 1 < sweep.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

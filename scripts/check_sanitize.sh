@@ -23,3 +23,8 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # build tree and fail the script.
 "${build_dir}/src/difftest/difftest_runner" --quick \
     --out "${build_dir}/difftest_repros"
+
+# Quick elastic-recovery sweep under the sanitizers: a chip death must
+# recover (detect -> restore -> replan -> resume) at every checkpoint
+# interval, with no leaks or UB along the recovery path.
+"${build_dir}/bench/recovery_sweep" --quick --json > /dev/null

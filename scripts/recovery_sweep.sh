@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and runs the elastic-recovery sweep (bench/recovery_sweep):
+# recovery latency vs. checkpoint interval and failure time, as JSON.
+#
+# Usage: scripts/recovery_sweep.sh [--quick] [build-dir]
+#   --quick    the small sweep the sanitize suite runs (3 intervals,
+#              one failure time, 8 steps)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+quick_flag=""
+build_dir="${repo_root}/build"
+for arg in "$@"; do
+    case "${arg}" in
+      --quick) quick_flag="--quick" ;;
+      *) build_dir="${arg}" ;;
+    esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target recovery_sweep
+
+# ${quick_flag} expands to nothing for the full sweep; --json keeps the
+# output machine-readable for downstream plotting.
+"${build_dir}/bench/recovery_sweep" --json ${quick_flag:+${quick_flag}}

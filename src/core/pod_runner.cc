@@ -1,5 +1,6 @@
 #include "core/pod_runner.h"
 
+#include "core/recovery/checkpoint.h"
 #include "models/step_builder.h"
 #include "support/strings.h"
 
@@ -46,12 +47,31 @@ SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
 }
 
 std::string
+RecoveryStats::ToString() const
+{
+    if (!failed) return "no failure";
+    return StrCat(recovered ? "recovered" : "unrecovered",
+                  ": detection=", HumanTime(detection_seconds),
+                  " restore=", HumanTime(restore_seconds),
+                  " replan=", HumanTime(replan_seconds),
+                  " replay=", HumanTime(replay_seconds), " (",
+                  replayed_steps, " steps from checkpoint ",
+                  checkpoint_step, ") total=",
+                  HumanTime(RecoveryLatencySeconds()));
+}
+
+std::string
 StepTrialReport::ToString() const
 {
-    return StrCat(config.name, ": p50=", HumanTime(p50_step_seconds),
-                  " p99=", HumanTime(p99_step_seconds),
-                  " retries=", trials.total_retries, " over ",
-                  trials.num_trials, " trials");
+    std::string out =
+        StrCat(config.name, ": p50=", HumanTime(p50_step_seconds),
+               " p99=", HumanTime(p99_step_seconds),
+               " retries=", trials.total_retries, " over ",
+               trials.num_trials, " trials");
+    if (recovery.failed) {
+        out += StrCat("; recovery: ", recovery.ToString());
+    }
+    return out;
 }
 
 StatusOr<StepTrialReport>
@@ -77,6 +97,148 @@ SimulateModelStepTrials(const ModelConfig& config,
     double layers = static_cast<double>(config.num_layers);
     report.p50_step_seconds = report.trials.p50_step_seconds * layers;
     report.p99_step_seconds = report.trials.p99_step_seconds * layers;
+    return report;
+}
+
+StepTrialReport
+ElasticRunReport::AsStepTrialReport() const
+{
+    StepTrialReport report;
+    report.config.name = "elastic_step";
+    report.config.num_layers = 1;
+    report.compile = initial_compile;
+    report.trials = steps;
+    report.p50_step_seconds = steps.p50_step_seconds;
+    report.p99_step_seconds = steps.p99_step_seconds;
+    report.recovery = recovery;
+    return report;
+}
+
+std::string
+ElasticRunReport::ToString() const
+{
+    return StrCat("elastic run: ", num_steps, " steps on ",
+                  final_mesh.ToString(), " total=",
+                  HumanTime(total_seconds),
+                  " p50_step=", HumanTime(steps.p50_step_seconds), "; ",
+                  recovery.ToString());
+}
+
+StatusOr<ElasticRunReport>
+RunElasticTraining(const Mesh& mesh, const ElasticRunOptions& options)
+{
+    if (options.num_steps < 1) {
+        return InvalidArgument("elastic run needs at least one step");
+    }
+    if (options.checkpoint_interval < 1) {
+        return InvalidArgument("checkpoint interval must be >= 1");
+    }
+    if (options.restore_bandwidth_bytes_per_second <= 0.0) {
+        return InvalidArgument("restore bandwidth must be positive");
+    }
+
+    ElasticRunReport report;
+    report.num_steps = options.num_steps;
+    report.checkpoint_interval = options.checkpoint_interval;
+
+    auto program = BuildElasticProgram(options.program, mesh,
+                                       options.compiler,
+                                       InitialElasticState(options.program));
+    if (!program.ok()) return program.status();
+    report.initial_compile = program->compile;
+
+    CheckpointStore store(options.checkpoint_interval);
+    {
+        auto state = LogicalElasticState(*program);
+        if (!state.ok()) return state.status();
+        store.Save(0, state.value());
+    }
+
+    Mesh current_mesh = mesh;
+    FaultSpec current_fault = options.compiler.fault;
+    PodSimulator simulator(current_mesh, options.compiler.hardware,
+                           FaultModel(current_fault));
+
+    std::vector<double> committed_step_times;
+    int64_t step = 0;
+    // Steps below this index were already committed before the failure;
+    // re-running them on the survivor mesh is replay, not progress.
+    int64_t replay_until = 0;
+    while (step < options.num_steps) {
+        auto outcome = simulator.RunStep(*program->module, step);
+        if (!outcome.ok()) return outcome.status();
+        if (outcome->failed) {
+            const FailureReport& failure = outcome->failure;
+            if (report.recovery.failed) {
+                return FailedPrecondition(StrCat(
+                    "second permanent failure on the survivor mesh: ",
+                    failure.ToString()));
+            }
+            report.recovery.failed = true;
+            report.recovery.failure_summary = failure.ToString();
+            report.recovery.failed_step = step;
+            report.recovery.detection_seconds =
+                failure.detected_at_seconds;
+            report.total_seconds += failure.detected_at_seconds;
+
+            auto plan = RecoveryPlanner::PlanSurvivorMesh(
+                current_mesh, current_fault, failure);
+            if (!plan.ok()) return plan.status();
+            report.recovery.survivor_plan = plan->ToString();
+
+            auto restored = store.Restore();
+            if (!restored.ok()) return restored.status();
+            report.recovery.checkpoint_step = store.latest_step();
+            report.recovery.checkpoint_bytes = store.stored_bytes();
+            report.recovery.restore_seconds =
+                static_cast<double>(store.stored_bytes()) /
+                options.restore_bandwidth_bytes_per_second;
+            report.total_seconds += report.recovery.restore_seconds;
+
+            CompilerOptions survivor_options = options.compiler;
+            survivor_options.fault = plan->fault;
+            auto survivor = BuildElasticProgram(
+                options.program, plan->mesh, survivor_options,
+                restored.value());
+            if (!survivor.ok()) return survivor.status();
+            report.survivor_compile = survivor->compile;
+            report.recovery.replan_seconds =
+                options.replan_latency_seconds;
+            report.total_seconds += options.replan_latency_seconds;
+
+            program = std::move(survivor);
+            current_mesh = plan->mesh;
+            current_fault = plan->fault;
+            simulator = PodSimulator(current_mesh,
+                                     options.compiler.hardware,
+                                     FaultModel(current_fault));
+            report.recovery.replayed_steps = step - store.latest_step();
+            replay_until = step;
+            step = store.latest_step();
+            report.recovery.recovered = true;
+            continue;
+        }
+
+        auto status = AdvanceElasticState(&program.value());
+        if (!status.ok()) return status;
+        double step_time = outcome->result.step_seconds;
+        report.total_seconds += step_time;
+        if (step < replay_until) {
+            report.recovery.replay_seconds += step_time;
+        } else {
+            committed_step_times.push_back(step_time);
+        }
+        ++step;
+        auto state = LogicalElasticState(*program);
+        if (!state.ok()) return state.status();
+        store.MaybeSave(step, state.value());
+    }
+
+    report.final_mesh = current_mesh;
+    report.steps = TrialStats::FromSamples(std::move(committed_step_times));
+    auto final_state = LogicalElasticState(*program);
+    if (!final_state.ok()) return final_state.status();
+    report.final_state = std::move(final_state).value();
     return report;
 }
 

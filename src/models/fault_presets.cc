@@ -47,11 +47,50 @@ FlakyFabric(double failure_probability, uint64_t seed)
     FaultScenario scenario;
     scenario.name = "flaky_fabric";
     scenario.description =
-        "transient CollectivePermute failures with retry-after-timeout";
+        "transient CollectivePermute failures retried under capped "
+        "exponential backoff with seeded jitter";
     scenario.spec.seed = seed;
     scenario.spec.transient_failure_probability = failure_probability;
     scenario.spec.max_transfer_retries = 3;
-    scenario.spec.retry_timeout_seconds = 25e-6;
+    scenario.spec.retry_backoff_base_seconds = 25e-6;
+    scenario.spec.retry_backoff_multiplier = 2.0;
+    scenario.spec.retry_backoff_cap_seconds = 200e-6;
+    scenario.spec.retry_backoff_jitter = 0.25;
+    return scenario;
+}
+
+FaultScenario
+ChipDeath(int64_t chip, int64_t fail_step, double fail_time_seconds)
+{
+    FaultScenario scenario;
+    scenario.name = "chip_death";
+    scenario.description =
+        "one chip dies permanently mid-run; survivable only by the "
+        "elastic recovery runtime (detect, restore, replan, resume)";
+    PermanentFault fault;
+    fault.chip = chip;
+    fault.fail_step = fail_step;
+    fault.fail_time_seconds = fail_time_seconds;
+    scenario.spec.permanent_faults.push_back(fault);
+    return scenario;
+}
+
+FaultScenario
+LinkDeath(const Mesh& mesh, int64_t axis, int64_t fail_step,
+          double fail_time_seconds)
+{
+    FaultScenario scenario;
+    scenario.name = "link_death";
+    scenario.description =
+        "one directed ring link dies permanently mid-run; every "
+        "collective crossing it blocks until the watchdog fires";
+    PermanentFault fault;
+    fault.link_src = 0;
+    // Engine direction 0 carries data toward the lower ring position.
+    fault.link_dst = mesh.RingNeighbor(0, axis, -1);
+    fault.fail_step = fail_step;
+    fault.fail_time_seconds = fail_time_seconds;
+    scenario.spec.permanent_faults.push_back(fault);
     return scenario;
 }
 

@@ -33,10 +33,28 @@ FaultScenario StragglerChip(double compute_factor = 0.6);
 
 /**
  * Transient CollectivePermute failures at `failure_probability` per
- * attempt, retried after a timeout (tail latency from retries).
+ * attempt, retried under capped exponential backoff with seeded jitter
+ * (tail latency from retries; exhaustion escalates to the watchdog).
  */
 FaultScenario FlakyFabric(double failure_probability = 0.02,
                           uint64_t seed = 7);
+
+/**
+ * Chip `chip` dies permanently at simulated time `fail_time_seconds`
+ * into step `fail_step` — the elastic-recovery scenario of DESIGN.md
+ * §11 (detect via watchdog, restore a checkpoint, replan onto the
+ * survivor mesh, resume).
+ */
+FaultScenario ChipDeath(int64_t chip = 0, int64_t fail_step = 0,
+                        double fail_time_seconds = 0.0);
+
+/**
+ * The directed ring link device 0 sends on in engine direction 0 along
+ * `axis` dies permanently at `fail_time_seconds` into step `fail_step`.
+ */
+FaultScenario LinkDeath(const Mesh& mesh, int64_t axis = 0,
+                        int64_t fail_step = 0,
+                        double fail_time_seconds = 0.0);
 
 /**
  * A worn pod: mild seeded per-link degradation plus per-trial link and

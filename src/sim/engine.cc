@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/strings.h"
 
@@ -66,11 +68,179 @@ RouteOf(const Mesh& mesh, const HloInstruction* permute)
     return route;
 }
 
+/** The ring link device 0 uses on `axis` in engine direction `dir`. */
+std::pair<int64_t, int64_t>
+RepresentativeLink(const Mesh& mesh, int64_t axis, int64_t dir)
+{
+    return {0, mesh.RingNeighbor(0, axis, dir == 0 ? -1 : 1)};
+}
+
+/** True when directed link src->dst is a ring hop of (axis, dir). */
+bool
+ChannelUsesLink(const Mesh& mesh, int64_t axis, int64_t dir, int64_t src,
+                int64_t dst)
+{
+    if (src < 0 || src >= mesh.num_devices()) return false;
+    return mesh.RingNeighbor(src, axis, dir == 0 ? -1 : 1) == dst;
+}
+
+/** True when any device group of the collective contains `chip`. */
+bool
+GroupsInvolveChip(const std::vector<std::vector<int64_t>>& groups,
+                  int64_t chip)
+{
+    for (const auto& group : groups) {
+        for (int64_t device : group) {
+            if (device == chip) return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * No-progress pre-check over the executed order (the silent-hang class:
+ * a real runtime would spin forever on these schedules, the simulator
+ * must instead terminate with a diagnostic naming the blocked
+ * instructions). Catches:
+ *  - a CollectivePermuteDone whose Start is not scheduled before it
+ *    (orphaned pair / permute cycle),
+ *  - a CollectivePermuteStart with no matching Done (its transfer and
+ *    hardware sync flag never retire),
+ *  - async in-flight budget starvation: a Start issued while every
+ *    hardware sync flag is held by a transfer whose Done is scheduled
+ *    later (the device can never reach the Done that would free one).
+ */
+Status
+CheckNoDeadlock(const std::vector<SchedUnit*>& order,
+                int64_t max_in_flight)
+{
+    std::unordered_set<const SchedUnit*> started;
+    std::vector<const SchedUnit*> outstanding;
+    for (const SchedUnit* unit : order) {
+        if (unit->IsPermuteStart()) {
+            if (max_in_flight > 0 &&
+                static_cast<int64_t>(outstanding.size()) >=
+                    max_in_flight) {
+                std::vector<std::string> holders;
+                for (const SchedUnit* s : outstanding) {
+                    holders.push_back(s->members.front()->name());
+                }
+                return FailedPrecondition(StrCat(
+                    "no progress possible: async in-flight budget (",
+                    max_in_flight, ") exhausted at '",
+                    unit->members.front()->name(),
+                    "'; flags held by Starts whose Dones are scheduled "
+                    "later: ",
+                    StrJoin(holders, ", ")));
+            }
+            started.insert(unit);
+            outstanding.push_back(unit);
+        } else if (unit->IsPermuteDone()) {
+            if (unit->operands.empty()) {
+                return FailedPrecondition(StrCat(
+                    "no progress possible: CollectivePermuteDone '",
+                    unit->members.front()->name(),
+                    "' has no Start operand"));
+            }
+            const SchedUnit* start = unit->operands.front();
+            if (started.count(start) == 0) {
+                return FailedPrecondition(StrCat(
+                    "no progress possible: CollectivePermuteDone '",
+                    unit->members.front()->name(),
+                    "' waits on Start '", start->members.front()->name(),
+                    "' which is not scheduled before it (orphaned "
+                    "Start/Done pair)"));
+            }
+            outstanding.erase(std::remove(outstanding.begin(),
+                                          outstanding.end(), start),
+                              outstanding.end());
+        }
+    }
+    if (!outstanding.empty()) {
+        std::vector<std::string> names;
+        for (const SchedUnit* s : outstanding) {
+            names.push_back(s->members.front()->name());
+        }
+        return FailedPrecondition(StrCat(
+            "no progress possible: CollectivePermuteStart(s) without a "
+            "matching Done never retire their transfers: ",
+            StrJoin(names, ", ")));
+    }
+    return Status::Ok();
+}
+
+/** Why an async transfer can never arrive. */
+struct KilledTransfer {
+    FailureCause cause = FailureCause::kChipDeath;
+    int64_t dead_link_src = -1;
+    int64_t dead_link_dst = -1;
+    double fail_time_seconds = 0.0;
+};
+
 }  // namespace
 
-StatusOr<SimResult>
-PodSimulator::Run(const HloModule& module, bool collect_trace,
-                  int64_t trial) const
+const char*
+FailureCauseName(FailureCause cause)
+{
+    switch (cause) {
+      case FailureCause::kChipDeath: return "chip_death";
+      case FailureCause::kLinkDeath: return "link_death";
+      case FailureCause::kRetryExhaustion: return "retry_exhaustion";
+    }
+    return "unknown";
+}
+
+std::string
+FailureReport::ToString() const
+{
+    std::string out = StrCat(
+        "failure(", FailureCauseName(cause), ") at step ", failed_step,
+        " t=", HumanTime(fail_time_seconds), ": ");
+    if (dead_chip >= 0) {
+        out += StrCat("chip ", dead_chip, " dead");
+    } else if (dead_link_src >= 0) {
+        out += StrCat("link ", dead_link_src, "->", dead_link_dst,
+                      " dead");
+    }
+    out += StrCat("; last completed step ", last_completed_step,
+                  ", last progress ", HumanTime(last_progress_seconds),
+                  ", watchdog fired at ", HumanTime(detected_at_seconds),
+                  "; blocked: ", StrJoin(blocked_instructions, ", "));
+    return out;
+}
+
+TrialStats
+TrialStats::FromSamples(std::vector<double> samples)
+{
+    TrialStats stats;
+    stats.num_trials = static_cast<int64_t>(samples.size());
+    stats.step_seconds = std::move(samples);
+    if (stats.step_seconds.empty()) return stats;
+    for (double s : stats.step_seconds) stats.mean_step_seconds += s;
+    stats.mean_step_seconds /=
+        static_cast<double>(stats.step_seconds.size());
+    std::vector<double> sorted = stats.step_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank percentile: smallest value with at least q*n samples
+    // at or below it.
+    auto percentile = [&sorted](double q) {
+        size_t n = sorted.size();
+        size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        if (rank == 0) rank = 1;
+        if (rank > n) rank = n;
+        return sorted[rank - 1];
+    };
+    stats.p50_step_seconds = percentile(0.50);
+    stats.p99_step_seconds = percentile(0.99);
+    stats.min_step_seconds = sorted.front();
+    stats.max_step_seconds = sorted.back();
+    return stats;
+}
+
+StatusOr<StepOutcome>
+PodSimulator::RunStep(const HloModule& module, int64_t step_index,
+                      bool collect_trace, int64_t trial) const
 {
     if (module.entry() == nullptr) {
         return InvalidArgument("module has no entry computation");
@@ -79,6 +249,8 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
     SchedGraph graph(computation, cost_);
     std::vector<SchedUnit*> order =
         graph.UnitOrderOf(computation.sequence());
+    OVERLAP_RETURN_IF_ERROR(
+        CheckNoDeadlock(order, spec_.max_in_flight_async));
 
     // One link channel per (axis, direction); value = busy-until time.
     std::vector<double> channel_free(
@@ -111,12 +283,97 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
         compute_factor =
             fault_.SlowestChipFactor(mesh_.num_devices(), trial);
     }
+
+    // Permanent failure manifest in this step: the dead entity exists
+    // from `dead_from` (time 0 when it died in an earlier step).
+    const PermanentFault* permanent =
+        fault_.fault_free() ? nullptr
+                            : fault_.ActivePermanentFault(step_index);
+    double dead_from = 0.0;
+    if (permanent != nullptr) {
+        dead_from = permanent->fail_step < step_index
+                        ? 0.0
+                        : permanent->fail_time_seconds;
+    }
+    // True when a comm op on (axis, dir ring channel / device groups)
+    // needs the dead entity.
+    auto permute_involves_dead = [&](const HloInstruction* head,
+                                     int64_t axis,
+                                     int64_t dir) -> bool {
+        if (permanent == nullptr) return false;
+        if (permanent->IsChip()) {
+            for (const auto& [src, dst] :
+                 head->attrs().source_target_pairs) {
+                if (src == permanent->chip || dst == permanent->chip) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        return ChannelUsesLink(mesh_, axis, dir, permanent->link_src,
+                               permanent->link_dst);
+    };
+    auto collective_involves_dead =
+        [&](const std::vector<std::vector<int64_t>>& groups,
+            int64_t axis) -> bool {
+        if (permanent == nullptr) return false;
+        if (permanent->IsChip()) {
+            return GroupsInvolveChip(groups, permanent->chip);
+        }
+        if (axis < 0) return true;  // occupies every channel
+        return ChannelUsesLink(mesh_, axis, 0, permanent->link_src,
+                               permanent->link_dst) ||
+               ChannelUsesLink(mesh_, axis, 1, permanent->link_src,
+                               permanent->link_dst);
+    };
+
     int64_t transfer_index = 0;
 
     std::unordered_map<const SchedUnit*, double> arrival;
-    SimResult result;
+    std::unordered_map<const SchedUnit*, KilledTransfer> killed;
+    std::vector<const SchedUnit*> outstanding_starts;
+    StepOutcome outcome;
+    SimResult& result = outcome.result;
     double time = 0.0;
     int64_t in_flight = 0;
+
+    // The watchdog path: the device is stuck at `blocked` (its
+    // dependency can never be satisfied); report instead of spinning.
+    auto fail_at = [&](const SchedUnit* blocked,
+                       const KilledTransfer& info,
+                       const std::vector<std::string>& extra_blocked) {
+        outcome.failed = true;
+        FailureReport& failure = outcome.failure;
+        failure.cause = info.cause;
+        if (permanent != nullptr && permanent->IsChip() &&
+            info.cause == FailureCause::kChipDeath) {
+            failure.dead_chip = permanent->chip;
+        }
+        failure.dead_link_src = info.dead_link_src;
+        failure.dead_link_dst = info.dead_link_dst;
+        failure.failed_step = step_index;
+        failure.last_completed_step = step_index - 1;
+        failure.fail_time_seconds = info.fail_time_seconds;
+        failure.last_progress_seconds = time;
+        failure.detected_at_seconds =
+            time + fault_.spec().watchdog_timeout_seconds;
+        failure.blocked_instructions.push_back(
+            blocked->members.front()->name());
+        for (const std::string& name : extra_blocked) {
+            failure.blocked_instructions.push_back(name);
+        }
+        for (const SchedUnit* s : outstanding_starts) {
+            if (s != blocked &&
+                std::find(failure.blocked_instructions.begin(),
+                          failure.blocked_instructions.end(),
+                          s->members.front()->name()) ==
+                    failure.blocked_instructions.end()) {
+                failure.blocked_instructions.push_back(
+                    s->members.front()->name());
+            }
+        }
+        result.step_seconds = time;
+    };
 
     // Liveness accounting over the executed order: a unit's result buffer
     // is allocated when it runs and freed once its last reader has run.
@@ -165,27 +422,70 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
             double wire =
                 static_cast<double>(route->hops) * bytes /
                 (spec_.link_bandwidth * channel_bw_factor[ch]);
-            int64_t failures =
-                fault_.TransferFailures(transfer_index++, trial);
+            TransferOutcome retries =
+                fault_.TransferOutcomeOf(transfer_index++, trial);
             double retry_delay =
-                static_cast<double>(failures) *
-                (wire + fault_.spec().retry_timeout_seconds);
+                static_cast<double>(retries.failures) * wire +
+                retries.backoff_seconds;
             double& free_at = channel(route->axis, direction);
             double begin = std::max(time, free_at);
-            free_at = begin + retry_delay + wire;
-            arrival[unit] = free_at +
-                            static_cast<double>(route->hops) *
-                                spec_.link_latency *
-                                channel_lat_factor[ch];
+            double end_transfer = begin + retry_delay + wire;
+            // The device does not stall at a Start; a transfer that can
+            // never arrive (dead chip/link, exhausted retries) parks an
+            // infinite arrival on the matching Done instead.
+            if (retries.exhausted) {
+                KilledTransfer info;
+                info.cause = FailureCause::kRetryExhaustion;
+                auto [ls, ld] =
+                    RepresentativeLink(mesh_, route->axis, direction);
+                info.dead_link_src = ls;
+                info.dead_link_dst = ld;
+                info.fail_time_seconds = begin;
+                killed[unit] = info;
+                arrival[unit] =
+                    std::numeric_limits<double>::infinity();
+            } else if (permute_involves_dead(head, route->axis,
+                                             direction) &&
+                       end_transfer > dead_from) {
+                KilledTransfer info;
+                info.cause = permanent->IsChip()
+                                 ? FailureCause::kChipDeath
+                                 : FailureCause::kLinkDeath;
+                info.dead_link_src = permanent->link_src;
+                info.dead_link_dst = permanent->link_dst;
+                info.fail_time_seconds = dead_from;
+                killed[unit] = info;
+                arrival[unit] =
+                    std::numeric_limits<double>::infinity();
+            } else {
+                free_at = begin + retry_delay + wire;
+                arrival[unit] = free_at +
+                                static_cast<double>(route->hops) *
+                                    spec_.link_latency *
+                                    channel_lat_factor[ch];
+            }
             result.transferred_bytes +=
-                bytes * static_cast<double>(1 + failures);
-            result.transfer_retries += failures;
+                bytes * static_cast<double>(1 + retries.failures);
+            result.transfer_retries += retries.failures;
+            result.transfer_attempts += 1 + retries.failures;
+            result.retry_backoff_seconds += retries.backoff_seconds;
             ++result.num_async_transfers;
             ++in_flight;
+            outstanding_starts.push_back(unit);
             result.peak_in_flight =
                 std::max(result.peak_in_flight, in_flight);
         } else if (unit->IsPermuteDone()) {
-            double arrived = arrival.at(unit->operands.front());
+            const SchedUnit* start = unit->operands.front();
+            auto killed_it = killed.find(start);
+            if (killed_it != killed.end()) {
+                // The paired Start's transfer will never arrive: the
+                // device is stuck here; the watchdog turns the stall
+                // into a structured report.
+                fail_at(unit, killed_it->second,
+                        {start->members.front()->name()});
+                return outcome;
+            }
+            double arrived = arrival.at(start);
             if (arrived > time) {
                 record(head->name(), TraceKind::kTransferWait, time,
                        arrived);
@@ -193,6 +493,10 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
                 time = arrived;
             }
             --in_flight;
+            outstanding_starts.erase(
+                std::remove(outstanding_starts.begin(),
+                            outstanding_starts.end(), start),
+                outstanding_starts.end());
         } else if (unit->members.size() == 1 &&
                    head->opcode() == HloOpcode::kCollectivePermute) {
             // Synchronous permute: the device blocks for the transfer.
@@ -210,23 +514,48 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
             double wire =
                 static_cast<double>(route->hops) * bytes /
                 (spec_.link_bandwidth * channel_bw_factor[ch]);
-            int64_t failures =
-                fault_.TransferFailures(transfer_index++, trial);
+            TransferOutcome retries =
+                fault_.TransferOutcomeOf(transfer_index++, trial);
             double retry_delay =
-                static_cast<double>(failures) *
-                (wire + fault_.spec().retry_timeout_seconds);
+                static_cast<double>(retries.failures) * wire +
+                retries.backoff_seconds;
             double& free_at = channel(route->axis, direction);
             double begin = std::max(time, free_at);
             double end = begin + retry_delay + wire +
                          static_cast<double>(route->hops) *
                              spec_.link_latency *
                              channel_lat_factor[ch];
+            if (retries.exhausted) {
+                KilledTransfer info;
+                info.cause = FailureCause::kRetryExhaustion;
+                auto [ls, ld] =
+                    RepresentativeLink(mesh_, route->axis, direction);
+                info.dead_link_src = ls;
+                info.dead_link_dst = ld;
+                info.fail_time_seconds = begin;
+                fail_at(unit, info, {});
+                return outcome;
+            }
+            if (permute_involves_dead(head, route->axis, direction) &&
+                end > dead_from) {
+                KilledTransfer info;
+                info.cause = permanent->IsChip()
+                                 ? FailureCause::kChipDeath
+                                 : FailureCause::kLinkDeath;
+                info.dead_link_src = permanent->link_src;
+                info.dead_link_dst = permanent->link_dst;
+                info.fail_time_seconds = dead_from;
+                fail_at(unit, info, {});
+                return outcome;
+            }
             free_at = begin + retry_delay + wire;
             record(head->name(), TraceKind::kCollective, time, end);
             result.exposed_comm_seconds += end - time;
             result.transferred_bytes +=
-                bytes * static_cast<double>(1 + failures);
-            result.transfer_retries += failures;
+                bytes * static_cast<double>(1 + retries.failures);
+            result.transfer_retries += retries.failures;
+            result.transfer_attempts += 1 + retries.failures;
+            result.retry_backoff_seconds += retries.backoff_seconds;
             time = end;
         } else if (unit->members.size() == 1 &&
                    IsBlockingCollective(head->opcode())) {
@@ -236,8 +565,9 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
                                : static_cast<int64_t>(groups[0].size());
             double duration = cost_.BlockingCollectiveSeconds(head);
             double begin = time;
+            int64_t axis = -1;
             if (group_size > 1) {
-                int64_t axis = mesh_.InferGroupsAxis(groups);
+                axis = mesh_.InferGroupsAxis(groups);
                 // Occupy the axis's two directions; a collective whose
                 // groups span several axes occupies every channel.
                 size_t first = axis >= 0 ? static_cast<size_t>(axis * 2)
@@ -245,6 +575,18 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
                 size_t last = axis >= 0 ? first + 2 : channel_free.size();
                 for (size_t c = first; c < last; ++c) {
                     begin = std::max(begin, channel_free[c]);
+                }
+                if (collective_involves_dead(groups, axis) &&
+                    begin + duration > dead_from) {
+                    KilledTransfer info;
+                    info.cause = permanent->IsChip()
+                                     ? FailureCause::kChipDeath
+                                     : FailureCause::kLinkDeath;
+                    info.dead_link_src = permanent->link_src;
+                    info.dead_link_dst = permanent->link_dst;
+                    info.fail_time_seconds = dead_from;
+                    fail_at(unit, info, {});
+                    return outcome;
                 }
                 for (size_t c = first; c < last; ++c) {
                     channel_free[c] = begin + duration;
@@ -277,7 +619,21 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
         }
     }
     result.step_seconds = time;
-    return result;
+    return outcome;
+}
+
+StatusOr<SimResult>
+PodSimulator::Run(const HloModule& module, bool collect_trace,
+                  int64_t trial) const
+{
+    auto outcome = RunStep(module, /*step_index=*/0, collect_trace, trial);
+    if (!outcome.ok()) return outcome.status();
+    if (outcome->failed) {
+        // Single-step callers have no recovery path; surface the
+        // watchdog's report as an error instead of a partial result.
+        return FailedPrecondition(outcome->failure.ToString());
+    }
+    return std::move(outcome)->result;
 }
 
 StatusOr<TrialStats>
@@ -286,35 +642,23 @@ PodSimulator::RunTrials(const HloModule& module, int64_t num_trials) const
     if (num_trials < 1) {
         return InvalidArgument("RunTrials needs at least one trial");
     }
-    TrialStats stats;
-    stats.num_trials = num_trials;
-    stats.step_seconds.reserve(static_cast<size_t>(num_trials));
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(num_trials));
+    int64_t total_retries = 0;
+    double total_backoff = 0.0;
+    double total_stall = 0.0;
     for (int64_t trial = 0; trial < num_trials; ++trial) {
         auto result = Run(module, /*collect_trace=*/false, trial);
         if (!result.ok()) return result.status();
-        stats.step_seconds.push_back(result->step_seconds);
-        stats.mean_step_seconds += result->step_seconds;
-        stats.total_retries += result->transfer_retries;
-        stats.total_straggler_stall_seconds +=
-            result->straggler_stall_seconds;
+        samples.push_back(result->step_seconds);
+        total_retries += result->transfer_retries;
+        total_backoff += result->retry_backoff_seconds;
+        total_stall += result->straggler_stall_seconds;
     }
-    stats.mean_step_seconds /= static_cast<double>(num_trials);
-    std::vector<double> sorted = stats.step_seconds;
-    std::sort(sorted.begin(), sorted.end());
-    // Nearest-rank percentile: smallest value with at least q*n samples
-    // at or below it.
-    auto percentile = [&sorted](double q) {
-        size_t n = sorted.size();
-        size_t rank = static_cast<size_t>(
-            std::ceil(q * static_cast<double>(n)));
-        if (rank == 0) rank = 1;
-        if (rank > n) rank = n;
-        return sorted[rank - 1];
-    };
-    stats.p50_step_seconds = percentile(0.50);
-    stats.p99_step_seconds = percentile(0.99);
-    stats.min_step_seconds = sorted.front();
-    stats.max_step_seconds = sorted.back();
+    TrialStats stats = TrialStats::FromSamples(std::move(samples));
+    stats.total_retries = total_retries;
+    stats.total_backoff_seconds = total_backoff;
+    stats.total_straggler_stall_seconds = total_stall;
     return stats;
 }
 

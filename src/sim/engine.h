@@ -53,8 +53,13 @@ struct SimResult {
     /// Largest number of concurrently in-flight async permutes observed.
     int64_t peak_in_flight = 0;
     /// Fault model only: CollectivePermute attempts that failed and were
-    /// re-sent after the retry timeout.
+    /// re-sent after the backoff wait.
     int64_t transfer_retries = 0;
+    /// Fault model only: total transfer attempts (first sends + retries).
+    int64_t transfer_attempts = 0;
+    /// Fault model only: total time spent in the capped-exponential
+    /// retry backoff (the non-wire component of retry delay).
+    double retry_backoff_seconds = 0.0;
     /// Fault model only: extra device time attributable to compute-
     /// throughput stragglers (actual minus nominal kernel time).
     double straggler_stall_seconds = 0.0;
@@ -89,9 +94,71 @@ struct TrialStats {
     double min_step_seconds = 0.0;
     double max_step_seconds = 0.0;
     int64_t total_retries = 0;
+    double total_backoff_seconds = 0.0;
     double total_straggler_stall_seconds = 0.0;
     /// Per-trial step times, in trial order (unsorted).
     std::vector<double> step_seconds;
+
+    /**
+     * Builds the distribution (mean, min/max, nearest-rank p50/p99)
+     * from raw samples; retry/stall totals stay zero. Shared by
+     * RunTrials and the elastic runner's per-step reporting.
+     */
+    static TrialStats FromSamples(std::vector<double> samples);
+};
+
+/** Why a simulated step could make no further progress. */
+enum class FailureCause {
+    kChipDeath,        ///< a PermanentFault chip died mid-run
+    kLinkDeath,        ///< a PermanentFault link died mid-run
+    kRetryExhaustion,  ///< a transfer failed every allowed attempt
+};
+
+const char* FailureCauseName(FailureCause cause);
+
+/**
+ * The watchdog's structured account of a failed step: which entity
+ * died, where the device got stuck (the blocked instructions, e.g. a
+ * CollectivePermuteStart whose partner will never post), how far the
+ * run had progressed, and when the no-progress detector fired. The
+ * recovery runtime (core/recovery) consumes this to compute a survivor
+ * mesh and replan (DESIGN.md §11).
+ */
+struct FailureReport {
+    FailureCause cause = FailureCause::kChipDeath;
+    /// Dead chip id (kChipDeath), else -1.
+    int64_t dead_chip = -1;
+    /// Dead directed link (kLinkDeath / kRetryExhaustion: the
+    /// representative ring link of the blocked channel), else -1/-1.
+    int64_t dead_link_src = -1;
+    int64_t dead_link_dst = -1;
+    /// The step that failed, and the last step known to have completed.
+    int64_t failed_step = 0;
+    int64_t last_completed_step = -1;
+    /// Within-step simulated time at which the entity died.
+    double fail_time_seconds = 0.0;
+    /// Within-step time of the last retired instruction — everything up
+    /// to here is lost work that a checkpoint restore must replay.
+    double last_progress_seconds = 0.0;
+    /// When the watchdog fired: last progress + the no-progress window.
+    double detected_at_seconds = 0.0;
+    /// The instruction the device is stuck at, followed by the
+    /// in-flight CollectivePermuteStarts whose Dones can never retire.
+    std::vector<std::string> blocked_instructions;
+
+    std::string ToString() const;
+};
+
+/**
+ * Result of simulating one step of a multi-step run: either the step
+ * completed (`result` is valid) or a permanent failure manifested and
+ * the watchdog produced a FailureReport (`result` then holds the
+ * partial accounting up to the stall, for lost-work attribution).
+ */
+struct StepOutcome {
+    bool failed = false;
+    SimResult result;
+    FailureReport failure;
 };
 
 /**
@@ -137,6 +204,21 @@ class PodSimulator {
     StatusOr<SimResult> Run(const HloModule& module,
                             bool collect_trace = false,
                             int64_t trial = 0) const;
+
+    /**
+     * Simulates step `step_index` of a multi-step run. Permanent faults
+     * whose fail_step is at or before `step_index` are live: the first
+     * communication op that needs the dead entity (or a transfer that
+     * exhausts its retries) blocks, the watchdog fires after the
+     * no-progress window, and the outcome carries a FailureReport
+     * instead of spinning. Malformed schedules that can never progress
+     * (orphaned Start/Done pairs, async in-flight budget starvation)
+     * return an error Status naming the blocked instructions.
+     */
+    StatusOr<StepOutcome> RunStep(const HloModule& module,
+                                  int64_t step_index,
+                                  bool collect_trace = false,
+                                  int64_t trial = 0) const;
 
     /**
      * Runs `num_trials` seeded simulations (trial = 0..n-1) and reports

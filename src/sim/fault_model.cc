@@ -14,6 +14,7 @@ constexpr uint64_t kChipTag = 0x22;
 constexpr uint64_t kLinkJitterTag = 0x33;
 constexpr uint64_t kChipJitterTag = 0x44;
 constexpr uint64_t kRetryTag = 0x55;
+constexpr uint64_t kBackoffTag = 0x66;
 
 /** splitmix64 finalizer: high-quality 64-bit mixing. */
 uint64_t
@@ -57,6 +58,18 @@ FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
     OVERLAP_CHECK(spec_.compute_jitter >= 0.0 &&
                   spec_.compute_jitter < 1.0);
     OVERLAP_CHECK(spec_.max_transfer_retries >= 0);
+    OVERLAP_CHECK(spec_.retry_backoff_base_seconds >= 0.0);
+    OVERLAP_CHECK(spec_.retry_backoff_multiplier >= 1.0);
+    OVERLAP_CHECK(spec_.retry_backoff_cap_seconds >=
+                  spec_.retry_backoff_base_seconds);
+    OVERLAP_CHECK(spec_.retry_backoff_jitter >= 0.0);
+    OVERLAP_CHECK(spec_.watchdog_timeout_seconds > 0.0);
+    for (const PermanentFault& fault : spec_.permanent_faults) {
+        OVERLAP_CHECK(fault.IsChip() ||
+                      (fault.link_src >= 0 && fault.link_dst >= 0));
+        OVERLAP_CHECK(fault.fail_step >= 0);
+        OVERLAP_CHECK(fault.fail_time_seconds >= 0.0);
+    }
     auto healthy_link = [](const LinkFault& f) {
         return f.bandwidth_factor == 1.0 && f.latency_factor == 1.0;
     };
@@ -71,7 +84,8 @@ FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
         spec_.link_degrade_probability == 0.0 &&
         spec_.straggler_probability == 0.0 && spec_.link_jitter == 0.0 &&
         spec_.compute_jitter == 0.0 &&
-        spec_.transient_failure_probability == 0.0;
+        spec_.transient_failure_probability == 0.0 &&
+        spec_.permanent_faults.empty();
 }
 
 double
@@ -201,20 +215,56 @@ FaultModel::SlowestChipFactor(int64_t num_chips, int64_t trial) const
     return worst;
 }
 
-int64_t
-FaultModel::TransferFailures(int64_t transfer_index, int64_t trial) const
+TransferOutcome
+FaultModel::TransferOutcomeOf(int64_t transfer_index, int64_t trial) const
 {
-    if (spec_.transient_failure_probability <= 0.0) return 0;
-    int64_t failures = 0;
-    while (failures < spec_.max_transfer_retries &&
-           UnitUniform(Hash(spec_.seed, kRetryTag,
-                            static_cast<uint64_t>(transfer_index),
-                            static_cast<uint64_t>(trial),
-                            static_cast<uint64_t>(failures))) <
-               spec_.transient_failure_probability) {
-        ++failures;
+    TransferOutcome outcome;
+    if (spec_.transient_failure_probability <= 0.0) return outcome;
+    // Attempt k (k = 0 .. max_transfer_retries) fails independently;
+    // each failed attempt waits the capped exponential backoff (with
+    // seeded jitter) before the re-send. Failing the final allowed
+    // attempt exhausts the transfer.
+    double backoff = spec_.retry_backoff_base_seconds;
+    for (int64_t attempt = 0; attempt <= spec_.max_transfer_retries;
+         ++attempt) {
+        if (UnitUniform(Hash(spec_.seed, kRetryTag,
+                             static_cast<uint64_t>(transfer_index),
+                             static_cast<uint64_t>(trial),
+                             static_cast<uint64_t>(attempt))) >=
+            spec_.transient_failure_probability) {
+            return outcome;  // this attempt went through
+        }
+        ++outcome.failures;
+        double wait = std::min(backoff, spec_.retry_backoff_cap_seconds);
+        if (spec_.retry_backoff_jitter > 0.0) {
+            wait *= 1.0 + spec_.retry_backoff_jitter *
+                              UnitUniform(Hash(
+                                  spec_.seed, kBackoffTag,
+                                  static_cast<uint64_t>(transfer_index),
+                                  static_cast<uint64_t>(trial),
+                                  static_cast<uint64_t>(attempt)));
+        }
+        outcome.backoff_seconds += wait;
+        backoff *= spec_.retry_backoff_multiplier;
     }
-    return failures;
+    outcome.exhausted = true;
+    return outcome;
+}
+
+const PermanentFault*
+FaultModel::ActivePermanentFault(int64_t step) const
+{
+    const PermanentFault* earliest = nullptr;
+    for (const PermanentFault& fault : spec_.permanent_faults) {
+        if (fault.fail_step > step) continue;
+        if (earliest == nullptr ||
+            fault.fail_step < earliest->fail_step ||
+            (fault.fail_step == earliest->fail_step &&
+             fault.fail_time_seconds < earliest->fail_time_seconds)) {
+            earliest = &fault;
+        }
+    }
+    return earliest;
 }
 
 }  // namespace overlap

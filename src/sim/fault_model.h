@@ -26,6 +26,44 @@ struct ChipFault {
 };
 
 /**
+ * A permanent, unrecoverable failure: a chip or a directed ICI link dies
+ * at a deterministic point of a multi-step run and never comes back.
+ * Unlike the degradation faults above, a permanent failure cannot be
+ * survived in place — the simulator's watchdog turns it into a
+ * FailureReport and the recovery runtime replans onto the survivor mesh
+ * (DESIGN.md §11).
+ */
+struct PermanentFault {
+    /// Dead chip id, or -1 when this is a link failure.
+    int64_t chip = -1;
+    /// Dead directed link (src -> dst), used when chip < 0.
+    int64_t link_src = -1;
+    int64_t link_dst = -1;
+    /// Step index at which the failure manifests (steps before this one
+    /// are unaffected; later steps see the entity dead from time 0).
+    int64_t fail_step = 0;
+    /// Within-step simulated time of the death for `fail_step` itself,
+    /// so a failure can land in the prologue, steady state or epilogue
+    /// of a decomposed loop.
+    double fail_time_seconds = 0.0;
+
+    bool IsChip() const { return chip >= 0; }
+};
+
+/**
+ * What the seeded retry policy did for one transfer: how many attempts
+ * failed, how long the capped exponential backoff (with seeded jitter)
+ * between attempts summed to, and whether every allowed attempt failed —
+ * retry exhaustion, which the engine escalates to the permanent-failure
+ * watchdog path instead of assuming the final attempt succeeds.
+ */
+struct TransferOutcome {
+    int64_t failures = 0;
+    double backoff_seconds = 0.0;
+    bool exhausted = false;
+};
+
+/**
  * Configuration of the pod fault model. The default value describes a
  * healthy pod: every query of the resulting FaultModel returns a factor
  * of exactly 1.0 and zero failures, so simulations are bit-identical to
@@ -62,13 +100,32 @@ struct FaultSpec {
     double compute_jitter = 0.0;
 
     /// Transient CollectivePermute failures: each transfer attempt fails
-    /// independently with this probability; a failed attempt is detected
-    /// after `retry_timeout_seconds` and the payload is re-sent, up to
-    /// `max_transfer_retries` retries (the model assumes the final
-    /// attempt succeeds -- failures are transient, not permanent).
+    /// independently with this probability. A failed attempt is detected
+    /// after a capped exponential backoff with seeded jitter (below) and
+    /// the payload is re-sent, up to `max_transfer_retries` retries.
+    /// When the final allowed attempt also fails the transfer is
+    /// *exhausted*: the fault is no longer transient and the engine
+    /// escalates it to the permanent-failure watchdog path.
     double transient_failure_probability = 0.0;
     int64_t max_transfer_retries = 3;
-    double retry_timeout_seconds = 25e-6;
+
+    /// Retry backoff policy: the wait before re-sending after the k-th
+    /// failed attempt (k = 0, 1, ...) is
+    ///   min(base * multiplier^k, cap) * (1 + jitter * u)
+    /// with u drawn uniformly in [0, 1) as a pure hash of
+    /// (seed, transfer, trial, attempt).
+    double retry_backoff_base_seconds = 25e-6;
+    double retry_backoff_multiplier = 2.0;
+    double retry_backoff_cap_seconds = 200e-6;
+    double retry_backoff_jitter = 0.25;
+
+    /// Permanent chip/link deaths for multi-step elastic runs.
+    std::vector<PermanentFault> permanent_faults;
+
+    /// No-progress window of the simulator's watchdog: after this much
+    /// simulated time without the device retiring an instruction, the
+    /// run is declared failed and a FailureReport is produced.
+    double watchdog_timeout_seconds = 5e-3;
 };
 
 /**
@@ -130,11 +187,34 @@ class FaultModel {
     // ---- Transient transfer failures --------------------------------
 
     /**
-     * Number of failed attempts (0..max_transfer_retries) before the
-     * `transfer_index`-th transfer of `trial` goes through. Pure
-     * function of (seed, transfer_index, trial).
+     * Seeded retry outcome of the `transfer_index`-th transfer of
+     * `trial`: failed-attempt count, total backoff time under the capped
+     * exponential policy, and whether every allowed attempt failed
+     * (exhaustion). Pure function of (seed, transfer_index, trial).
      */
-    int64_t TransferFailures(int64_t transfer_index, int64_t trial) const;
+    TransferOutcome TransferOutcomeOf(int64_t transfer_index,
+                                      int64_t trial) const;
+
+    /** Failed-attempt count of TransferOutcomeOf (convenience). */
+    int64_t TransferFailures(int64_t transfer_index, int64_t trial) const
+    {
+        return TransferOutcomeOf(transfer_index, trial).failures;
+    }
+
+    // ---- Permanent failures -----------------------------------------
+
+    /**
+     * The earliest permanent fault manifest at or before `step` (a dead
+     * chip stays dead), or nullptr when every configured fault lies in
+     * the future. Ties broken by (fail_step, fail_time_seconds,
+     * declaration order).
+     */
+    const PermanentFault* ActivePermanentFault(int64_t step) const;
+
+    bool has_permanent_faults() const
+    {
+        return !spec_.permanent_faults.empty();
+    }
 
   private:
     FaultSpec spec_;

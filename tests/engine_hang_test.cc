@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The silent-hang class: schedules on which a real runtime would spin
+ * forever must terminate with a diagnostic naming the blocked
+ * instructions (deliberately malformed schedules are built by attaching
+ * a reordered schedule, which only the engine's no-progress check
+ * inspects).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hlo/builder.h"
+#include "hlo/module.h"
+#include "sim/engine.h"
+
+namespace overlap {
+namespace {
+
+std::vector<std::pair<int64_t, int64_t>>
+RingShift(const Mesh& mesh)
+{
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (int64_t d = 0; d < mesh.num_devices(); ++d) {
+        pairs.push_back({d, mesh.RingNeighbor(d, 0, 1)});
+    }
+    return pairs;
+}
+
+TEST(EngineHangTest, DoneScheduledBeforeItsStartIsDiagnosed)
+{
+    Mesh mesh(4);
+    auto module = std::make_unique<HloModule>("m");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}), "p");
+    auto* start = b.CollectivePermuteStart(p, RingShift(mesh));
+    auto* done = b.CollectivePermuteDone(start);
+    comp->set_root(done);
+    // A schedule where the Done waits on a Start that has not been
+    // issued — the orphaned-pair / permute-cycle shape.
+    comp->set_schedule({p, done, start});
+
+    PodSimulator simulator(mesh, HardwareSpec());
+    auto result = simulator.Run(*module);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.status().ToString().find("no progress"),
+              std::string::npos);
+    EXPECT_NE(result.status().ToString().find(done->name()),
+              std::string::npos);
+}
+
+TEST(EngineHangTest, StartWithoutDoneIsDiagnosed)
+{
+    Mesh mesh(4);
+    auto module = std::make_unique<HloModule>("m");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}), "p");
+    auto* start = b.CollectivePermuteStart(p, RingShift(mesh));
+    (void)start;
+    comp->set_root(b.Copy(p));
+
+    PodSimulator simulator(mesh, HardwareSpec());
+    auto result = simulator.Run(*module);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.status().ToString().find("without a matching Done"),
+              std::string::npos);
+    EXPECT_NE(result.status().ToString().find(start->name()),
+              std::string::npos);
+}
+
+TEST(EngineHangTest, AsyncBudgetStarvationIsDiagnosed)
+{
+    Mesh mesh(4);
+    auto module = std::make_unique<HloModule>("m");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}), "p");
+    std::vector<HloInstruction*> starts;
+    std::vector<HloInstruction*> dones;
+    for (int i = 0; i < 3; ++i) {
+        starts.push_back(b.CollectivePermuteStart(p, RingShift(mesh)));
+    }
+    for (HloInstruction* start : starts) {
+        dones.push_back(b.CollectivePermuteDone(start));
+    }
+    comp->set_root(b.Tuple(dones));
+
+    // Every hardware sync flag is held by a Start whose Done is
+    // scheduled later: the third Start can never issue.
+    HardwareSpec spec;
+    spec.max_in_flight_async = 2;
+    PodSimulator simulator(mesh, spec);
+    auto result = simulator.Run(*module);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.status().ToString().find("budget"),
+              std::string::npos);
+    EXPECT_NE(result.status().ToString().find(starts[2]->name()),
+              std::string::npos);
+
+    // Retiring each transfer before the next Start frees the flag: the
+    // same program with an interleaved schedule simulates fine.
+    std::vector<HloInstruction*> interleaved = {p};
+    for (size_t i = 0; i < starts.size(); ++i) {
+        interleaved.push_back(starts[i]);
+        interleaved.push_back(dones[i]);
+    }
+    interleaved.push_back(comp->root());
+    comp->set_schedule(interleaved);
+    auto ok = simulator.Run(*module);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(ok->peak_in_flight, 1);
+}
+
+TEST(EngineHangTest, HealthySchedulesStillSimulate)
+{
+    Mesh mesh(4);
+    auto module = std::make_unique<HloModule>("m");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}), "p");
+    auto* start = b.CollectivePermuteStart(p, RingShift(mesh));
+    auto* done = b.CollectivePermuteDone(start);
+    comp->set_root(done);
+
+    PodSimulator simulator(mesh, HardwareSpec());
+    auto result = simulator.Run(*module);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->step_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace overlap
