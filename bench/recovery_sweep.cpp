@@ -5,7 +5,9 @@
  * intervals and failure times. Short intervals pay checkpoint traffic
  * but replay little; long intervals replay most of the work since the
  * last snapshot. Emits the sweep as JSON (--json for machine-readable
- * output only, --quick for the sanitize-suite subset).
+ * output only, --quick for the sanitize-suite subset, --threads N to
+ * fan the independent sweep points across a worker pool — output order
+ * and contents are identical at every thread count).
  */
 #include <cstdio>
 #include <cstring>
@@ -14,6 +16,7 @@
 
 #include "bench_util.h"
 #include "models/fault_presets.h"
+#include "support/thread_pool.h"
 
 using namespace overlap;
 
@@ -23,6 +26,8 @@ struct SweepPoint {
     int64_t checkpoint_interval = 0;
     int64_t fail_step = 0;
     ElasticRunReport report;
+    /// Non-empty when this point's run failed (reported in grid order).
+    std::string error;
 };
 
 std::string
@@ -51,10 +56,15 @@ main(int argc, char** argv)
 {
     bool json_only = false;
     bool quick = false;
+    int64_t threads = DefaultThreadCount();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) json_only = true;
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::strtoll(argv[++i], nullptr, 10);
+        }
     }
+    if (threads < 1) threads = 1;
 
     const Mesh mesh(4);
     const int64_t kNumSteps = quick ? 8 : 16;
@@ -83,50 +93,66 @@ main(int argc, char** argv)
                     "replay#");
     }
 
-    std::vector<SweepPoint> sweep;
+    // The sweep points are independent: fan them across a pool and
+    // print in grid order afterwards, so --threads never changes the
+    // output.
+    std::vector<std::pair<int64_t, int64_t>> grid;
     for (int64_t interval : intervals) {
         for (int64_t fail_step : fail_steps) {
-            ElasticRunOptions options;
-            options.num_steps = kNumSteps;
-            options.checkpoint_interval = interval;
-            options.program = program;
-            options.compiler.decompose.use_cost_model = false;
-            options.compiler.fault =
-                ChipDeath(/*chip=*/1, fail_step).spec;
-
-            auto report = RunElasticTraining(mesh, options);
-            if (!report.ok()) {
-                std::fprintf(stderr, "sweep point (k=%lld, t=%lld): %s\n",
-                             static_cast<long long>(interval),
-                             static_cast<long long>(fail_step),
-                             report.status().ToString().c_str());
-                return 1;
-            }
-            SweepPoint point;
-            point.checkpoint_interval = interval;
-            point.fail_step = fail_step;
-            point.report = std::move(report).value();
+            grid.emplace_back(interval, fail_step);
+        }
+    }
+    auto run_point = [&](int64_t i) {
+        SweepPoint point;
+        point.checkpoint_interval = grid[static_cast<size_t>(i)].first;
+        point.fail_step = grid[static_cast<size_t>(i)].second;
+        ElasticRunOptions options;
+        options.num_steps = kNumSteps;
+        options.checkpoint_interval = point.checkpoint_interval;
+        options.program = program;
+        options.compiler.decompose.use_cost_model = false;
+        options.compiler.fault =
+            ChipDeath(/*chip=*/1, point.fail_step).spec;
+        auto report = RunElasticTraining(mesh, options);
+        if (!report.ok()) {
+            point.error = report.status().ToString();
+            return point;
+        }
+        point.report = std::move(report).value();
+        if (!point.report.recovery.recovered) {
+            point.error = "did not recover";
+        }
+        return point;
+    };
+    std::vector<SweepPoint> sweep;
+    if (threads > 1) {
+        ThreadPool pool(std::min<int64_t>(
+            threads, static_cast<int64_t>(grid.size())));
+        sweep = pool.ParallelFor(static_cast<int64_t>(grid.size()),
+                                 run_point);
+    } else {
+        for (size_t i = 0; i < grid.size(); ++i) {
+            sweep.push_back(run_point(static_cast<int64_t>(i)));
+        }
+    }
+    for (const SweepPoint& point : sweep) {
+        if (!point.error.empty()) {
+            std::fprintf(stderr, "sweep point (k=%lld, t=%lld): %s\n",
+                         static_cast<long long>(point.checkpoint_interval),
+                         static_cast<long long>(point.fail_step),
+                         point.error.c_str());
+            return 1;
+        }
+        if (!json_only) {
             const RecoveryStats& r = point.report.recovery;
-            if (!r.recovered) {
-                std::fprintf(stderr,
-                             "sweep point (k=%lld, t=%lld) did not "
-                             "recover\n",
-                             static_cast<long long>(interval),
-                             static_cast<long long>(fail_step));
-                return 1;
-            }
-            if (!json_only) {
-                std::printf(
-                    "%-9lld %-6lld  %10s %10s %10s %10s   %6lld\n",
-                    static_cast<long long>(interval),
-                    static_cast<long long>(fail_step),
-                    HumanTime(r.detection_seconds).c_str(),
-                    HumanTime(r.restore_seconds).c_str(),
-                    HumanTime(r.replay_seconds).c_str(),
-                    HumanTime(r.RecoveryLatencySeconds()).c_str(),
-                    static_cast<long long>(r.replayed_steps));
-            }
-            sweep.push_back(std::move(point));
+            std::printf("%-9lld %-6lld  %10s %10s %10s %10s   %6lld\n",
+                        static_cast<long long>(point.checkpoint_interval),
+                        static_cast<long long>(point.fail_step),
+                        HumanTime(r.detection_seconds).c_str(),
+                        HumanTime(r.restore_seconds).c_str(),
+                        HumanTime(r.replay_seconds).c_str(),
+                        HumanTime(r.RecoveryLatencySeconds()).c_str(),
+                        static_cast<long long>(r.replayed_steps));
         }
     }
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Builds the project with AddressSanitizer + UndefinedBehaviorSanitizer
-# in a separate build tree and runs the full test suite under them.
+# in a separate build tree and runs the full test suite under them,
+# then builds a ThreadSanitizer tree and runs the concurrency tests
+# (thread pool, buffer pool, parallel evaluator/difftest) under it.
 #
-# Usage: scripts/check_sanitize.sh [build-dir]
+# Usage: scripts/check_sanitize.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
+tsan_dir="${2:-${repo_root}/build-tsan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -28,3 +31,23 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # recover (detect -> restore -> replan -> resume) at every checkpoint
 # interval, with no leaks or UB along the recovery path.
 "${build_dir}/bench/recovery_sweep" --quick --json > /dev/null
+
+# Quick perf baseline under ASan (numbers are meaningless when
+# sanitized, but the bit-identical / byte-identical cross-checks and
+# the allocation accounting must hold).
+"${repo_root}/scripts/perf_baseline.sh" --quick \
+    --build-dir "${build_dir}" --out "${build_dir}/BENCH_perf.json" \
+    > /dev/null
+
+# ThreadSanitizer pass over the concurrency layer: the rendezvous
+# evaluator, the thread pool, the thread-local buffer pool and the
+# pooled difftest sweep must be race-free.
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOVERLAP_TSAN=ON
+cmake --build "${tsan_dir}" -j "$(nproc)" --target \
+    thread_pool_test buffer_pool_test parallel_eval_test \
+    interp_test difftest_test
+export TSAN_OPTIONS="halt_on_error=1"
+ctest --test-dir "${tsan_dir}" --output-on-failure -j "$(nproc)" \
+    -R "thread_pool_test|buffer_pool_test|parallel_eval_test|interp_test|difftest_test"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the tracked perf baseline, writing
+# BENCH_perf.json at the repo root (or --out).
+#
+# Usage: scripts/perf_baseline.sh [--quick] [--threads N]
+#                                 [--build-dir DIR] [--out FILE]
+#
+# --quick shrinks every measurement (the sanitize suite uses it as a
+# correctness cross-check; the numbers themselves need a clean
+# RelWithDebInfo build and an idle machine).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_file="${repo_root}/BENCH_perf.json"
+bench_args=()
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) bench_args+=(--quick); shift ;;
+        --threads) bench_args+=(--threads "$2"); shift 2 ;;
+        --build-dir) build_dir="$2"; shift 2 ;;
+        --out) out_file="$2"; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [[ ! -x "${build_dir}/bench/perf_baseline" ]]; then
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${build_dir}" -j "$(nproc)" --target perf_baseline
+fi
+
+"${build_dir}/bench/perf_baseline" "${bench_args[@]+"${bench_args[@]}"}" \
+    --out "${out_file}"
+echo "perf baseline written to ${out_file}"

@@ -8,6 +8,7 @@
 #include "passes/async.h"
 #include "passes/decompose.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 #include "tensor/sharding.h"
 
 namespace overlap {
@@ -372,7 +373,7 @@ TransformScenario(SiteScenario* scenario, const DecomposeVariant& variant,
 
 StatusOr<OutputComparison>
 RunSingleCase(const SiteSpec& spec, const DecomposeVariant& variant,
-              bool inject_shard_id_bug)
+              bool inject_shard_id_bug, const EvalOptions& eval)
 {
     auto reference = BuildSiteScenario(spec);
     if (!reference.ok()) return reference.status();
@@ -381,7 +382,7 @@ RunSingleCase(const SiteSpec& spec, const DecomposeVariant& variant,
     OVERLAP_RETURN_IF_ERROR(TransformScenario(
         &transformed.value(), variant, inject_shard_id_bug));
 
-    SpmdEvaluator evaluator(*reference->module->mesh());
+    SpmdEvaluator evaluator(*reference->module->mesh(), eval);
     auto outputs = evaluator.EvaluateBatch(
         {reference->module->entry(), transformed->module->entry()},
         reference->params);
@@ -416,12 +417,82 @@ DiffTestSummary::ToString() const
     return out;
 }
 
+namespace {
+
+/**
+ * Everything one sweep case produces, detached from the shared summary
+ * so cases can run on pool workers: the comparisons of the variants
+ * that ran (in variant order) and the first harness error, if any.
+ * Default-constructible, as ThreadPool::ParallelFor requires.
+ */
+struct CaseOutcome {
+    std::vector<OutputComparison> comparisons;
+    Status error;
+};
+
+CaseOutcome
+RunCase(const DiffTestConfig& config, const SiteSpec& spec)
+{
+    EvalOptions eval;
+    eval.concurrent_devices = config.concurrent_devices;
+    CaseOutcome out;
+    out.comparisons.reserve(AllDecomposeVariants().size());
+    for (const DecomposeVariant& variant : AllDecomposeVariants()) {
+        auto comparison = RunSingleCase(spec, variant,
+                                        config.inject_shard_id_bug, eval);
+        if (!comparison.ok()) {
+            out.error = comparison.status();
+            break;
+        }
+        out.comparisons.push_back(std::move(comparison).value());
+    }
+    return out;
+}
+
+}  // namespace
+
 StatusOr<DiffTestSummary>
 RunDiffTest(const DiffTestConfig& config)
 {
+    // Phase 1: per-case outcomes, possibly fanned across a pool. With
+    // threads > 1 every case runs even if an early case trips the
+    // failure cap; the ordered merge below discards the surplus so the
+    // summary is byte-identical to the serial sweep.
+    std::vector<CaseOutcome> outcomes;
+    const int64_t threads = std::min<int64_t>(
+        config.threads, std::max<int64_t>(config.num_cases, 1));
+    if (threads > 1) {
+        ThreadPool pool(static_cast<int>(threads));
+        outcomes = pool.ParallelFor(config.num_cases, [&](int64_t i) {
+            return RunCase(config, GenerateSiteSpec(config.seed, i));
+        });
+    } else {
+        outcomes.reserve(static_cast<size_t>(config.num_cases));
+        int64_t failed = 0;
+        for (int64_t i = 0; i < config.num_cases; ++i) {
+            outcomes.push_back(
+                RunCase(config, GenerateSiteSpec(config.seed, i)));
+            // Serial mode keeps the historical early exits: stop
+            // building outcomes once an error or the failure cap makes
+            // the merge below ignore the remaining cases anyway.
+            const CaseOutcome& out = outcomes.back();
+            for (const OutputComparison& c : out.comparisons) {
+                if (!c.equal) ++failed;
+            }
+            if (!out.error.ok() ||
+                (config.max_failures > 0 && failed >= config.max_failures)) {
+                break;
+            }
+        }
+    }
+
+    // Phase 2: ordered merge, replicating the serial loop exactly —
+    // per-case counters first, then the case's comparisons in variant
+    // order, then its harness error, then the failure-cap cut-off.
     DiffTestSummary summary;
-    for (int64_t i = 0; i < config.num_cases; ++i) {
-        SiteSpec spec = GenerateSiteSpec(config.seed, i);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        SiteSpec spec =
+            GenerateSiteSpec(config.seed, static_cast<int64_t>(i));
         ++summary.cases_run;
         ++summary.cases_by_site[static_cast<size_t>(spec.site_case)];
         if (spec.shard_extent % 2 == 1) {
@@ -429,21 +500,23 @@ RunDiffTest(const DiffTestConfig& config)
         } else {
             ++summary.even_extent_cases;
         }
-        for (const DecomposeVariant& variant : AllDecomposeVariants()) {
-            auto comparison = RunSingleCase(spec, variant,
-                                            config.inject_shard_id_bug);
-            if (!comparison.ok()) return comparison.status();
+        CaseOutcome& out = outcomes[i];
+        const std::vector<DecomposeVariant>& variants =
+            AllDecomposeVariants();
+        for (size_t j = 0; j < out.comparisons.size(); ++j) {
             ++summary.variants_run;
-            if (!comparison->equal) {
+            if (!out.comparisons[j].equal) {
                 ++summary.mismatches;
                 if (config.max_failures == 0 ||
                     static_cast<int64_t>(summary.failures.size()) <
                         config.max_failures) {
                     summary.failures.push_back(
-                        {spec, variant.name, comparison.value()});
+                        {spec, variants[j].name,
+                         std::move(out.comparisons[j])});
                 }
             }
         }
+        if (!out.error.ok()) return out.error;
         if (config.max_failures > 0 &&
             static_cast<int64_t>(summary.failures.size()) >=
                 config.max_failures) {

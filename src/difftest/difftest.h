@@ -8,6 +8,7 @@
 
 #include "hlo/module.h"
 #include "interp/comparison.h"
+#include "interp/evaluator.h"
 #include "support/status.h"
 #include "tensor/mesh.h"
 #include "tensor/tensor.h"
@@ -102,10 +103,13 @@ StatusOr<SiteScenario> BuildSiteScenario(const SiteSpec& spec);
  * through the SpmdEvaluator (decomposed also through the async split)
  * and compares per-device outputs under the dtype-aware tolerance.
  * `inject_shard_id_bug` forwards to DecomposeOptions::test_shard_id_bug.
+ * `eval` selects the evaluator execution mode (serial per-device walk
+ * by default); every mode yields bit-identical comparisons.
  */
 StatusOr<OutputComparison> RunSingleCase(const SiteSpec& spec,
                                          const DecomposeVariant& variant,
-                                         bool inject_shard_id_bug);
+                                         bool inject_shard_id_bug,
+                                         const EvalOptions& eval = {});
 
 struct DiffTestConfig {
     int64_t num_cases = 64;
@@ -114,6 +118,14 @@ struct DiffTestConfig {
     bool inject_shard_id_bug = false;
     /// Stop after this many failing (spec, variant) pairs (0 = no cap).
     int64_t max_failures = 16;
+    /// Worker threads for the case sweep. 1 runs the historical serial
+    /// loop; N > 1 fans cases across a ThreadPool and merges outcomes
+    /// in case order, so the summary (counters, failure list, first
+    /// harness error, failure-cap cut-off) is byte-identical to serial.
+    int64_t threads = 1;
+    /// Additionally run each case's per-device programs on concurrent
+    /// threads with rendezvous collectives (see EvalOptions).
+    bool concurrent_devices = false;
 };
 
 struct CaseFailure {

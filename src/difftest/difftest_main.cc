@@ -2,11 +2,15 @@
  * Differential-equivalence sweep over the decomposition space.
  *
  *   difftest_runner [--cases N] [--seed S] [--quick] [--inject-bug]
+ *                   [--threads N] [--concurrent-devices]
  *                   [--out DIR] [--repro FILE]
  *
  * Generates N seeded random overlap sites, compiles each one blocking
  * vs. decomposed under all six {unroll, bidirectional, forced-uni}
  * variants, and diffs per-device outputs through the SpmdEvaluator.
+ * `--threads N` fans cases across a worker pool (default: hardware
+ * concurrency); the summary is byte-identical at every thread count,
+ * and `--threads 1` runs the historical serial loop.
  * On a mismatch the first failing case is greedily minimized and a
  * one-line repro (+ round-trippable HLO) is written under --out; exit
  * status 1. `--repro X` re-runs a previously written .spec file, or,
@@ -19,6 +23,7 @@
 
 #include "difftest/difftest.h"
 #include "difftest/minimizer.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -39,6 +44,7 @@ main(int argc, char** argv)
     DiffTestConfig config;
     config.num_cases = 5000;
     config.seed = 1;
+    config.threads = DefaultThreadCount();
     std::string out_dir = "difftest_repros";
     std::string repro_file;
     for (int i = 1; i < argc; ++i) {
@@ -51,6 +57,10 @@ main(int argc, char** argv)
             config.num_cases = 256;
         } else if (arg == "--inject-bug") {
             config.inject_shard_id_bug = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            config.threads = ParseInt(argv[++i]);
+        } else if (arg == "--concurrent-devices") {
+            config.concurrent_devices = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_dir = argv[++i];
         } else if (arg == "--repro" && i + 1 < argc) {

@@ -1,11 +1,21 @@
 #include "hlo/instruction.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "support/strings.h"
 
 namespace overlap {
 namespace {
+
+/**
+ * Serializes the one-time einsum-spec parse. Concurrent device threads
+ * evaluate the same instruction, so the lazy cache fill must be
+ * thread-safe; a single process-wide mutex suffices because each
+ * instruction parses at most once.
+ */
+std::mutex einsum_parse_mutex;
 
 /** Group size for a collective; 0 if groups are unset (meaning "all"). */
 int64_t
@@ -45,11 +55,25 @@ const EinsumSpec&
 HloInstruction::einsum() const
 {
     OVERLAP_CHECK(opcode_ == HloOpcode::kEinsum);
+    // Double-checked: once the cache is set it is never replaced, so a
+    // pointer observed through the acquire load stays valid for the
+    // instruction's lifetime and the returned reference is stable.
+    if (const EinsumSpec* cached =
+            std::atomic_load_explicit(&parsed_einsum_,
+                                      std::memory_order_acquire)
+                .get()) {
+        return *cached;
+    }
+    std::lock_guard<std::mutex> lock(einsum_parse_mutex);
     if (!parsed_einsum_) {
         auto parsed = EinsumSpec::Parse(attrs_.einsum_spec);
         OVERLAP_CHECK(parsed.ok());
-        parsed_einsum_ =
-            std::make_shared<const EinsumSpec>(std::move(parsed).value());
+        std::atomic_store_explicit(
+            &parsed_einsum_,
+            std::shared_ptr<const EinsumSpec>(
+                std::make_shared<const EinsumSpec>(
+                    std::move(parsed).value())),
+            std::memory_order_release);
     }
     return *parsed_einsum_;
 }

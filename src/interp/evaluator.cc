@@ -1,10 +1,18 @@
 #include "interp/evaluator.h"
 
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "hlo/builder.h"
 #include "support/strings.h"
+#include "tensor/buffer_pool.h"
 
 namespace overlap {
 namespace {
@@ -36,16 +44,496 @@ ScalarToIndex(const Tensor& t)
 
 /** Gathers the dynamic start indices for a DynamicSlice/UpdateSlice. */
 std::vector<int64_t>
-GatherStarts(const std::vector<const PerDevice*>& operand_values,
-             size_t first_index_operand, int64_t rank, int64_t device)
+GatherStarts(const std::vector<const Tensor*>& operands,
+             size_t first_index_operand, int64_t rank)
 {
     std::vector<int64_t> starts(static_cast<size_t>(rank));
     for (int64_t d = 0; d < rank; ++d) {
         starts[static_cast<size_t>(d)] = ScalarToIndex(
-            (*operand_values[first_index_operand + static_cast<size_t>(d)])
-                [static_cast<size_t>(device)]);
+            *operands[first_index_operand + static_cast<size_t>(d)]);
     }
     return starts;
+}
+
+/**
+ * True for ops the interpreter evaluates as a cross-device exchange.
+ * Narrower than hlo's IsCollective: a CollectivePermuteDone is the
+ * local identity here (the Start already moved the data).
+ */
+bool
+IsExchangeOp(HloOpcode opcode)
+{
+    switch (opcode) {
+      case HloOpcode::kAllGather:
+      case HloOpcode::kReduceScatter:
+      case HloOpcode::kAllReduce:
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kCollectivePermute:
+      case HloOpcode::kCollectivePermuteStart: return true;
+      default: return false;
+    }
+}
+
+/**
+ * Static program facts both execution modes share: instruction
+ * indexing plus, for buffer recycling, the index of each value's last
+ * use (its own index for dead values; "never" for the root).
+ */
+struct ProgramInfo {
+    std::vector<const HloInstruction*> instrs;
+    std::unordered_map<const HloInstruction*, int64_t> index_of;
+    std::vector<int64_t> last_use;
+    int64_t root_index = -1;
+};
+
+ProgramInfo
+AnalyzeProgram(const HloComputation& computation)
+{
+    ProgramInfo info;
+    for (const HloInstruction* instr : computation.instructions()) {
+        info.index_of.emplace(instr,
+                              static_cast<int64_t>(info.instrs.size()));
+        info.instrs.push_back(instr);
+    }
+    info.last_use.resize(info.instrs.size());
+    for (size_t j = 0; j < info.instrs.size(); ++j) {
+        info.last_use[j] = static_cast<int64_t>(j);
+        for (const HloInstruction* operand : info.instrs[j]->operands()) {
+            info.last_use[static_cast<size_t>(info.index_of.at(operand))] =
+                static_cast<int64_t>(j);
+        }
+    }
+    info.root_index = info.index_of.at(computation.root());
+    info.last_use[static_cast<size_t>(info.root_index)] =
+        std::numeric_limits<int64_t>::max();
+    return info;
+}
+
+/**
+ * Evaluates a device-local (non-collective) instruction for one device.
+ * `operands[i]` is operand i's value on that device.
+ */
+StatusOr<Tensor>
+EvalLocalOp(const HloInstruction* instr,
+            const std::vector<const Tensor*>& operands, int64_t device,
+            const Mesh& mesh,
+            const std::vector<std::vector<Tensor>>& params)
+{
+    const int64_t n = mesh.num_devices();
+    switch (instr->opcode()) {
+      case HloOpcode::kParameter: {
+          int64_t p = instr->attrs().parameter_number;
+          if (p < 0 || p >= static_cast<int64_t>(params.size())) {
+              return InvalidArgument(StrCat("no value for parameter ", p));
+          }
+          const auto& provided = params[static_cast<size_t>(p)];
+          if (static_cast<int64_t>(provided.size()) != n &&
+              provided.size() != 1) {
+              return InvalidArgument(StrCat("parameter ", p, " needs 1 or ",
+                                            n, " values, got ",
+                                            provided.size()));
+          }
+          const Tensor& v = provided.size() == 1
+                                ? provided[0]
+                                : provided[static_cast<size_t>(device)];
+          if (!v.shape().SameDims(instr->shape())) {
+              return InvalidArgument(
+                  StrCat("parameter ", p, " shape ", v.shape().ToString(),
+                         " != declared ", instr->shape().ToString()));
+          }
+          return v;
+      }
+
+      case HloOpcode::kConstant: return *instr->attrs().literal;
+
+      case HloOpcode::kPartitionId:
+          return Tensor(Shape(DType::kS32, {}),
+                        {static_cast<float>(device)});
+
+      case HloOpcode::kAxisIndex: {
+          int64_t axis = instr->attrs().mesh_axis;
+          if (axis < 0 || axis >= mesh.num_axes()) {
+              return InvalidArgument("axis-index out of range");
+          }
+          return Tensor(
+              Shape(DType::kS32, {}),
+              {static_cast<float>(mesh.PositionInGroup(device, axis))});
+      }
+
+      case HloOpcode::kNegate:
+          return operands[0]->Map([](float v) { return -v; });
+
+      case HloOpcode::kCopy:
+      case HloOpcode::kCollectivePermuteDone: return *operands[0];
+
+      case HloOpcode::kAdd:
+      case HloOpcode::kSubtract:
+      case HloOpcode::kMultiply:
+      case HloOpcode::kDivide:
+      case HloOpcode::kMaximum:
+      case HloOpcode::kMinimum:
+      case HloOpcode::kRemainder: {
+          HloOpcode op = instr->opcode();
+          return Tensor::BinaryOp(*operands[0], *operands[1],
+                                  [op](float a, float b) {
+                                      return ApplyBinary(op, a, b);
+                                  });
+      }
+
+      case HloOpcode::kBroadcast:
+          return Tensor::Full(instr->shape(),
+                              operands[0]->ScalarValue());
+
+      case HloOpcode::kReshape:
+          return operands[0]->Reshape(instr->shape());
+
+      case HloOpcode::kTranspose:
+          return operands[0]->Transpose(instr->attrs().permutation);
+
+      case HloOpcode::kConcatenate: {
+          std::vector<Tensor> parts;
+          parts.reserve(operands.size());
+          for (const Tensor* operand : operands) {
+              parts.push_back(*operand);
+          }
+          return Tensor::Concatenate(parts, instr->attrs().dim);
+      }
+
+      case HloOpcode::kPad:
+          return operands[0]->Pad(instr->attrs().pad_low,
+                                  instr->attrs().pad_high,
+                                  instr->attrs().pad_value);
+
+      case HloOpcode::kSlice:
+          return operands[0]->Slice(instr->attrs().starts,
+                                    instr->attrs().sizes);
+
+      case HloOpcode::kDynamicSlice: {
+          int64_t rank = instr->operand(0)->shape().rank();
+          return operands[0]->Slice(GatherStarts(operands, 1, rank),
+                                    instr->attrs().sizes);
+      }
+
+      case HloOpcode::kDynamicUpdateSlice: {
+          int64_t rank = instr->operand(0)->shape().rank();
+          return operands[0]->UpdateSlice(*operands[1],
+                                          GatherStarts(operands, 2, rank));
+      }
+
+      case HloOpcode::kEinsum:
+          return instr->einsum().Evaluate(*operands[0], *operands[1]);
+
+      case HloOpcode::kTuple: return Tensor::Scalar(0.0f);
+
+      default: break;
+    }
+    return Internal(StrCat("unexpected local op ",
+                           HloOpcodeName(instr->opcode())));
+}
+
+/**
+ * Evaluates a collective for all devices at once: `inputs[d]` is the
+ * operand value on device d, `out` receives every device's result.
+ * Arithmetic always runs in fixed group/device order, which is what
+ * makes the rendezvous-based concurrent mode bit-identical to the
+ * serial walk — the exchange never depends on thread arrival order.
+ */
+Status
+EvalCollective(const HloInstruction* instr, const Mesh& mesh,
+               const std::vector<const Tensor*>& inputs,
+               std::vector<Tensor>* out)
+{
+    const int64_t n = mesh.num_devices();
+    switch (instr->opcode()) {
+      case HloOpcode::kAllGather: {
+          for (const auto& group : instr->attrs().groups) {
+              std::vector<Tensor> parts;
+              parts.reserve(group.size());
+              for (int64_t member : group) {
+                  parts.push_back(*inputs[static_cast<size_t>(member)]);
+              }
+              Tensor gathered =
+                  Tensor::Concatenate(parts, instr->attrs().dim);
+              for (int64_t member : group) {
+                  (*out)[static_cast<size_t>(member)] = gathered;
+              }
+          }
+          return Status::Ok();
+      }
+
+      case HloOpcode::kReduceScatter: {
+          int64_t dim = instr->attrs().dim;
+          for (const auto& group : instr->attrs().groups) {
+              Tensor sum = *inputs[static_cast<size_t>(group[0])];
+              for (size_t i = 1; i < group.size(); ++i) {
+                  Tensor next = Tensor::BinaryOp(
+                      sum, *inputs[static_cast<size_t>(group[i])],
+                      [](float a, float b) { return a + b; });
+                  Tensor::Recycle(std::move(sum));
+                  sum = std::move(next);
+              }
+              int64_t shard = instr->shape().dim(dim);
+              for (size_t i = 0; i < group.size(); ++i) {
+                  std::vector<int64_t> starts(
+                      static_cast<size_t>(sum.shape().rank()), 0);
+                  starts[static_cast<size_t>(dim)] =
+                      static_cast<int64_t>(i) * shard;
+                  std::vector<int64_t> sizes = sum.shape().dims();
+                  sizes[static_cast<size_t>(dim)] = shard;
+                  (*out)[static_cast<size_t>(group[i])] =
+                      sum.Slice(starts, sizes);
+              }
+              Tensor::Recycle(std::move(sum));
+          }
+          return Status::Ok();
+      }
+
+      case HloOpcode::kAllReduce: {
+          for (const auto& group : instr->attrs().groups) {
+              Tensor sum = *inputs[static_cast<size_t>(group[0])];
+              for (size_t i = 1; i < group.size(); ++i) {
+                  Tensor next = Tensor::BinaryOp(
+                      sum, *inputs[static_cast<size_t>(group[i])],
+                      [](float a, float b) { return a + b; });
+                  Tensor::Recycle(std::move(sum));
+                  sum = std::move(next);
+              }
+              for (int64_t member : group) {
+                  (*out)[static_cast<size_t>(member)] = sum;
+              }
+          }
+          return Status::Ok();
+      }
+
+      case HloOpcode::kAllToAll: {
+          int64_t dim = instr->attrs().dim;
+          for (const auto& group : instr->attrs().groups) {
+              int64_t g = static_cast<int64_t>(group.size());
+              const Shape& in_shape = instr->operand(0)->shape();
+              if (in_shape.dim(dim) % g != 0) {
+                  return InvalidArgument(
+                      "all-to-all dim not divisible by group size");
+              }
+              int64_t piece = in_shape.dim(dim) / g;
+              for (int64_t i = 0; i < g; ++i) {
+                  std::vector<Tensor> parts;
+                  parts.reserve(static_cast<size_t>(g));
+                  for (int64_t j = 0; j < g; ++j) {
+                      std::vector<int64_t> starts(
+                          static_cast<size_t>(in_shape.rank()), 0);
+                      starts[static_cast<size_t>(dim)] = i * piece;
+                      std::vector<int64_t> sizes = in_shape.dims();
+                      sizes[static_cast<size_t>(dim)] = piece;
+                      parts.push_back(
+                          inputs[static_cast<size_t>(
+                                     group[static_cast<size_t>(j)])]
+                              ->Slice(starts, sizes));
+                  }
+                  (*out)[static_cast<size_t>(
+                      group[static_cast<size_t>(i)])] =
+                      Tensor::Concatenate(parts, dim);
+              }
+          }
+          return Status::Ok();
+      }
+
+      case HloOpcode::kCollectivePermute:
+      case HloOpcode::kCollectivePermuteStart: {
+          // A device may appear at most once as a source and once
+          // as a target; a duplicate target would make the result
+          // depend on pair order, so it is an error (as in XLA),
+          // not a silent overwrite.
+          std::vector<bool> seen_src(static_cast<size_t>(n), false);
+          std::vector<bool> seen_dst(static_cast<size_t>(n), false);
+          for (const auto& [src, dst] :
+               instr->attrs().source_target_pairs) {
+              if (src < 0 || src >= n || dst < 0 || dst >= n) {
+                  return InvalidArgument(StrCat(
+                      instr->name(), ": source-target pair {", src, ",",
+                      dst, "} outside the ", n, "-device mesh"));
+              }
+              if (seen_src[static_cast<size_t>(src)]) {
+                  return InvalidArgument(StrCat(instr->name(),
+                                                ": duplicate source ", src,
+                                                " in source-target pairs"));
+              }
+              if (seen_dst[static_cast<size_t>(dst)]) {
+                  return InvalidArgument(StrCat(instr->name(),
+                                                ": duplicate target ", dst,
+                                                " in source-target pairs"));
+              }
+              seen_src[static_cast<size_t>(src)] = true;
+              seen_dst[static_cast<size_t>(dst)] = true;
+          }
+          for (int64_t d = 0; d < n; ++d) {
+              (*out)[static_cast<size_t>(d)] = Tensor(instr->shape());
+          }
+          for (const auto& [src, dst] :
+               instr->attrs().source_target_pairs) {
+              Tensor::Recycle(std::move((*out)[static_cast<size_t>(dst)]));
+              (*out)[static_cast<size_t>(dst)] =
+                  *inputs[static_cast<size_t>(src)];
+          }
+          return Status::Ok();
+      }
+
+      default: break;
+    }
+    return Internal(StrCat("unexpected collective op ",
+                           HloOpcodeName(instr->opcode())));
+}
+
+/**
+ * A single-use meeting point for one collective instruction. Each
+ * device deposits its operand; the last arriver (the "leader") runs
+ * EvalCollective over the deposits in device order and wakes everyone;
+ * each device then takes its own output. Cancel() releases waiters
+ * when another device fails so nobody blocks on a peer that will never
+ * arrive.
+ */
+class Rendezvous {
+  public:
+    explicit Rendezvous(int64_t n)
+        : inputs_(static_cast<size_t>(n)),
+          outputs_(static_cast<size_t>(n)) {}
+
+    /**
+     * Deposits device `d`'s input and blocks until the exchange is
+     * computed (returning this device's output) or the evaluation is
+     * cancelled (returning an error that the caller must *not* report —
+     * the failing device owns the real error).
+     */
+    StatusOr<Tensor> Exchange(int64_t d, Tensor input,
+                              const HloInstruction* instr,
+                              const Mesh& mesh) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (cancelled_) return FailedPrecondition("evaluation cancelled");
+        inputs_[static_cast<size_t>(d)] = std::move(input);
+        if (++arrived_ == static_cast<int64_t>(inputs_.size())) {
+            std::vector<const Tensor*> ptrs;
+            ptrs.reserve(inputs_.size());
+            for (const Tensor& t : inputs_) ptrs.push_back(&t);
+            status_ = EvalCollective(instr, mesh, ptrs, &outputs_);
+            done_ = true;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lock, [this]() { return done_ || cancelled_; });
+        }
+        if (!done_) return FailedPrecondition("evaluation cancelled");
+        if (!status_.ok()) return status_;
+        return std::move(outputs_[static_cast<size_t>(d)]);
+    }
+
+    void Cancel() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            cancelled_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Tensor> inputs_;
+    std::vector<Tensor> outputs_;
+    int64_t arrived_ = 0;
+    bool done_ = false;
+    bool cancelled_ = false;
+    Status status_;
+};
+
+/** Shared state of one concurrent evaluation. */
+struct ConcurrentState {
+    /// One rendezvous per collective instruction (null for local ops).
+    std::vector<std::unique_ptr<Rendezvous>> rendezvous;
+    std::atomic<bool> failed{false};
+    /// Per-device first error (instruction index, status) and any
+    /// escaped exception; merged after join into the serial-equivalent
+    /// first failure.
+    std::vector<int64_t> error_instr;
+    std::vector<Status> error_status;
+    std::vector<std::exception_ptr> exception;
+
+    void CancelAll() {
+        failed.store(true, std::memory_order_relaxed);
+        for (auto& rz : rendezvous) {
+            if (rz) rz->Cancel();
+        }
+    }
+};
+
+/** One device's full program walk in the concurrent mode. */
+void
+RunDeviceProgram(int64_t d, const ProgramInfo& info, const Mesh& mesh,
+                 const std::vector<std::vector<Tensor>>& params,
+                 ConcurrentState* state, Tensor* root_out)
+{
+    try {
+        std::vector<Tensor> vals(info.instrs.size());
+        for (size_t j = 0; j < info.instrs.size(); ++j) {
+            if (state->failed.load(std::memory_order_relaxed)) return;
+            const HloInstruction* instr = info.instrs[j];
+            if (IsExchangeOp(instr->opcode())) {
+                int64_t op_idx = info.index_of.at(instr->operand(0));
+                // The rendezvous consumes the operand; keep a copy only
+                // if a later instruction still reads it.
+                Tensor input =
+                    info.last_use[static_cast<size_t>(op_idx)] ==
+                            static_cast<int64_t>(j)
+                        ? std::move(vals[static_cast<size_t>(op_idx)])
+                        : vals[static_cast<size_t>(op_idx)];
+                auto result = state->rendezvous[j]->Exchange(
+                    d, std::move(input), instr, mesh);
+                if (!result.ok()) {
+                    // Collective errors are reported by every arriving
+                    // device with the same (instr, status); cancelled
+                    // waits are not errors of this device.
+                    if (result.status().message() !=
+                        "evaluation cancelled") {
+                        state->error_instr[static_cast<size_t>(d)] =
+                            static_cast<int64_t>(j);
+                        state->error_status[static_cast<size_t>(d)] =
+                            result.status();
+                        state->CancelAll();
+                    }
+                    return;
+                }
+                vals[j] = std::move(result).value();
+            } else {
+                std::vector<const Tensor*> operands;
+                operands.reserve(instr->operands().size());
+                for (const HloInstruction* operand : instr->operands()) {
+                    operands.push_back(
+                        &vals[static_cast<size_t>(
+                            info.index_of.at(operand))]);
+                }
+                auto result =
+                    EvalLocalOp(instr, operands, d, mesh, params);
+                if (!result.ok()) {
+                    state->error_instr[static_cast<size_t>(d)] =
+                        static_cast<int64_t>(j);
+                    state->error_status[static_cast<size_t>(d)] =
+                        result.status();
+                    state->CancelAll();
+                    return;
+                }
+                vals[j] = std::move(result).value();
+            }
+            for (const HloInstruction* operand : instr->operands()) {
+                size_t i = static_cast<size_t>(info.index_of.at(operand));
+                if (info.last_use[i] == static_cast<int64_t>(j)) {
+                    Tensor::Recycle(std::move(vals[i]));
+                }
+            }
+        }
+        *root_out =
+            std::move(vals[static_cast<size_t>(info.root_index)]);
+    } catch (...) {
+        state->exception[static_cast<size_t>(d)] =
+            std::current_exception();
+        state->CancelAll();
+    }
 }
 
 }  // namespace
@@ -54,345 +542,118 @@ StatusOr<std::vector<Tensor>>
 SpmdEvaluator::Evaluate(const HloComputation& computation,
                         const std::vector<std::vector<Tensor>>& params) const
 {
+    if (options_.concurrent_devices && mesh_.num_devices() > 1) {
+        return EvaluateConcurrent(computation, params);
+    }
+    return EvaluateSerial(computation, params);
+}
+
+StatusOr<std::vector<Tensor>>
+SpmdEvaluator::EvaluateSerial(
+    const HloComputation& computation,
+    const std::vector<std::vector<Tensor>>& params) const
+{
     const int64_t n = mesh_.num_devices();
-    std::unordered_map<const HloInstruction*, PerDevice> values;
+    ProgramInfo info = AnalyzeProgram(computation);
+    std::vector<PerDevice> values(info.instrs.size());
 
-    for (const HloInstruction* instr : computation.instructions()) {
-        std::vector<const PerDevice*> inputs;
-        inputs.reserve(instr->operands().size());
-        for (const HloInstruction* operand : instr->operands()) {
-            inputs.push_back(&values.at(operand));
-        }
+    for (size_t j = 0; j < info.instrs.size(); ++j) {
+        const HloInstruction* instr = info.instrs[j];
         PerDevice out(static_cast<size_t>(n));
-
-        switch (instr->opcode()) {
-          case HloOpcode::kParameter: {
-              int64_t p = instr->attrs().parameter_number;
-              if (p < 0 || p >= static_cast<int64_t>(params.size())) {
-                  return InvalidArgument(
-                      StrCat("no value for parameter ", p));
-              }
-              const auto& provided = params[static_cast<size_t>(p)];
-              if (static_cast<int64_t>(provided.size()) != n &&
-                  provided.size() != 1) {
-                  return InvalidArgument(
-                      StrCat("parameter ", p, " needs 1 or ", n,
-                             " values, got ", provided.size()));
-              }
-              for (int64_t d = 0; d < n; ++d) {
-                  const Tensor& v =
-                      provided.size() == 1
-                          ? provided[0]
-                          : provided[static_cast<size_t>(d)];
-                  if (!v.shape().SameDims(instr->shape())) {
-                      return InvalidArgument(StrCat(
-                          "parameter ", p, " shape ", v.shape().ToString(),
-                          " != declared ", instr->shape().ToString()));
-                  }
-                  out[static_cast<size_t>(d)] = v;
-              }
-              break;
-          }
-
-          case HloOpcode::kConstant: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = *instr->attrs().literal;
-              }
-              break;
-          }
-
-          case HloOpcode::kPartitionId: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      Tensor(Shape(DType::kS32, {}),
-                             {static_cast<float>(d)});
-              }
-              break;
-          }
-
-          case HloOpcode::kAxisIndex: {
-              int64_t axis = instr->attrs().mesh_axis;
-              if (axis < 0 || axis >= mesh_.num_axes()) {
-                  return InvalidArgument("axis-index out of range");
-              }
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = Tensor(
-                      Shape(DType::kS32, {}),
-                      {static_cast<float>(mesh_.PositionInGroup(d, axis))});
-              }
-              break;
-          }
-
-          case HloOpcode::kNegate: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Map(
-                          [](float v) { return -v; });
-              }
-              break;
-          }
-
-          case HloOpcode::kCopy:
-          case HloOpcode::kCollectivePermuteDone: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)];
-              }
-              break;
-          }
-
-          case HloOpcode::kAdd:
-          case HloOpcode::kSubtract:
-          case HloOpcode::kMultiply:
-          case HloOpcode::kDivide:
-          case HloOpcode::kMaximum:
-          case HloOpcode::kMinimum:
-          case HloOpcode::kRemainder: {
-              HloOpcode op = instr->opcode();
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = Tensor::BinaryOp(
-                      (*inputs[0])[static_cast<size_t>(d)],
-                      (*inputs[1])[static_cast<size_t>(d)],
-                      [op](float a, float b) {
-                          return ApplyBinary(op, a, b);
-                      });
-              }
-              break;
-          }
-
-          case HloOpcode::kBroadcast: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = Tensor::Full(
-                      instr->shape(),
-                      (*inputs[0])[static_cast<size_t>(d)].ScalarValue());
-              }
-              break;
-          }
-
-          case HloOpcode::kReshape: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Reshape(
-                          instr->shape());
-              }
-              break;
-          }
-
-          case HloOpcode::kTranspose: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Transpose(
-                          instr->attrs().permutation);
-              }
-              break;
-          }
-
-          case HloOpcode::kConcatenate: {
-              for (int64_t d = 0; d < n; ++d) {
-                  std::vector<Tensor> parts;
-                  parts.reserve(inputs.size());
-                  for (const PerDevice* input : inputs) {
-                      parts.push_back((*input)[static_cast<size_t>(d)]);
-                  }
-                  out[static_cast<size_t>(d)] =
-                      Tensor::Concatenate(parts, instr->attrs().dim);
-              }
-              break;
-          }
-
-          case HloOpcode::kPad: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Pad(
-                          instr->attrs().pad_low, instr->attrs().pad_high,
-                          instr->attrs().pad_value);
-              }
-              break;
-          }
-
-          case HloOpcode::kSlice: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Slice(
-                          instr->attrs().starts, instr->attrs().sizes);
-              }
-              break;
-          }
-
-          case HloOpcode::kDynamicSlice: {
-              int64_t rank = instr->operand(0)->shape().rank();
-              for (int64_t d = 0; d < n; ++d) {
-                  std::vector<int64_t> starts =
-                      GatherStarts(inputs, 1, rank, d);
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].Slice(
-                          starts, instr->attrs().sizes);
-              }
-              break;
-          }
-
-          case HloOpcode::kDynamicUpdateSlice: {
-              int64_t rank = instr->operand(0)->shape().rank();
-              for (int64_t d = 0; d < n; ++d) {
-                  std::vector<int64_t> starts =
-                      GatherStarts(inputs, 2, rank, d);
-                  out[static_cast<size_t>(d)] =
-                      (*inputs[0])[static_cast<size_t>(d)].UpdateSlice(
-                          (*inputs[1])[static_cast<size_t>(d)], starts);
-              }
-              break;
-          }
-
-          case HloOpcode::kEinsum: {
-              const EinsumSpec& spec = instr->einsum();
-              for (int64_t d = 0; d < n; ++d) {
-                  auto result =
-                      spec.Evaluate((*inputs[0])[static_cast<size_t>(d)],
-                                    (*inputs[1])[static_cast<size_t>(d)]);
-                  if (!result.ok()) return result.status();
-                  out[static_cast<size_t>(d)] = std::move(result).value();
-              }
-              break;
-          }
-
-          case HloOpcode::kAllGather: {
-              for (const auto& group : instr->attrs().groups) {
-                  std::vector<Tensor> parts;
-                  parts.reserve(group.size());
-                  for (int64_t member : group) {
-                      parts.push_back(
-                          (*inputs[0])[static_cast<size_t>(member)]);
-                  }
-                  Tensor gathered =
-                      Tensor::Concatenate(parts, instr->attrs().dim);
-                  for (int64_t member : group) {
-                      out[static_cast<size_t>(member)] = gathered;
-                  }
-              }
-              break;
-          }
-
-          case HloOpcode::kReduceScatter: {
-              int64_t dim = instr->attrs().dim;
-              for (const auto& group : instr->attrs().groups) {
-                  Tensor sum = (*inputs[0])[static_cast<size_t>(group[0])];
-                  for (size_t i = 1; i < group.size(); ++i) {
-                      sum = Tensor::BinaryOp(
-                          sum,
-                          (*inputs[0])[static_cast<size_t>(group[i])],
-                          [](float a, float b) { return a + b; });
-                  }
-                  int64_t shard = instr->shape().dim(dim);
-                  for (size_t i = 0; i < group.size(); ++i) {
-                      std::vector<int64_t> starts(
-                          static_cast<size_t>(sum.shape().rank()), 0);
-                      starts[static_cast<size_t>(dim)] =
-                          static_cast<int64_t>(i) * shard;
-                      std::vector<int64_t> sizes = sum.shape().dims();
-                      sizes[static_cast<size_t>(dim)] = shard;
-                      out[static_cast<size_t>(group[i])] =
-                          sum.Slice(starts, sizes);
-                  }
-              }
-              break;
-          }
-
-          case HloOpcode::kAllReduce: {
-              for (const auto& group : instr->attrs().groups) {
-                  Tensor sum = (*inputs[0])[static_cast<size_t>(group[0])];
-                  for (size_t i = 1; i < group.size(); ++i) {
-                      sum = Tensor::BinaryOp(
-                          sum,
-                          (*inputs[0])[static_cast<size_t>(group[i])],
-                          [](float a, float b) { return a + b; });
-                  }
-                  for (int64_t member : group) {
-                      out[static_cast<size_t>(member)] = sum;
-                  }
-              }
-              break;
-          }
-
-          case HloOpcode::kAllToAll: {
-              int64_t dim = instr->attrs().dim;
-              for (const auto& group : instr->attrs().groups) {
-                  int64_t g = static_cast<int64_t>(group.size());
-                  const Shape& in_shape = instr->operand(0)->shape();
-                  if (in_shape.dim(dim) % g != 0) {
-                      return InvalidArgument(
-                          "all-to-all dim not divisible by group size");
-                  }
-                  int64_t piece = in_shape.dim(dim) / g;
-                  for (int64_t i = 0; i < g; ++i) {
-                      std::vector<Tensor> parts;
-                      parts.reserve(static_cast<size_t>(g));
-                      for (int64_t j = 0; j < g; ++j) {
-                          std::vector<int64_t> starts(
-                              static_cast<size_t>(in_shape.rank()), 0);
-                          starts[static_cast<size_t>(dim)] = i * piece;
-                          std::vector<int64_t> sizes = in_shape.dims();
-                          sizes[static_cast<size_t>(dim)] = piece;
-                          parts.push_back(
-                              (*inputs[0])[static_cast<size_t>(group[static_cast<size_t>(j)])]
-                                  .Slice(starts, sizes));
-                      }
-                      out[static_cast<size_t>(group[static_cast<size_t>(i)])] =
-                          Tensor::Concatenate(parts, dim);
-                  }
-              }
-              break;
-          }
-
-          case HloOpcode::kTuple: {
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = Tensor::Scalar(0.0f);
-              }
-              break;
-          }
-
-          case HloOpcode::kCollectivePermute:
-          case HloOpcode::kCollectivePermuteStart: {
-              // A device may appear at most once as a source and once
-              // as a target; a duplicate target would make the result
-              // depend on pair order, so it is an error (as in XLA),
-              // not a silent overwrite.
-              std::vector<bool> seen_src(static_cast<size_t>(n), false);
-              std::vector<bool> seen_dst(static_cast<size_t>(n), false);
-              for (const auto& [src, dst] :
-                   instr->attrs().source_target_pairs) {
-                  if (src < 0 || src >= n || dst < 0 || dst >= n) {
-                      return InvalidArgument(StrCat(
-                          instr->name(), ": source-target pair {", src,
-                          ",", dst, "} outside the ", n, "-device mesh"));
-                  }
-                  if (seen_src[static_cast<size_t>(src)]) {
-                      return InvalidArgument(
-                          StrCat(instr->name(), ": duplicate source ",
-                                 src, " in source-target pairs"));
-                  }
-                  if (seen_dst[static_cast<size_t>(dst)]) {
-                      return InvalidArgument(
-                          StrCat(instr->name(), ": duplicate target ",
-                                 dst, " in source-target pairs"));
-                  }
-                  seen_src[static_cast<size_t>(src)] = true;
-                  seen_dst[static_cast<size_t>(dst)] = true;
-              }
-              for (int64_t d = 0; d < n; ++d) {
-                  out[static_cast<size_t>(d)] = Tensor(instr->shape());
-              }
-              for (const auto& [src, dst] :
-                   instr->attrs().source_target_pairs) {
-                  out[static_cast<size_t>(dst)] =
-                      (*inputs[0])[static_cast<size_t>(src)];
-              }
-              break;
-          }
+        if (IsExchangeOp(instr->opcode())) {
+            const PerDevice& input = values[static_cast<size_t>(
+                info.index_of.at(instr->operand(0)))];
+            std::vector<const Tensor*> inputs;
+            inputs.reserve(static_cast<size_t>(n));
+            for (const Tensor& t : input) inputs.push_back(&t);
+            OVERLAP_RETURN_IF_ERROR(
+                EvalCollective(instr, mesh_, inputs, &out));
+        } else {
+            std::vector<const Tensor*> operands(
+                instr->operands().size());
+            for (int64_t d = 0; d < n; ++d) {
+                for (size_t i = 0; i < instr->operands().size(); ++i) {
+                    operands[i] =
+                        &values[static_cast<size_t>(info.index_of.at(
+                            instr->operands()[i]))]
+                               [static_cast<size_t>(d)];
+                }
+                auto result =
+                    EvalLocalOp(instr, operands, d, mesh_, params);
+                if (!result.ok()) return result.status();
+                out[static_cast<size_t>(d)] = std::move(result).value();
+            }
         }
-        values.emplace(instr, std::move(out));
+        values[j] = std::move(out);
+        for (const HloInstruction* operand : instr->operands()) {
+            size_t i = static_cast<size_t>(info.index_of.at(operand));
+            if (info.last_use[i] == static_cast<int64_t>(j)) {
+                for (Tensor& dead : values[i]) {
+                    Tensor::Recycle(std::move(dead));
+                }
+                values[i].clear();
+            }
+        }
     }
 
-    return values.at(computation.root());
+    return std::move(values[static_cast<size_t>(info.root_index)]);
+}
+
+StatusOr<std::vector<Tensor>>
+SpmdEvaluator::EvaluateConcurrent(
+    const HloComputation& computation,
+    const std::vector<std::vector<Tensor>>& params) const
+{
+    const int64_t n = mesh_.num_devices();
+    ProgramInfo info = AnalyzeProgram(computation);
+
+    ConcurrentState state;
+    state.rendezvous.resize(info.instrs.size());
+    for (size_t j = 0; j < info.instrs.size(); ++j) {
+        if (IsExchangeOp(info.instrs[j]->opcode())) {
+            state.rendezvous[j] = std::make_unique<Rendezvous>(n);
+        }
+    }
+    state.error_instr.assign(static_cast<size_t>(n), -1);
+    state.error_status.assign(static_cast<size_t>(n), Status::Ok());
+    state.exception.assign(static_cast<size_t>(n), nullptr);
+
+    // One dedicated thread per device (device 0 runs on the caller).
+    // Devices block on each other at every rendezvous, so they must
+    // all be runnable at once — a bounded shared pool could park a
+    // peer forever and deadlock the exchange.
+    std::vector<Tensor> roots(static_cast<size_t>(n));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n) - 1);
+    for (int64_t d = 1; d < n; ++d) {
+        threads.emplace_back([&, d]() {
+            RunDeviceProgram(d, info, mesh_, params, &state,
+                             &roots[static_cast<size_t>(d)]);
+        });
+    }
+    RunDeviceProgram(0, info, mesh_, params, &state, &roots[0]);
+    for (std::thread& t : threads) t.join();
+
+    for (int64_t d = 0; d < n; ++d) {
+        if (state.exception[static_cast<size_t>(d)]) {
+            std::rethrow_exception(state.exception[static_cast<size_t>(d)]);
+        }
+    }
+    // First failure in program order, ties broken by device id —
+    // exactly the error the serial walk would have returned.
+    int64_t best_device = -1;
+    for (int64_t d = 0; d < n; ++d) {
+        if (state.error_instr[static_cast<size_t>(d)] < 0) continue;
+        if (best_device < 0 ||
+            state.error_instr[static_cast<size_t>(d)] <
+                state.error_instr[static_cast<size_t>(best_device)]) {
+            best_device = d;
+        }
+    }
+    if (best_device >= 0) {
+        return state.error_status[static_cast<size_t>(best_device)];
+    }
+    return roots;
 }
 
 StatusOr<std::vector<std::vector<Tensor>>>
@@ -400,6 +661,40 @@ SpmdEvaluator::EvaluateBatch(
     const std::vector<const HloComputation*>& computations,
     const std::vector<std::vector<Tensor>>& params) const
 {
+    if (options_.batch_pool != nullptr && computations.size() > 1) {
+        std::vector<std::future<StatusOr<std::vector<Tensor>>>> futures;
+        futures.reserve(computations.size());
+        for (const HloComputation* computation : computations) {
+            futures.push_back(options_.batch_pool->Submit(
+                [this, computation, &params]() {
+                    return Evaluate(*computation, params);
+                }));
+        }
+        // Every future must be drained before returning (the tasks
+        // borrow `params`), so errors are collected, not fail-fast.
+        std::vector<StatusOr<std::vector<Tensor>>> results;
+        results.reserve(computations.size());
+        std::exception_ptr first_exception;
+        for (auto& future : futures) {
+            try {
+                results.push_back(future.get());
+            } catch (...) {
+                if (!first_exception) {
+                    first_exception = std::current_exception();
+                }
+                results.push_back(Internal("evaluation threw"));
+            }
+        }
+        if (first_exception) std::rethrow_exception(first_exception);
+        std::vector<std::vector<Tensor>> outputs;
+        outputs.reserve(results.size());
+        for (auto& result : results) {
+            if (!result.ok()) return result.status();
+            outputs.push_back(std::move(result).value());
+        }
+        return outputs;
+    }
+
     std::vector<std::vector<Tensor>> outputs;
     outputs.reserve(computations.size());
     for (const HloComputation* computation : computations) {

@@ -5,24 +5,54 @@
 
 #include "hlo/module.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 #include "tensor/mesh.h"
 #include "tensor/tensor.h"
 
 namespace overlap {
 
+/** Execution knobs for the SPMD evaluator. The default is fully serial. */
+struct EvalOptions {
+    /**
+     * Run the per-device programs on concurrent threads (one dedicated
+     * thread per device), with collectives implemented as rendezvous
+     * channels: every device deposits its operand, the last arriver
+     * computes the exchange for the whole group in fixed device order,
+     * and all pick up their share. Results are bit-identical to the
+     * serial lock-step walk because the collective arithmetic runs once,
+     * over inputs indexed by device id — never in arrival order.
+     */
+    bool concurrent_devices = false;
+
+    /**
+     * When set, EvaluateBatch fans whole computations across this pool
+     * (stable result order; first error by computation order). Device
+     * concurrency and batch fan-out compose: each pooled evaluation may
+     * itself spawn its per-device threads.
+     */
+    ThreadPool* batch_pool = nullptr;
+};
+
 /**
  * Functional reference interpreter for SPMD HLO programs.
  *
- * Executes the entry computation on every device of the mesh in lock-step
- * (one instruction at a time across all devices), with full collective
- * semantics: AllGather concatenation in group order, ReduceScatter
- * element-wise reduction + scatter, AllReduce, AllToAll, and
- * CollectivePermute data movement (devices that receive nothing get
+ * Executes the entry computation on every device of the mesh with full
+ * collective semantics: AllGather concatenation in group order,
+ * ReduceScatter element-wise reduction + scatter, AllReduce, AllToAll,
+ * and CollectivePermute data movement (devices that receive nothing get
  * zeros, matching XLA). A CollectivePermuteStart performs the data
  * movement and its Done is the identity, so the async pair behaves
  * exactly like the sync op — their timing behaviour lives in the
  * simulator. Source-target pairs with a duplicate source or target, or
  * with a device id outside the mesh, are rejected as invalid.
+ *
+ * Two execution modes produce identical outputs (see EvalOptions):
+ * a serial lock-step walk (one instruction at a time across all
+ * devices) and a concurrent mode where each device runs its own program
+ * on a dedicated thread and meets the others at rendezvous channels for
+ * collectives. Both modes recycle dead intermediate buffers through the
+ * thread-local BufferPool, so a decomposed loop's partial einsums and
+ * DynamicUpdateSlice chain reuse allocations across iterations.
  *
  * This interpreter is the semantic ground truth the test suite uses to
  * prove that the Looped CollectiveEinsum decomposition (in every variant)
@@ -31,6 +61,8 @@ namespace overlap {
 class SpmdEvaluator {
   public:
     explicit SpmdEvaluator(Mesh mesh) : mesh_(std::move(mesh)) {}
+    SpmdEvaluator(Mesh mesh, EvalOptions options)
+        : mesh_(std::move(mesh)), options_(options) {}
 
     /**
      * Runs `computation`; `params[p][d]` is the value of parameter p on
@@ -47,16 +79,26 @@ class SpmdEvaluator {
      * Evaluates several computations against the *same* parameter
      * bindings — the shape of a differential test (one reference, many
      * transformed variants). Returns one per-device output vector per
-     * computation, in order; fails fast on the first evaluation error.
+     * computation, in order; fails fast on the first evaluation error
+     * (by computation order, also under batch_pool fan-out).
      */
     StatusOr<std::vector<std::vector<Tensor>>> EvaluateBatch(
         const std::vector<const HloComputation*>& computations,
         const std::vector<std::vector<Tensor>>& params) const;
 
     const Mesh& mesh() const { return mesh_; }
+    const EvalOptions& options() const { return options_; }
 
   private:
+    StatusOr<std::vector<Tensor>> EvaluateSerial(
+        const HloComputation& computation,
+        const std::vector<std::vector<Tensor>>& params) const;
+    StatusOr<std::vector<Tensor>> EvaluateConcurrent(
+        const HloComputation& computation,
+        const std::vector<std::vector<Tensor>>& params) const;
+
     Mesh mesh_;
+    EvalOptions options_;
 };
 
 /**

@@ -112,9 +112,26 @@ class StatusOr {
 };
 
 /**
+ * OVERLAP_CHECKS_ENABLED is 1 when OVERLAP_CHECK is active: Debug
+ * builds and every sanitizer build (ASan/UBSan/TSan configs define
+ * OVERLAP_SANITIZE). In plain Release builds (NDEBUG) the macro
+ * compiles to a zero-cost no-op so invariant checks vanish from the
+ * evaluator/einsum inner loops. OVERLAP_CHECK conditions must
+ * therefore be side-effect free — they are not evaluated when checks
+ * are off.
+ */
+#if defined(NDEBUG) && !defined(OVERLAP_SANITIZE)
+#define OVERLAP_CHECKS_ENABLED 0
+#else
+#define OVERLAP_CHECKS_ENABLED 1
+#endif
+
+/**
  * Throws std::logic_error with a diagnostic if `condition` is false
  * (library bug). The message names the condition and its source location.
+ * Compiled out (condition unevaluated) when OVERLAP_CHECKS_ENABLED is 0.
  */
+#if OVERLAP_CHECKS_ENABLED
 #define OVERLAP_CHECK(condition)                                          \
     do {                                                                  \
         if (!(condition)) {                                               \
@@ -122,6 +139,14 @@ class StatusOr {
                                              __LINE__);                   \
         }                                                                 \
     } while (false)
+#else
+#define OVERLAP_CHECK(condition)                                          \
+    do {                                                                  \
+        if (false) {                                                      \
+            static_cast<void>(condition);                                 \
+        }                                                                 \
+    } while (false)
+#endif
 
 #define OVERLAP_RETURN_IF_ERROR(expr)                                     \
     do {                                                                  \

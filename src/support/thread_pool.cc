@@ -1,0 +1,73 @@
+#include "support/thread_pool.h"
+
+namespace overlap {
+
+int64_t
+DefaultThreadCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int64_t>(n);
+}
+
+uint64_t
+DeriveTaskSeed(uint64_t base_seed, uint64_t task_index)
+{
+    // SplitMix64 finalizer over the combined state: small changes in
+    // either input flip roughly half the output bits, so adjacent task
+    // indices get statistically independent streams.
+    uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (task_index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(int64_t num_threads)
+{
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int64_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this]() { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void
+ThreadPool::Enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this]() {
+                return shutting_down_ || !queue_.empty();
+            });
+            // Drain the queue even during shutdown so every returned
+            // future is eventually satisfied.
+            if (queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // packaged_task captures any exception in the future
+    }
+}
+
+}  // namespace overlap

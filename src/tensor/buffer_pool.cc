@@ -1,0 +1,112 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/strings.h"
+
+namespace overlap {
+
+namespace internal {
+namespace {
+std::atomic<int64_t> tensor_heap_allocs{0};
+}  // namespace
+
+void
+CountTensorHeapAlloc(int64_t count)
+{
+    tensor_heap_allocs.fetch_add(count, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+int64_t
+TensorHeapAllocCount()
+{
+    return internal::tensor_heap_allocs.load(std::memory_order_relaxed);
+}
+
+std::string
+BufferPool::Stats::ToString() const
+{
+    return StrCat("hits=", hits, " misses=", misses, " pooled=", pooled,
+                  " dropped=", dropped);
+}
+
+int
+BufferPool::BucketFor(size_t n)
+{
+    int bucket = 0;
+    size_t cap = 1;
+    while (cap < n && bucket < kNumBuckets - 1) {
+        cap <<= 1;
+        ++bucket;
+    }
+    return bucket;
+}
+
+std::vector<float>
+BufferPool::Acquire(size_t n)
+{
+    if (enabled_ && n > 0) {
+        // Any vector in bucket >= BucketFor(n) has capacity >= n; take
+        // from the smallest non-empty one to keep big buffers for big
+        // requests.
+        for (int b = BucketFor(n); b < kNumBuckets; ++b) {
+            if (buckets_[b].empty()) continue;
+            std::vector<float> buffer = std::move(buckets_[b].back());
+            buckets_[b].pop_back();
+            retained_bytes_ -=
+                static_cast<int64_t>(buffer.capacity() * sizeof(float));
+            ++stats_.hits;
+            buffer.resize(n);
+            return buffer;
+        }
+    }
+    ++stats_.misses;
+    internal::CountTensorHeapAlloc();
+    if (!enabled_ || n == 0) return std::vector<float>(n);
+    // Round the fresh allocation up to its bucket's guarantee: a vector
+    // with capacity exactly n (non-power-of-two) would be demoted to
+    // bucket BucketFor(n)-1 on Release and never serve a same-size
+    // Acquire again — the repeated-shape pattern the pool exists for.
+    std::vector<float> buffer;
+    buffer.reserve(std::max(n, size_t{1} << BucketFor(n)));
+    buffer.resize(n);
+    return buffer;
+}
+
+void
+BufferPool::Release(std::vector<float>&& buffer)
+{
+    int64_t bytes =
+        static_cast<int64_t>(buffer.capacity() * sizeof(float));
+    if (!enabled_ || buffer.capacity() == 0 ||
+        retained_bytes_ + bytes > max_retained_bytes_) {
+        ++stats_.dropped;
+        return;  // buffer frees on scope exit
+    }
+    int bucket = BucketFor(buffer.capacity());
+    // BucketFor rounds up; a capacity just under 2^b must land in the
+    // bucket whose guarantee it can honor.
+    if (buffer.capacity() < (size_t{1} << bucket)) --bucket;
+    if (bucket < 0) bucket = 0;
+    retained_bytes_ += bytes;
+    ++stats_.pooled;
+    buckets_[bucket].push_back(std::move(buffer));
+}
+
+void
+BufferPool::Clear()
+{
+    for (auto& bucket : buckets_) bucket.clear();
+    retained_bytes_ = 0;
+}
+
+BufferPool&
+ThreadLocalBufferPool()
+{
+    static thread_local BufferPool pool;
+    return pool;
+}
+
+}  // namespace overlap

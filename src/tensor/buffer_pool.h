@@ -1,0 +1,105 @@
+#ifndef OVERLAP_TENSOR_BUFFER_POOL_H_
+#define OVERLAP_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overlap {
+
+/**
+ * A size-bucketed free list of float buffers.
+ *
+ * The decomposed CollectiveEinsum loop allocates the same handful of
+ * shapes over and over (N partial einsum results, the
+ * DynamicUpdateSlice accumulator chain, per-step permute temporaries).
+ * Routing those allocations through a pool turns the steady state of a
+ * loop evaluation into pure buffer reuse.
+ *
+ * Buffers are plain `std::vector<float>` so `Tensor` can adopt them by
+ * move with no custom allocator. Bucket b holds vectors whose capacity
+ * is in [2^b, 2^(b+1)); Acquire(n) takes from bucket ceil(log2(n)), so
+ * a pooled hit is guaranteed to have capacity >= n. Retained bytes are
+ * capped; a Release that would exceed the cap simply frees the buffer.
+ *
+ * Thread model: every thread gets its own pool via
+ * ThreadLocalBufferPool(), so no locking is needed and a buffer never
+ * moves between threads while pooled. A vector released on a different
+ * thread than it was acquired on lands in the releasing thread's pool —
+ * harmless, since the vector's heap block carries no thread affinity.
+ */
+class BufferPool {
+  public:
+    struct Stats {
+        /// Acquire() calls served from a free list (no heap allocation).
+        int64_t hits = 0;
+        /// Acquire() calls that fell through to the heap.
+        int64_t misses = 0;
+        /// Release() calls that pooled the buffer for reuse.
+        int64_t pooled = 0;
+        /// Release() calls dropped (pool disabled, tiny, or over cap).
+        int64_t dropped = 0;
+
+        std::string ToString() const;
+    };
+
+    explicit BufferPool(int64_t max_retained_bytes = 64ll << 20)
+        : max_retained_bytes_(max_retained_bytes) {}
+
+    /**
+     * Returns a vector of exactly `n` elements with unspecified
+     * contents (pooled buffers are *not* cleared — callers that need
+     * zeros fill explicitly).
+     */
+    std::vector<float> Acquire(size_t n);
+
+    /** Hands a dead buffer back for reuse. */
+    void Release(std::vector<float>&& buffer);
+
+    /**
+     * Enables/disables pooling. Disabled, Acquire always heap-allocates
+     * and Release frees — the knob the perf baseline uses to measure
+     * the allocation count with and without reuse.
+     */
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    const Stats& stats() const { return stats_; }
+    void ResetStats() { stats_ = Stats(); }
+
+    /** Frees every pooled buffer (stats are kept). */
+    void Clear();
+
+    int64_t retained_bytes() const { return retained_bytes_; }
+
+  private:
+    static constexpr int kNumBuckets = 40;
+
+    static int BucketFor(size_t n);
+
+    bool enabled_ = true;
+    int64_t max_retained_bytes_;
+    int64_t retained_bytes_ = 0;
+    Stats stats_;
+    std::vector<std::vector<float>> buckets_[kNumBuckets];
+};
+
+/** The calling thread's pool (created on first use, lives forever). */
+BufferPool& ThreadLocalBufferPool();
+
+/**
+ * Process-wide count of float-buffer heap allocations made on behalf of
+ * Tensors (fresh allocations only; pooled hits don't count). The perf
+ * baseline reports the delta across a decomposed-loop evaluation with
+ * pooling on vs. off.
+ */
+int64_t TensorHeapAllocCount();
+
+namespace internal {
+/** Records `count` fresh heap allocations (relaxed atomic). */
+void CountTensorHeapAlloc(int64_t count = 1);
+}  // namespace internal
+
+}  // namespace overlap
+
+#endif  // OVERLAP_TENSOR_BUFFER_POOL_H_

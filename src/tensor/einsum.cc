@@ -169,6 +169,36 @@ EinsumSpec::FlopCount(const Shape& lhs, const Shape& rhs) const
     return 2 * total;
 }
 
+namespace {
+
+/** Row-major strides of `dims`. */
+std::vector<int64_t>
+RowMajorStrides(const std::vector<int64_t>& dims)
+{
+    std::vector<int64_t> strides(dims.size(), 1);
+    for (int64_t d = static_cast<int64_t>(dims.size()) - 2; d >= 0; --d) {
+        strides[static_cast<size_t>(d)] =
+            strides[static_cast<size_t>(d) + 1] *
+            dims[static_cast<size_t>(d) + 1];
+    }
+    return strides;
+}
+
+/**
+ * Flat-offset table for one label class: entry i is the (lhs, rhs, out)
+ * offset triple of the i-th combination of the class's labels, iterated
+ * row-major in the order the labels appear in `labels`. Labels absent
+ * from an operand contribute 0 to that operand's offset.
+ */
+struct OffsetTable {
+    std::vector<int64_t> lhs;
+    std::vector<int64_t> rhs;
+    std::vector<int64_t> out;
+    int64_t count = 1;
+};
+
+}  // namespace
+
 StatusOr<Tensor>
 EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
 {
@@ -183,42 +213,114 @@ EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
         sizes[rhs_[i]] = rhs.shape().dim(static_cast<int64_t>(i));
     }
 
-    // Iterate over the full label space; accumulate products into the
-    // output coordinate. Test shapes are small, so the naive loop is fine.
-    std::vector<char> labels(all_.begin(), all_.end());
-    std::vector<int64_t> extents;
-    extents.reserve(labels.size());
-    for (char c : labels) extents.push_back(sizes.at(c));
+    std::vector<int64_t> lhs_strides = RowMajorStrides(lhs.shape().dims());
+    std::vector<int64_t> rhs_strides = RowMajorStrides(rhs.shape().dims());
+    std::vector<int64_t> out_strides =
+        RowMajorStrides(out_shape->dims());
 
-    Tensor out(out_shape.value());
-    std::vector<int64_t> idx(labels.size(), 0);
-    std::vector<int64_t> lhs_idx(lhs_.size()), rhs_idx(rhs_.size()),
-        out_idx(out_.size());
-    bool done = labels.empty();
-    while (true) {
-        for (size_t i = 0; i < labels.size(); ++i) {
-            char c = labels[i];
-            int64_t l = LhsDimOf(c);
-            int64_t r = RhsDimOf(c);
-            int64_t o = OutDimOf(c);
-            if (l >= 0) lhs_idx[static_cast<size_t>(l)] = idx[i];
-            if (r >= 0) rhs_idx[static_cast<size_t>(r)] = idx[i];
-            if (o >= 0) out_idx[static_cast<size_t>(o)] = idx[i];
+    // Partition the label space into the four classes of the paper's
+    // einsum taxonomy. Every output element is indexed by exactly
+    // (batch, lhs-free, rhs-free), and its value is a sum over the
+    // contracting space — so the kernel writes each output once and
+    // needs no zero-initialized accumulator tensor. Labels keep the
+    // deterministic all_-labels order within each class, which fixes
+    // the floating-point accumulation order independent of blocking.
+    auto build_table = [&](EinsumDimKind kind) {
+        OffsetTable table;
+        std::vector<char> labels;
+        std::vector<int64_t> extents;
+        for (char c : all_) {
+            if (KindOf(c) != kind) continue;
+            labels.push_back(c);
+            extents.push_back(sizes.at(c));
+            table.count *= sizes.at(c);
         }
-        float product = lhs.at(lhs_idx) * rhs.at(rhs_idx);
-        out.set(out_idx, out.at(out_idx) + product);
-        if (done) break;
-        bool advanced = false;
-        for (int64_t d = static_cast<int64_t>(labels.size()) - 1; d >= 0;
-             --d) {
-            if (++idx[static_cast<size_t>(d)] <
-                extents[static_cast<size_t>(d)]) {
-                advanced = true;
-                break;
+        table.lhs.reserve(static_cast<size_t>(table.count));
+        table.rhs.reserve(static_cast<size_t>(table.count));
+        table.out.reserve(static_cast<size_t>(table.count));
+        std::vector<int64_t> idx(labels.size(), 0);
+        for (int64_t i = 0; i < table.count; ++i) {
+            int64_t l = 0, r = 0, o = 0;
+            for (size_t d = 0; d < labels.size(); ++d) {
+                char c = labels[d];
+                int64_t lp = LhsDimOf(c);
+                int64_t rp = RhsDimOf(c);
+                int64_t op = OutDimOf(c);
+                if (lp >= 0) l += idx[d] * lhs_strides[static_cast<size_t>(lp)];
+                if (rp >= 0) r += idx[d] * rhs_strides[static_cast<size_t>(rp)];
+                if (op >= 0) o += idx[d] * out_strides[static_cast<size_t>(op)];
             }
-            idx[static_cast<size_t>(d)] = 0;
+            table.lhs.push_back(l);
+            table.rhs.push_back(r);
+            table.out.push_back(o);
+            for (int64_t d = static_cast<int64_t>(labels.size()) - 1;
+                 d >= 0; --d) {
+                if (++idx[static_cast<size_t>(d)] <
+                    extents[static_cast<size_t>(d)]) {
+                    break;
+                }
+                idx[static_cast<size_t>(d)] = 0;
+            }
         }
-        if (!advanced) break;
+        return table;
+    };
+    OffsetTable batch = build_table(EinsumDimKind::kBatch);
+    OffsetTable mfree = build_table(EinsumDimKind::kLhsFree);
+    OffsetTable nfree = build_table(EinsumDimKind::kRhsFree);
+    OffsetTable contract = build_table(EinsumDimKind::kContracting);
+
+    Tensor out = Tensor::Uninitialized(out_shape.value());
+    if (out.num_elements() == 0) return out;
+    const float* lhs_data = lhs.data();
+    const float* rhs_data = rhs.data();
+    float* out_data = out.data();
+
+    // Cache-blocked over the contracting (k) and rhs-free (n) spaces:
+    // one k-panel of the rhs is reused across every n in the block
+    // before the walk moves on, instead of streaming the whole rhs per
+    // output row. Blocks split the k loop sequentially, so per-element
+    // accumulation order (and thus the float result) is unchanged.
+    constexpr int64_t kBlockK = 64;
+    constexpr int64_t kBlockN = 64;
+    for (int64_t b = 0; b < batch.count; ++b) {
+        const int64_t lb = batch.lhs[static_cast<size_t>(b)];
+        const int64_t rb = batch.rhs[static_cast<size_t>(b)];
+        const int64_t ob = batch.out[static_cast<size_t>(b)];
+        for (int64_t k0 = 0; k0 < contract.count; k0 += kBlockK) {
+            const int64_t k1 = std::min(k0 + kBlockK, contract.count);
+            const bool first_panel = k0 == 0;
+            for (int64_t m = 0; m < mfree.count; ++m) {
+                const int64_t lm =
+                    lb + mfree.lhs[static_cast<size_t>(m)];
+                const int64_t om =
+                    ob + mfree.out[static_cast<size_t>(m)];
+                for (int64_t n0 = 0; n0 < nfree.count; n0 += kBlockN) {
+                    const int64_t n1 =
+                        std::min(n0 + kBlockN, nfree.count);
+                    for (int64_t n = n0; n < n1; ++n) {
+                        const int64_t rn =
+                            rb + nfree.rhs[static_cast<size_t>(n)];
+                        const int64_t on =
+                            om + nfree.out[static_cast<size_t>(n)];
+                        float acc =
+                            first_panel
+                                ? 0.0f
+                                : out_data[static_cast<size_t>(on)];
+                        for (int64_t k = k0; k < k1; ++k) {
+                            acc += lhs_data[static_cast<size_t>(
+                                       lm +
+                                       contract.lhs[static_cast<size_t>(
+                                           k)])] *
+                                   rhs_data[static_cast<size_t>(
+                                       rn +
+                                       contract.rhs[static_cast<size_t>(
+                                           k)])];
+                        }
+                        out_data[static_cast<size_t>(on)] = acc;
+                    }
+                }
+            }
+        }
     }
     return out;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "support/status.h"
 #include "support/strings.h"
+#include "tensor/buffer_pool.h"
 
 namespace overlap {
 namespace {
@@ -20,12 +22,25 @@ NextIndex(std::vector<int64_t>& index, const std::vector<int64_t>& dims)
     return false;
 }
 
+/** Row-major strides of `dims`. */
+std::vector<int64_t>
+Strides(const std::vector<int64_t>& dims)
+{
+    std::vector<int64_t> strides(dims.size(), 1);
+    for (int64_t d = static_cast<int64_t>(dims.size()) - 2; d >= 0; --d) {
+        strides[static_cast<size_t>(d)] =
+            strides[static_cast<size_t>(d) + 1] * dims[static_cast<size_t>(d) + 1];
+    }
+    return strides;
+}
+
 }  // namespace
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      values_(static_cast<size_t>(shape_.num_elements()), 0.0f)
+Tensor::Tensor(Shape shape) : shape_(std::move(shape))
 {
+    values_ = ThreadLocalBufferPool().Acquire(
+        static_cast<size_t>(shape_.num_elements()));
+    std::fill(values_.begin(), values_.end(), 0.0f);
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
@@ -33,6 +48,24 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
 {
     OVERLAP_CHECK(static_cast<int64_t>(values_.size()) ==
                   shape_.num_elements());
+}
+
+Tensor
+Tensor::Uninitialized(Shape shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.values_ = ThreadLocalBufferPool().Acquire(
+        static_cast<size_t>(t.shape_.num_elements()));
+    return t;
+}
+
+void
+Tensor::Recycle(Tensor&& t)
+{
+    ThreadLocalBufferPool().Release(std::move(t.values_));
+    t.values_.clear();
+    t.shape_ = Shape();
 }
 
 Tensor
@@ -44,7 +77,7 @@ Tensor::Scalar(float value)
 Tensor
 Tensor::Full(const Shape& shape, float value)
 {
-    Tensor t(shape);
+    Tensor t = Uninitialized(shape);
     std::fill(t.values_.begin(), t.values_.end(), value);
     return t;
 }
@@ -52,7 +85,7 @@ Tensor::Full(const Shape& shape, float value)
 Tensor
 Tensor::Iota(const Shape& shape, float start, float step)
 {
-    Tensor t(shape);
+    Tensor t = Uninitialized(shape);
     float v = start;
     for (float& e : t.values_) {
         e = v;
@@ -64,7 +97,7 @@ Tensor::Iota(const Shape& shape, float start, float step)
 Tensor
 Tensor::Random(const Shape& shape, uint64_t seed)
 {
-    Tensor t(shape);
+    Tensor t = Uninitialized(shape);
     // SplitMix64: small, deterministic, good enough for test data.
     uint64_t state = seed + 0x9E3779B97f4A7C15ull;
     for (float& e : t.values_) {
@@ -123,21 +156,33 @@ Tensor::Slice(const std::vector<int64_t>& starts,
         clamped[d] = std::clamp<int64_t>(starts[d], 0,
                                          shape_.dim(d) - sizes[d]);
     }
-    Shape out_shape(shape_.dtype(), sizes);
-    Tensor out(out_shape);
+    Tensor out = Uninitialized(Shape(shape_.dtype(), sizes));
     if (out.num_elements() == 0) return out;
-    std::vector<int64_t> idx(sizes.size(), 0);
+    const size_t rank = sizes.size();
+    if (rank == 0) {
+        out.values_[0] = values_[0];
+        return out;
+    }
+    // Copy whole contiguous innermost runs instead of walking elements.
+    std::vector<int64_t> strides = Strides(shape_.dims());
+    const size_t run = static_cast<size_t>(sizes[rank - 1]);
+    std::vector<int64_t> idx(rank - 1, 0);
+    std::vector<int64_t> outer(sizes.begin(), sizes.end() - 1);
+    float* dst = out.values_.data();
     do {
-        std::vector<int64_t> src = idx;
-        for (size_t d = 0; d < src.size(); ++d) src[d] += clamped[d];
-        out.set(idx, at(src));
-    } while (NextIndex(idx, sizes));
+        int64_t src = clamped[rank - 1];
+        for (size_t d = 0; d + 1 < rank; ++d) {
+            src += (idx[d] + clamped[d]) * strides[d];
+        }
+        std::memcpy(dst, values_.data() + src, run * sizeof(float));
+        dst += run;
+    } while (NextIndex(idx, outer));
     return out;
 }
 
-Tensor
-Tensor::UpdateSlice(const Tensor& update,
-                    const std::vector<int64_t>& starts) const
+void
+Tensor::UpdateSliceInPlace(const Tensor& update,
+                           const std::vector<int64_t>& starts)
 {
     OVERLAP_CHECK(update.shape().rank() == shape_.rank());
     std::vector<int64_t> clamped(starts.size());
@@ -146,14 +191,36 @@ Tensor::UpdateSlice(const Tensor& update,
         clamped[d] = std::clamp<int64_t>(
             starts[d], 0, shape_.dim(d) - update.shape().dim(d));
     }
-    Tensor out = *this;
-    if (update.num_elements() == 0) return out;
-    std::vector<int64_t> idx(starts.size(), 0);
+    if (update.num_elements() == 0) return;
+    const size_t rank = static_cast<size_t>(shape_.rank());
+    if (rank == 0) {
+        values_[0] = update.values_[0];
+        return;
+    }
+    std::vector<int64_t> strides = Strides(shape_.dims());
+    const std::vector<int64_t>& up_dims = update.shape().dims();
+    const size_t run = static_cast<size_t>(up_dims[rank - 1]);
+    std::vector<int64_t> idx(rank - 1, 0);
+    std::vector<int64_t> outer(up_dims.begin(), up_dims.end() - 1);
+    const float* src = update.values_.data();
     do {
-        std::vector<int64_t> dst = idx;
-        for (size_t d = 0; d < dst.size(); ++d) dst[d] += clamped[d];
-        out.set(dst, update.at(idx));
-    } while (NextIndex(idx, update.shape().dims()));
+        int64_t dst = clamped[rank - 1];
+        for (size_t d = 0; d + 1 < rank; ++d) {
+            dst += (idx[d] + clamped[d]) * strides[d];
+        }
+        std::memcpy(values_.data() + dst, src, run * sizeof(float));
+        src += run;
+    } while (NextIndex(idx, outer));
+}
+
+Tensor
+Tensor::UpdateSlice(const Tensor& update,
+                    const std::vector<int64_t>& starts) const
+{
+    Tensor out = Uninitialized(shape_);
+    std::memcpy(out.values_.data(), values_.data(),
+                values_.size() * sizeof(float));
+    out.UpdateSliceInPlace(update, starts);
     return out;
 }
 
@@ -172,12 +239,15 @@ Tensor::Concatenate(const std::vector<Tensor>& parts, int64_t dim)
     }
     std::vector<int64_t> out_dims = first.dims();
     out_dims[dim] = total;
-    Tensor out(Shape(first.dtype(), out_dims));
+    // Every element of the output is covered by exactly one part, so a
+    // single uninitialized buffer plus in-place writes suffices (the old
+    // copy-per-part chain was quadratic in the part count).
+    Tensor out = Uninitialized(Shape(first.dtype(), out_dims));
     int64_t offset = 0;
     for (const Tensor& p : parts) {
         std::vector<int64_t> starts(first.rank(), 0);
         starts[dim] = offset;
-        out = out.UpdateSlice(p, starts);
+        out.UpdateSliceInPlace(p, starts);
         offset += p.shape().dim(dim);
     }
     return out;
@@ -196,12 +266,7 @@ Tensor::Pad(const std::vector<int64_t>& low, const std::vector<int64_t>& high,
     }
     Tensor out = Tensor::Full(Shape(shape_.dtype(), out_dims), pad_value);
     if (num_elements() == 0) return out;
-    std::vector<int64_t> idx(shape_.rank(), 0);
-    do {
-        std::vector<int64_t> dst = idx;
-        for (size_t d = 0; d < dst.size(); ++d) dst[d] += low[d];
-        out.set(dst, at(idx));
-    } while (NextIndex(idx, shape_.dims()));
+    out.UpdateSliceInPlace(*this, low);
     return out;
 }
 
@@ -209,7 +274,10 @@ Tensor
 Tensor::Reshape(const Shape& shape) const
 {
     OVERLAP_CHECK(shape.num_elements() == num_elements());
-    return Tensor(shape, values_);
+    Tensor out = Uninitialized(shape);
+    std::memcpy(out.values_.data(), values_.data(),
+                values_.size() * sizeof(float));
+    return out;
 }
 
 Tensor
@@ -220,24 +288,42 @@ Tensor::Transpose(const std::vector<int64_t>& permutation) const
     for (int64_t d = 0; d < shape_.rank(); ++d) {
         out_dims[d] = shape_.dim(permutation[d]);
     }
-    Tensor out(Shape(shape_.dtype(), out_dims));
-    if (num_elements() == 0) return out;
-    std::vector<int64_t> idx(shape_.rank(), 0);
-    do {
-        std::vector<int64_t> src(shape_.rank());
-        for (int64_t d = 0; d < shape_.rank(); ++d) {
-            src[permutation[d]] = idx[d];
+    Tensor out = Uninitialized(Shape(shape_.dtype(), out_dims));
+    if (out.num_elements() == 0) return out;
+    // Walk the output row-major; the source offset advances by the
+    // permuted stride on each axis, so no per-element index math.
+    std::vector<int64_t> src_strides = Strides(shape_.dims());
+    std::vector<int64_t> perm_strides(permutation.size());
+    for (size_t d = 0; d < permutation.size(); ++d) {
+        perm_strides[d] =
+            src_strides[static_cast<size_t>(permutation[d])];
+    }
+    std::vector<int64_t> idx(out_dims.size(), 0);
+    int64_t src = 0;
+    for (float& v : out.values_) {
+        v = values_[static_cast<size_t>(src)];
+        for (int64_t d = static_cast<int64_t>(out_dims.size()) - 1; d >= 0;
+             --d) {
+            src += perm_strides[static_cast<size_t>(d)];
+            if (++idx[static_cast<size_t>(d)] <
+                out_dims[static_cast<size_t>(d)]) {
+                break;
+            }
+            idx[static_cast<size_t>(d)] = 0;
+            src -= perm_strides[static_cast<size_t>(d)] *
+                   out_dims[static_cast<size_t>(d)];
         }
-        out.set(idx, at(src));
-    } while (NextIndex(idx, out_dims));
+    }
     return out;
 }
 
 Tensor
 Tensor::Map(const std::function<float(float)>& fn) const
 {
-    Tensor out = *this;
-    for (float& v : out.values_) v = fn(v);
+    Tensor out = Uninitialized(shape_);
+    for (size_t i = 0; i < values_.size(); ++i) {
+        out.values_[i] = fn(values_[i]);
+    }
     return out;
 }
 
@@ -246,7 +332,7 @@ Tensor::BinaryOp(const Tensor& lhs, const Tensor& rhs,
                  const std::function<float(float, float)>& fn)
 {
     OVERLAP_CHECK(lhs.shape().SameDims(rhs.shape()));
-    Tensor out = lhs;
+    Tensor out = Uninitialized(lhs.shape());
     for (size_t i = 0; i < out.values_.size(); ++i) {
         out.values_[i] = fn(lhs.values_[i], rhs.values_[i]);
     }

@@ -26,6 +26,25 @@ class Tensor {
     /** Creates a tensor with explicit row-major `values`. */
     Tensor(Shape shape, std::vector<float> values);
 
+    /**
+     * Creates a tensor of `shape` with *unspecified* contents, drawing
+     * its buffer from the calling thread's BufferPool. Every element
+     * must be written before it is read; internal ops that fully
+     * overwrite their output (Slice, Transpose, BinaryOp, einsum) use
+     * this to reuse recycled buffers instead of heap-allocating.
+     */
+    static Tensor Uninitialized(Shape shape);
+
+    /**
+     * Returns a dead tensor's buffer to the calling thread's
+     * BufferPool. The evaluator calls this when a value's last use has
+     * executed; the next Uninitialized/zero-init of a similar size
+     * reuses the buffer. Recycling a tensor that is still referenced
+     * elsewhere is safe (buffers are never shared between tensors) but
+     * leaves `t` empty.
+     */
+    static void Recycle(Tensor&& t);
+
     /** Returns a scalar tensor. */
     static Tensor Scalar(float value);
 
@@ -74,6 +93,10 @@ class Tensor {
      */
     Tensor UpdateSlice(const Tensor& update,
                        const std::vector<int64_t>& starts) const;
+
+    /** In-place variant of UpdateSlice (no copy of the base tensor). */
+    void UpdateSliceInPlace(const Tensor& update,
+                            const std::vector<int64_t>& starts);
 
     /** Concatenates `parts` along `dim`; all other dims must match. */
     static Tensor Concatenate(const std::vector<Tensor>& parts, int64_t dim);

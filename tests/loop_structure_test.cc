@@ -85,7 +85,9 @@ DecomposeAllGather(int64_t n, bool unroll, bool bidi)
     options.unroll = unroll;
     options.bidirectional = bidi;
     CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
-    OVERLAP_CHECK(decomposer.Run(comp).ok());
+    // Not OVERLAP_CHECK: Release builds compile checks out without
+    // evaluating the condition, and the pass must run.
+    EXPECT_TRUE(decomposer.Run(comp).ok());
     return CountLoop(*comp, mesh);
 }
 
@@ -107,7 +109,9 @@ DecomposeReduceScatter(int64_t n, bool unroll, bool bidi)
     options.unroll = unroll;
     options.bidirectional = bidi;
     CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
-    OVERLAP_CHECK(decomposer.Run(comp).ok());
+    // Not OVERLAP_CHECK: Release builds compile checks out without
+    // evaluating the condition, and the pass must run.
+    EXPECT_TRUE(decomposer.Run(comp).ok());
     return CountLoop(*comp, mesh);
 }
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Parallel-vs-serial equivalence for the execution stack (run under
+ * TSan by scripts/check_sanitize.sh): the concurrent-device evaluator
+ * must be bitwise identical to the serial lock-step walk, a pooled
+ * difftest sweep must produce a byte-identical summary, and error
+ * paths must report the same Status without deadlocking.
+ */
+#include <gtest/gtest.h>
+
+#include "difftest/difftest.h"
+#include "hlo/builder.h"
+#include "hlo/module.h"
+#include "interp/evaluator.h"
+#include "support/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+namespace {
+
+using difftest::AllDecomposeVariants;
+using difftest::DiffTestConfig;
+using difftest::GenerateSiteSpec;
+using difftest::RunDiffTest;
+using difftest::RunSingleCase;
+using difftest::SiteSpec;
+
+bool
+BitIdentical(const std::vector<Tensor>& a, const std::vector<Tensor>& b)
+{
+    if (a.size() != b.size()) return false;
+    for (size_t d = 0; d < a.size(); ++d) {
+        if (!(a[d].shape() == b[d].shape())) return false;
+        if (Tensor::MaxAbsDiff(a[d], b[d]) != 0.0f) return false;
+    }
+    return true;
+}
+
+TEST(ParallelEvalTest, ConcurrentDevicesBitIdenticalAcrossVariants)
+{
+    // Every difftest variant compares its decomposed program against the
+    // blocking reference; running the whole case with concurrent devices
+    // must change nothing about the comparison, and the raw evaluator
+    // outputs must match the serial walk bit for bit.
+    EvalOptions concurrent;
+    concurrent.concurrent_devices = true;
+    for (int64_t i = 0; i < 8; ++i) {
+        SiteSpec spec = GenerateSiteSpec(/*seed=*/3, i);
+        for (const auto& variant : AllDecomposeVariants()) {
+            auto serial = RunSingleCase(spec, variant, false);
+            auto parallel = RunSingleCase(spec, variant, false, concurrent);
+            ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+            ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+            EXPECT_TRUE(serial->equal) << spec.ToString();
+            EXPECT_TRUE(parallel->equal) << spec.ToString();
+            EXPECT_EQ(serial->max_abs_diff, parallel->max_abs_diff)
+                << "[" << variant.name << "] " << spec.ToString();
+        }
+    }
+}
+
+TEST(ParallelEvalTest, ConcurrentEvaluatorMatchesSerialBitwise)
+{
+    Mesh mesh(4);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({4, 8}));
+    auto* ag = b.AllGather(p, /*dim=*/0, mesh.Groups(0));
+    auto* w = b.Parameter(1, Shape({8, 8}));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+
+    std::vector<std::vector<Tensor>> params(2);
+    for (int64_t d = 0; d < 4; ++d) {
+        params[0].push_back(Tensor::Random(
+            Shape({4, 8}), static_cast<uint64_t>(d) + 1));
+    }
+    params[1] = {Tensor::Random(Shape({8, 8}), 99)};
+
+    SpmdEvaluator serial(mesh);
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto a = serial.Evaluate(*comp, params);
+    auto c = concurrent.Evaluate(*comp, params);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(BitIdentical(*a, *c));
+}
+
+TEST(ParallelEvalTest, ConcurrentErrorMatchesSerialWithoutDeadlock)
+{
+    // The invalid permute is discovered at the rendezvous; every device
+    // must be released (not left waiting for a peer that errored) and
+    // the reported Status must be the serial one.
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({1}));
+    comp->set_root(b.CollectivePermute(p, {{0, 2}, {1, 2}}));
+    std::vector<Tensor> inputs(3, Tensor(Shape({1}), {1}));
+
+    SpmdEvaluator serial(mesh);
+    auto serial_result = serial.Evaluate(*comp, {inputs});
+    ASSERT_FALSE(serial_result.ok());
+
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto parallel_result = concurrent.Evaluate(*comp, {inputs});
+    ASSERT_FALSE(parallel_result.ok());
+    EXPECT_EQ(parallel_result.status().code(),
+              serial_result.status().code());
+    EXPECT_EQ(parallel_result.status().message(),
+              serial_result.status().message());
+}
+
+TEST(ParallelEvalTest, EvaluateBatchOnPoolMatchesSerial)
+{
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({2, 2}));
+    comp->set_root(b.AllGather(p, 0, mesh.Groups(0)));
+
+    std::vector<std::vector<Tensor>> params(1);
+    params[0] = {Tensor::Random(Shape({2, 2}), 1),
+                 Tensor::Random(Shape({2, 2}), 2)};
+    std::vector<const HloComputation*> comps(6, comp);
+
+    SpmdEvaluator serial(mesh);
+    auto want = serial.EvaluateBatch(comps, params);
+    ASSERT_TRUE(want.ok());
+
+    ThreadPool pool(4);
+    EvalOptions opts;
+    opts.batch_pool = &pool;
+    SpmdEvaluator pooled(mesh, opts);
+    auto got = pooled.EvaluateBatch(comps, params);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+        EXPECT_TRUE(BitIdentical((*want)[i], (*got)[i])) << "batch " << i;
+    }
+}
+
+TEST(ParallelEvalTest, DiffTestSliceByteIdenticalAcrossThreadCounts)
+{
+    DiffTestConfig config;
+    config.num_cases = 64;
+    config.seed = 1;
+    config.threads = 1;
+    auto serial = RunDiffTest(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    for (int64_t threads : {2, 4}) {
+        config.threads = threads;
+        auto parallel = RunDiffTest(config);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+        EXPECT_EQ(serial->ToString(), parallel->ToString());
+        EXPECT_EQ(serial->cases_run, parallel->cases_run);
+        EXPECT_EQ(serial->variants_run, parallel->variants_run);
+        EXPECT_EQ(serial->mismatches, parallel->mismatches);
+        EXPECT_EQ(serial->failures.size(), parallel->failures.size());
+        EXPECT_EQ(serial->cases_by_site, parallel->cases_by_site);
+        EXPECT_EQ(serial->odd_extent_cases, parallel->odd_extent_cases);
+        EXPECT_EQ(serial->even_extent_cases, parallel->even_extent_cases);
+    }
+}
+
+TEST(ParallelEvalTest, DiffTestFailureListIdenticalUnderInjectedBug)
+{
+    // With the deliberate shard-id bug the sweep produces mismatches;
+    // the failure list (order, contents, cap cut-off) must not depend
+    // on the thread count.
+    DiffTestConfig config;
+    config.num_cases = 24;
+    config.seed = 5;
+    config.inject_shard_id_bug = true;
+    config.max_failures = 8;
+    config.threads = 1;
+    auto serial = RunDiffTest(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_GT(serial->mismatches, 0);
+
+    config.threads = 4;
+    auto parallel = RunDiffTest(config);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(serial->ToString(), parallel->ToString());
+    ASSERT_EQ(serial->failures.size(), parallel->failures.size());
+    for (size_t i = 0; i < serial->failures.size(); ++i) {
+        EXPECT_EQ(serial->failures[i].spec.ToString(),
+                  parallel->failures[i].spec.ToString());
+        EXPECT_EQ(serial->failures[i].variant,
+                  parallel->failures[i].variant);
+    }
+}
+
+TEST(ParallelEvalTest, ConcurrentDevicesInsidePooledSweep)
+{
+    // Compose both levels: cases on the pool, devices on their own
+    // threads. Still byte-identical to the fully serial sweep.
+    DiffTestConfig config;
+    config.num_cases = 12;
+    config.seed = 7;
+    config.threads = 1;
+    auto serial = RunDiffTest(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    config.threads = 3;
+    config.concurrent_devices = true;
+    auto parallel = RunDiffTest(config);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(serial->ToString(), parallel->ToString());
+}
+
+}  // namespace
+}  // namespace overlap

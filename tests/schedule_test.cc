@@ -29,8 +29,10 @@ BuildLoopModule(int64_t n, const HardwareSpec& spec)
     options.use_cost_model = false;
     options.bidirectional = false;
     CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
-    OVERLAP_CHECK(decomposer.Run(comp).ok());
-    OVERLAP_CHECK(CreateAsyncCollectivePermutes(comp).ok());
+    // Not OVERLAP_CHECK: Release builds compile checks out without
+    // evaluating the condition, and these calls must run.
+    if (!decomposer.Run(comp).ok()) return nullptr;
+    if (!CreateAsyncCollectivePermutes(comp).ok()) return nullptr;
     return module;
 }
 

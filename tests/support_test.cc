@@ -51,6 +51,7 @@ TEST(StatusOrTest, ValueThrowCarriesStatusMessage)
     }
 }
 
+#if OVERLAP_CHECKS_ENABLED
 TEST(CheckTest, FailedCheckThrowsLogicErrorWithLocation)
 {
     try {
@@ -62,6 +63,16 @@ TEST(CheckTest, FailedCheckThrowsLogicErrorWithLocation)
         EXPECT_NE(what.find("support_test.cc"), std::string::npos);
     }
 }
+#else
+TEST(CheckTest, DisabledCheckIsANoOpAndNeverEvaluates)
+{
+    // Release builds (no sanitizers) compile OVERLAP_CHECK out entirely:
+    // no throw, and the condition expression is never evaluated.
+    int evaluations = 0;
+    EXPECT_NO_THROW(OVERLAP_CHECK(++evaluations > 0 && false));
+    EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 TEST(CheckTest, PassingCheckIsSilent)
 {

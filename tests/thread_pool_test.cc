@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ThreadPool contract tests: stable result ordering under ParallelFor,
+ * exception capture/propagation through futures, deterministic per-task
+ * seed derivation, and queue draining on destruction.
+ */
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace overlap {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForReturnsResultsInIndexOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int64_t> results =
+        pool.ParallelFor(100, [](int64_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 100u);
+    for (int64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForOrderIsStableAcrossThreadCounts)
+{
+    auto fn = [](int64_t i) { return i * 3 + 1; };
+    ThreadPool one(1);
+    ThreadPool many(8);
+    EXPECT_EQ(one.ParallelFor(64, fn), many.ParallelFor(64, fn));
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::atomic<int> runs{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&runs, i]() {
+            ++runs;
+            return i;
+        }));
+    }
+    std::set<int> seen;
+    for (auto& f : futures) seen.insert(f.get());
+    EXPECT_EQ(runs.load(), 50);
+    EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.Submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The worker survives a throwing task.
+    EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.ParallelFor(32, [](int64_t i) -> int {
+            if (i == 5 || i == 20) {
+                throw std::runtime_error(i == 5 ? "first" : "second");
+            }
+            return 0;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> runs{0};
+    std::vector<std::future<int>> futures;
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i) {
+            futures.push_back(pool.Submit([&runs]() { return ++runs; }));
+        }
+    }
+    // All futures must be satisfied even though the pool is gone.
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(runs.load(), 20);
+}
+
+TEST(ThreadPoolTest, DeriveTaskSeedIsDeterministicAndSpread)
+{
+    EXPECT_EQ(DeriveTaskSeed(1, 0), DeriveTaskSeed(1, 0));
+    std::set<uint64_t> seeds;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        seeds.insert(DeriveTaskSeed(42, i));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+    // Different base seeds decorrelate the same task index.
+    EXPECT_NE(DeriveTaskSeed(1, 7), DeriveTaskSeed(2, 7));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace overlap
