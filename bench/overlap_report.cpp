@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Overlap-efficiency report (DESIGN.md §13): how well did the §5.5 cost
+ * model predict what the simulator measured?
+ *
+ *   overlap_report [--quick] [--json] [--force] [--out FILE]
+ *                  [--trace FILE] [--model NAME]
+ *
+ * Part 1 drives all four decomposition cases of the paper — the three
+ * AllGather-Einsum variants (partitioned label free / contracting /
+ * batch, §5.1) and Einsum-ReduceScatter — through the full pipeline on
+ * a difftest-style site sized so the §5.5 gate accepts, simulates each
+ * compiled module with tracing, and emits one JSON record per site:
+ * the gate's cost inputs (comp_t, comm_t, comm_t_ring, extra_t), the
+ * predicted hidden-comm fraction and speedup, and the simulated total /
+ * exposed / hidden comm from the trace, plus the blocking baseline's
+ * simulated step time for the actual speedup.
+ *
+ * Part 2 (skipped with --quick) runs the same analysis on a whole model
+ * layer (--model, default the 32B GPT (GPT_32B) of Table 2) via
+ * AnalyzeModelOverlap; --trace additionally writes that run's unified
+ * Chrome trace (compiler + simulator lanes) for chrome://tracing.
+ *
+ * --force disables the cost gate (every site decomposed) — the same
+ * ablation knob as DecomposeOptions::use_cost_model=false.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/overlap_report.h"
+#include "difftest/difftest.h"
+#include "sim/trace_export.h"
+
+using namespace overlap;
+using namespace overlap::difftest;
+
+namespace {
+
+/**
+ * A site the §5.5 gate accepts on default TPU-v4 numbers. Each case
+ * needs its own proportions: the gate wins when the partial einsums
+ * are big enough to hide the ring steps while the loop's combine and
+ * slice traffic (HBM-side extra_t terms) stays below the wire time the
+ * decomposition saves, and those terms scale with different extents
+ * per case (e.g. the contracting-dim loop re-reads the full output
+ * every iteration, the batch case slices the other batch operand).
+ */
+SiteSpec
+SpecFor(SiteCase site_case)
+{
+    SiteSpec spec;
+    spec.site_case = site_case;
+    spec.mesh_dims = {4};
+    spec.axis = 0;
+    spec.side = 0;
+    spec.dtype = DType::kF32;
+    spec.data_seed = 7;
+    switch (site_case) {
+      case SiteCase::kAllGatherFree:
+          // einsum (4e × c) · (c × f1): activation gather. The saved
+          // wire time grows with c while the combine traffic only
+          // tracks the output (4e × f1), so a fat contracting dim wins.
+          spec.shard_extent = 64;
+          spec.contract = 8192;
+          spec.free1 = 4096;
+          spec.free0 = 1;
+          break;
+      case SiteCase::kAllGatherContracting:
+          // einsum (f0 × 4e) · (4e × f1): weight gather over the
+          // contracting label. The loop re-accumulates the (f0 × f1)
+          // output every iteration, so f1 must stay small while f0 and
+          // the gathered extent carry the site's weight.
+          spec.shard_extent = 2048;
+          spec.free0 = 4096;
+          spec.free1 = 2048;
+          spec.contract = 1;
+          break;
+      case SiteCase::kAllGatherBatch:
+          // einsum (4e × f0 × c) · (4e × c × f1), batch label gathered;
+          // f1 ≈ 2e3 balances comp_t against the ring steps and the
+          // per-iteration slices of the other batch operand.
+          spec.shard_extent = 8;
+          spec.free0 = 8192;
+          spec.contract = 8192;
+          spec.free1 = 2048;
+          break;
+      case SiteCase::kReduceScatter:
+          // einsum (4e × 4c) · (4c × f1), output scattered over rows;
+          // the decomposed ring moves *more* bytes than the blocking
+          // bidirectional ReduceScatter, so a deep contracting dim must
+          // hide the whole ring under the partial einsums.
+          spec.shard_extent = 256;
+          spec.contract = 8192;
+          spec.free1 = 8192;
+          spec.free0 = 1;
+          break;
+    }
+    return spec;
+}
+
+struct SiteRun {
+    SiteSpec spec;
+    OverlapReport report;
+    double baseline_step_seconds = 0.0;
+};
+
+StatusOr<SiteRun>
+RunSite(const SiteSpec& spec, bool force)
+{
+    SiteRun run;
+    run.spec = spec;
+
+    auto module = BuildSiteModule(spec);
+    if (!module.ok()) return module.status();
+    CompilerOptions options;
+    options.decompose.use_cost_model = !force;
+    OverlapCompiler compiler(options);
+    auto compile = compiler.Compile(module->get());
+    if (!compile.ok()) return compile.status();
+
+    PodSimulator simulator(spec.mesh(), options.hardware);
+    auto sim = simulator.Run(**module, /*collect_trace=*/true);
+    if (!sim.ok()) return sim.status();
+
+    auto report = BuildOverlapReport(compile.value(), sim.value());
+    if (!report.ok()) return report.status();
+    run.report = std::move(report).value();
+
+    // Blocking baseline of the same site for the actual speedup.
+    auto blocking = BuildSiteModule(spec);
+    if (!blocking.ok()) return blocking.status();
+    OverlapCompiler baseline(CompilerOptions::Baseline());
+    auto baseline_compile = baseline.Compile(blocking->get());
+    if (!baseline_compile.ok()) return baseline_compile.status();
+    auto baseline_sim = simulator.Run(**blocking);
+    if (!baseline_sim.ok()) return baseline_sim.status();
+    run.baseline_step_seconds = baseline_sim->step_seconds;
+    run.report.baseline_step_seconds = run.baseline_step_seconds;
+    run.report.actual_speedup =
+        sim->step_seconds > 0.0
+            ? baseline_sim->step_seconds / sim->step_seconds
+            : 1.0;
+    return run;
+}
+
+std::string
+SiteRunJson(const SiteRun& run)
+{
+    return StrCat("{\"case\":\"", SiteCaseName(run.spec.site_case),
+                  "\",\"spec\":\"", run.spec.ToString(),
+                  "\",\"report\":", run.report.ToJson(), "}");
+}
+
+void
+PrintSiteRun(const SiteRun& run)
+{
+    std::printf("case %-14s", SiteCaseName(run.spec.site_case));
+    for (const SiteOverlapReport& site : run.report.sites) {
+        std::printf(
+            "  %s: predicted hidden %.1f%% speedup %.3fx | simulated "
+            "hidden %.1f%% actual %.3fx\n",
+            site.reason.c_str(), site.predicted_hidden_fraction * 100.0,
+            site.predicted_speedup, site.sim_hidden_fraction * 100.0,
+            run.report.actual_speedup);
+    }
+    if (run.report.sites.empty()) std::printf("  (no matched sites)\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    bool json_only = false;
+    bool force = false;
+    std::string out_path = "BENCH_overlap_report.json";
+    std::string trace_path;
+    std::string model_name = "GPT_32B";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0) json_only = true;
+        else if (std::strcmp(argv[i], "--force") == 0) force = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc)
+            model_name = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: overlap_report [--quick] [--json] "
+                         "[--force] [--out FILE] [--trace FILE] "
+                         "[--model NAME]\n");
+            return 2;
+        }
+    }
+
+    if (!json_only) {
+        bench::Banner("Overlap-efficiency report",
+                      "§5.5 cost model vs. simulated timeline, DESIGN.md "
+                      "§13");
+    }
+
+    const SiteCase kCases[] = {
+        SiteCase::kAllGatherFree,
+        SiteCase::kAllGatherContracting,
+        SiteCase::kAllGatherBatch,
+        SiteCase::kReduceScatter,
+    };
+    std::vector<std::string> site_json;
+    for (SiteCase site_case : kCases) {
+        auto run = RunSite(SpecFor(site_case), force);
+        if (!run.ok()) {
+            std::fprintf(stderr, "site %s failed: %s\n",
+                         SiteCaseName(site_case),
+                         run.status().ToString().c_str());
+            return 1;
+        }
+        if (!json_only) PrintSiteRun(run.value());
+        site_json.push_back(SiteRunJson(run.value()));
+    }
+
+    std::string model_json = "null";
+    if (!quick) {
+        const ModelConfig* model = FindModel(model_name);
+        if (model == nullptr) {
+            std::fprintf(stderr, "unknown model '%s'\n",
+                         model_name.c_str());
+            return 1;
+        }
+        auto analysis = AnalyzeModelOverlap(*model, CompilerOptions());
+        if (!analysis.ok()) {
+            std::fprintf(stderr, "model analysis failed: %s\n",
+                         analysis.status().ToString().c_str());
+            return 1;
+        }
+        model_json = analysis->ToJson();
+        if (!json_only) {
+            std::printf("\nmodel %s: overlap %.3f ms vs baseline %.3f ms "
+                        "(%.3fx), layer comm %.1f%% hidden\n",
+                        model->name.c_str(),
+                        analysis->overlap.step_seconds * 1e3,
+                        analysis->baseline.step_seconds * 1e3,
+                        analysis->report.actual_speedup,
+                        analysis->report.hidden_fraction * 100.0);
+        }
+        if (!trace_path.empty()) {
+            std::ofstream trace_file(trace_path);
+            trace_file << analysis->trace_json;
+            if (!json_only) {
+                std::printf("unified Chrome trace written to %s\n",
+                            trace_path.c_str());
+            }
+        }
+    }
+
+    std::string doc =
+        StrCat("{\"sites\":[", StrJoin(site_json, ","),
+               "],\"model\":", model_json, "}\n");
+    if (json_only) std::printf("%s", doc.c_str());
+    std::ofstream out(out_path);
+    out << doc;
+    if (!json_only) {
+        std::printf("\nreport written to %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -12,7 +12,10 @@
  *   - wall time of a 64-case difftest slice at --threads 1 vs. the
  *     requested thread count, with a byte-identical summary check;
  *   - tensor heap-allocation counts for the same evaluation with the
- *     BufferPool disabled vs. enabled (the memory-reuse win).
+ *     BufferPool disabled vs. enabled (the memory-reuse win);
+ *   - rendezvous wait/leader time of one concurrent evaluation from
+ *     the DESIGN.md §13 metrics (the diagnosis for concurrent
+ *     speedups < 1 on hosts with fewer cores than devices).
  *
  * Writes the numbers as JSON to --out (default BENCH_perf.json) and to
  * stdout. Results depend on the host; hardware_concurrency is recorded
@@ -29,6 +32,7 @@
 #include "difftest/difftest.h"
 #include "passes/async.h"
 #include "passes/decompose.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
 #include "tensor/buffer_pool.h"
 
@@ -188,6 +192,40 @@ main(int argc, char** argv)
                                        : "OUTPUTS DIFFER");
     }
 
+    // ---- 1b. Rendezvous diagnostics (DESIGN.md §13): where the
+    // concurrent mode's time goes. On a host with fewer cores than
+    // devices the wait histogram dominates the device-program time —
+    // the direct evidence behind a concurrent speedup < 1 above.
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+    {
+        auto r = concurrent_eval.Evaluate(comp, scenario->params);
+        if (!r.ok()) return 1;
+    }
+    Counter* rendezvous_total = MetricsRegistry::Global().counter(
+        "evaluator.rendezvous_total");
+    const Histogram::Snapshot rendezvous_wait =
+        MetricsRegistry::Global()
+            .histogram("evaluator.rendezvous_wait_seconds")
+            ->snapshot();
+    const Histogram::Snapshot rendezvous_leader =
+        MetricsRegistry::Global()
+            .histogram("evaluator.rendezvous_leader_seconds")
+            ->snapshot();
+    const int64_t rendezvous_count = rendezvous_total->value();
+    SetMetricsEnabled(false);
+    MetricsRegistry::Global().ResetAll();
+    if (!json_only) {
+        std::printf(
+            "rendezvous: %lld per evaluation; wait mean %.1fus "
+            "p99 %.1fus sum %.1fms, leader mean %.1fus sum %.1fms\n",
+            static_cast<long long>(rendezvous_count),
+            rendezvous_wait.mean() * 1e6,
+            rendezvous_wait.Quantile(0.99) * 1e6,
+            rendezvous_wait.sum * 1e3, rendezvous_leader.mean() * 1e6,
+            rendezvous_leader.sum * 1e3);
+    }
+
     // ---- 2. Allocation counts: BufferPool off vs. on. ----
     BufferPool& pool = ThreadLocalBufferPool();
     const int64_t alloc_iters = quick ? 4 : 10;
@@ -293,6 +331,13 @@ main(int argc, char** argv)
         ", \"concurrent_devices_cases_per_sec\": ", concurrent_cps,
         ", \"speedup\": ", concurrent_cps / serial_cps,
         ", \"bit_identical\": ", JsonBool(eval_bit_identical), "},");
+    json += StrCat(
+        "\n  \"rendezvous\": {\"per_evaluation\": ", rendezvous_count,
+        ", \"wait_mean_seconds\": ", rendezvous_wait.mean(),
+        ", \"wait_p99_seconds\": ", rendezvous_wait.Quantile(0.99),
+        ", \"wait_sum_seconds\": ", rendezvous_wait.sum,
+        ", \"leader_mean_seconds\": ", rendezvous_leader.mean(),
+        ", \"leader_sum_seconds\": ", rendezvous_leader.sum, "},");
     json += StrCat(
         "\n  \"allocations\": {\"evaluations\": ", alloc_iters,
         ", \"pool_disabled\": ", allocs_disabled,

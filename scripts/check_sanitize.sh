@@ -2,7 +2,8 @@
 # Builds the project with AddressSanitizer + UndefinedBehaviorSanitizer
 # in a separate build tree and runs the full test suite under them,
 # then builds a ThreadSanitizer tree and runs the concurrency tests
-# (thread pool, buffer pool, parallel evaluator/difftest) under it.
+# (thread pool, buffer pool, parallel evaluator/difftest, metrics
+# registry, trace recorder) under it.
 #
 # Usage: scripts/check_sanitize.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -39,6 +40,12 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
     --build-dir "${build_dir}" --out "${build_dir}/BENCH_perf.json" \
     > /dev/null
 
+# Overlap-report smoke under ASan: all four decomposition sites must
+# pass the gate, simulate and close the hidden+exposed==total
+# accounting without a sanitizer report.
+"${build_dir}/bench/overlap_report" --quick --json \
+    --out "${build_dir}/BENCH_overlap_report.json" > /dev/null
+
 # ThreadSanitizer pass over the concurrency layer: the rendezvous
 # evaluator, the thread pool, the thread-local buffer pool and the
 # pooled difftest sweep must be race-free.
@@ -47,7 +54,7 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DOVERLAP_TSAN=ON
 cmake --build "${tsan_dir}" -j "$(nproc)" --target \
     thread_pool_test buffer_pool_test parallel_eval_test \
-    interp_test difftest_test
+    interp_test difftest_test metrics_test trace_golden_test
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "$(nproc)" \
-    -R "thread_pool_test|buffer_pool_test|parallel_eval_test|interp_test|difftest_test"
+    -R "thread_pool_test|buffer_pool_test|parallel_eval_test|interp_test|difftest_test|metrics_test|trace_golden_test"

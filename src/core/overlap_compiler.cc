@@ -6,6 +6,7 @@
 #include "passes/async.h"
 #include "passes/fusion_rewrites.h"
 #include "support/logging.h"
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace overlap {
@@ -90,6 +91,11 @@ OverlapCompiler::Compile(HloModule* module) const
                                                        options_.scheduler);
                         }});
 
+    const double compile_start = TraceRecorder::NowSeconds();
+    Counter* passes_run =
+        MetricsRegistry::Global().counter("compiler.passes_run");
+    Histogram* pass_seconds =
+        MetricsRegistry::Global().histogram("compiler.pass_seconds");
     for (const PipelinePass& pass : pipeline) {
         std::unique_ptr<HloComputation> snapshot;
         CompileReport report_snapshot;
@@ -97,7 +103,16 @@ OverlapCompiler::Compile(HloModule* module) const
             snapshot = module->entry()->Clone();
             report_snapshot = report;
         }
+        PassTiming timing;
+        timing.pass_name = pass.name;
+        timing.start_seconds = TraceRecorder::NowSeconds() - compile_start;
+        timing.instructions_before = module->entry()->instruction_count();
         Status status = pass.run();
+        timing.end_seconds = TraceRecorder::NowSeconds() - compile_start;
+        timing.instructions_after = module->entry()->instruction_count();
+        report.pass_timings.push_back(timing);
+        passes_run->Add();
+        if (MetricsEnabled()) pass_seconds->Record(timing.seconds());
         if (status.ok()) status = VerifyModule(*module);
         if (status.ok()) continue;
         if (!options_.guard_passes) return status;
@@ -107,6 +122,9 @@ OverlapCompiler::Compile(HloModule* module) const
         // broken module.
         module->ReplaceEntry(std::move(snapshot));
         report = std::move(report_snapshot);
+        // The report rolled back to its pre-pass state; keep the failed
+        // pass's timing so the trace still shows where time went.
+        report.pass_timings.push_back(std::move(timing));
         PassDiagnostic diagnostic;
         diagnostic.pass_name = pass.name;
         diagnostic.code = status.code();

@@ -11,6 +11,7 @@
 #include "passes/schedule.h"
 #include "sim/engine.h"
 #include "support/status.h"
+#include "support/tracing.h"
 
 namespace overlap {
 
@@ -97,6 +98,11 @@ struct CompileReport {
     int64_t concat_rewrites = 0;
     /// Guarded-pipeline incidents (empty on a clean compile).
     std::vector<PassDiagnostic> pass_diagnostics;
+    /// Per-pass wall time and instruction delta, in pipeline order with
+    /// offsets relative to the start of Compile() — the compiler lane
+    /// of the unified Chrome trace (DESIGN.md §13). Always populated;
+    /// the cost is one clock read per pass.
+    std::vector<PassTiming> pass_timings;
 };
 
 /**

@@ -2,21 +2,17 @@
 
 #include "core/recovery/checkpoint.h"
 #include "models/step_builder.h"
+#include "sim/trace_export.h"
 #include "support/strings.h"
 
 namespace overlap {
+namespace {
 
-std::string
-StepReport::ToString() const
-{
-    return StrCat(config.name, ": step=", HumanTime(step_seconds),
-                  " mfu=", mfu * 100.0,
-                  "% comm=", comm_fraction * 100.0,
-                  "% energy=", energy_joules / 1e6, " MJ");
-}
-
+/** SimulateModelStep with an optional simulator trace (kept in
+ * StepReport::layer::trace). */
 StatusOr<StepReport>
-SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
+SimulateStepImpl(const ModelConfig& config, const CompilerOptions& options,
+                 bool collect_trace)
 {
     auto module = BuildLayerStepModule(config);
     if (!module.ok()) return module.status();
@@ -27,7 +23,7 @@ SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
 
     PodSimulator simulator(config.mesh(), options.hardware,
                            FaultModel(options.fault));
-    auto sim = simulator.Run(**module);
+    auto sim = simulator.Run(**module, collect_trace);
     if (!sim.ok()) return sim.status();
 
     StepReport report;
@@ -44,6 +40,72 @@ SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
     report.energy_joules =
         sim->EnergyJoules(options.hardware, config.num_chips) * layers;
     return report;
+}
+
+}  // namespace
+
+std::string
+StepReport::ToString() const
+{
+    return StrCat(config.name, ": step=", HumanTime(step_seconds),
+                  " mfu=", mfu * 100.0,
+                  "% comm=", comm_fraction * 100.0,
+                  "% energy=", energy_joules / 1e6, " MJ");
+}
+
+StatusOr<StepReport>
+SimulateModelStep(const ModelConfig& config, const CompilerOptions& options)
+{
+    return SimulateStepImpl(config, options, /*collect_trace=*/false);
+}
+
+std::string
+ModelOverlapAnalysis::ToJson() const
+{
+    return StrCat(
+        "{\"model\":\"", overlap.config.name,
+        "\",\"overlap_step_seconds\":", overlap.step_seconds,
+        ",\"baseline_step_seconds\":", baseline.step_seconds,
+        ",\"overlap_mfu\":", overlap.mfu,
+        ",\"baseline_mfu\":", baseline.mfu,
+        ",\"report\":", report.ToJson(), "}");
+}
+
+StatusOr<ModelOverlapAnalysis>
+AnalyzeModelOverlap(const ModelConfig& config,
+                    const CompilerOptions& options)
+{
+    ModelOverlapAnalysis analysis;
+    auto overlapped =
+        SimulateStepImpl(config, options, /*collect_trace=*/true);
+    if (!overlapped.ok()) return overlapped.status();
+    analysis.overlap = std::move(overlapped).value();
+
+    CompilerOptions baseline_options = CompilerOptions::Baseline();
+    baseline_options.hardware = options.hardware;
+    baseline_options.fault = options.fault;
+    auto baseline =
+        SimulateStepImpl(config, baseline_options, /*collect_trace=*/false);
+    if (!baseline.ok()) return baseline.status();
+    analysis.baseline = std::move(baseline).value();
+
+    auto report =
+        BuildOverlapReport(analysis.overlap.compile, analysis.overlap.layer);
+    if (!report.ok()) return report.status();
+    analysis.report = std::move(report).value();
+    analysis.report.baseline_step_seconds =
+        analysis.baseline.layer.step_seconds;
+    analysis.report.actual_speedup =
+        analysis.overlap.layer.step_seconds > 0.0
+            ? analysis.baseline.layer.step_seconds /
+                  analysis.overlap.layer.step_seconds
+            : 1.0;
+
+    UnifiedTrace trace;
+    trace.passes = analysis.overlap.compile.pass_timings;
+    trace.sim = &analysis.overlap.layer;
+    analysis.trace_json = UnifiedTraceToChromeJson(trace);
+    return analysis;
 }
 
 std::string

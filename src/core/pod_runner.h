@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/overlap_compiler.h"
+#include "core/overlap_report.h"
 #include "core/recovery/recovery_planner.h"
 #include "core/recovery/step_program.h"
 #include "models/model_config.h"
@@ -38,6 +39,37 @@ struct StepReport {
  */
 StatusOr<StepReport> SimulateModelStep(const ModelConfig& config,
                                        const CompilerOptions& options);
+
+/**
+ * A model's overlap-efficiency analysis (DESIGN.md §13): the
+ * representative layer compiled with overlap and simulated *with
+ * tracing*, the blocking baseline simulated for the actual speedup, the
+ * per-site predicted-versus-simulated report, and the unified Chrome
+ * trace (compiler passes + simulator lanes) ready to write to disk.
+ */
+struct ModelOverlapAnalysis {
+    /// The overlapped step (as SimulateModelStep would report it).
+    StepReport overlap;
+    /// The same layer under CompilerOptions::Baseline() with the same
+    /// hardware/fault spec.
+    StepReport baseline;
+    /// Per-site §5.5 prediction vs. traced-simulation reality, with
+    /// baseline_step_seconds / actual_speedup filled in (layer-level).
+    OverlapReport report;
+    /// UnifiedTraceToChromeJson of the overlapped compile + simulation.
+    std::string trace_json;
+
+    std::string ToJson() const;
+};
+
+/**
+ * Runs the SimulateModelStep workflow twice (overlap and blocking
+ * baseline, same hardware and fault spec), with the simulator trace
+ * enabled, and joins the compile-time §5.5 verdicts against the
+ * simulated timeline via BuildOverlapReport.
+ */
+StatusOr<ModelOverlapAnalysis> AnalyzeModelOverlap(
+    const ModelConfig& config, const CompilerOptions& options);
 
 /**
  * What one elastic recovery cost (DESIGN.md §11): the watchdog's

@@ -1,0 +1,145 @@
+#include "core/recovery/checkpoint.h"
+
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace overlap {
+namespace {
+
+void
+PutU64(std::vector<uint8_t>* out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+}
+
+void
+PutU32(std::vector<uint8_t>* out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i) {
+        out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+}
+
+uint64_t
+GetU64(const std::vector<uint8_t>& in, size_t at)
+{
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<uint64_t>(in[at + static_cast<size_t>(i)])
+                 << (8 * i);
+    }
+    return value;
+}
+
+uint32_t
+GetU32(const std::vector<uint8_t>& in, size_t at)
+{
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= static_cast<uint32_t>(in[at + static_cast<size_t>(i)])
+                 << (8 * i);
+    }
+    return value;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(int64_t interval) : interval_(interval)
+{
+    OVERLAP_CHECK(interval >= 1);
+}
+
+bool
+CheckpointStore::MaybeSave(int64_t completed_steps, const Tensor& state)
+{
+    if (completed_steps % interval_ != 0) return false;
+    Save(completed_steps, state);
+    return true;
+}
+
+void
+CheckpointStore::Save(int64_t completed_steps, const Tensor& state)
+{
+    latest_step_ = completed_steps;
+    bytes_ = Serialize(state);
+    ++num_saves_;
+}
+
+StatusOr<Tensor>
+CheckpointStore::Restore() const
+{
+    if (!has_checkpoint()) {
+        return FailedPrecondition("checkpoint store is empty");
+    }
+    return Deserialize(bytes_);
+}
+
+std::vector<uint8_t>
+CheckpointStore::Serialize(const Tensor& tensor)
+{
+    std::vector<uint8_t> out;
+    out.push_back(static_cast<uint8_t>(tensor.shape().dtype()));
+    PutU64(&out, static_cast<uint64_t>(tensor.shape().rank()));
+    for (int64_t dim : tensor.shape().dims()) {
+        PutU64(&out, static_cast<uint64_t>(dim));
+    }
+    // Float payload as bit patterns: the round trip is bitwise exact,
+    // including negative zero and any NaN payloads.
+    for (float value : tensor.values()) {
+        uint32_t bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        PutU32(&out, bits);
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+CheckpointStore::Deserialize(const std::vector<uint8_t>& bytes)
+{
+    size_t at = 0;
+    if (bytes.size() < 9) {
+        return InvalidArgument("checkpoint truncated: missing header");
+    }
+    auto dtype = static_cast<DType>(bytes[at]);
+    at += 1;
+    auto rank = static_cast<int64_t>(GetU64(bytes, at));
+    at += 8;
+    if (rank < 0 || rank > 8) {
+        return InvalidArgument(StrCat("checkpoint has bad rank ", rank));
+    }
+    if (bytes.size() < at + static_cast<size_t>(rank) * 8) {
+        return InvalidArgument("checkpoint truncated: missing dims");
+    }
+    std::vector<int64_t> dims;
+    int64_t num_elements = 1;
+    for (int64_t i = 0; i < rank; ++i) {
+        auto dim = static_cast<int64_t>(GetU64(bytes, at));
+        at += 8;
+        if (dim < 0) {
+            return InvalidArgument("checkpoint has negative dim");
+        }
+        dims.push_back(dim);
+        num_elements *= dim;
+    }
+    if (bytes.size() != at + static_cast<size_t>(num_elements) * 4) {
+        return InvalidArgument(
+            StrCat("checkpoint payload size mismatch: want ",
+                   num_elements * 4, " bytes, have ",
+                   static_cast<int64_t>(bytes.size() - at)));
+    }
+    std::vector<float> values;
+    values.reserve(static_cast<size_t>(num_elements));
+    for (int64_t i = 0; i < num_elements; ++i) {
+        uint32_t bits = GetU32(bytes, at);
+        at += 4;
+        float value;
+        std::memcpy(&value, &bits, sizeof(value));
+        values.push_back(value);
+    }
+    return Tensor(Shape(dtype, std::move(dims)), std::move(values));
+}
+
+}  // namespace overlap

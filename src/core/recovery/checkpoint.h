@@ -1,0 +1,71 @@
+#ifndef OVERLAP_CORE_RECOVERY_CHECKPOINT_H_
+#define OVERLAP_CORE_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace overlap {
+
+/**
+ * Periodic snapshots of the training state for elastic recovery
+ * (DESIGN.md §11).
+ *
+ * The store holds the *global logical* state tensor (mesh-independent:
+ * padding and sharding are reapplied at restore time, which is what lets
+ * a checkpoint taken on the full mesh restore onto a survivor mesh with
+ * different shard extents). State is kept serialized — the restore path
+ * always goes through deserialization, so the bitwise round-trip the
+ * tests check is the path recovery actually takes.
+ */
+class CheckpointStore {
+  public:
+    /** Snapshot after every `interval` completed steps (interval >= 1). */
+    explicit CheckpointStore(int64_t interval);
+
+    int64_t interval() const { return interval_; }
+
+    /**
+     * Snapshots `state` if `completed_steps` lands on the interval
+     * (including step 0, the initial state). Returns true if saved.
+     */
+    bool MaybeSave(int64_t completed_steps, const Tensor& state);
+
+    /** Unconditionally snapshots `state` at `completed_steps`. */
+    void Save(int64_t completed_steps, const Tensor& state);
+
+    bool has_checkpoint() const { return latest_step_ >= 0; }
+
+    /** Completed-step count of the latest snapshot; -1 when empty. */
+    int64_t latest_step() const { return latest_step_; }
+
+    /** Deserializes the latest snapshot. */
+    StatusOr<Tensor> Restore() const;
+
+    /** Size of the latest serialized snapshot (restore transfer cost). */
+    int64_t stored_bytes() const
+    {
+        return static_cast<int64_t>(bytes_.size());
+    }
+
+    int64_t num_saves() const { return num_saves_; }
+
+    /**
+     * Wire format (little-endian): dtype byte, rank, dims, then each
+     * element's f32 bit pattern — exposed for the round-trip tests.
+     */
+    static std::vector<uint8_t> Serialize(const Tensor& tensor);
+    static StatusOr<Tensor> Deserialize(const std::vector<uint8_t>& bytes);
+
+  private:
+    int64_t interval_ = 1;
+    int64_t latest_step_ = -1;
+    int64_t num_saves_ = 0;
+    std::vector<uint8_t> bytes_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_CORE_RECOVERY_CHECKPOINT_H_

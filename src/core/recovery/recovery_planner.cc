@@ -1,0 +1,114 @@
+#include "core/recovery/recovery_planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace overlap {
+
+std::string
+SurvivorPlan::ToString() const
+{
+    return StrCat("survivor mesh ", mesh.ToString(), " (axis ",
+                  dropped_axis, ": ", old_ring, " -> ", new_ring,
+                  ring_parity_changed ? ", parity changed" : "",
+                  "), survivors [", StrJoin(survivors, ","), "]");
+}
+
+StatusOr<SurvivorPlan>
+RecoveryPlanner::PlanSurvivorMesh(const Mesh& mesh, const FaultSpec& fault,
+                                  const FailureReport& report)
+{
+    // The device to evict: the dead chip, or for a dead link (including
+    // an exhausted-retry channel) its source endpoint — removing one
+    // endpoint removes the link and the compacted ring re-forms without
+    // it.
+    int64_t dead = report.cause == FailureCause::kChipDeath
+                       ? report.dead_chip
+                       : report.dead_link_src;
+    if (dead < 0 || dead >= mesh.num_devices()) {
+        return InvalidArgument(
+            StrCat("failure report names no valid device (", dead,
+                   ") on mesh ", mesh.ToString()));
+    }
+
+    // Drop the dead device's coordinate hyperplane along the axis that
+    // loses the fewest devices (num_devices / axis_size, so the largest
+    // axis). A 1-D mesh simply drops the device.
+    int64_t axis = 0;
+    for (int64_t a = 1; a < mesh.num_axes(); ++a) {
+        if (mesh.axis_size(a) > mesh.axis_size(axis)) axis = a;
+    }
+    if (mesh.axis_size(axis) - 1 < 2) {
+        return FailedPrecondition(
+            StrCat("survivor ring on axis ", axis, " of mesh ",
+                   mesh.ToString(),
+                   " would have fewer than 2 devices; not recoverable"));
+    }
+    std::vector<int64_t> dead_coords = mesh.Coords(dead);
+    int64_t dropped_coord = dead_coords[static_cast<size_t>(axis)];
+
+    SurvivorPlan plan;
+    plan.dropped_axis = axis;
+    plan.old_ring = mesh.axis_size(axis);
+    plan.new_ring = plan.old_ring - 1;
+    plan.ring_parity_changed = (plan.old_ring % 2) != (plan.new_ring % 2);
+    if (mesh.num_axes() == 1) {
+        plan.mesh = Mesh(plan.new_ring);
+    } else {
+        int64_t m = axis == 0 ? plan.new_ring : mesh.axis_size(0);
+        int64_t n = axis == 1 ? plan.new_ring : mesh.axis_size(1);
+        plan.mesh = Mesh(m, n);
+    }
+
+    // Survivors in old-id (row-major) order: removing one coordinate
+    // hyperplane keeps row-major order consistent with the new mesh, so
+    // new ids are a compaction of the old ones and relative ring
+    // positions are preserved on every axis.
+    std::unordered_map<int64_t, int64_t> old_to_new;
+    for (int64_t device = 0; device < mesh.num_devices(); ++device) {
+        if (mesh.Coords(device)[static_cast<size_t>(axis)] ==
+            dropped_coord) {
+            continue;
+        }
+        old_to_new[device] = static_cast<int64_t>(plan.survivors.size());
+        plan.survivors.push_back(device);
+    }
+
+    // Rewrite the fault spec onto the survivor ids: faults on evicted
+    // devices are dropped (including whichever permanent fault fired),
+    // everything else is remapped; the scalar policy fields carry over.
+    plan.fault = fault;
+    plan.fault.link_faults.clear();
+    plan.fault.chip_faults.clear();
+    plan.fault.permanent_faults.clear();
+    auto survives = [&old_to_new](int64_t device) {
+        return old_to_new.count(device) > 0;
+    };
+    for (LinkFault f : fault.link_faults) {
+        if (!survives(f.src) || !survives(f.dst)) continue;
+        f.src = old_to_new[f.src];
+        f.dst = old_to_new[f.dst];
+        plan.fault.link_faults.push_back(f);
+    }
+    for (ChipFault f : fault.chip_faults) {
+        if (!survives(f.chip)) continue;
+        f.chip = old_to_new[f.chip];
+        plan.fault.chip_faults.push_back(f);
+    }
+    for (PermanentFault f : fault.permanent_faults) {
+        if (f.IsChip()) {
+            if (!survives(f.chip)) continue;
+            f.chip = old_to_new[f.chip];
+        } else {
+            if (!survives(f.link_src) || !survives(f.link_dst)) continue;
+            f.link_src = old_to_new[f.link_src];
+            f.link_dst = old_to_new[f.link_dst];
+        }
+        plan.fault.permanent_faults.push_back(f);
+    }
+    return plan;
+}
+
+}  // namespace overlap

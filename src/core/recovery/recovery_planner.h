@@ -1,0 +1,60 @@
+#ifndef OVERLAP_CORE_RECOVERY_RECOVERY_PLANNER_H_
+#define OVERLAP_CORE_RECOVERY_RECOVERY_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/fault_model.h"
+#include "support/status.h"
+#include "tensor/mesh.h"
+
+namespace overlap {
+
+/**
+ * The survivor configuration computed from a FailureReport: the shrunk
+ * mesh, which old devices survive (in new-id order — ring positions are
+ * remapped by compaction, preserving relative ring order), and the
+ * fault spec rewritten onto the new device ids (DESIGN.md §11).
+ */
+struct SurvivorPlan {
+    Mesh mesh{1};
+    /// survivors[new_id] = old device id.
+    std::vector<int64_t> survivors;
+    /// The old fault spec with dead-entity faults dropped and the
+    /// remaining device ids remapped onto the survivor mesh.
+    FaultSpec fault;
+    /// The mesh axis that lost a coordinate hyperplane.
+    int64_t dropped_axis = 0;
+    int64_t old_ring = 0;
+    int64_t new_ring = 0;
+    /// True when the dropped axis's ring size changed parity — the
+    /// recompile's §5.5 gate then re-evaluates BidirectionalRingEligible
+    /// and an odd survivor ring falls back to unidirectional loops.
+    bool ring_parity_changed = false;
+
+    std::string ToString() const;
+};
+
+/**
+ * Turns a watchdog FailureReport into a SurvivorPlan.
+ *
+ * Chip death drops the dead chip; link death (and retry exhaustion,
+ * reported with the blocked channel's representative link) drops the
+ * link's source endpoint, which removes the broken link and re-forms
+ * the ring from the remaining devices. On a 2-D mesh the dead device's
+ * whole coordinate hyperplane is dropped along the axis that loses the
+ * fewest devices (the largest axis). Fails when the survivor ring
+ * would shrink below 2 devices.
+ */
+class RecoveryPlanner {
+  public:
+    static StatusOr<SurvivorPlan> PlanSurvivorMesh(
+        const Mesh& mesh, const FaultSpec& fault,
+        const FailureReport& report);
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_CORE_RECOVERY_RECOVERY_PLANNER_H_

@@ -224,114 +224,180 @@ FindVariant(const std::string& name)
     return InvalidArgument(StrCat("unknown variant '", name, "'"));
 }
 
-StatusOr<SiteScenario>
-BuildSiteScenario(const SiteSpec& spec)
+namespace {
+
+/** Global operand shapes and partitioning of one site's module. */
+struct SiteShapes {
+    std::string einsum_spec;
+    Shape lhs_global;
+    Shape rhs_global;
+    /// Per-operand shardings (replicated where not partitioned).
+    TensorSharding lhs_sharding;
+    TensorSharding rhs_sharding;
+    /// AllGather cases: the operand carrying the gathered label and the
+    /// dimension it occupies there.
+    int64_t gathered_dim = 0;
+    int64_t gathered_side = 0;
+    /// ReduceScatter case: the scattered output dimension.
+    int64_t rs_dim = 0;
+};
+
+StatusOr<SiteShapes>
+ShapesFor(const SiteSpec& spec)
 {
-    Mesh mesh = spec.mesh();
     const int64_t n = spec.ring_size();
     if (n < 2) return InvalidArgument("ring size must be >= 2");
     if (spec.shard_extent < 1 || spec.free0 < 1 || spec.free1 < 1 ||
         spec.contract < 1) {
         return InvalidArgument("site-spec extents must be >= 1");
     }
-    SiteScenario s;
-    s.module = std::make_unique<HloModule>("difftest");
-    s.module->set_mesh(mesh);
-    HloComputation* comp = s.module->AddEntryComputation("main");
-    HloBuilder b(comp);
-
+    SiteShapes shapes;
     if (spec.site_case == SiteCase::kReduceScatter) {
         // "bf,fh->bh" with 'f' sharded; scatter along 'b' (side 0) or
         // 'h' (side 1).
+        shapes.einsum_spec = "bf,fh->bh";
         int64_t b_size =
             spec.side == 0 ? n * spec.shard_extent : spec.free0;
         int64_t h_size =
             spec.side == 1 ? n * spec.shard_extent : spec.free1;
-        Shape lhs_global(spec.dtype, {b_size, n * spec.contract});
-        Shape rhs_global(spec.dtype, {n * spec.contract, h_size});
-        TensorSharding lhs_sharding = TensorSharding::OnDim(2, 1, spec.axis);
-        TensorSharding rhs_sharding = TensorSharding::OnDim(2, 0, spec.axis);
-        auto* lhs =
-            b.Parameter(0, lhs_sharding.ShardShape(lhs_global, mesh));
-        auto* rhs =
-            b.Parameter(1, rhs_sharding.ShardShape(rhs_global, mesh));
-        auto* einsum = b.Einsum(lhs, rhs, "bf,fh->bh");
-        int64_t rs_dim = spec.side == 0 ? 0 : 1;
-        comp->set_root(
-            b.ReduceScatter(einsum, rs_dim, mesh.Groups(spec.axis)));
-
-        Tensor lhs_data = Tensor::Random(lhs_global, spec.data_seed + 1);
-        Tensor rhs_data = Tensor::Random(rhs_global, spec.data_seed + 2);
-        s.params.push_back(ShardTensor(lhs_data, lhs_sharding, mesh));
-        s.params.push_back(ShardTensor(rhs_data, rhs_sharding, mesh));
-        auto parsed = EinsumSpec::Parse("bf,fh->bh");
-        auto global = parsed->Evaluate(lhs_data, rhs_data);
-        if (!global.ok()) return global.status();
-        s.expected = ShardTensor(
-            global.value(), TensorSharding::OnDim(2, rs_dim, spec.axis),
-            mesh);
-        return s;
+        shapes.lhs_global = Shape(spec.dtype, {b_size, n * spec.contract});
+        shapes.rhs_global = Shape(spec.dtype, {n * spec.contract, h_size});
+        shapes.lhs_sharding = TensorSharding::OnDim(2, 1, spec.axis);
+        shapes.rhs_sharding = TensorSharding::OnDim(2, 0, spec.axis);
+        shapes.rs_dim = spec.side == 0 ? 0 : 1;
+        return shapes;
     }
 
     // The three AllGather cases.
-    std::string einsum_spec;
-    Shape lhs_global, rhs_global;
-    int64_t gathered_dim = 0;
-    int64_t gathered_side = spec.side;
+    shapes.gathered_side = spec.side;
     if (spec.site_case == SiteCase::kAllGatherBatch) {
-        einsum_spec = "bmf,bfh->bmh";
-        lhs_global = Shape(spec.dtype, {n * spec.shard_extent, spec.free0,
-                                        spec.contract});
-        rhs_global = Shape(spec.dtype, {n * spec.shard_extent,
-                                        spec.contract, spec.free1});
-        gathered_dim = 0;  // 'b' in both operands
+        shapes.einsum_spec = "bmf,bfh->bmh";
+        shapes.lhs_global = Shape(
+            spec.dtype, {n * spec.shard_extent, spec.free0, spec.contract});
+        shapes.rhs_global = Shape(
+            spec.dtype, {n * spec.shard_extent, spec.contract, spec.free1});
+        shapes.gathered_dim = 0;  // 'b' in both operands
     } else if (spec.site_case == SiteCase::kAllGatherContracting) {
-        einsum_spec = "bf,fh->bh";
-        lhs_global =
+        shapes.einsum_spec = "bf,fh->bh";
+        shapes.lhs_global =
             Shape(spec.dtype, {spec.free0, n * spec.shard_extent});
-        rhs_global =
+        shapes.rhs_global =
             Shape(spec.dtype, {n * spec.shard_extent, spec.free1});
-        gathered_dim = gathered_side == 0 ? 1 : 0;  // 'f'
+        shapes.gathered_dim = shapes.gathered_side == 0 ? 1 : 0;  // 'f'
     } else {
-        einsum_spec = "bf,fh->bh";
-        if (gathered_side == 0) {
-            lhs_global = Shape(spec.dtype,
-                               {n * spec.shard_extent, spec.contract});
-            rhs_global = Shape(spec.dtype, {spec.contract, spec.free1});
-            gathered_dim = 0;  // 'b'
+        shapes.einsum_spec = "bf,fh->bh";
+        if (shapes.gathered_side == 0) {
+            shapes.lhs_global = Shape(
+                spec.dtype, {n * spec.shard_extent, spec.contract});
+            shapes.rhs_global =
+                Shape(spec.dtype, {spec.contract, spec.free1});
+            shapes.gathered_dim = 0;  // 'b'
         } else {
-            lhs_global = Shape(spec.dtype, {spec.free0, spec.contract});
-            rhs_global = Shape(spec.dtype,
-                               {spec.contract, n * spec.shard_extent});
-            gathered_dim = 1;  // 'h'
+            shapes.lhs_global =
+                Shape(spec.dtype, {spec.free0, spec.contract});
+            shapes.rhs_global = Shape(
+                spec.dtype, {spec.contract, n * spec.shard_extent});
+            shapes.gathered_dim = 1;  // 'h'
         }
     }
-    const Shape& gathered_global =
-        gathered_side == 0 ? lhs_global : rhs_global;
-    const Shape& other_global =
-        gathered_side == 0 ? rhs_global : lhs_global;
-    TensorSharding sharding = TensorSharding::OnDim(
-        gathered_global.rank(), gathered_dim, spec.axis);
+    const Shape& gathered_global = shapes.gathered_side == 0
+                                       ? shapes.lhs_global
+                                       : shapes.rhs_global;
+    TensorSharding gathered_sharding = TensorSharding::OnDim(
+        gathered_global.rank(), shapes.gathered_dim, spec.axis);
+    TensorSharding replicated =
+        TensorSharding::Replicated(shapes.gathered_side == 0
+                                       ? shapes.rhs_global.rank()
+                                       : shapes.lhs_global.rank());
+    shapes.lhs_sharding =
+        shapes.gathered_side == 0 ? gathered_sharding : replicated;
+    shapes.rhs_sharding =
+        shapes.gathered_side == 0 ? replicated : gathered_sharding;
+    return shapes;
+}
 
+}  // namespace
+
+StatusOr<std::unique_ptr<HloModule>>
+BuildSiteModule(const SiteSpec& spec)
+{
+    auto shapes = ShapesFor(spec);
+    if (!shapes.ok()) return shapes.status();
+    Mesh mesh = spec.mesh();
+    auto module = std::make_unique<HloModule>("difftest");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+
+    if (spec.site_case == SiteCase::kReduceScatter) {
+        auto* lhs = b.Parameter(
+            0, shapes->lhs_sharding.ShardShape(shapes->lhs_global, mesh));
+        auto* rhs = b.Parameter(
+            1, shapes->rhs_sharding.ShardShape(shapes->rhs_global, mesh));
+        auto* einsum = b.Einsum(lhs, rhs, shapes->einsum_spec);
+        comp->set_root(b.ReduceScatter(einsum, shapes->rs_dim,
+                                       mesh.Groups(spec.axis)));
+        return module;
+    }
+
+    const Shape& gathered_global = shapes->gathered_side == 0
+                                       ? shapes->lhs_global
+                                       : shapes->rhs_global;
+    const Shape& other_global = shapes->gathered_side == 0
+                                    ? shapes->rhs_global
+                                    : shapes->lhs_global;
+    const TensorSharding& gathered_sharding = shapes->gathered_side == 0
+                                                  ? shapes->lhs_sharding
+                                                  : shapes->rhs_sharding;
     auto* shard_param = b.Parameter(
-        0, sharding.ShardShape(gathered_global, mesh), "gathered_shard");
+        0, gathered_sharding.ShardShape(gathered_global, mesh),
+        "gathered_shard");
     auto* other_param = b.Parameter(1, other_global, "other");
-    auto* ag =
-        b.AllGather(shard_param, gathered_dim, mesh.Groups(spec.axis));
-    comp->set_root(gathered_side == 0
-                       ? b.Einsum(ag, other_param, einsum_spec)
-                       : b.Einsum(other_param, ag, einsum_spec));
+    auto* ag = b.AllGather(shard_param, shapes->gathered_dim,
+                           mesh.Groups(spec.axis));
+    comp->set_root(shapes->gathered_side == 0
+                       ? b.Einsum(ag, other_param, shapes->einsum_spec)
+                       : b.Einsum(other_param, ag, shapes->einsum_spec));
+    return module;
+}
 
-    Tensor gathered_data =
-        Tensor::Random(gathered_global, spec.data_seed + 1);
-    Tensor other_data = Tensor::Random(other_global, spec.data_seed + 2);
-    s.params.push_back(ShardTensor(gathered_data, sharding, mesh));
-    s.params.push_back({other_data});
-    auto parsed = EinsumSpec::Parse(einsum_spec);
-    auto global = gathered_side == 0
-                      ? parsed->Evaluate(gathered_data, other_data)
-                      : parsed->Evaluate(other_data, gathered_data);
+StatusOr<SiteScenario>
+BuildSiteScenario(const SiteSpec& spec)
+{
+    auto module = BuildSiteModule(spec);
+    if (!module.ok()) return module.status();
+    auto shapes = ShapesFor(spec);
+    if (!shapes.ok()) return shapes.status();
+    Mesh mesh = spec.mesh();
+    SiteScenario s;
+    s.module = std::move(module).value();
+
+    Tensor lhs_data = Tensor::Random(shapes->lhs_global, spec.data_seed + 1);
+    Tensor rhs_data = Tensor::Random(shapes->rhs_global, spec.data_seed + 2);
+    auto parsed = EinsumSpec::Parse(shapes->einsum_spec);
+    auto global = parsed->Evaluate(lhs_data, rhs_data);
     if (!global.ok()) return global.status();
+
+    if (spec.site_case == SiteCase::kReduceScatter) {
+        s.params.push_back(ShardTensor(lhs_data, shapes->lhs_sharding, mesh));
+        s.params.push_back(ShardTensor(rhs_data, shapes->rhs_sharding, mesh));
+        s.expected = ShardTensor(
+            global.value(),
+            TensorSharding::OnDim(2, shapes->rs_dim, spec.axis), mesh);
+        return s;
+    }
+
+    // AllGather cases: parameter 0 is the gathered operand's shard,
+    // parameter 1 the replicated other operand.
+    const Tensor& gathered_data =
+        shapes->gathered_side == 0 ? lhs_data : rhs_data;
+    const Tensor& other_data =
+        shapes->gathered_side == 0 ? rhs_data : lhs_data;
+    const TensorSharding& gathered_sharding = shapes->gathered_side == 0
+                                                  ? shapes->lhs_sharding
+                                                  : shapes->rhs_sharding;
+    s.params.push_back(ShardTensor(gathered_data, gathered_sharding, mesh));
+    s.params.push_back({other_data});
     s.expected.assign(static_cast<size_t>(mesh.num_devices()),
                       global.value());
     return s;

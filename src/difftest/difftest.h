@@ -94,7 +94,17 @@ struct SiteScenario {
     std::vector<Tensor> expected;
 };
 
-/** Materializes the blocking (pre-pass) module for `spec`. */
+/**
+ * Builds only the blocking (pre-pass) HLO module for `spec` — no
+ * parameter data and no analytic ground truth. The overlap-report
+ * bench drives gate-profitable (large) sites through the compiler and
+ * simulator with this; materializing tensors at those sizes would cost
+ * minutes per case for data nothing reads.
+ */
+StatusOr<std::unique_ptr<HloModule>> BuildSiteModule(const SiteSpec& spec);
+
+/** Materializes the blocking (pre-pass) module for `spec`, with
+ * per-device parameter data and the analytic expected outputs. */
 StatusOr<SiteScenario> BuildSiteScenario(const SiteSpec& spec);
 
 /**

@@ -11,7 +11,9 @@
 #include <unordered_map>
 
 #include "hlo/builder.h"
+#include "support/metrics.h"
 #include "support/strings.h"
+#include "support/tracing.h"
 #include "tensor/buffer_pool.h"
 
 namespace overlap {
@@ -406,10 +408,19 @@ class Rendezvous {
     StatusOr<Tensor> Exchange(int64_t d, Tensor input,
                               const HloInstruction* instr,
                               const Mesh& mesh) {
+        // Observability (DESIGN.md §13): how long this device sat at
+        // the meeting point. Waiters measure peer imbalance (the
+        // concurrent mode's dominant overhead on small programs); the
+        // last arriver measures the exchange computation it leads. Off
+        // by default: no clock read, one relaxed load.
+        const bool observe = MetricsEnabled() || TracingEnabled();
+        const double t0 = observe ? TraceRecorder::NowSeconds() : 0.0;
+        bool leader = false;
         std::unique_lock<std::mutex> lock(mu_);
         if (cancelled_) return FailedPrecondition("evaluation cancelled");
         inputs_[static_cast<size_t>(d)] = std::move(input);
         if (++arrived_ == static_cast<int64_t>(inputs_.size())) {
+            leader = true;
             std::vector<const Tensor*> ptrs;
             ptrs.reserve(inputs_.size());
             for (const Tensor& t : inputs_) ptrs.push_back(&t);
@@ -419,6 +430,7 @@ class Rendezvous {
         } else {
             cv_.wait(lock, [this]() { return done_ || cancelled_; });
         }
+        if (observe) RecordRendezvous(d, instr, leader, t0);
         if (!done_) return FailedPrecondition("evaluation cancelled");
         if (!status_.ok()) return status_;
         return std::move(outputs_[static_cast<size_t>(d)]);
@@ -430,6 +442,36 @@ class Rendezvous {
             cancelled_ = true;
         }
         cv_.notify_all();
+    }
+
+    /** Metrics + trace span for one device's stay at the rendezvous. */
+    static void RecordRendezvous(int64_t d, const HloInstruction* instr,
+                                 bool leader, double t0) {
+        const double t1 = TraceRecorder::NowSeconds();
+        if (MetricsEnabled()) {
+            // Resolved once; the registry hands out stable pointers.
+            static Counter* total =
+                MetricsRegistry::Global().counter(
+                    "evaluator.rendezvous_total");
+            static Histogram* wait_hist =
+                MetricsRegistry::Global().histogram(
+                    "evaluator.rendezvous_wait_seconds");
+            static Histogram* leader_hist =
+                MetricsRegistry::Global().histogram(
+                    "evaluator.rendezvous_leader_seconds");
+            total->Add();
+            (leader ? leader_hist : wait_hist)->Record(t1 - t0);
+        }
+        if (TracingEnabled()) {
+            TraceSpan span;
+            span.name = instr->name();
+            span.category =
+                leader ? "rendezvous_leader" : "rendezvous_wait";
+            span.lane = d;
+            span.start_seconds = t0;
+            span.end_seconds = t1;
+            TraceRecorder::Global().Record(std::move(span));
+        }
     }
 
   private:
@@ -469,6 +511,9 @@ RunDeviceProgram(int64_t d, const ProgramInfo& info, const Mesh& mesh,
                  const std::vector<std::vector<Tensor>>& params,
                  ConcurrentState* state, Tensor* root_out)
 {
+    ScopedTraceSpan program_span(StrCat("device", d), "device_program",
+                                 d,
+                                 static_cast<int64_t>(info.instrs.size()));
     try {
         std::vector<Tensor> vals(info.instrs.size());
         for (size_t j = 0; j < info.instrs.size(); ++j) {

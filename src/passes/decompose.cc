@@ -55,9 +55,33 @@ struct Site {
     double benefit = 0.0;  // original minus overlapped estimated time
     /// Healthy-pod benefit (== benefit without a fault model).
     double benefit_nominal = 0.0;
+    /// §5.5 cost terms behind `benefit` (same model/structure choice),
+    /// recorded into the SiteDecision for the overlap report.
+    double comp_t = 0.0;
+    double comm_t = 0.0;
+    double comm_t_ring = 0.0;
+    double extra_t = 0.0;
     /// Variance-aware lowering: emit a unidirectional loop even though
     /// bidirectional transfer is enabled and structurally possible.
     bool force_unidirectional = false;
+};
+
+/**
+ * The §5.5 cost terms for one site under one model/structure choice.
+ * benefit() is the gate inequality: decompose when
+ * comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t.
+ */
+struct CostBreakdown {
+    double comp_t = 0.0;
+    double comm_t = 0.0;
+    double comm_t_ring = 0.0;
+    double extra_t = 0.0;
+
+    double benefit() const
+    {
+        return (comp_t + comm_t) -
+               (std::max(comp_t, comm_t_ring) + extra_t);
+    }
 };
 
 /**
@@ -68,7 +92,7 @@ struct Site {
  * `allow_bidirectional` gates the §5.4.2 structures so the variance-
  * aware caller can evaluate the unidirectional lowering separately.
  */
-double
+CostBreakdown
 EstimateBenefit(const Site& site, const CostModel& cost,
                 const DecomposeOptions& options, bool allow_bidirectional)
 {
@@ -136,7 +160,18 @@ EstimateBenefit(const Site& site, const CostModel& cost,
         cost.RingSequenceSeconds(shard_bytes, extra_steps) +
         static_cast<double>(n) * 2.0 * cost.spec().op_overhead +
         elem_bytes / (cost.spec().mem_bandwidth * cost.compute_derate());
-    return (comp_t + comm_t) - (std::max(comp_t, ring_t) + extra_t);
+    return CostBreakdown{comp_t, comm_t, ring_t, extra_t};
+}
+
+/** Copies a breakdown into the site's recorded §5.5 terms. */
+void
+AssignBreakdown(Site* site, const CostBreakdown& breakdown)
+{
+    site->benefit = breakdown.benefit();
+    site->comp_t = breakdown.comp_t;
+    site->comm_t = breakdown.comm_t;
+    site->comm_t_ring = breakdown.comm_t_ring;
+    site->extra_t = breakdown.extra_t;
 }
 
 /** Labels of the einsum operand on the given side. */
@@ -204,8 +239,12 @@ class LoopEmitter {
              ++i) {
             instrs[i]->set_loop_group(group);
         }
+        emitted_group_ = group;
         return result;
     }
+
+    /** Loop group Emit() tagged onto the new instructions. */
+    int64_t emitted_group() const { return emitted_group_; }
 
   private:
     /** Scalar shard id (axis_index + delta) mod N; delta may be negative. */
@@ -512,6 +551,7 @@ class LoopEmitter {
         return builder_.Add(acc_left, aligned_right);
     }
 
+    int64_t emitted_group_ = -1;
     HloComputation* computation_;
     HloBuilder builder_;
     const Mesh& mesh_;
@@ -603,9 +643,9 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
 
         // §5.5: estimate original vs overlapped time for each candidate.
         for (Site& site : candidates) {
-            site.benefit =
-                EstimateBenefit(site, *cost_model_, options_,
-                                /*allow_bidirectional=*/true);
+            AssignBreakdown(&site,
+                            EstimateBenefit(site, *cost_model_, options_,
+                                            /*allow_bidirectional=*/true));
             site.benefit_nominal = site.benefit;
         }
 
@@ -632,14 +672,16 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
                 CostModel bidi_cost = *cost_model_;
                 bidi_cost.SetFaultDerating(chip, std::min(f0, f1),
                                            std::max(l0, l1));
-                double benefit_bidi =
+                CostBreakdown bidi_breakdown =
                     EstimateBenefit(site, bidi_cost, options_,
                                     /*allow_bidirectional=*/true);
+                double benefit_bidi = bidi_breakdown.benefit();
                 CostModel uni_cost = *cost_model_;
                 uni_cost.SetFaultDerating(chip, f0, l0);
-                double benefit_uni =
+                CostBreakdown uni_breakdown =
                     EstimateBenefit(site, uni_cost, options_,
                                     /*allow_bidirectional=*/false);
+                double benefit_uni = uni_breakdown.benefit();
                 // Prefer the configured (bidirectional) structure while
                 // it still wins on the degraded ring; lower to the
                 // healthier single direction only once it no longer
@@ -647,10 +689,10 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
                 // lower unroll degree when the decomposed ring no
                 // longer wins").
                 if (benefit_bidi < 0.0 && benefit_uni > benefit_bidi) {
-                    site.benefit = benefit_uni;
+                    AssignBreakdown(&site, uni_breakdown);
                     site.force_unidirectional = true;
                 } else {
-                    site.benefit = benefit_bidi;
+                    AssignBreakdown(&site, bidi_breakdown);
                 }
             }
         }
@@ -672,6 +714,10 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
         decision.einsum = best.einsum->name();
         decision.benefit_nominal = nominal_best;
         decision.benefit_derated = best.benefit;
+        decision.comp_t = best.comp_t;
+        decision.comm_t = best.comm_t;
+        decision.comm_t_ring = best.comm_t_ring;
+        decision.extra_t = best.extra_t;
         if (options_.use_cost_model && best.benefit < 0.0) {
             if (faulted && nominal_best >= 0.0) {
                 // Profitable on a healthy pod, but the degraded ring no
@@ -722,6 +768,16 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
         }
         LoopEmitter emitter(computation, mesh_, site_options, site);
         HloInstruction* replacement = emitter.Emit();
+        // Join key for the overlap-efficiency report: the decision of
+        // this site learns the loop group its instructions now carry.
+        for (SiteDecision& decision : stats.decisions) {
+            if (decision.decomposed &&
+                decision.collective == site.collective->name() &&
+                decision.einsum == site.einsum->name()) {
+                decision.loop_group = emitter.emitted_group();
+                break;
+            }
+        }
         HloInstruction* replaced =
             site.is_allgather ? site.einsum : site.collective;
         computation->ReplaceAllUsesWith(replaced, replacement);

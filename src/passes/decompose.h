@@ -106,6 +106,31 @@ struct SiteDecision {
     /// healthy) or "fault_fallback_blocking" (profitable when healthy
     /// but not on the degraded ring).
     std::string reason;
+
+    /// §5.5 cost inputs the verdict was computed from, under the model
+    /// the gate actually used (derated when a fault model is attached)
+    /// and for the structure the gate settled on (unidirectional when
+    /// lowered). benefit_derated always equals
+    /// (comp_t + comm_t) - (max(comp_t, comm_t_ring) + extra_t); the
+    /// overlap-report invariant test recomputes the verdict from these
+    /// logged inputs.
+    double comp_t = 0.0;       ///< einsum kernel time
+    double comm_t = 0.0;       ///< blocking-collective time
+    double comm_t_ring = 0.0;  ///< decomposed ring-sequence wire time
+    double extra_t = 0.0;      ///< prologue/epilogue + overheads + combines
+
+    /// Loop group tagged onto the emitted loop's instructions (-1 when
+    /// not decomposed) — the join key between this decision and the
+    /// simulator's TraceEvents in the overlap-efficiency report.
+    int64_t loop_group = -1;
+
+    /** The §5.5 inequality re-evaluated from the logged cost inputs. */
+    double RecomputedBenefit() const
+    {
+        double overlapped =
+            (comp_t > comm_t_ring ? comp_t : comm_t_ring) + extra_t;
+        return (comp_t + comm_t) - overlapped;
+    }
 };
 
 /**

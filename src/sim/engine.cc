@@ -180,6 +180,18 @@ struct KilledTransfer {
 }  // namespace
 
 const char*
+TraceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::kCompute: return "compute";
+      case TraceKind::kCollective: return "collective";
+      case TraceKind::kTransferWait: return "wait";
+      case TraceKind::kTransferInFlight: return "transfer";
+    }
+    return "unknown";
+}
+
+const char*
 FailureCauseName(FailureCause cause)
 {
     switch (cause) {
@@ -398,9 +410,9 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
     };
 
     auto record = [&](const std::string& label, TraceKind kind,
-                      double start, double end) {
+                      double start, double end, int64_t loop_group) {
         if (collect_trace && end > start) {
-            result.trace.push_back({label, kind, start, end});
+            result.trace.push_back({label, kind, start, end, loop_group});
         }
     };
 
@@ -463,6 +475,15 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                                 static_cast<double>(route->hops) *
                                     spec_.link_latency *
                                     channel_lat_factor[ch];
+                // In-flight interval on the transfer lane: queueing
+                // behind earlier traffic in the same direction, retries,
+                // wire time and per-hop latency, Start issue to arrival.
+                // Starting at the issue time (not `begin`) keeps every
+                // Done-wait interval a subset of its transfer's
+                // in-flight interval, which the overlap report's
+                // hidden+exposed==total accounting relies on.
+                record(head->name(), TraceKind::kTransferInFlight, time,
+                       arrival.at(unit), unit->loop_group);
             }
             result.transferred_bytes +=
                 bytes * static_cast<double>(1 + retries.failures);
@@ -488,7 +509,7 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
             double arrived = arrival.at(start);
             if (arrived > time) {
                 record(head->name(), TraceKind::kTransferWait, time,
-                       arrived);
+                       arrived, unit->loop_group);
                 result.exposed_comm_seconds += arrived - time;
                 time = arrived;
             }
@@ -549,7 +570,8 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 return outcome;
             }
             free_at = begin + retry_delay + wire;
-            record(head->name(), TraceKind::kCollective, time, end);
+            record(head->name(), TraceKind::kCollective, time, end,
+                   unit->loop_group);
             result.exposed_comm_seconds += end - time;
             result.transferred_bytes +=
                 bytes * static_cast<double>(1 + retries.failures);
@@ -593,7 +615,8 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 }
             }
             double end = begin + duration;
-            record(head->name(), TraceKind::kCollective, time, end);
+            record(head->name(), TraceKind::kCollective, time, end,
+                   unit->loop_group);
             result.exposed_comm_seconds += end - time;
             result.transferred_bytes +=
                 static_cast<double>(head->shape().byte_size());
@@ -604,7 +627,7 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
             // stretches every kernel by the slowest chip's factor.
             double actual = unit->latency / compute_factor;
             record(unit->members.back()->name(), TraceKind::kCompute, time,
-                   time + actual);
+                   time + actual, unit->loop_group);
             result.compute_seconds += actual;
             result.straggler_stall_seconds += actual - unit->latency;
             for (const HloInstruction* member : unit->members) {

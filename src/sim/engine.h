@@ -15,10 +15,16 @@ namespace overlap {
 
 /** What a trace entry spent its time on. */
 enum class TraceKind {
-    kCompute,       ///< einsum / element-wise kernel
-    kCollective,    ///< blocking collective occupying the device
-    kTransferWait,  ///< stall at a CollectivePermuteDone
+    kCompute,           ///< einsum / element-wise kernel
+    kCollective,        ///< blocking collective occupying the device
+    kTransferWait,      ///< stall at a CollectivePermuteDone
+    kTransferInFlight,  ///< async transfer on the wire (Start..arrival);
+                        ///< does not occupy the device — the overlap the
+                        ///< paper creates is this lane running under the
+                        ///< compute lane
 };
+
+const char* TraceKindName(TraceKind kind);
 
 /** One executed kernel/event on the modeled device's timeline. */
 struct TraceEvent {
@@ -26,6 +32,11 @@ struct TraceEvent {
     TraceKind kind;
     double start_seconds = 0.0;
     double end_seconds = 0.0;
+    /// Loop group of the decomposition site that emitted the
+    /// instruction (-1 for instructions outside any decomposed loop).
+    /// What lets the overlap-efficiency report attribute trace time
+    /// back to CompileReport site decisions.
+    int64_t loop_group = -1;
 };
 
 /** Timing outcome of one simulated step of an SPMD program. */

@@ -2,8 +2,10 @@
 #define OVERLAP_SIM_TRACE_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "sim/engine.h"
+#include "support/tracing.h"
 
 namespace overlap {
 
@@ -16,6 +18,43 @@ namespace overlap {
  */
 std::string TraceToChromeJson(const SimResult& result,
                               const std::string& device_name = "device0");
+
+/**
+ * The unified cross-layer trace (DESIGN.md §13): one Chrome-trace
+ * document spanning the compiler, the pod simulator and the concurrent
+ * SpmdEvaluator. Each subsystem renders as its own process:
+ *
+ *   pid 0 "compiler"        — one X event per pipeline pass, with the
+ *                             entry computation's instruction delta in
+ *                             the event args;
+ *   pid 1 "simulator"       — the modeled device's lanes: tid 0
+ *                             compute, tid 1 blocking collectives,
+ *                             tid 2 transfer-wait stalls, tid 3 async
+ *                             transfers in flight (Start..arrival).
+ *                             Events carry the decomposition site's
+ *                             loop group in their args when they belong
+ *                             to an emitted loop;
+ *   pid 2 "spmd_evaluator"  — one thread lane per device: the device
+ *                             program span plus rendezvous wait/leader
+ *                             spans recorded by the concurrent mode.
+ *
+ * Every section is optional — pass an empty vector / nullptr for the
+ * layers that did not run. Evaluator spans are rebased so the earliest
+ * one starts at t=0 (they are recorded against the process-local
+ * steady clock).
+ */
+struct UnifiedTrace {
+    /// Compiler lane (CompileReport::pass_timings).
+    std::vector<PassTiming> passes;
+    /// Simulator lanes (a traced PodSimulator::Run result).
+    const SimResult* sim = nullptr;
+    /// Evaluator spans (TraceRecorder::Global().Drain() after a traced
+    /// evaluation).
+    std::vector<TraceSpan> evaluator_spans;
+    std::string device_name = "device0";
+};
+
+std::string UnifiedTraceToChromeJson(const UnifiedTrace& trace);
 
 }  // namespace overlap
 

@@ -1,0 +1,197 @@
+#ifndef OVERLAP_SUPPORT_METRICS_H_
+#define OVERLAP_SUPPORT_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace overlap {
+
+/**
+ * Process-wide switch for metrics collection (DESIGN.md §13).
+ *
+ * Disabled (the default), every instrument degrades to a single relaxed
+ * atomic load and no clock is ever read — cheap enough for the
+ * evaluator's per-rendezvous hot path. Tests and tools that want
+ * numbers flip it on around the region of interest.
+ */
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/** Monotonically increasing event count. */
+class Counter {
+  public:
+    void Add(int64_t delta = 1)
+    {
+        if (!MetricsEnabled()) return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-written instantaneous value (e.g. a pool's retained bytes). */
+class Gauge {
+  public:
+    void Set(double value)
+    {
+        if (!MetricsEnabled()) return;
+        std::lock_guard<std::mutex> lock(mu_);
+        value_ = value;
+    }
+
+    double value() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return value_;
+    }
+
+    void Reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        value_ = 0.0;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    double value_ = 0.0;
+};
+
+/**
+ * Sample distribution: count/sum/min/max plus power-of-two buckets
+ * (bucket b counts samples in [2^(b-kZeroBucket), 2^(b-kZeroBucket+1)),
+ * covering ~1ns .. ~17min for second-valued samples). Good enough to
+ * read off a p50/p99 order of magnitude without storing samples.
+ */
+class Histogram {
+  public:
+    /// Bucket index recording samples in [1.0, 2.0).
+    static constexpr int kZeroBucket = 32;
+    static constexpr int kNumBuckets = 64;
+
+    void Record(double sample);
+
+    struct Snapshot {
+        int64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        std::vector<int64_t> buckets;  // kNumBuckets entries
+
+        double mean() const
+        {
+            return count > 0 ? sum / static_cast<double>(count) : 0.0;
+        }
+
+        /**
+         * Nearest-rank quantile over the log2 buckets; returns the
+         * upper edge of the bucket holding the q-th sample (an upper
+         * bound within 2x of the true quantile).
+         */
+        double Quantile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+    void Reset();
+
+  private:
+    mutable std::mutex mu_;
+    int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    int64_t buckets_[kNumBuckets] = {0};
+};
+
+/**
+ * Thread-safe registry of named instruments. Lookup interns the name on
+ * first use and returns a stable pointer, so hot paths resolve their
+ * instruments once and then touch only the instrument itself.
+ *
+ * Naming convention: dotted paths grouped by subsystem, e.g.
+ * "evaluator.rendezvous_wait_seconds", "compiler.pass_seconds".
+ */
+class MetricsRegistry {
+  public:
+    /** The process-wide registry every subsystem records into. */
+    static MetricsRegistry& Global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter* counter(const std::string& name);
+    Gauge* gauge(const std::string& name);
+    Histogram* histogram(const std::string& name);
+
+    /** Zeroes every registered instrument (registrations are kept). */
+    void ResetAll();
+
+    /**
+     * One JSON object keyed by instrument name, e.g.
+     * {"evaluator.rendezvous_total": 12,
+     *  "evaluator.rendezvous_wait_seconds":
+     *      {"count":12,"sum":3e-4,"min":...,"max":...,"mean":...,
+     *       "p50":...,"p99":...}}.
+     * Gauges render as bare numbers, counters as integers; histogram
+     * buckets are summarized, not dumped.
+     */
+    std::string SnapshotJson() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Records the wall time of a scope into a histogram (seconds). Reads
+ * the clock only when metrics are enabled at construction; a scope
+ * spanning an enable/disable flip records nothing.
+ */
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(Histogram* histogram) : histogram_(histogram)
+    {
+        if (histogram_ != nullptr && MetricsEnabled()) {
+            start_ = std::chrono::steady_clock::now();
+            armed_ = true;
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (armed_ && MetricsEnabled()) {
+            histogram_->Record(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    Histogram* histogram_;
+    std::chrono::steady_clock::time_point start_;
+    bool armed_ = false;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_SUPPORT_METRICS_H_

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The metrics registry (DESIGN.md §13): instrument semantics, the
+ * disabled-by-default no-op contract, registry interning, snapshot
+ * shape, and thread safety of concurrent recording.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace overlap {
+namespace {
+
+/** Flips metrics on for one test and restores the default after. */
+class MetricsTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        SetMetricsEnabled(true);
+        MetricsRegistry::Global().ResetAll();
+    }
+    void TearDown() override
+    {
+        MetricsRegistry::Global().ResetAll();
+        SetMetricsEnabled(false);
+    }
+};
+
+TEST_F(MetricsTest, CounterCountsAndResets)
+{
+    Counter c;
+    c.Add();
+    c.Add(41);
+    EXPECT_EQ(c.value(), 42);
+    c.Reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue)
+{
+    Gauge g;
+    g.Set(3.0);
+    g.Set(-7.5);
+    EXPECT_EQ(g.value(), -7.5);
+    g.Reset();
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramSummarizesSamples)
+{
+    Histogram h;
+    h.Record(1.0);
+    h.Record(2.0);
+    h.Record(4.0);
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 3);
+    EXPECT_DOUBLE_EQ(snap.sum, 7.0);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 4.0);
+    EXPECT_NEAR(snap.mean(), 7.0 / 3.0, 1e-12);
+    // The quantile is an upper bucket edge: within 2x above the true
+    // value and never below it.
+    EXPECT_GE(snap.Quantile(0.99), 4.0);
+    EXPECT_LE(snap.Quantile(0.99), 8.0);
+    EXPECT_GE(snap.Quantile(0.0), 1.0);
+    h.Reset();
+    EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsRecordNothing)
+{
+    SetMetricsEnabled(false);
+    Counter c;
+    Gauge g;
+    Histogram h;
+    c.Add(5);
+    g.Set(1.0);
+    h.Record(1.0);
+    {
+        ScopedTimer timer(&h);
+    }
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsSeconds)
+{
+    Histogram h;
+    {
+        ScopedTimer timer(&h);
+    }
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1);
+    EXPECT_GE(snap.sum, 0.0);
+    EXPECT_LT(snap.sum, 10.0);  // an empty scope is not ten seconds
+    // A null histogram is an allowed no-op target.
+    ScopedTimer null_timer(nullptr);
+}
+
+TEST_F(MetricsTest, ScopedTimerSpanningDisableRecordsNothing)
+{
+    Histogram h;
+    {
+        ScopedTimer timer(&h);
+        SetMetricsEnabled(false);
+    }
+    EXPECT_EQ(h.snapshot().count, 0);
+    SetMetricsEnabled(true);
+}
+
+TEST_F(MetricsTest, RegistryInternsStablePointers)
+{
+    MetricsRegistry registry;
+    Counter* c1 = registry.counter("a.count");
+    Counter* c2 = registry.counter("a.count");
+    EXPECT_EQ(c1, c2);
+    EXPECT_NE(registry.counter("b.count"), c1);
+    Histogram* h1 = registry.histogram("a.seconds");
+    EXPECT_EQ(h1, registry.histogram("a.seconds"));
+    Gauge* g1 = registry.gauge("a.bytes");
+    EXPECT_EQ(g1, registry.gauge("a.bytes"));
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    Counter* c = registry.counter("x");
+    Histogram* h = registry.histogram("y");
+    c->Add(3);
+    h->Record(1.0);
+    registry.ResetAll();
+    EXPECT_EQ(c->value(), 0);
+    EXPECT_EQ(h->snapshot().count, 0);
+    EXPECT_EQ(registry.counter("x"), c);  // same instrument, zeroed
+}
+
+TEST_F(MetricsTest, SnapshotJsonNamesEveryInstrument)
+{
+    MetricsRegistry registry;
+    registry.counter("sub.count")->Add(2);
+    registry.gauge("sub.bytes")->Set(128.0);
+    registry.histogram("sub.seconds")->Record(0.5);
+    std::string json = registry.SnapshotJson();
+    EXPECT_NE(json.find("\"sub.count\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"sub.bytes\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"sub.seconds\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+TEST_F(MetricsTest, ConcurrentRecordingLosesNothing)
+{
+    MetricsRegistry registry;
+    Counter* c = registry.counter("threads.count");
+    Histogram* h = registry.histogram("threads.seconds");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([c, h]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                c->Add();
+                h->Record(1.0);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c->value(), kThreads * kPerThread);
+    EXPECT_EQ(h->snapshot().count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace overlap

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Invariants of the overlap-efficiency report (DESIGN.md §13) over
+ * difftest-generated sites: interval accounting must close exactly
+ * (hidden + exposed == total), fractions must be probabilities, and
+ * every gate verdict must be reproducible from the cost inputs the
+ * decision logged (SiteDecision::RecomputedBenefit).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/overlap_report.h"
+#include "difftest/difftest.h"
+#include "sim/engine.h"
+
+namespace overlap {
+namespace {
+
+using difftest::BuildSiteModule;
+using difftest::GenerateSiteSpec;
+using difftest::SiteSpec;
+
+/** Compiles and trace-simulates one difftest site. */
+struct SiteRun {
+    CompileReport compile;
+    SimResult sim;
+};
+
+SiteRun
+RunSite(const SiteSpec& spec, bool use_cost_model)
+{
+    SiteRun run;
+    auto module = BuildSiteModule(spec);
+    EXPECT_TRUE(module.ok()) << module.status().ToString();
+    CompilerOptions options;
+    options.decompose.use_cost_model = use_cost_model;
+    OverlapCompiler compiler(options);
+    auto compile = compiler.Compile(module->get());
+    EXPECT_TRUE(compile.ok()) << compile.status().ToString();
+    run.compile = std::move(compile).value();
+    PodSimulator simulator(spec.mesh(), options.hardware);
+    auto sim = simulator.Run(**module, /*collect_trace=*/true);
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+    run.sim = std::move(sim).value();
+    return run;
+}
+
+void
+CheckAccounting(const SiteOverlapReport& site, const std::string& where)
+{
+    constexpr double kTol = 1e-12;
+    EXPECT_NEAR(site.sim_hidden_comm_seconds +
+                    site.sim_exposed_comm_seconds,
+                site.sim_total_comm_seconds, kTol)
+        << where;
+    EXPECT_GE(site.sim_hidden_comm_seconds, -kTol) << where;
+    EXPECT_GE(site.sim_exposed_comm_seconds, -kTol) << where;
+    EXPECT_GE(site.sim_hidden_fraction, 0.0) << where;
+    EXPECT_LE(site.sim_hidden_fraction, 1.0) << where;
+    EXPECT_GE(site.predicted_hidden_fraction, 0.0) << where;
+    EXPECT_LE(site.predicted_hidden_fraction, 1.0) << where;
+    EXPECT_GT(site.predicted_speedup, 0.0) << where;
+}
+
+TEST(OverlapReportTest, RequiresATracedSimulation)
+{
+    SiteSpec spec = GenerateSiteSpec(/*seed=*/11, 0);
+    auto module = BuildSiteModule(spec);
+    ASSERT_TRUE(module.ok());
+    OverlapCompiler compiler((CompilerOptions()));
+    auto compile = compiler.Compile(module->get());
+    ASSERT_TRUE(compile.ok());
+    PodSimulator simulator(spec.mesh(), HardwareSpec());
+    auto sim = simulator.Run(**module);  // no trace collected
+    ASSERT_TRUE(sim.ok());
+    auto report = BuildOverlapReport(compile.value(), sim.value());
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(OverlapReportTest, IntervalAccountingClosesOnGeneratedSites)
+{
+    // Forced decomposition exercises the loop-group attribution path on
+    // all four §5.1 cases and both shard-extent parities.
+    for (int64_t i = 0; i < 8; ++i) {
+        SiteSpec spec = GenerateSiteSpec(/*seed=*/5, i);
+        SiteRun run = RunSite(spec, /*use_cost_model=*/false);
+        auto report = BuildOverlapReport(run.compile, run.sim);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+        SiteOverlapReport rollup;
+        rollup.sim_total_comm_seconds = report->total_comm_seconds;
+        rollup.sim_exposed_comm_seconds = report->exposed_comm_seconds;
+        rollup.sim_hidden_comm_seconds = report->hidden_comm_seconds;
+        rollup.sim_hidden_fraction = report->hidden_fraction;
+        rollup.predicted_speedup = 1.0;
+        CheckAccounting(rollup, "rollup " + spec.ToString());
+
+        ASSERT_FALSE(report->sites.empty()) << spec.ToString();
+        for (const SiteOverlapReport& site : report->sites) {
+            CheckAccounting(site,
+                            site.collective + " " + spec.ToString());
+            EXPECT_TRUE(site.decomposed) << spec.ToString();
+            EXPECT_GE(site.loop_group, 0) << spec.ToString();
+            // The loop-group join found the site's events: a decomposed
+            // site always puts transfers on the wire.
+            EXPECT_GT(site.sim_total_comm_seconds, 0.0)
+                << site.collective << " " << spec.ToString();
+            // Site-local communication is part of the whole step's.
+            EXPECT_LE(site.sim_total_comm_seconds,
+                      report->total_comm_seconds + 1e-12)
+                << spec.ToString();
+        }
+        // Forced decomposition of tiny sites is legitimately
+        // unprofitable; the step-level prediction only has to stay a
+        // positive ratio.
+        EXPECT_GT(report->predicted_speedup, 0.0) << spec.ToString();
+    }
+}
+
+TEST(OverlapReportTest, GateVerdictsMatchRecomputedBenefit)
+{
+    // Under the real cost model, every decision's verdict must be
+    // derivable from the §5.5 inputs it logged: decomposed sites carry
+    // a non-negative recomputed benefit, rejected sites a negative one.
+    int64_t decisions_seen = 0;
+    for (int64_t i = 0; i < 8; ++i) {
+        SiteSpec spec = GenerateSiteSpec(/*seed=*/5, i);
+        SiteRun run = RunSite(spec, /*use_cost_model=*/true);
+        auto report = BuildOverlapReport(run.compile, run.sim);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        ASSERT_EQ(report->sites.size(),
+                  run.compile.decompose.decisions.size());
+        for (size_t s = 0; s < report->sites.size(); ++s) {
+            const SiteOverlapReport& site = report->sites[s];
+            const SiteDecision& decision =
+                run.compile.decompose.decisions[s];
+            ++decisions_seen;
+            CheckAccounting(site,
+                            site.collective + " " + spec.ToString());
+            EXPECT_EQ(site.decomposed, site.reason == "decomposed")
+                << spec.ToString();
+            const double benefit = decision.RecomputedBenefit();
+            if (decision.reason == "decomposed") {
+                EXPECT_GE(benefit, 0.0)
+                    << site.collective << " " << spec.ToString();
+            } else if (decision.reason == "rejected_by_cost_model") {
+                EXPECT_LT(benefit, 0.0)
+                    << site.collective << " " << spec.ToString();
+            }
+            EXPECT_NEAR(benefit, decision.benefit_derated, 1e-9)
+                << spec.ToString();
+            // The report copied the decision's inputs verbatim.
+            EXPECT_EQ(site.comp_t, decision.comp_t);
+            EXPECT_EQ(site.comm_t, decision.comm_t);
+            EXPECT_EQ(site.comm_t_ring, decision.comm_t_ring);
+            EXPECT_EQ(site.extra_t, decision.extra_t);
+        }
+    }
+    EXPECT_GT(decisions_seen, 0);
+}
+
+TEST(OverlapReportTest, JsonRoundTripsTheAccountingInvariant)
+{
+    SiteSpec spec = GenerateSiteSpec(/*seed=*/5, 0);
+    SiteRun run = RunSite(spec, /*use_cost_model=*/false);
+    auto report = BuildOverlapReport(run.compile, run.sim);
+    ASSERT_TRUE(report.ok());
+    std::string json = report->ToJson();
+    // The serialization keeps enough digits that the invariant is
+    // checkable by a consumer of the JSON, not only in memory.
+    auto field = [&json](const std::string& key) {
+        size_t pos = json.find("\"" + key + "\":");
+        EXPECT_NE(pos, std::string::npos) << key;
+        return std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+    };
+    const double total = field("total_comm_seconds");
+    const double exposed = field("exposed_comm_seconds");
+    const double hidden = field("hidden_comm_seconds");
+    EXPECT_GT(total, 0.0);
+    EXPECT_NEAR(hidden + exposed, total, 1e-12 + 1e-9 * total);
+}
+
+}  // namespace
+}  // namespace overlap

@@ -12,7 +12,9 @@
 #include "hlo/builder.h"
 #include "hlo/module.h"
 #include "interp/evaluator.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
+#include "support/tracing.h"
 #include "tensor/tensor.h"
 
 namespace overlap {
@@ -86,6 +88,76 @@ TEST(ParallelEvalTest, ConcurrentEvaluatorMatchesSerialBitwise)
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(c.ok());
     EXPECT_TRUE(BitIdentical(*a, *c));
+}
+
+TEST(ParallelEvalTest, ObservabilityDoesNotPerturbConcurrentResults)
+{
+    // Observer-effect check for the DESIGN.md §13 instruments: with
+    // metrics + tracing enabled the concurrent evaluator must stay bit
+    // identical to the untraced serial walk, while the rendezvous
+    // counters and wait histograms actually fill in. This is the
+    // measurement half of diagnosing concurrent speedups < 1 on
+    // single-core hosts — the numbers must be trustworthy before the
+    // perf baseline reads them.
+    Mesh mesh(4);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({4, 8}));
+    auto* ag = b.AllGather(p, /*dim=*/0, mesh.Groups(0));
+    auto* w = b.Parameter(1, Shape({8, 8}));
+    comp->set_root(b.Einsum(ag, w, "bf,fh->bh"));
+
+    std::vector<std::vector<Tensor>> params(2);
+    for (int64_t d = 0; d < 4; ++d) {
+        params[0].push_back(Tensor::Random(
+            Shape({4, 8}), static_cast<uint64_t>(d) + 1));
+    }
+    params[1] = {Tensor::Random(Shape({8, 8}), 99)};
+
+    SpmdEvaluator serial(mesh);
+    auto want = serial.Evaluate(*comp, params);
+    ASSERT_TRUE(want.ok());
+
+    SetMetricsEnabled(true);
+    SetTracingEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+    TraceRecorder::Global().Clear();
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto got = concurrent.Evaluate(*comp, params);
+    SetMetricsEnabled(false);
+    SetTracingEnabled(false);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(BitIdentical(*want, *got));
+
+    // One rendezvous record per device at the single AllGather, split
+    // between exactly the leader and wait histograms.
+    Counter* total = MetricsRegistry::Global().counter(
+        "evaluator.rendezvous_total");
+    Histogram::Snapshot waits =
+        MetricsRegistry::Global()
+            .histogram("evaluator.rendezvous_wait_seconds")
+            ->snapshot();
+    Histogram::Snapshot leads =
+        MetricsRegistry::Global()
+            .histogram("evaluator.rendezvous_leader_seconds")
+            ->snapshot();
+    EXPECT_EQ(total->value(), 4);
+    EXPECT_EQ(waits.count + leads.count, total->value());
+    EXPECT_GE(leads.count, 1);
+    EXPECT_GE(waits.min, 0.0);
+    std::vector<TraceSpan> spans = TraceRecorder::Global().Drain();
+    EXPECT_FALSE(spans.empty());
+
+    // Disabled again, another run moves neither instrument.
+    MetricsRegistry::Global().ResetAll();
+    auto silent = concurrent.Evaluate(*comp, params);
+    ASSERT_TRUE(silent.ok());
+    EXPECT_TRUE(BitIdentical(*want, *silent));
+    EXPECT_EQ(total->value(), 0);
+    EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
 }
 
 TEST(ParallelEvalTest, ConcurrentErrorMatchesSerialWithoutDeadlock)

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Golden-trace schema tests (DESIGN.md §13): a tiny fixed model goes
+ * through the full pipeline with metrics + tracing on, and the unified
+ * trace must keep its shape — the compiler lane lists the pipeline
+ * passes in order, simulator events pair every async Start with its
+ * Done-wait inside the in-flight window, evaluator rendezvous spans
+ * nest inside their device-program span, and the set of simulator
+ * event names matches the golden list committed under tests/golden/.
+ *
+ * The golden check pins *names and kinds*, never timestamps; regenerate
+ * with OVERLAP_REGEN_GOLDEN=1 after an intentional schema change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/overlap_compiler.h"
+#include "interp/evaluator.h"
+#include "sim/engine.h"
+#include "sim/trace_export.h"
+#include "spmd/spmd_builder.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
+#include "test_util.h"
+
+namespace overlap {
+namespace {
+
+using testing_util::ShardTensor;
+
+const char* const kGoldenPath =
+    OVERLAP_TESTDATA_DIR "/trace_events.golden";
+
+/** The fixed two-layer MLP every golden assertion runs against. */
+struct TraceFixture {
+    std::unique_ptr<HloModule> module;
+    std::vector<std::vector<Tensor>> params;
+};
+
+TraceFixture
+BuildFixture(const Mesh& mesh)
+{
+    TraceFixture f;
+    f.module = std::make_unique<HloModule>("mlp");
+    f.module->set_mesh(mesh);
+    HloComputation* comp = f.module->AddEntryComputation("main");
+    SpmdBuilder spmd(comp, mesh);
+
+    const int64_t kB = 8, kF = 8, kH = 16;
+    TensorSharding act_sh = TensorSharding::OnDims(2, 0, 1, 1, 0);
+    TensorSharding w1_sh = TensorSharding::OnDims(2, 0, 1, 1, 0);
+    TensorSharding w2_sh = TensorSharding::OnDims(2, 0, 0, 1, 1);
+    auto x = spmd.Parameter(0, Shape({kB, kF}), act_sh, "x");
+    auto w1 = spmd.Parameter(1, Shape({kF, kH}), w1_sh, "w1");
+    auto w2 = spmd.Parameter(2, Shape({kH, kF}), w2_sh, "w2");
+    auto h = spmd.Einsum(*x, *w1, "bf,fh->bh",
+                         TensorSharding::OnDims(2, 0, 1, 1, 0));
+    auto y = spmd.Einsum(*h, *w2, "bh,hf->bf", act_sh);
+    comp->set_root(y->local);
+
+    Tensor gx = Tensor::Random(Shape({kB, kF}), 21);
+    Tensor gw1 = Tensor::Random(Shape({kF, kH}), 22);
+    Tensor gw2 = Tensor::Random(Shape({kH, kF}), 23);
+    f.params = {ShardTensor(gx, act_sh, mesh),
+                ShardTensor(gw1, w1_sh, mesh),
+                ShardTensor(gw2, w2_sh, mesh)};
+    return f;
+}
+
+const char*
+KindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::kCompute: return "compute";
+      case TraceKind::kCollective: return "collective";
+      case TraceKind::kTransferWait: return "transfer_wait";
+      case TraceKind::kTransferInFlight: return "transfer_in_flight";
+    }
+    return "unknown";
+}
+
+/** Compiles the fixture (every site decomposed) and simulates it with
+ * tracing; also returns the compile report for the pass lane. */
+struct TracedRun {
+    TraceFixture fixture;
+    CompileReport compile;
+    SimResult sim;
+};
+
+TracedRun
+RunTraced()
+{
+    TracedRun run;
+    run.fixture = BuildFixture(Mesh(2, 4));
+    CompilerOptions options;
+    options.decompose.use_cost_model = false;  // deterministic rewrites
+    OverlapCompiler compiler(options);
+    auto compile = compiler.Compile(run.fixture.module.get());
+    EXPECT_TRUE(compile.ok()) << compile.status().ToString();
+    run.compile = std::move(compile).value();
+
+    PodSimulator simulator(*run.fixture.module->mesh(), options.hardware);
+    auto sim = simulator.Run(*run.fixture.module, /*collect_trace=*/true);
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+    run.sim = std::move(sim).value();
+    return run;
+}
+
+TEST(TraceGoldenTest, CompilerLaneListsPipelinePassesInOrder)
+{
+    TracedRun run = RunTraced();
+    const std::vector<std::string> expected = {
+        "decompose", "async-permute-creation", "concat-fusion-rewrites",
+        "fusion", "schedule"};
+    ASSERT_EQ(run.compile.pass_timings.size(), expected.size());
+    double cursor = 0.0;
+    for (size_t i = 0; i < expected.size(); ++i) {
+        const PassTiming& t = run.compile.pass_timings[i];
+        EXPECT_EQ(t.pass_name, expected[i]);
+        // Offsets are relative to Compile() start and passes run
+        // back-to-back: each span begins at or after the previous end.
+        EXPECT_GE(t.start_seconds, cursor);
+        EXPECT_GE(t.end_seconds, t.start_seconds);
+        EXPECT_GT(t.instructions_before, 0);
+        EXPECT_GT(t.instructions_after, 0);
+        cursor = t.end_seconds;
+    }
+}
+
+TEST(TraceGoldenTest, SimulatorEventsAreWellFormed)
+{
+    TracedRun run = RunTraced();
+    ASSERT_FALSE(run.sim.trace.empty());
+    int64_t in_flight = 0;
+    int64_t collectives = 0;
+    for (const TraceEvent& ev : run.sim.trace) {
+        EXPECT_FALSE(ev.label.empty());
+        EXPECT_GE(ev.end_seconds, ev.start_seconds) << ev.label;
+        EXPECT_GE(ev.start_seconds, 0.0) << ev.label;
+        switch (ev.kind) {
+          case TraceKind::kTransferInFlight:
+              ++in_flight;
+              EXPECT_NE(ev.label.find("collective-permute-start"),
+                        std::string::npos)
+                  << ev.label;
+              break;
+          case TraceKind::kTransferWait:
+              EXPECT_NE(ev.label.find("collective-permute-done"),
+                        std::string::npos)
+                  << ev.label;
+              break;
+          case TraceKind::kCollective:
+              ++collectives;
+              break;
+          case TraceKind::kCompute:
+              break;
+        }
+    }
+    // Every async Start issued by the schedule shows up as exactly one
+    // in-flight span, and blocking collectives match the sim counters.
+    EXPECT_EQ(in_flight, run.sim.num_async_transfers);
+    EXPECT_EQ(collectives, run.sim.num_blocking_collectives);
+    EXPECT_GT(in_flight, 0);  // the forced pipeline decomposed something
+}
+
+TEST(TraceGoldenTest, EveryDoneWaitNestsInsideAnInFlightWindow)
+{
+    TracedRun run = RunTraced();
+    struct Window {
+        double begin;
+        double end;
+    };
+    std::vector<Window> windows;
+    for (const TraceEvent& ev : run.sim.trace) {
+        if (ev.kind == TraceKind::kTransferInFlight) {
+            windows.push_back({ev.start_seconds, ev.end_seconds});
+        }
+    }
+    // In-flight spans cover Start issue .. arrival, so a stall at the
+    // matching Done can never poke outside every window (the invariant
+    // the overlap report's hidden = total − exposed arithmetic needs).
+    constexpr double kTol = 1e-12;
+    for (const TraceEvent& ev : run.sim.trace) {
+        if (ev.kind != TraceKind::kTransferWait) continue;
+        bool contained = false;
+        for (const Window& w : windows) {
+            if (ev.start_seconds >= w.begin - kTol &&
+                ev.end_seconds <= w.end + kTol) {
+                contained = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(contained)
+            << ev.label << " [" << ev.start_seconds << ", "
+            << ev.end_seconds << ") escapes every in-flight window";
+    }
+}
+
+TEST(TraceGoldenTest, SimulatorEventNamesMatchGoldenList)
+{
+    TracedRun run = RunTraced();
+    std::set<std::string> names;
+    for (const TraceEvent& ev : run.sim.trace) {
+        names.insert(std::string(KindName(ev.kind)) + " " + ev.label);
+    }
+
+    if (std::getenv("OVERLAP_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenPath);
+        ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+        for (const std::string& name : names) out << name << "\n";
+        GTEST_SKIP() << "regenerated " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath);
+    ASSERT_TRUE(in.good())
+        << "missing " << kGoldenPath
+        << " — run with OVERLAP_REGEN_GOLDEN=1 to create it";
+    std::set<std::string> golden;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) golden.insert(line);
+    }
+    // Set comparison with named diffs: schema drift should say exactly
+    // which event appeared or vanished.
+    for (const std::string& name : names) {
+        EXPECT_TRUE(golden.count(name) > 0)
+            << "event not in golden list (regenerate with "
+               "OVERLAP_REGEN_GOLDEN=1 if intentional): "
+            << name;
+    }
+    for (const std::string& name : golden) {
+        EXPECT_TRUE(names.count(name) > 0)
+            << "golden event missing from trace: " << name;
+    }
+}
+
+TEST(TraceGoldenTest, RendezvousSpansNestInsideDeviceprograms)
+{
+    TracedRun run = RunTraced();
+    const Mesh& mesh = *run.fixture.module->mesh();
+
+    TraceRecorder::Global().Clear();
+    SetTracingEnabled(true);
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+    EvalOptions concurrent;
+    concurrent.concurrent_devices = true;
+    SpmdEvaluator eval(mesh, concurrent);
+    auto result =
+        eval.Evaluate(*run.fixture.module->entry(), run.fixture.params);
+    SetTracingEnabled(false);
+    SetMetricsEnabled(false);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<TraceSpan> spans = TraceRecorder::Global().Drain();
+
+    // One program span per device, bounding that device's rendezvous.
+    std::map<int64_t, TraceSpan> programs;
+    for (const TraceSpan& span : spans) {
+        if (span.category == "device_program") {
+            EXPECT_EQ(programs.count(span.lane), 0u);
+            programs[span.lane] = span;
+        }
+    }
+    EXPECT_EQ(static_cast<int64_t>(programs.size()), mesh.num_devices());
+
+    // Every exchange instruction appears once per device, with at least
+    // one leader (the last arriver computes) and the rest waiting.
+    std::map<std::string, int64_t> per_name;
+    std::map<std::string, int64_t> leaders;
+    std::map<std::string, std::set<int64_t>> lanes;
+    for (const TraceSpan& span : spans) {
+        const bool leader = span.category == "rendezvous_leader";
+        if (!leader && span.category != "rendezvous_wait") continue;
+        ++per_name[span.name];
+        if (leader) ++leaders[span.name];
+        EXPECT_TRUE(lanes[span.name].insert(span.lane).second)
+            << span.name << " recorded twice on device " << span.lane;
+        ASSERT_EQ(programs.count(span.lane), 1u);
+        const TraceSpan& program = programs[span.lane];
+        EXPECT_GE(span.start_seconds, program.start_seconds)
+            << span.name;
+        EXPECT_LE(span.end_seconds, program.end_seconds) << span.name;
+    }
+    ASSERT_FALSE(per_name.empty());
+    for (const auto& [name, count] : per_name) {
+        EXPECT_EQ(count, mesh.num_devices()) << name;
+        EXPECT_GE(leaders[name], 1) << name;
+    }
+
+    // The rendezvous metrics moved in lock-step with the spans.
+    std::string metrics = MetricsRegistry::Global().SnapshotJson();
+    EXPECT_NE(metrics.find("evaluator.rendezvous_total"),
+              std::string::npos)
+        << metrics;
+
+    // And the unified export names all three processes.
+    UnifiedTrace unified;
+    unified.passes = run.compile.pass_timings;
+    unified.sim = &run.sim;
+    unified.evaluator_spans = std::move(spans);
+    std::string json = UnifiedTraceToChromeJson(unified);
+    EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+    EXPECT_NE(json.find("\"simulator:"), std::string::npos);
+    EXPECT_NE(json.find("\"spmd_evaluator\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overlap
