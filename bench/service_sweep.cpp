@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Continuous-operation service sweep (DESIGN.md §14): completion-latency
+ * SLO curves (p50/p99/p999) of the pod service versus offered inference
+ * load, under a healthy pod, a flaky fabric (transient transfer
+ * failures), and a mid-run chip death with elastic recovery. The
+ * arrival-rate grid is expressed as utilization of the measured
+ * fault-free request service rate, so the same sweep stays meaningful
+ * if the tower or the hardware model changes.
+ *
+ * Flags: --json (machine-readable output only), --quick (the subset the
+ * sanitize suite runs), --seed N (arrival/fault seed, stamped into the
+ * output), --out FILE (also write the JSON to FILE).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/service/pod_service.h"
+#include "models/fault_presets.h"
+
+using namespace overlap;
+
+namespace {
+
+struct Scenario {
+    std::string name;
+    FaultSpec spec;
+    /// The sweep fails loudly if this scenario does not recover.
+    bool expect_recovery = false;
+};
+
+struct SweepPoint {
+    std::string scenario;
+    double utilization = 0.0;
+    double rate_hz = 0.0;
+    ServiceReport report;
+    std::string error;
+};
+
+/** Fault-free latency of one inference request — the calibration the
+ * utilization grid is expressed against. */
+StatusOr<double>
+MeasureBaseRequestSeconds(const Mesh& mesh,
+                          const InferenceTowerSpec& tower,
+                          const CompilerOptions& options)
+{
+    auto module = BuildInferenceTowerModule(mesh, tower);
+    if (!module.ok()) return module.status();
+    OverlapCompiler compiler{options};
+    auto compile = compiler.Compile(module->get());
+    if (!compile.ok()) return compile.status();
+    PodSimulator simulator(mesh, options.hardware);
+    auto result = simulator.Run(**module);
+    if (!result.ok()) return result.status();
+    return result->step_seconds;
+}
+
+std::string
+PointJson(const SweepPoint& point)
+{
+    return StrCat("    {\"scenario\": \"", point.scenario,
+                  "\", \"utilization\": ", point.utilization,
+                  ", \"inference_rate_hz\": ", point.rate_hz,
+                  ",\n     \"report\": ", point.report.ToJson(), "}");
+}
+
+/** The cross-point invariants: conservation of every request, a
+ * bounded queue, and — for the chip-death scenario — an actual
+ * recovery onto a shrunken survivor mesh. */
+std::string
+ValidatePoint(const SweepPoint& point, int64_t max_queue_depth,
+              int64_t full_devices, bool expect_recovery)
+{
+    const ServiceReport& r = point.report;
+    if (!r.inference.Consistent() || !r.training.Consistent()) {
+        return "request accounting does not balance";
+    }
+    // +1: a recovery re-queue may transiently exceed the bound.
+    if (r.peak_queue_depth > max_queue_depth + 1) {
+        return StrCat("queue depth ", r.peak_queue_depth,
+                      " exceeded the bound ", max_queue_depth);
+    }
+    if (expect_recovery) {
+        if (r.recoveries.empty()) {
+            return "chip death did not trigger a recovery";
+        }
+        if (r.final_mesh.num_devices() >= full_devices) {
+            return "recovery did not shrink the mesh";
+        }
+    }
+    return "";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool json_only = false;
+    bool quick = false;
+    uint64_t seed = 1;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json_only = true;
+        else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: service_sweep [--json] [--quick] "
+                         "[--seed N] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    const Mesh mesh(4);
+    const double duration = quick ? 0.02 : 0.05;
+    const std::vector<double> utilizations =
+        quick ? std::vector<double>{0.5, 1.1}
+              : std::vector<double>{0.3, 0.6, 0.9, 1.2};
+
+    ServiceOptions base_options;
+    base_options.arrivals.seed = seed;
+    base_options.arrivals.duration_seconds = duration;
+    base_options.arrivals.training_rate_hz = 500.0;
+    // Force the §5.2 decomposition (as recovery_sweep does): the sweep
+    // is about the service under load, and the transient-fault curve
+    // only bites when the steps actually ride on async permutes.
+    base_options.compiler.decompose.use_cost_model = false;
+
+    auto base = MeasureBaseRequestSeconds(mesh, base_options.inference,
+                                          base_options.compiler);
+    if (!base.ok()) {
+        std::fprintf(stderr, "calibration failed: %s\n",
+                     base.status().ToString().c_str());
+        return 1;
+    }
+    const double service_rate_hz = 1.0 / base.value();
+    base_options.arrivals.inference_slo_seconds = 20.0 * base.value();
+
+    const std::vector<Scenario> scenarios = {
+        {"no_fault", FaultSpec{}, false},
+        {"transient_fault",
+         FlakyFabric(/*failure_probability=*/0.02, seed).spec, false},
+        {"chip_death", ChipDeath(/*chip=*/1, /*fail_step=*/8).spec,
+         true},
+    };
+
+    if (!json_only) {
+        bench::Banner(
+            StrCat("Service sweep on ", mesh.ToString(), ": ",
+                   duration * 1e3, " ms of open-loop traffic, "
+                   "request = ", HumanTime(base.value()),
+                   " (", service_rate_hz, " req/s)"),
+            "continuous operation under load + faults, DESIGN.md §14");
+        std::printf("%-16s %-5s  %9s %9s %9s  %6s %6s %5s %4s\n",
+                    "scenario", "util", "p50", "p99", "p999", "good%",
+                    "shed", "viol", "rec");
+    }
+
+    std::vector<SweepPoint> sweep;
+    for (const Scenario& scenario : scenarios) {
+        for (double utilization : utilizations) {
+            SweepPoint point;
+            point.scenario = scenario.name;
+            point.utilization = utilization;
+            point.rate_hz = utilization * service_rate_hz;
+
+            ServiceOptions options = base_options;
+            options.arrivals.inference_rate_hz = point.rate_hz;
+            options.compiler.fault = scenario.spec;
+            auto report = PodService(mesh, options).Run();
+            if (!report.ok()) {
+                point.error = report.status().ToString();
+            } else {
+                point.report = std::move(report).value();
+                point.error = ValidatePoint(point,
+                                            options.max_queue_depth,
+                                            mesh.num_devices(),
+                                            scenario.expect_recovery);
+            }
+            if (!point.error.empty()) {
+                std::fprintf(stderr, "%s @ %.1fx: %s\n",
+                             point.scenario.c_str(), utilization,
+                             point.error.c_str());
+                return 1;
+            }
+
+            if (!json_only) {
+                const ClassStats& s = point.report.inference;
+                int64_t shed = s.shed_at_admission +
+                               s.shed_under_backlog + s.shed_expired;
+                double good =
+                    s.arrivals > 0
+                        ? 100.0 * static_cast<double>(s.goodput) /
+                              static_cast<double>(s.arrivals)
+                        : 0.0;
+                std::printf(
+                    "%-16s %-5.2f  %9s %9s %9s  %5.1f%% %6lld %5lld "
+                    "%4zu%s\n",
+                    point.scenario.c_str(), utilization,
+                    HumanTime(s.p50_latency_seconds).c_str(),
+                    HumanTime(s.p99_latency_seconds).c_str(),
+                    HumanTime(s.p999_latency_seconds).c_str(), good,
+                    static_cast<long long>(shed),
+                    static_cast<long long>(s.slo_violations),
+                    point.report.recoveries.size(),
+                    point.report.degraded_blocking ? " (blocking)"
+                                                   : "");
+            }
+            sweep.push_back(std::move(point));
+        }
+    }
+
+    if (!json_only) {
+        std::printf(
+            "\nBelow saturation the curves are flat near the service "
+            "time; at 1.2x the bounded\nqueue sheds the excess "
+            "(counted, never silent). The chip-death rows absorb "
+            "one\nelastic recovery: its outage surfaces as p99/p999 "
+            "tail and SLO violations, and\nthe service finishes on "
+            "the 3-device survivor mesh.\n\nJSON:\n");
+    }
+
+    std::vector<std::string> point_json;
+    point_json.reserve(sweep.size());
+    for (const SweepPoint& point : sweep) {
+        point_json.push_back(PointJson(point));
+    }
+    std::string json = StrCat(
+        "{\n  \"bench\": \"service_sweep\",\n  \"seed\": ", seed,
+        ",\n  \"quick\": ", quick ? "true" : "false",
+        ",\n  \"mesh\": \"", mesh.ToString(),
+        "\",\n  \"duration_s\": ", duration,
+        ",\n  \"base_request_s\": ", base.value(),
+        ",\n  \"service_rate_hz\": ", service_rate_hz,
+        ",\n  \"training_rate_hz\": ",
+        base_options.arrivals.training_rate_hz,
+        ",\n  \"inference_slo_s\": ",
+        base_options.arrivals.inference_slo_seconds,
+        ",\n  \"max_queue_depth\": ", base_options.max_queue_depth,
+        ",\n  \"shed_watermark\": ", base_options.shed_watermark,
+        ",\n  \"checkpoint_interval\": ",
+        base_options.checkpoint_interval, ",\n  \"sweep\": [\n",
+        StrJoin(point_json, ",\n"), "\n  ]\n}\n");
+    std::printf("%s", json.c_str());
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        out << json;
+        if (!json_only) {
+            std::printf("written to %s\n", out_path.c_str());
+        }
+    }
+    return 0;
+}

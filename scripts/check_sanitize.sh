@@ -33,6 +33,11 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # interval, with no leaks or UB along the recovery path.
 "${build_dir}/bench/recovery_sweep" --quick --json > /dev/null
 
+# Quick continuous-operation service sweep under the sanitizers: the
+# open-loop queue, the SLO accounting and the recovery-under-load path
+# (including chip death mid-traffic) must run clean end to end.
+"${build_dir}/bench/service_sweep" --quick --json > /dev/null
+
 # Quick perf baseline under ASan (numbers are meaningless when
 # sanitized, but the bit-identical / byte-identical cross-checks and
 # the allocation accounting must hold).
@@ -54,7 +59,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DOVERLAP_TSAN=ON
 cmake --build "${tsan_dir}" -j "$(nproc)" --target \
     thread_pool_test buffer_pool_test parallel_eval_test \
-    interp_test difftest_test metrics_test trace_golden_test
+    interp_test difftest_test metrics_test trace_golden_test \
+    service_test service_sweep
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "${tsan_dir}" --output-on-failure -j "$(nproc)" \
-    -R "thread_pool_test|buffer_pool_test|parallel_eval_test|interp_test|difftest_test|metrics_test|trace_golden_test"
+    -R "thread_pool_test|buffer_pool_test|parallel_eval_test|interp_test|difftest_test|metrics_test|trace_golden_test|service_test"
+
+# The service's metrics registry records from the pod loop while the
+# scoped enable flag flips around it; the quick sweep must be
+# race-free under TSan too.
+"${tsan_dir}/bench/service_sweep" --quick --json > /dev/null

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the continuous-operation service sweep
+# (bench/service_sweep): completion-latency SLO curves vs. offered load
+# under no-fault / transient-fault / chip-death scenarios, as JSON.
+# Regenerates the committed BENCH_service.json when run from the repo
+# root without --out.
+#
+# Usage: scripts/service_sweep.sh [--quick] [--seed N] [--out FILE]
+#                                 [build-dir]
+#   --quick    the small sweep the sanitize suite runs (2 utilization
+#              points, 20 ms of traffic)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+quick_flag=""
+seed_args=()
+out_path="${repo_root}/BENCH_service.json"
+build_dir="${repo_root}/build"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick) quick_flag="--quick"; shift ;;
+      --seed) seed_args=(--seed "$2"); shift 2 ;;
+      --out) out_path="$2"; shift 2 ;;
+      *) build_dir="$1"; shift ;;
+    esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target service_sweep
+
+"${build_dir}/bench/service_sweep" --json ${quick_flag:+${quick_flag}} \
+    "${seed_args[@]:+${seed_args[@]}}" --out "${out_path}"

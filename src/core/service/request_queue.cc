@@ -1,0 +1,162 @@
+#include "core/service/request_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace overlap {
+namespace {
+
+/**
+ * Same splitmix64 finalizer family as the fault model: arrivals are a
+ * pure function of (seed, class, index), so a trace can be regenerated
+ * from its spec alone — no stream state to keep in sync with the pod.
+ */
+uint64_t Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t Hash(uint64_t seed, uint64_t a, uint64_t b)
+{
+    return Mix64(Mix64(Mix64(seed) ^ a) ^ b);
+}
+
+/** Uniform in [0, 1) from 53 mantissa bits. */
+double UnitUniform(uint64_t bits)
+{
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kArrivalTag = 0x5ca1ab1e00000001ull;
+
+/** One Poisson stream: exponential gaps, truncated at the window end. */
+void AppendStream(const ArrivalSpec& spec, JobClass job, double rate_hz,
+                  double slo_seconds, int64_t priority,
+                  std::vector<ServiceRequest>* out)
+{
+    if (rate_hz <= 0.0) return;
+    double t = 0.0;
+    for (uint64_t i = 0;; ++i) {
+        double u = UnitUniform(
+            Hash(spec.seed ^ kArrivalTag,
+                 static_cast<uint64_t>(job), i));
+        t += -std::log1p(-u) / rate_hz;
+        if (t >= spec.duration_seconds) break;
+        ServiceRequest request;
+        request.job = job;
+        request.arrival_seconds = t;
+        if (std::isfinite(slo_seconds)) {
+            request.deadline_seconds = t + slo_seconds;
+        }
+        request.priority = priority;
+        out->push_back(request);
+    }
+}
+
+/**
+ * Service order: priority desc, then deadline asc (EDF), then arrival,
+ * then id — a strict weak order with no ambiguous ties, so the queue's
+ * behaviour is deterministic under any stable of sorting.
+ */
+bool ServiceOrder(const ServiceRequest& a, const ServiceRequest& b)
+{
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.deadline_seconds != b.deadline_seconds) {
+        return a.deadline_seconds < b.deadline_seconds;
+    }
+    if (a.arrival_seconds != b.arrival_seconds) {
+        return a.arrival_seconds < b.arrival_seconds;
+    }
+    return a.id < b.id;
+}
+
+}  // namespace
+
+const char* JobClassName(JobClass job)
+{
+    switch (job) {
+        case JobClass::kTraining: return "training";
+        case JobClass::kInference: return "inference";
+    }
+    return "unknown";
+}
+
+std::vector<ServiceRequest> GenerateArrivals(const ArrivalSpec& spec)
+{
+    std::vector<ServiceRequest> arrivals;
+    AppendStream(spec, JobClass::kInference, spec.inference_rate_hz,
+                 spec.inference_slo_seconds, spec.inference_priority,
+                 &arrivals);
+    AppendStream(spec, JobClass::kTraining, spec.training_rate_hz,
+                 spec.training_slo_seconds, spec.training_priority,
+                 &arrivals);
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const ServiceRequest& a, const ServiceRequest& b) {
+                  if (a.arrival_seconds != b.arrival_seconds) {
+                      return a.arrival_seconds < b.arrival_seconds;
+                  }
+                  return a.job < b.job;
+              });
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        arrivals[i].id = static_cast<int64_t>(i);
+    }
+    return arrivals;
+}
+
+AdmissionQueue::AdmissionQueue(int64_t max_depth)
+    : max_depth_(std::max<int64_t>(1, max_depth))
+{
+}
+
+bool AdmissionQueue::Admit(ServiceRequest request)
+{
+    if (depth() >= max_depth_) return false;
+    Requeue(request);
+    return true;
+}
+
+void AdmissionQueue::Requeue(ServiceRequest request)
+{
+    auto pos = std::upper_bound(queue_.begin(), queue_.end(), request,
+                                ServiceOrder);
+    queue_.insert(pos, request);
+}
+
+bool AdmissionQueue::Pop(ServiceRequest* out)
+{
+    if (queue_.empty()) return false;
+    *out = queue_.front();
+    queue_.erase(queue_.begin());
+    return true;
+}
+
+std::vector<ServiceRequest> AdmissionQueue::DropExpired(double now)
+{
+    std::vector<ServiceRequest> expired;
+    auto keep = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->deadline_seconds < now) {
+            expired.push_back(*it);
+        } else {
+            *keep++ = *it;
+        }
+    }
+    queue_.erase(keep, queue_.end());
+    return expired;
+}
+
+std::vector<ServiceRequest> AdmissionQueue::ShedTo(int64_t target_depth)
+{
+    target_depth = std::max<int64_t>(0, target_depth);
+    std::vector<ServiceRequest> shed;
+    while (depth() > target_depth) {
+        shed.push_back(queue_.back());
+        queue_.pop_back();
+    }
+    return shed;
+}
+
+}  // namespace overlap

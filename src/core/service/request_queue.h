@@ -1,0 +1,109 @@
+#ifndef OVERLAP_CORE_SERVICE_REQUEST_QUEUE_H_
+#define OVERLAP_CORE_SERVICE_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace overlap {
+
+/** Work class of a pod service request (DESIGN.md §14). */
+enum class JobClass {
+    kTraining,   ///< one elastic training step (throughput work)
+    kInference,  ///< one §7.1-style serving request (latency work)
+};
+
+const char* JobClassName(JobClass job);
+
+/** One request of the open-loop service workload. */
+struct ServiceRequest {
+    int64_t id = 0;
+    JobClass job = JobClass::kInference;
+    double arrival_seconds = 0.0;
+    /// Absolute completion deadline (arrival + the class's SLO).
+    double deadline_seconds = std::numeric_limits<double>::infinity();
+    /// Higher runs first; ties broken by earliest deadline (EDF).
+    int64_t priority = 0;
+    /// Times this request was re-queued after a recovery. Salts the
+    /// fault model's per-trial draw on the retry, so a transfer that
+    /// exhausted its retries re-draws instead of deterministically
+    /// exhausting again.
+    int64_t attempts = 0;
+};
+
+/**
+ * The open-loop arrival process: two independent seeded Poisson streams
+ * (exponential inter-arrival times, pure hash of (seed, class, index))
+ * over a fixed window — the millions-of-users framing where traffic
+ * keeps arriving whether or not the pod keeps up. The same spec always
+ * generates the same arrivals.
+ */
+struct ArrivalSpec {
+    uint64_t seed = 1;
+    /// Arrivals are generated in [0, duration_seconds).
+    double duration_seconds = 1.0;
+    double inference_rate_hz = 0.0;
+    double training_rate_hz = 0.0;
+    /// Relative completion SLOs (absolute deadline = arrival + SLO).
+    double inference_slo_seconds =
+        std::numeric_limits<double>::infinity();
+    double training_slo_seconds =
+        std::numeric_limits<double>::infinity();
+    /// Inference outranks training by default: latency work preempts
+    /// throughput work in the queue, and training is shed first.
+    int64_t inference_priority = 1;
+    int64_t training_priority = 0;
+};
+
+/** Time-ordered, id-stamped arrivals; deterministic in the spec. */
+std::vector<ServiceRequest> GenerateArrivals(const ArrivalSpec& spec);
+
+/**
+ * Bounded admission queue in priority-EDF service order: highest
+ * priority first, earliest deadline within a priority. Admission sheds
+ * (returns false) at max depth — the open-loop backlog is bounded by
+ * construction, never by luck. Shedding removes from the back of the
+ * service order, i.e. the lowest-priority, latest-deadline work goes
+ * first (graceful degradation).
+ */
+class AdmissionQueue {
+  public:
+    explicit AdmissionQueue(int64_t max_depth);
+
+    int64_t max_depth() const { return max_depth_; }
+    int64_t depth() const { return static_cast<int64_t>(queue_.size()); }
+    bool empty() const { return queue_.empty(); }
+
+    /// Admits unless the queue is at max depth; false = shed.
+    bool Admit(ServiceRequest request);
+
+    /**
+     * Re-queues an in-flight request after a recovery, bypassing the
+     * depth check (a request the pod already accepted must not be shed
+     * by the backlog its own failure created; depth may transiently
+     * reach max_depth + 1).
+     */
+    void Requeue(ServiceRequest request);
+
+    /// Pops the next request in service order; false when empty.
+    bool Pop(ServiceRequest* out);
+
+    /// Removes queued requests whose deadline already passed `now` —
+    /// deadline-aware scheduling never burns pod time on a request
+    /// that cannot meet its SLO.
+    std::vector<ServiceRequest> DropExpired(double now);
+
+    /// Sheds from the back of the service order down to
+    /// `target_depth`; returns the shed requests.
+    std::vector<ServiceRequest> ShedTo(int64_t target_depth);
+
+  private:
+    int64_t max_depth_ = 1;
+    /// Kept sorted in service order; front = next to run.
+    std::vector<ServiceRequest> queue_;
+};
+
+}  // namespace overlap
+
+#endif  // OVERLAP_CORE_SERVICE_REQUEST_QUEUE_H_

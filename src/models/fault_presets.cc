@@ -51,11 +51,7 @@ FlakyFabric(double failure_probability, uint64_t seed)
         "exponential backoff with seeded jitter";
     scenario.spec.seed = seed;
     scenario.spec.transient_failure_probability = failure_probability;
-    scenario.spec.max_transfer_retries = 3;
-    scenario.spec.retry_backoff_base_seconds = 25e-6;
-    scenario.spec.retry_backoff_multiplier = 2.0;
-    scenario.spec.retry_backoff_cap_seconds = 200e-6;
-    scenario.spec.retry_backoff_jitter = 0.25;
+    scenario.spec.retry = RetryPolicy{};  // the defaults, explicitly
     return scenario;
 }
 

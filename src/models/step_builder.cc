@@ -384,4 +384,36 @@ BuildLayerStepModule(const ModelConfig& config)
     return module;
 }
 
+StatusOr<std::unique_ptr<HloModule>>
+BuildInferenceTowerModule(const Mesh& mesh, const InferenceTowerSpec& spec)
+{
+    if (spec.num_layers < 1 || spec.batch < 1 || spec.hidden < 1) {
+        return InvalidArgument("inference tower dimensions must be >= 1");
+    }
+    const int64_t ring = mesh.axis_size(0);
+    if (ring < 2) {
+        return InvalidArgument(
+            "inference tower needs >= 2-way sharding on mesh axis 0");
+    }
+    if (spec.hidden % ring != 0) {
+        return InvalidArgument(
+            StrCat("inference tower hidden dim ", spec.hidden,
+                   " is not divisible by the ", ring, "-way ring"));
+    }
+    auto module = std::make_unique<HloModule>("inference_tower");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* x = b.Parameter(0, BF16({spec.batch, spec.hidden}), "features");
+    HloInstruction* act = x;
+    for (int64_t layer = 0; layer < spec.num_layers; ++layer) {
+        auto* w_shard = b.Parameter(
+            1 + layer, BF16({spec.hidden, spec.hidden / ring}));
+        auto* w = b.AllGather(w_shard, 1, mesh.Groups(0));
+        act = b.Einsum(act, w, "bf,fh->bh");
+    }
+    comp->set_root(act);
+    return module;
+}
+
 }  // namespace overlap

@@ -31,6 +31,33 @@ namespace overlap {
 StatusOr<std::unique_ptr<HloModule>> BuildLayerStepModule(
     const ModelConfig& config);
 
+/**
+ * The §7.1 serving workload shape: a recommendation-style MLP tower
+ * whose weights are stored sharded along the output dimension over mesh
+ * axis 0 and AllGathered on demand (the Figure 2 pattern at serving
+ * time). At serving batch sizes the weight gathers dominate latency,
+ * which is exactly the regime where decomposition pays — and what the
+ * pod service's inference requests execute per step.
+ */
+struct InferenceTowerSpec {
+    int64_t num_layers = 3;
+    /// Serving batch (sequences per request).
+    int64_t batch = 64;
+    /// Square hidden dimension; must be divisible by the axis-0 ring
+    /// size of every mesh the tower is built on (survivor meshes
+    /// included — pick a number with many divisors).
+    int64_t hidden = 768;
+};
+
+/**
+ * Builds the per-device tower program on `mesh` (axis 0 carries the
+ * weight sharding). Fails when `hidden` does not divide by the axis-0
+ * ring size, so a survivor-mesh rebuild surfaces an error instead of a
+ * silently misshapen gather.
+ */
+StatusOr<std::unique_ptr<HloModule>> BuildInferenceTowerModule(
+    const Mesh& mesh, const InferenceTowerSpec& spec);
+
 }  // namespace overlap
 
 #endif  // OVERLAP_MODELS_STEP_BUILDER_H_

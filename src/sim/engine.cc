@@ -487,9 +487,7 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
             }
             result.transferred_bytes +=
                 bytes * static_cast<double>(1 + retries.failures);
-            result.transfer_retries += retries.failures;
-            result.transfer_attempts += 1 + retries.failures;
-            result.retry_backoff_seconds += retries.backoff_seconds;
+            result.retry.Accumulate(retries);
             ++result.num_async_transfers;
             ++in_flight;
             outstanding_starts.push_back(unit);
@@ -575,9 +573,7 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
             result.exposed_comm_seconds += end - time;
             result.transferred_bytes +=
                 bytes * static_cast<double>(1 + retries.failures);
-            result.transfer_retries += retries.failures;
-            result.transfer_attempts += 1 + retries.failures;
-            result.retry_backoff_seconds += retries.backoff_seconds;
+            result.retry.Accumulate(retries);
             time = end;
         } else if (unit->members.size() == 1 &&
                    IsBlockingCollective(head->opcode())) {
@@ -674,8 +670,8 @@ PodSimulator::RunTrials(const HloModule& module, int64_t num_trials) const
         auto result = Run(module, /*collect_trace=*/false, trial);
         if (!result.ok()) return result.status();
         samples.push_back(result->step_seconds);
-        total_retries += result->transfer_retries;
-        total_backoff += result->retry_backoff_seconds;
+        total_retries += result->retry.retries;
+        total_backoff += result->retry.backoff_seconds;
         total_stall += result->straggler_stall_seconds;
     }
     TrialStats stats = TrialStats::FromSamples(std::move(samples));

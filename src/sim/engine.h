@@ -39,6 +39,28 @@ struct TraceEvent {
     int64_t loop_group = -1;
 };
 
+/**
+ * Aggregate outcome of the FaultSpec RetryPolicy over one simulated
+ * step: every re-sent transfer, every attempt and the summed backoff
+ * waits (the non-wire component of retry delay). Zero without a fault
+ * model.
+ */
+struct RetryStats {
+    /// CollectivePermute attempts that failed and were re-sent.
+    int64_t retries = 0;
+    /// Total transfer attempts (first sends + retries).
+    int64_t attempts = 0;
+    /// Time spent waiting out RetryPolicy::BackoffSeconds.
+    double backoff_seconds = 0.0;
+
+    void Accumulate(const TransferOutcome& outcome)
+    {
+        retries += outcome.failures;
+        attempts += 1 + outcome.failures;
+        backoff_seconds += outcome.backoff_seconds;
+    }
+};
+
 /** Timing outcome of one simulated step of an SPMD program. */
 struct SimResult {
     /// End-to-end wall time of the program on every device.
@@ -63,14 +85,8 @@ struct SimResult {
     int64_t peak_memory_bytes = 0;
     /// Largest number of concurrently in-flight async permutes observed.
     int64_t peak_in_flight = 0;
-    /// Fault model only: CollectivePermute attempts that failed and were
-    /// re-sent after the backoff wait.
-    int64_t transfer_retries = 0;
-    /// Fault model only: total transfer attempts (first sends + retries).
-    int64_t transfer_attempts = 0;
-    /// Fault model only: total time spent in the capped-exponential
-    /// retry backoff (the non-wire component of retry delay).
-    double retry_backoff_seconds = 0.0;
+    /// Fault model only: what the shared RetryPolicy did this step.
+    RetryStats retry;
     /// Fault model only: extra device time attributable to compute-
     /// throughput stragglers (actual minus nominal kernel time).
     double straggler_stall_seconds = 0.0;

@@ -46,23 +46,36 @@ UnitUniform(uint64_t h)
 
 }  // namespace
 
+double
+RetryPolicy::BackoffSeconds(int64_t attempt, double u) const
+{
+    double wait = backoff_base_seconds;
+    for (int64_t k = 0; k < attempt; ++k) wait *= backoff_multiplier;
+    wait = std::min(wait, backoff_cap_seconds);
+    if (backoff_jitter > 0.0) wait *= 1.0 + backoff_jitter * u;
+    return wait;
+}
+
 FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
 {
     OVERLAP_CHECK(spec_.link_degrade_probability >= 0.0 &&
                   spec_.link_degrade_probability <= 1.0);
     OVERLAP_CHECK(spec_.straggler_probability >= 0.0 &&
                   spec_.straggler_probability <= 1.0);
+    // 1.0 is allowed: every attempt fails, the transfer exhausts its
+    // retry budget and escalates to a watchdog FailureReport — the
+    // dead-transfers configuration engine_hang_test races on purpose.
     OVERLAP_CHECK(spec_.transient_failure_probability >= 0.0 &&
-                  spec_.transient_failure_probability < 1.0);
+                  spec_.transient_failure_probability <= 1.0);
     OVERLAP_CHECK(spec_.link_jitter >= 0.0 && spec_.link_jitter < 1.0);
     OVERLAP_CHECK(spec_.compute_jitter >= 0.0 &&
                   spec_.compute_jitter < 1.0);
-    OVERLAP_CHECK(spec_.max_transfer_retries >= 0);
-    OVERLAP_CHECK(spec_.retry_backoff_base_seconds >= 0.0);
-    OVERLAP_CHECK(spec_.retry_backoff_multiplier >= 1.0);
-    OVERLAP_CHECK(spec_.retry_backoff_cap_seconds >=
-                  spec_.retry_backoff_base_seconds);
-    OVERLAP_CHECK(spec_.retry_backoff_jitter >= 0.0);
+    OVERLAP_CHECK(spec_.retry.max_transfer_retries >= 0);
+    OVERLAP_CHECK(spec_.retry.backoff_base_seconds >= 0.0);
+    OVERLAP_CHECK(spec_.retry.backoff_multiplier >= 1.0);
+    OVERLAP_CHECK(spec_.retry.backoff_cap_seconds >=
+                  spec_.retry.backoff_base_seconds);
+    OVERLAP_CHECK(spec_.retry.backoff_jitter >= 0.0);
     OVERLAP_CHECK(spec_.watchdog_timeout_seconds > 0.0);
     for (const PermanentFault& fault : spec_.permanent_faults) {
         OVERLAP_CHECK(fault.IsChip() ||
@@ -221,12 +234,10 @@ FaultModel::TransferOutcomeOf(int64_t transfer_index, int64_t trial) const
     TransferOutcome outcome;
     if (spec_.transient_failure_probability <= 0.0) return outcome;
     // Attempt k (k = 0 .. max_transfer_retries) fails independently;
-    // each failed attempt waits the capped exponential backoff (with
-    // seeded jitter) before the re-send. Failing the final allowed
-    // attempt exhausts the transfer.
-    double backoff = spec_.retry_backoff_base_seconds;
-    for (int64_t attempt = 0; attempt <= spec_.max_transfer_retries;
-         ++attempt) {
+    // each failed attempt waits RetryPolicy::BackoffSeconds before the
+    // re-send. Failing the final allowed attempt exhausts the transfer.
+    for (int64_t attempt = 0;
+         attempt <= spec_.retry.max_transfer_retries; ++attempt) {
         if (UnitUniform(Hash(spec_.seed, kRetryTag,
                              static_cast<uint64_t>(transfer_index),
                              static_cast<uint64_t>(trial),
@@ -235,17 +246,12 @@ FaultModel::TransferOutcomeOf(int64_t transfer_index, int64_t trial) const
             return outcome;  // this attempt went through
         }
         ++outcome.failures;
-        double wait = std::min(backoff, spec_.retry_backoff_cap_seconds);
-        if (spec_.retry_backoff_jitter > 0.0) {
-            wait *= 1.0 + spec_.retry_backoff_jitter *
-                              UnitUniform(Hash(
-                                  spec_.seed, kBackoffTag,
-                                  static_cast<uint64_t>(transfer_index),
-                                  static_cast<uint64_t>(trial),
-                                  static_cast<uint64_t>(attempt)));
-        }
-        outcome.backoff_seconds += wait;
-        backoff *= spec_.retry_backoff_multiplier;
+        outcome.backoff_seconds += spec_.retry.BackoffSeconds(
+            attempt, UnitUniform(Hash(
+                         spec_.seed, kBackoffTag,
+                         static_cast<uint64_t>(transfer_index),
+                         static_cast<uint64_t>(trial),
+                         static_cast<uint64_t>(attempt))));
     }
     outcome.exhausted = true;
     return outcome;

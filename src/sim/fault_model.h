@@ -51,6 +51,35 @@ struct PermanentFault {
 };
 
 /**
+ * The single retry/backoff policy shared by every layer that retries a
+ * failed transfer (the fault model's transient-failure machinery, the
+ * engine's per-transfer accounting and the service runtime's SLO math):
+ * attempt k (k = 0, 1, ...) that fails waits
+ *
+ *     min(base * multiplier^k, cap) * (1 + jitter * u)
+ *
+ * before the re-send, with u drawn uniformly in [0, 1) as a pure hash
+ * of (seed, transfer, trial, attempt). Failing every allowed attempt
+ * (`max_transfer_retries` re-sends) exhausts the transfer, which the
+ * engine escalates to the permanent-failure watchdog path.
+ */
+struct RetryPolicy {
+    /// Re-sends allowed after the first failed attempt.
+    int64_t max_transfer_retries = 3;
+    double backoff_base_seconds = 25e-6;
+    double backoff_multiplier = 2.0;
+    double backoff_cap_seconds = 200e-6;
+    /// Multiplicative jitter amplitude on each wait, >= 0.
+    double backoff_jitter = 0.25;
+
+    /**
+     * The deterministic wait before the re-send of failed attempt
+     * `attempt` (0-based), given the uniform jitter draw u in [0, 1).
+     */
+    double BackoffSeconds(int64_t attempt, double u) const;
+};
+
+/**
  * What the seeded retry policy did for one transfer: how many attempts
  * failed, how long the capped exponential backoff (with seeded jitter)
  * between attempts summed to, and whether every allowed attempt failed —
@@ -101,23 +130,13 @@ struct FaultSpec {
 
     /// Transient CollectivePermute failures: each transfer attempt fails
     /// independently with this probability. A failed attempt is detected
-    /// after a capped exponential backoff with seeded jitter (below) and
-    /// the payload is re-sent, up to `max_transfer_retries` retries.
-    /// When the final allowed attempt also fails the transfer is
-    /// *exhausted*: the fault is no longer transient and the engine
-    /// escalates it to the permanent-failure watchdog path.
+    /// after the backoff wait of `retry` and the payload is re-sent;
+    /// exhausting the policy escalates to the permanent-failure watchdog
+    /// path.
     double transient_failure_probability = 0.0;
-    int64_t max_transfer_retries = 3;
 
-    /// Retry backoff policy: the wait before re-sending after the k-th
-    /// failed attempt (k = 0, 1, ...) is
-    ///   min(base * multiplier^k, cap) * (1 + jitter * u)
-    /// with u drawn uniformly in [0, 1) as a pure hash of
-    /// (seed, transfer, trial, attempt).
-    double retry_backoff_base_seconds = 25e-6;
-    double retry_backoff_multiplier = 2.0;
-    double retry_backoff_cap_seconds = 200e-6;
-    double retry_backoff_jitter = 0.25;
+    /// The one retry/backoff policy every retrying layer consults.
+    RetryPolicy retry;
 
     /// Permanent chip/link deaths for multi-step elastic runs.
     std::vector<PermanentFault> permanent_faults;

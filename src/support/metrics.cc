@@ -84,13 +84,19 @@ Histogram::Snapshot::Quantile(double q) const
     rank = std::clamp<int64_t>(rank, 1, count);
     int64_t seen = 0;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-        seen += buckets[static_cast<size_t>(b)];
-        if (seen >= rank) {
-            // Upper edge of bucket b; clamp to the observed extremes.
-            double edge =
-                std::ldexp(1.0, b - Histogram::kZeroBucket + 1);
-            return std::clamp(edge, min, max);
+        int64_t in_bucket = buckets[static_cast<size_t>(b)];
+        if (seen + in_bucket < rank) {
+            seen += in_bucket;
+            continue;
         }
+        // Interpolate between the bucket's edges by the rank's
+        // fractional position among this bucket's samples, clamped to
+        // the observed extremes.
+        double lower = std::ldexp(1.0, b - Histogram::kZeroBucket);
+        double upper = std::ldexp(1.0, b - Histogram::kZeroBucket + 1);
+        double frac = static_cast<double>(rank - seen) /
+                      static_cast<double>(in_bucket);
+        return std::clamp(lower + frac * (upper - lower), min, max);
     }
     return max;
 }
@@ -162,8 +168,8 @@ MetricsRegistry::SnapshotJson() const
         out += StrCat("\"", name, "\":{\"count\":", snap.count,
                       ",\"sum\":", snap.sum, ",\"min\":", snap.min,
                       ",\"max\":", snap.max, ",\"mean\":", snap.mean(),
-                      ",\"p50\":", snap.Quantile(0.50),
-                      ",\"p99\":", snap.Quantile(0.99), "}");
+                      ",\"p50\":", snap.p50(), ",\"p99\":", snap.p99(),
+                      ",\"p999\":", snap.p999(), "}");
     }
     out += "}";
     return out;

@@ -97,11 +97,21 @@ class Histogram {
         }
 
         /**
-         * Nearest-rank quantile over the log2 buckets; returns the
-         * upper edge of the bucket holding the q-th sample (an upper
-         * bound within 2x of the true quantile).
+         * Quantile over the log2 buckets with within-bucket linear
+         * interpolation: the rank's fractional position inside its
+         * bucket interpolates between the bucket's lower and upper
+         * edge, clamped to the observed [min, max]. Monotone in q,
+         * never below the bucket's lower edge, and at most the upper
+         * edge (within 2x of the true quantile; exact when every
+         * sample of the bucket sits at the returned point). Good
+         * enough to read p50/p99/p999 SLOs straight off the registry
+         * without storing samples.
          */
         double Quantile(double q) const;
+
+        double p50() const { return Quantile(0.50); }
+        double p99() const { return Quantile(0.99); }
+        double p999() const { return Quantile(0.999); }
     };
 
     Snapshot snapshot() const;
@@ -145,7 +155,7 @@ class MetricsRegistry {
      * {"evaluator.rendezvous_total": 12,
      *  "evaluator.rendezvous_wait_seconds":
      *      {"count":12,"sum":3e-4,"min":...,"max":...,"mean":...,
-     *       "p50":...,"p99":...}}.
+     *       "p50":...,"p99":...,"p999":...}}.
      * Gauges render as bare numbers, counters as integers; histogram
      * buckets are summarized, not dumped.
      */

@@ -119,6 +119,120 @@ TEST(EngineHangTest, AsyncBudgetStarvationIsDiagnosed)
     EXPECT_EQ(ok->peak_in_flight, 1);
 }
 
+/** A ring-permute program plus a fault spec that fails every transfer
+ * attempt, guaranteeing retry exhaustion on the first transfer. */
+std::unique_ptr<HloModule>
+RingPermuteModule(const Mesh& mesh)
+{
+    auto module = std::make_unique<HloModule>("m");
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}), "p");
+    auto* start = b.CollectivePermuteStart(p, RingShift(mesh));
+    comp->set_root(b.CollectivePermuteDone(start));
+    return module;
+}
+
+FaultSpec
+AlwaysFailingTransfers()
+{
+    FaultSpec spec;
+    spec.seed = 9;
+    spec.transient_failure_probability = 1.0;
+    spec.retry.max_transfer_retries = 2;
+    return spec;
+}
+
+TEST(EngineHangTest, RetryExhaustionEscalatesToWatchdogReport)
+{
+    Mesh mesh(4);
+    auto module = RingPermuteModule(mesh);
+    PodSimulator simulator(mesh, HardwareSpec(),
+                           FaultModel(AlwaysFailingTransfers()));
+    auto outcome = simulator.RunStep(*module, /*step_index=*/3);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->failed);
+    const FailureReport& failure = outcome->failure;
+    EXPECT_EQ(failure.cause, FailureCause::kRetryExhaustion);
+    EXPECT_GE(failure.dead_link_src, 0);
+    EXPECT_GE(failure.dead_link_dst, 0);
+    EXPECT_EQ(failure.failed_step, 3);
+    EXPECT_EQ(failure.last_completed_step, 2);
+    EXPECT_FALSE(failure.blocked_instructions.empty());
+    EXPECT_GT(failure.detected_at_seconds,
+              failure.last_progress_seconds);
+}
+
+TEST(EngineHangTest, ExhaustionRacesWatchdogAtEveryWindowSize)
+{
+    // Backoff escalation and the no-progress watchdog race: whether the
+    // watchdog window is far shorter than one backoff wait, comparable,
+    // or far longer, RunStep must terminate with the same structured
+    // exhaustion report — never a hang — and detection time must track
+    // the window monotonically.
+    Mesh mesh(4);
+    auto module = RingPermuteModule(mesh);
+    double previous_detected = -1.0;
+    for (double window : {1e-7, 25e-6, 5e-3, 10.0}) {
+        FaultSpec spec = AlwaysFailingTransfers();
+        spec.watchdog_timeout_seconds = window;
+        PodSimulator simulator(mesh, HardwareSpec(), FaultModel(spec));
+        auto outcome = simulator.RunStep(*module, /*step_index=*/0);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        ASSERT_TRUE(outcome->failed) << "window=" << window;
+        EXPECT_EQ(outcome->failure.cause,
+                  FailureCause::kRetryExhaustion);
+        EXPECT_GT(outcome->failure.detected_at_seconds,
+                  previous_detected);
+        previous_detected = outcome->failure.detected_at_seconds;
+    }
+}
+
+TEST(EngineHangTest, ExhaustionReportIsDeterministicPerTrial)
+{
+    Mesh mesh(4);
+    auto module = RingPermuteModule(mesh);
+    PodSimulator simulator(mesh, HardwareSpec(),
+                           FaultModel(AlwaysFailingTransfers()));
+    auto a = simulator.RunStep(*module, 0, false, /*trial=*/17);
+    auto b = simulator.RunStep(*module, 0, false, /*trial=*/17);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(a->failed);
+    ASSERT_TRUE(b->failed);
+    EXPECT_EQ(a->failure.ToString(), b->failure.ToString());
+}
+
+TEST(EngineHangTest, SubExhaustionTransientsCompleteWithRetryStats)
+{
+    // Just below the exhaustion threshold the same program completes,
+    // with the retries and their backoff visible in the accounting —
+    // the boundary between "tail latency" and "declare the link dead".
+    Mesh mesh(4);
+    auto module = RingPermuteModule(mesh);
+    FaultSpec spec;
+    spec.seed = 9;
+    spec.transient_failure_probability = 0.9;
+    spec.retry.max_transfer_retries = 64;
+    PodSimulator simulator(mesh, HardwareSpec(), FaultModel(spec));
+    // The per-trial draws are deterministic; at 0.9 per-attempt failure
+    // some trial in any small window retries at least once.
+    bool saw_retries = false;
+    for (int64_t trial = 0; trial < 10; ++trial) {
+        auto outcome = simulator.RunStep(*module, 0, false, trial);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        ASSERT_FALSE(outcome->failed) << "trial=" << trial;
+        EXPECT_EQ(outcome->result.retry.attempts,
+                  outcome->result.retry.retries + 1);
+        if (outcome->result.retry.retries > 0) {
+            EXPECT_GT(outcome->result.retry.backoff_seconds, 0.0);
+            saw_retries = true;
+        }
+    }
+    EXPECT_TRUE(saw_retries);
+}
+
 TEST(EngineHangTest, HealthySchedulesStillSimulate)
 {
     Mesh mesh(4);

@@ -156,7 +156,7 @@ TEST(FaultModelTest, FaultFreeSimulationIsBitIdentical)
     EXPECT_EQ(a->compute_seconds, b->compute_seconds);
     EXPECT_EQ(a->exposed_comm_seconds, b->exposed_comm_seconds);
     EXPECT_EQ(a->transferred_bytes, b->transferred_bytes);
-    EXPECT_EQ(b->transfer_retries, 0);
+    EXPECT_EQ(b->retry.retries, 0);
     EXPECT_EQ(b->straggler_stall_seconds, 0.0);
 }
 
@@ -270,14 +270,14 @@ TEST(FaultModelTest, TransientFailuresRetryAndCount)
     auto clean = PodSimulator(mesh, spec).Run(*module);
     ASSERT_TRUE(faulty.ok());
     ASSERT_TRUE(clean.ok());
-    EXPECT_GT(faulty->transfer_retries, 0);
+    EXPECT_GT(faulty->retry.retries, 0);
     EXPECT_GT(faulty->step_seconds, clean->step_seconds);
     EXPECT_GT(faulty->transferred_bytes, clean->transferred_bytes);
 
     // Same seed, same trial -> identical counts (reproducible traces).
     auto again = sim.Run(*module);
     ASSERT_TRUE(again.ok());
-    EXPECT_EQ(again->transfer_retries, faulty->transfer_retries);
+    EXPECT_EQ(again->retry.retries, faulty->retry.retries);
     EXPECT_EQ(again->step_seconds, faulty->step_seconds);
 }
 

@@ -70,6 +70,52 @@ TEST_F(MetricsTest, HistogramSummarizesSamples)
     EXPECT_EQ(h.snapshot().count, 0);
 }
 
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket)
+{
+    // 8 samples spread across one bucket [4, 8): interpolation must
+    // land strictly inside the bucket, not pin to the upper edge.
+    Histogram h;
+    for (int i = 0; i < 8; ++i) {
+        h.Record(4.0 + 0.5 * static_cast<double>(i));
+    }
+    Histogram::Snapshot snap = h.snapshot();
+    double p50 = snap.p50();
+    EXPECT_GT(p50, 4.0);
+    EXPECT_LT(p50, 8.0);
+    // Rank 4 of 8 -> halfway through the bucket.
+    EXPECT_NEAR(p50, 6.0, 1e-12);
+    // A one-sided quantile clamps at the observed max, never above.
+    EXPECT_LE(snap.p999(), snap.max);
+}
+
+TEST_F(MetricsTest, QuantilesAreMonotoneAndClamped)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i) {
+        h.Record(static_cast<double>(i) * 1e-3);  // 1ms .. 1s
+    }
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_LE(snap.p50(), snap.p99());
+    EXPECT_LE(snap.p99(), snap.p999());
+    EXPECT_LE(snap.p999(), snap.max);
+    EXPECT_GE(snap.p50(), snap.min);
+    // The log2 buckets bound each quantile within 2x of the truth.
+    EXPECT_GE(snap.p50(), 0.5 * 0.5);
+    EXPECT_LE(snap.p50(), 2.0 * 0.5);
+    EXPECT_GE(snap.p999(), 0.5 * 0.999);
+}
+
+TEST_F(MetricsTest, QuantileOfSingleSampleIsThatSample)
+{
+    Histogram h;
+    h.Record(3.0);
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.p50(), 3.0);
+    EXPECT_DOUBLE_EQ(snap.p99(), 3.0);
+    EXPECT_DOUBLE_EQ(snap.p999(), 3.0);
+    EXPECT_DOUBLE_EQ(h.snapshot().Quantile(0.0), 3.0);
+}
+
 TEST_F(MetricsTest, DisabledInstrumentsRecordNothing)
 {
     SetMetricsEnabled(false);

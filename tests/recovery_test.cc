@@ -338,7 +338,7 @@ TEST(RecoveryTest, RetryExhaustionEscalatesToWatchdog)
     Mesh mesh(4);
     CompilerOptions options = ForcedOverlapOptions();
     options.fault.transient_failure_probability = 0.999;
-    options.fault.max_transfer_retries = 2;
+    options.fault.retry.max_transfer_retries = 2;
     options.fault.seed = 13;
     auto program = BuildElasticProgram(spec, mesh, options,
                                        InitialElasticState(spec));
