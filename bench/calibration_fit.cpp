@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Calibration driver for the §5.5 gate's loop-timeline replay
+ * (DESIGN.md §15):
+ *
+ *   calibration_fit [--json] [--sites N] [--seed S] [--out FILE]
+ *
+ * Compiles every (site, lowering variant) of the calibration sample
+ * space with the cost gate forced open, simulates the decomposed and
+ * blocking modules, fits one wire scale per loop structure minimizing
+ * the squared relative span error, and prints the per-structure
+ * residuals. The fitted scales are committed by hand into
+ * CalibrationFit::Fitted(); tests/calibration_test.cc fails when the
+ * committed fit drifts from what this tool reproduces.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "difftest/calibration.h"
+
+using namespace overlap;
+using namespace overlap::difftest;
+
+int
+main(int argc, char** argv)
+{
+    bool json_only = false;
+    int64_t generated = 16;
+    uint64_t seed = 11;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json_only = true;
+        else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc)
+            generated = std::atoll(argv[++i]);
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: calibration_fit [--json] [--sites N] "
+                         "[--seed S] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    if (!json_only) {
+        bench::Banner("Loop-timeline calibration fit",
+                      "per-structure wire scales vs traced simulation, "
+                      "DESIGN.md §15");
+    }
+
+    std::vector<SiteSpec> specs = CalibrationSiteSpace(seed, generated);
+    auto samples = CollectCalibrationSamples(specs, HardwareSpec());
+    if (!samples.ok()) {
+        std::fprintf(stderr, "sample collection failed: %s\n",
+                     samples.status().ToString().c_str());
+        return 1;
+    }
+    CalibrationSummary summary = FitCalibration(samples.value());
+
+    if (!json_only) {
+        std::printf("%zu sites, %zu samples\n", specs.size(),
+                    samples->size());
+        for (int s = 0; s < kNumLoopStructures; ++s) {
+            auto i = static_cast<size_t>(s);
+            if (summary.samples_per_structure[i] == 0) {
+                std::printf("  %-20s (no samples)\n",
+                            LoopStructureName(
+                                static_cast<LoopStructure>(s)));
+                continue;
+            }
+            std::printf(
+                "  %-20s wire_scale %.3f  mean |span err| %5.2f%%  "
+                "(%lld samples)\n",
+                LoopStructureName(static_cast<LoopStructure>(s)),
+                summary.fit.wire_scale[i],
+                summary.mean_abs_error[i] * 100.0,
+                static_cast<long long>(summary.samples_per_structure[i]));
+        }
+        std::printf("overall mean |span err| %.2f%%, worst %.2f%%\n",
+                    summary.overall_mean_abs_error * 100.0,
+                    summary.max_abs_error * 100.0);
+        std::printf("\nper-sample residuals under the fit:\n");
+        for (const CalibrationSample& sample : samples.value()) {
+            std::printf(
+                "  %-14s %-12s pred %.4g sim %.4g err %+6.2f%%  "
+                "speedup %.3fx\n",
+                SiteCaseName(sample.spec.site_case),
+                sample.variant.c_str(),
+                PredictedSpanSeconds(sample, summary.fit),
+                sample.simulated_span_seconds,
+                RelativeSpanError(sample, summary.fit) * 100.0,
+                sample.SimulatedSpeedup());
+        }
+    }
+
+    std::string doc = StrCat(summary.ToJson(), "\n");
+    if (json_only) std::printf("%s", doc.c_str());
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << doc;
+        if (!json_only) {
+            std::printf("\nfit written to %s\n", out_path.c_str());
+        }
+    }
+    return 0;
+}

@@ -3,18 +3,21 @@
  * Overlap-efficiency report (DESIGN.md §13): how well did the §5.5 cost
  * model predict what the simulator measured?
  *
- *   overlap_report [--quick] [--json] [--force] [--out FILE]
+ *   overlap_report [--quick] [--json] [--force] [--check] [--out FILE]
  *                  [--trace FILE] [--model NAME]
  *
- * Part 1 drives all four decomposition cases of the paper — the three
- * AllGather-Einsum variants (partitioned label free / contracting /
- * batch, §5.1) and Einsum-ReduceScatter — through the full pipeline on
- * a difftest-style site sized so the §5.5 gate accepts, simulates each
- * compiled module with tracing, and emits one JSON record per site:
- * the gate's cost inputs (comp_t, comm_t, comm_t_ring, extra_t), the
- * predicted hidden-comm fraction and speedup, and the simulated total /
- * exposed / hidden comm from the trace, plus the blocking baseline's
- * simulated step time for the actual speedup.
+ * Part 1 drives the shared overlap-report site space
+ * (difftest::OverlapReportSiteSpace(): one site per §5.1 decomposition
+ * case) through the full pipeline with the calibrated §5.5 gate,
+ * simulates each compiled module with tracing, and emits one JSON
+ * record per site: the gate's cost inputs (comp_t, comm_t, comm_t_ring,
+ * extra_t), the predicted hidden-comm fraction and speedup, the
+ * simulated total / exposed / hidden comm from the trace, the blocking
+ * baseline's step for the actual speedup, and the per-site prediction
+ * error. Sites the gate rejects are additionally re-compiled with the
+ * gate forced open ("forced" record) so their hidden-fraction
+ * prediction is graded against a real decomposed trace too — and so
+ * the rejection itself is auditable (forced actual speedup < 1).
  *
  * Part 2 (skipped with --quick) runs the same analysis on a whole model
  * layer (--model, default the 32B GPT (GPT_32B) of Table 2) via
@@ -23,6 +26,11 @@
  *
  * --force disables the cost gate (every site decomposed) — the same
  * ablation knob as DecomposeOptions::use_cost_model=false.
+ *
+ * --check is the CI regression gate (DESIGN.md §15): exit nonzero when
+ * the mean absolute hidden-fraction prediction error exceeds 0.15, or
+ * any gate-accepted site (or the model run) simulates an actual
+ * speedup below 1 − 0.02.
  */
 #include <cstdio>
 #include <cstring>
@@ -32,6 +40,7 @@
 
 #include "bench_util.h"
 #include "core/overlap_report.h"
+#include "difftest/calibration.h"
 #include "difftest/difftest.h"
 #include "sim/trace_export.h"
 
@@ -40,72 +49,15 @@ using namespace overlap::difftest;
 
 namespace {
 
-/**
- * A site the §5.5 gate accepts on default TPU-v4 numbers. Each case
- * needs its own proportions: the gate wins when the partial einsums
- * are big enough to hide the ring steps while the loop's combine and
- * slice traffic (HBM-side extra_t terms) stays below the wire time the
- * decomposition saves, and those terms scale with different extents
- * per case (e.g. the contracting-dim loop re-reads the full output
- * every iteration, the batch case slices the other batch operand).
- */
-SiteSpec
-SpecFor(SiteCase site_case)
-{
-    SiteSpec spec;
-    spec.site_case = site_case;
-    spec.mesh_dims = {4};
-    spec.axis = 0;
-    spec.side = 0;
-    spec.dtype = DType::kF32;
-    spec.data_seed = 7;
-    switch (site_case) {
-      case SiteCase::kAllGatherFree:
-          // einsum (4e × c) · (c × f1): activation gather. The saved
-          // wire time grows with c while the combine traffic only
-          // tracks the output (4e × f1), so a fat contracting dim wins.
-          spec.shard_extent = 64;
-          spec.contract = 8192;
-          spec.free1 = 4096;
-          spec.free0 = 1;
-          break;
-      case SiteCase::kAllGatherContracting:
-          // einsum (f0 × 4e) · (4e × f1): weight gather over the
-          // contracting label. The loop re-accumulates the (f0 × f1)
-          // output every iteration, so f1 must stay small while f0 and
-          // the gathered extent carry the site's weight.
-          spec.shard_extent = 2048;
-          spec.free0 = 4096;
-          spec.free1 = 2048;
-          spec.contract = 1;
-          break;
-      case SiteCase::kAllGatherBatch:
-          // einsum (4e × f0 × c) · (4e × c × f1), batch label gathered;
-          // f1 ≈ 2e3 balances comp_t against the ring steps and the
-          // per-iteration slices of the other batch operand.
-          spec.shard_extent = 8;
-          spec.free0 = 8192;
-          spec.contract = 8192;
-          spec.free1 = 2048;
-          break;
-      case SiteCase::kReduceScatter:
-          // einsum (4e × 4c) · (4c × f1), output scattered over rows;
-          // the decomposed ring moves *more* bytes than the blocking
-          // bidirectional ReduceScatter, so a deep contracting dim must
-          // hide the whole ring under the partial einsums.
-          spec.shard_extent = 256;
-          spec.contract = 8192;
-          spec.free1 = 8192;
-          spec.free0 = 1;
-          break;
-    }
-    return spec;
-}
-
 struct SiteRun {
     SiteSpec spec;
     OverlapReport report;
     double baseline_step_seconds = 0.0;
+    /// Filled for gate-rejected sites: the same site re-compiled with
+    /// the gate forced open, so the hidden-fraction prediction can be
+    /// graded against the decomposed loop it describes.
+    bool has_forced = false;
+    OverlapReport forced_report;
 };
 
 StatusOr<SiteRun>
@@ -147,12 +99,36 @@ RunSite(const SiteSpec& spec, bool force)
     return run;
 }
 
+/**
+ * The site's hidden-fraction prediction error, graded against whichever
+ * run actually traced the decomposed loop (the gated run when the gate
+ * accepted, the forced run otherwise). Returns false when neither run
+ * produced a graded site.
+ */
+bool
+GradedError(const SiteRun& run, double* error)
+{
+    if (run.report.error_sites > 0) {
+        *error = run.report.mean_abs_hidden_fraction_error;
+        return true;
+    }
+    if (run.has_forced && run.forced_report.error_sites > 0) {
+        *error = run.forced_report.mean_abs_hidden_fraction_error;
+        return true;
+    }
+    return false;
+}
+
 std::string
 SiteRunJson(const SiteRun& run)
 {
+    std::string forced = run.has_forced
+                             ? run.forced_report.ToJson()
+                             : std::string("null");
     return StrCat("{\"case\":\"", SiteCaseName(run.spec.site_case),
                   "\",\"spec\":\"", run.spec.ToString(),
-                  "\",\"report\":", run.report.ToJson(), "}");
+                  "\",\"report\":", run.report.ToJson(),
+                  ",\"forced\":", forced, "}");
 }
 
 void
@@ -168,6 +144,19 @@ PrintSiteRun(const SiteRun& run)
             run.report.actual_speedup);
     }
     if (run.report.sites.empty()) std::printf("  (no matched sites)\n");
+    if (run.has_forced) {
+        std::printf(
+            "    forced-decomposed audit: simulated hidden %.1f%%, "
+            "actual %.3fx (gate rejection %s)\n",
+            run.forced_report.hidden_fraction * 100.0,
+            run.forced_report.actual_speedup,
+            run.forced_report.actual_speedup < 1.0 ? "justified"
+                                                   : "questionable");
+    }
+    double err = 0.0;
+    if (GradedError(run, &err)) {
+        std::printf("    |hidden-fraction error| %.3f\n", err);
+    }
 }
 
 }  // namespace
@@ -178,6 +167,7 @@ main(int argc, char** argv)
     bool quick = false;
     bool json_only = false;
     bool force = false;
+    bool check = false;
     std::string out_path = "BENCH_overlap_report.json";
     std::string trace_path;
     std::string model_name = "GPT_32B";
@@ -185,6 +175,7 @@ main(int argc, char** argv)
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
         else if (std::strcmp(argv[i], "--json") == 0) json_only = true;
         else if (std::strcmp(argv[i], "--force") == 0) force = true;
+        else if (std::strcmp(argv[i], "--check") == 0) check = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
         else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
@@ -194,11 +185,15 @@ main(int argc, char** argv)
         else {
             std::fprintf(stderr,
                          "usage: overlap_report [--quick] [--json] "
-                         "[--force] [--out FILE] [--trace FILE] "
-                         "[--model NAME]\n");
+                         "[--force] [--check] [--out FILE] "
+                         "[--trace FILE] [--model NAME]\n");
             return 2;
         }
     }
+
+    // DESIGN.md §15 gate thresholds.
+    const double kMaxMeanHiddenFractionError = 0.15;
+    const double kSpeedupTolerance = 0.02;
 
     if (!json_only) {
         bench::Banner("Overlap-efficiency report",
@@ -206,23 +201,58 @@ main(int argc, char** argv)
                       "§13");
     }
 
-    const SiteCase kCases[] = {
-        SiteCase::kAllGatherFree,
-        SiteCase::kAllGatherContracting,
-        SiteCase::kAllGatherBatch,
-        SiteCase::kReduceScatter,
-    };
     std::vector<std::string> site_json;
-    for (SiteCase site_case : kCases) {
-        auto run = RunSite(SpecFor(site_case), force);
+    std::vector<std::string> gate_failures;
+    double error_sum = 0.0;
+    int64_t error_count = 0;
+    for (const SiteSpec& spec : OverlapReportSiteSpace()) {
+        auto run = RunSite(spec, force);
         if (!run.ok()) {
             std::fprintf(stderr, "site %s failed: %s\n",
-                         SiteCaseName(site_case),
+                         SiteCaseName(spec.site_case),
                          run.status().ToString().c_str());
             return 1;
         }
+        // Grade rejected sites against the loop they would have
+        // emitted: without this the error gate only ever sees the
+        // gate's accepted predictions, and a model drifting toward
+        // "reject everything" would pass trivially.
+        if (run->report.error_sites == 0) {
+            auto forced_run = RunSite(spec, /*force=*/true);
+            if (!forced_run.ok()) {
+                std::fprintf(stderr, "forced site %s failed: %s\n",
+                             SiteCaseName(spec.site_case),
+                             forced_run.status().ToString().c_str());
+                return 1;
+            }
+            run->has_forced = true;
+            run->forced_report = std::move(forced_run->report);
+        }
+        double err = 0.0;
+        if (GradedError(run.value(), &err)) {
+            error_sum += err;
+            ++error_count;
+        }
+        for (const SiteOverlapReport& site : run->report.sites) {
+            if (site.decomposed &&
+                run->report.actual_speedup < 1.0 - kSpeedupTolerance) {
+                gate_failures.push_back(StrCat(
+                    "site ", SiteCaseName(spec.site_case),
+                    " decomposed but simulated actual speedup ",
+                    run->report.actual_speedup, " < ",
+                    1.0 - kSpeedupTolerance));
+            }
+        }
         if (!json_only) PrintSiteRun(run.value());
         site_json.push_back(SiteRunJson(run.value()));
+    }
+    double mean_error =
+        error_count > 0 ? error_sum / static_cast<double>(error_count)
+                        : 0.0;
+    if (mean_error > kMaxMeanHiddenFractionError) {
+        gate_failures.push_back(
+            StrCat("mean |hidden-fraction error| ", mean_error, " > ",
+                   kMaxMeanHiddenFractionError));
     }
 
     std::string model_json = "null";
@@ -240,6 +270,16 @@ main(int argc, char** argv)
             return 1;
         }
         model_json = analysis->ToJson();
+        if (analysis->report.actual_speedup > 0.0 &&
+            analysis->report.actual_speedup < 1.0 - kSpeedupTolerance &&
+            analysis->report.decomposed_sites() > 0) {
+            gate_failures.push_back(StrCat(
+                "model ", model->name, " decomposed ",
+                analysis->report.decomposed_sites(),
+                " sites but simulated actual speedup ",
+                analysis->report.actual_speedup, " < ",
+                1.0 - kSpeedupTolerance));
+        }
         if (!json_only) {
             std::printf("\nmodel %s: overlap %.3f ms vs baseline %.3f ms "
                         "(%.3fx), layer comm %.1f%% hidden\n",
@@ -259,14 +299,28 @@ main(int argc, char** argv)
         }
     }
 
-    std::string doc =
-        StrCat("{\"sites\":[", StrJoin(site_json, ","),
-               "],\"model\":", model_json, "}\n");
+    std::string doc = StrCat(
+        "{\"sites\":[", StrJoin(site_json, ","),
+        "],\"mean_abs_hidden_fraction_error\":", mean_error,
+        ",\"error_sites\":", error_count,
+        ",\"error_gate\":{\"threshold\":", kMaxMeanHiddenFractionError,
+        ",\"pass\":", gate_failures.empty() ? "true" : "false",
+        "},\"model\":", model_json, "}\n");
     if (json_only) std::printf("%s", doc.c_str());
     std::ofstream out(out_path);
     out << doc;
     if (!json_only) {
-        std::printf("\nreport written to %s\n", out_path.c_str());
+        std::printf("\nmean |hidden-fraction error| %.3f over %lld "
+                    "graded sites (gate %.2f)\n",
+                    mean_error, static_cast<long long>(error_count),
+                    kMaxMeanHiddenFractionError);
+        std::printf("report written to %s\n", out_path.c_str());
+    }
+    if (check && !gate_failures.empty()) {
+        for (const std::string& failure : gate_failures) {
+            std::fprintf(stderr, "CHECK FAILED: %s\n", failure.c_str());
+        }
+        return 1;
     }
     return 0;
 }

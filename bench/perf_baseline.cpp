@@ -112,7 +112,12 @@ main(int argc, char** argv)
 {
     bool quick = false;
     bool json_only = false;
-    int64_t threads = std::max<int64_t>(4, DefaultThreadCount());
+    // Default to the cores this box actually has: the old
+    // max(4, cores) floor quadruple-booked a 1-core CI box, and the
+    // "parallel" difftest slice it timed there measured contention,
+    // not speedup. --threads still overrides for deliberate
+    // oversubscription experiments.
+    int64_t threads = DefaultThreadCount();
     std::string out_file = "BENCH_perf.json";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -137,6 +142,12 @@ main(int argc, char** argv)
                    "throughput, ",
                    threads, " threads"),
             "the execution-stack numbers DESIGN.md §12 tracks");
+        if (threads > DefaultThreadCount()) {
+            std::printf("note: %lld threads on %lld cores — parallel "
+                        "timings below measure oversubscription\n",
+                        static_cast<long long>(threads),
+                        static_cast<long long>(DefaultThreadCount()));
+        }
     }
 
     // ---- 1. Evaluator throughput: serial vs. concurrent devices. ----
@@ -325,6 +336,8 @@ main(int argc, char** argv)
         "  \"hardware_concurrency\": ",
         DefaultThreadCount(),
         ",\n  \"threads\": ", threads,
+        ",\n  \"oversubscribed\": ",
+        JsonBool(threads > DefaultThreadCount()),
         ",\n  \"quick\": ", JsonBool(quick),
         ",\n  \"evaluator\": {\"iters\": ", eval_iters,
         ", \"serial_cases_per_sec\": ", serial_cps,

@@ -45,11 +45,18 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
     --build-dir "${build_dir}" --out "${build_dir}/BENCH_perf.json" \
     > /dev/null
 
-# Overlap-report smoke under ASan: all four decomposition sites must
-# pass the gate, simulate and close the hidden+exposed==total
-# accounting without a sanitizer report.
-"${build_dir}/bench/overlap_report" --quick --json \
+# Overlap-report prediction-error gate under ASan (DESIGN.md §15):
+# every gate-accepted site must simulate an actual speedup >= 1 -
+# 0.02, every rejection must audit as justified when forced open, and
+# the mean |hidden-fraction prediction error| must stay <= 0.15 — all
+# while the hidden+exposed==total accounting closes without a
+# sanitizer report. --check turns any violation into a nonzero exit.
+"${build_dir}/bench/overlap_report" --quick --check --json \
     --out "${build_dir}/BENCH_overlap_report.json" > /dev/null
+
+# The calibration regression suite (committed fit coefficients vs. a
+# re-fit, per-case prediction accuracy) also runs in the ASan ctest
+# pass above via the `calibration` label.
 
 # ThreadSanitizer pass over the concurrency layer: the rendezvous
 # evaluator, the thread pool, the thread-local buffer pool and the

@@ -5,13 +5,16 @@
 # analysis, written as BENCH_overlap_report.json at the repo root
 # (or --out).
 #
-# Usage: scripts/overlap_report.sh [--quick] [--force] [--model NAME]
-#                                  [--build-dir DIR] [--out FILE]
-#                                  [--trace FILE]
+# Usage: scripts/overlap_report.sh [--quick] [--force] [--check]
+#                                  [--model NAME] [--build-dir DIR]
+#                                  [--out FILE] [--trace FILE]
 #
 # --quick   skips the whole-model section (the four sites still run);
 # --force   disables the cost gate (every site decomposed) — the
 #           ablation view;
+# --check   fails (nonzero exit) when the mean hidden-fraction
+#           prediction error exceeds 0.15 or a gate-accepted site
+#           simulates a slowdown (DESIGN.md §15);
 # --trace   additionally writes the model run's unified Chrome trace.
 set -euo pipefail
 
@@ -24,6 +27,7 @@ while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) bench_args+=(--quick); shift ;;
         --force) bench_args+=(--force); shift ;;
+        --check) bench_args+=(--check); shift ;;
         --model) bench_args+=(--model "$2"); shift 2 ;;
         --trace) bench_args+=(--trace "$2"); shift 2 ;;
         --build-dir) build_dir="$2"; shift 2 ;;

@@ -1,6 +1,7 @@
 #include "core/overlap_report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -179,7 +180,9 @@ SiteOverlapReport::ToJson() const
         ",\"hidden_comm_seconds\":", Num(sim_hidden_comm_seconds),
         ",\"hidden_fraction\":", Num(sim_hidden_fraction),
         ",\"compute_seconds\":", Num(sim_compute_seconds),
-        ",\"span_seconds\":", Num(sim_span_seconds), "}}");
+        ",\"span_seconds\":", Num(sim_span_seconds),
+        "},\"error\":{\"graded\":", JsonBool(has_prediction_error),
+        ",\"hidden_fraction_error\":", Num(hidden_fraction_error), "}}");
 }
 
 std::string
@@ -200,6 +203,9 @@ OverlapReport::ToJson() const
         ",\"predicted_speedup\":", Num(predicted_speedup),
         ",\"baseline_step_seconds\":", Num(baseline_step_seconds),
         ",\"actual_speedup\":", Num(actual_speedup),
+        ",\"mean_abs_hidden_fraction_error\":",
+        Num(mean_abs_hidden_fraction_error),
+        ",\"error_sites\":", error_sites,
         ",\"decomposed_sites\":", decomposed_sites(), "}");
 }
 
@@ -217,7 +223,17 @@ OverlapReport::ToString() const
                       site.predicted_speedup, "x / hidden ",
                       site.predicted_hidden_fraction * 100.0,
                       "%, simulated hidden ",
-                      site.sim_hidden_fraction * 100.0, "%\n");
+                      site.sim_hidden_fraction * 100.0, "%");
+        if (site.has_prediction_error) {
+            out += StrCat(" (err ",
+                          site.hidden_fraction_error * 100.0, "pp)");
+        }
+        out += "\n";
+    }
+    if (error_sites > 0) {
+        out += StrCat("  mean |hidden-fraction error| ",
+                      mean_abs_hidden_fraction_error * 100.0, "pp over ",
+                      error_sites, " graded sites\n");
     }
     return out;
 }
@@ -267,11 +283,11 @@ BuildOverlapReport(const CompileReport& compile, const SimResult& sim)
                 ? site.predicted_original_seconds /
                       site.predicted_overlapped_seconds
                 : 1.0;
+        // The gate's own prediction, from the calibrated replay — not
+        // the min(comp_t, ring)/ring closed form, whose optimism is
+        // exactly what the error gate below exists to catch.
         site.predicted_hidden_fraction =
-            decision.comm_t_ring > 0.0
-                ? std::min(decision.comp_t, decision.comm_t_ring) /
-                      decision.comm_t_ring
-                : 0.0;
+            std::clamp(decision.predicted_hidden_fraction, 0.0, 1.0);
 
         // Attribute trace events: decomposed sites by the loop group the
         // emitter stamped on every loop instruction, blocking sites by
@@ -287,6 +303,20 @@ BuildOverlapReport(const CompileReport& compile, const SimResult& sim)
         }
         FillSimColumns(std::move(events), &site);
 
+        // Grade the prediction where the trace measured the predicted
+        // structure: the replay models the emitted loop, so only
+        // decomposed sites that moved bytes compare like with like.
+        // (Rejected sites are graded by bench/overlap_report, which
+        // re-compiles them with the gate forced open.)
+        if (site.decomposed && site.sim_total_comm_seconds > 0.0) {
+            site.hidden_fraction_error =
+                site.predicted_hidden_fraction - site.sim_hidden_fraction;
+            site.has_prediction_error = true;
+            report.mean_abs_hidden_fraction_error +=
+                std::fabs(site.hidden_fraction_error);
+            ++report.error_sites;
+        }
+
         if (site.decomposed) {
             predicted_benefit += site.predicted_original_seconds -
                                  site.predicted_overlapped_seconds;
@@ -298,6 +328,10 @@ BuildOverlapReport(const CompileReport& compile, const SimResult& sim)
             ? (report.step_seconds + predicted_benefit) /
                   report.step_seconds
             : 1.0;
+    if (report.error_sites > 0) {
+        report.mean_abs_hidden_fraction_error /=
+            static_cast<double>(report.error_sites);
+    }
     return report;
 }
 

@@ -38,8 +38,9 @@ struct SiteOverlapReport {
     double predicted_overlapped_seconds = 0.0;
     /// predicted_original_seconds / predicted_overlapped_seconds.
     double predicted_speedup = 1.0;
-    /// min(comp_t, comm_t_ring) / comm_t_ring — the share of ring wire
-    /// time the model expects to hide under the partial einsums.
+    /// The calibrated replay's predicted hidden share of comm_t_ring
+    /// (copied from the SiteDecision — not derived from the closed
+    /// form, which is what the §5.5 gate used to get wrong).
     double predicted_hidden_fraction = 0.0;
 
     // --- simulated reality (interval-union seconds from the trace) ---
@@ -58,6 +59,15 @@ struct SiteOverlapReport {
     double sim_compute_seconds = 0.0;
     /// Wall span first-event-start to last-event-end at this site.
     double sim_span_seconds = 0.0;
+
+    // --- prediction error (the §5.5 calibration regression gate) ---
+    /// predicted_hidden_fraction − sim_hidden_fraction, populated for
+    /// decomposed sites whose trace moved bytes (the replay predicts
+    /// the loop, so only the emitted loop can grade it; rejected sites
+    /// are graded by the bench via a forced-decomposed compile).
+    double hidden_fraction_error = 0.0;
+    /// True when hidden_fraction_error above is meaningful.
+    bool has_prediction_error = false;
 
     std::string ToJson() const;
 };
@@ -88,6 +98,13 @@ struct OverlapReport {
     /// baseline was run.
     double baseline_step_seconds = 0.0;
     double actual_speedup = 0.0;
+
+    /// Mean |predicted − simulated| hidden fraction over the sites
+    /// with a populated prediction error (error_sites of them). The
+    /// calibration regression gate fails CI when this drifts past
+    /// 0.15 (DESIGN.md §15).
+    double mean_abs_hidden_fraction_error = 0.0;
+    int64_t error_sites = 0;
 
     int64_t decomposed_sites() const
     {

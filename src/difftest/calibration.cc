@@ -1,0 +1,278 @@
+#include "difftest/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "core/overlap_compiler.h"
+#include "sim/engine.h"
+#include "support/strings.h"
+
+namespace overlap {
+namespace difftest {
+
+std::vector<SiteSpec>
+OverlapReportSiteSpace()
+{
+    // One gate-profitable site per §5.1 decomposition case, on default
+    // TPU-v4 numbers. Each case needs its own proportions: the gate
+    // wins when the partial einsums are big enough to hide the ring
+    // steps while the loop's combine/slice traffic stays below the
+    // wire time the decomposition saves, and those terms scale with
+    // different extents per case.
+    std::vector<SiteSpec> specs;
+    {
+        // einsum (4e x c) . (c x f1): activation gather. The saved
+        // wire time grows with c while the combine traffic only
+        // tracks the output, so a fat contracting dim wins.
+        SiteSpec spec;
+        spec.site_case = SiteCase::kAllGatherFree;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.shard_extent = 64;
+        spec.contract = 8192;
+        spec.free1 = 4096;
+        spec.free0 = 1;
+        specs.push_back(spec);
+    }
+    {
+        // einsum (f0 x 4e) . (4e x f1): weight gather over the
+        // contracting label; the loop re-accumulates the full (f0 x
+        // f1) output every iteration.
+        SiteSpec spec;
+        spec.site_case = SiteCase::kAllGatherContracting;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.shard_extent = 2048;
+        spec.free0 = 4096;
+        spec.free1 = 2048;
+        spec.contract = 1;
+        specs.push_back(spec);
+    }
+    {
+        // einsum (4e x f0 x c) . (4e x c x f1), batch label gathered.
+        SiteSpec spec;
+        spec.site_case = SiteCase::kAllGatherBatch;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.shard_extent = 8;
+        spec.free0 = 8192;
+        spec.contract = 8192;
+        spec.free1 = 2048;
+        specs.push_back(spec);
+    }
+    {
+        // einsum (4e x 4c) . (4c x f1), output scattered over rows.
+        SiteSpec spec;
+        spec.site_case = SiteCase::kReduceScatter;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.shard_extent = 256;
+        spec.contract = 8192;
+        spec.free1 = 8192;
+        spec.free0 = 1;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::vector<SiteSpec>
+CalibrationSiteSpace(uint64_t seed, int64_t generated)
+{
+    std::vector<SiteSpec> specs = OverlapReportSiteSpace();
+    for (int64_t i = 0; i < generated; ++i) {
+        specs.push_back(GenerateSiteSpec(seed, i));
+    }
+    return specs;
+}
+
+namespace {
+
+/** The variants whose emitted structures tile all six LoopStructures. */
+const char* const kCalibrationVariants[] = {"uni", "uni_unroll", "bidi",
+                                            "bidi_unroll"};
+
+/** Key identifying the emitted structure of a sample for dedup. */
+std::pair<int, bool>
+StructureKey(const LoopShape& shape)
+{
+    return {static_cast<int>(shape.structure), shape.has_copies};
+}
+
+}  // namespace
+
+StatusOr<std::vector<CalibrationSample>>
+CollectCalibrationSamples(const std::vector<SiteSpec>& specs,
+                          const HardwareSpec& hardware)
+{
+    std::vector<CalibrationSample> samples;
+    for (const SiteSpec& spec : specs) {
+        // Blocking baseline once per site.
+        auto blocking = BuildSiteModule(spec);
+        if (!blocking.ok()) return blocking.status();
+        CompilerOptions baseline_options = CompilerOptions::Baseline();
+        baseline_options.hardware = hardware;
+        auto baseline_compile =
+            OverlapCompiler(baseline_options).Compile(blocking->get());
+        if (!baseline_compile.ok()) return baseline_compile.status();
+        PodSimulator simulator(spec.mesh(), hardware);
+        auto baseline_sim = simulator.Run(**blocking);
+        if (!baseline_sim.ok()) return baseline_sim.status();
+
+        std::set<std::pair<int, bool>> seen;
+        for (const char* variant_name : kCalibrationVariants) {
+            auto variant = FindVariant(variant_name);
+            if (!variant.ok()) return variant.status();
+            auto module = BuildSiteModule(spec);
+            if (!module.ok()) return module.status();
+            CompilerOptions options;
+            options.hardware = hardware;
+            options.decompose.use_cost_model = false;
+            options.decompose.unroll = variant->unroll;
+            options.decompose.bidirectional = variant->bidirectional;
+            options.decompose.force_unidirectional =
+                variant->force_unidirectional;
+            auto compile =
+                OverlapCompiler(options).Compile(module->get());
+            if (!compile.ok()) return compile.status();
+            const SiteDecision* decision = nullptr;
+            for (const SiteDecision& d : compile->decompose.decisions) {
+                if (d.decomposed) decision = &d;
+            }
+            // A site the matcher skipped under this lowering (no
+            // decomposed decision) contributes nothing.
+            if (decision == nullptr) continue;
+            if (!seen.insert(StructureKey(decision->loop_shape)).second) {
+                continue;
+            }
+            auto sim = simulator.Run(**module);
+            if (!sim.ok()) return sim.status();
+
+            CalibrationSample sample;
+            sample.spec = spec;
+            sample.variant = variant_name;
+            sample.shape = decision->loop_shape;
+            sample.comp_t = decision->comp_t;
+            sample.comm_t = decision->comm_t;
+            sample.simulated_span_seconds = sim->step_seconds;
+            sample.blocking_span_seconds = baseline_sim->step_seconds;
+            samples.push_back(std::move(sample));
+        }
+    }
+    return samples;
+}
+
+double
+PredictedSpanSeconds(const CalibrationSample& sample,
+                     const CalibrationFit& fit)
+{
+    LoopTimeline timeline = CalibratedCostModel(fit).Predict(sample.shape);
+    return std::max(sample.comp_t, timeline.wire_seconds) +
+           std::max(0.0, timeline.span_seconds -
+                             std::max(sample.comp_t,
+                                      timeline.wire_seconds));
+}
+
+double
+RelativeSpanError(const CalibrationSample& sample,
+                  const CalibrationFit& fit)
+{
+    if (sample.simulated_span_seconds <= 0.0) return 0.0;
+    return (PredictedSpanSeconds(sample, fit) -
+            sample.simulated_span_seconds) /
+           sample.simulated_span_seconds;
+}
+
+CalibrationSummary
+FitCalibration(const std::vector<CalibrationSample>& samples)
+{
+    CalibrationSummary summary;
+    summary.fit = CalibrationFit::Identity();
+    for (int s = 0; s < kNumLoopStructures; ++s) {
+        auto structure = static_cast<LoopStructure>(s);
+        std::vector<const CalibrationSample*> bucket;
+        for (const CalibrationSample& sample : samples) {
+            if (sample.shape.structure == structure) {
+                bucket.push_back(&sample);
+            }
+        }
+        summary.samples_per_structure[static_cast<size_t>(s)] =
+            static_cast<int64_t>(bucket.size());
+        if (bucket.empty()) continue;
+        // A sample only carries wire-scale signal in proportion to how
+        // much of its simulated span is wire time: on a tiny
+        // latency-dominated loop the objective is flat in the scale,
+        // and unweighted errors there (quantized to whole hop
+        // latencies) would drag the scale to wherever the grid
+        // happens to start. The (scale - 1)^2 pull keeps signal-free
+        // buckets at the uncalibrated replay.
+        std::vector<double> weight(bucket.size(), 0.0);
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            if (bucket[i]->simulated_span_seconds <= 0.0) continue;
+            double wire = CalibratedCostModel(CalibrationFit::Identity())
+                              .Predict(bucket[i]->shape)
+                              .wire_seconds;
+            weight[i] = std::min(
+                1.0, wire / bucket[i]->simulated_span_seconds);
+        }
+        double best_scale = 1.0;
+        double best_objective = -1.0;
+        for (double scale = 0.80; scale <= 1.50 + 1e-9; scale += 0.005) {
+            CalibrationFit candidate = summary.fit;
+            candidate.wire_scale[static_cast<size_t>(s)] = scale;
+            double objective = 0.01 * (scale - 1.0) * (scale - 1.0);
+            for (size_t i = 0; i < bucket.size(); ++i) {
+                double err = RelativeSpanError(*bucket[i], candidate);
+                objective += weight[i] * err * err;
+            }
+            if (best_objective < 0.0 || objective < best_objective) {
+                best_objective = objective;
+                best_scale = scale;
+            }
+        }
+        summary.fit.wire_scale[static_cast<size_t>(s)] = best_scale;
+    }
+
+    std::array<int64_t, kNumLoopStructures> counts{};
+    for (const CalibrationSample& sample : samples) {
+        double err = std::fabs(RelativeSpanError(sample, summary.fit));
+        auto s = static_cast<size_t>(sample.shape.structure);
+        summary.mean_abs_error[s] += err;
+        ++counts[s];
+        summary.overall_mean_abs_error += err;
+        summary.max_abs_error = std::max(summary.max_abs_error, err);
+    }
+    for (size_t s = 0; s < kNumLoopStructures; ++s) {
+        if (counts[s] > 0) {
+            summary.mean_abs_error[s] /= static_cast<double>(counts[s]);
+        }
+    }
+    if (!samples.empty()) {
+        summary.overall_mean_abs_error /=
+            static_cast<double>(samples.size());
+    }
+    return summary;
+}
+
+std::string
+CalibrationSummary::ToJson() const
+{
+    std::vector<std::string> structures;
+    for (int s = 0; s < kNumLoopStructures; ++s) {
+        auto i = static_cast<size_t>(s);
+        structures.push_back(StrCat(
+            "\"", LoopStructureName(static_cast<LoopStructure>(s)),
+            "\":{\"samples\":", samples_per_structure[i],
+            ",\"wire_scale\":", fit.wire_scale[i],
+            ",\"mean_abs_span_error\":", mean_abs_error[i], "}"));
+    }
+    return StrCat("{\"structures\":{", StrJoin(structures, ","),
+                  "},\"overall_mean_abs_span_error\":",
+                  overall_mean_abs_error,
+                  ",\"max_abs_span_error\":", max_abs_error,
+                  ",\"fit\":", fit.ToJson(), "}");
+}
+
+}  // namespace difftest
+}  // namespace overlap

@@ -61,6 +61,9 @@ struct Site {
     double comm_t = 0.0;
     double comm_t_ring = 0.0;
     double extra_t = 0.0;
+    double predicted_hidden_fraction = 0.0;
+    double gate_margin = 0.0;
+    LoopShape loop_shape;
     /// Variance-aware lowering: emit a unidirectional loop even though
     /// bidirectional transfer is enabled and structurally possible.
     bool force_unidirectional = false;
@@ -68,21 +71,52 @@ struct Site {
 
 /**
  * The §5.5 cost terms for one site under one model/structure choice.
- * benefit() is the gate inequality: decompose when
- * comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t.
+ * benefit() is the gate inequality net of the decision margin:
+ * decompose when comp_t + comm_t exceeds the predicted overlapped
+ * time max(comp_t, comm_t_ring) + extra_t by more than the model's
+ * error bar (margin).
  */
 struct CostBreakdown {
     double comp_t = 0.0;
     double comm_t = 0.0;
     double comm_t_ring = 0.0;
     double extra_t = 0.0;
+    double predicted_hidden_fraction = 0.0;
+    /// Absolute decision margin: decision_margin * (comp_t + comm_t).
+    double margin = 0.0;
+    LoopShape shape;
 
     double benefit() const
     {
         return (comp_t + comm_t) -
-               (std::max(comp_t, comm_t_ring) + extra_t);
+               (std::max(comp_t, comm_t_ring) + extra_t) - margin;
     }
 };
+
+/**
+ * The loop structure the emitter would build for this site under these
+ * options — must mirror LoopEmitter::Emit()'s selection exactly so the
+ * gate costs the loop it actually gets.
+ */
+LoopStructure
+StructureFor(const Site& site, const DecomposeOptions& options,
+             bool bidi_enabled)
+{
+    int64_t n = site.group_size;
+    bool bidi =
+        bidi_enabled && BidirectionalRingEligible(n, site.shard_extent);
+    if (site.is_allgather) {
+        if (bidi_enabled && TwoWayExchangeEligible(n, site.shard_extent)) {
+            return LoopStructure::kAllGatherTwoWay;
+        }
+        return bidi ? LoopStructure::kAllGatherBidirectional
+                    : LoopStructure::kAllGatherUnidirectional;
+    }
+    if (bidi) return LoopStructure::kReduceScatterBidirectional;
+    return options.unroll && n % 2 == 0
+               ? LoopStructure::kReduceScatterTwoChain
+               : LoopStructure::kReduceScatterSingleChain;
+}
 
 /**
  * §5.5 estimate of original minus overlapped time for one site under
@@ -91,6 +125,14 @@ struct CostBreakdown {
  * derated model (see CostModel::SetFaultDerating).
  * `allow_bidirectional` gates the §5.4.2 structures so the variance-
  * aware caller can evaluate the unidirectional lowering separately.
+ *
+ * The overlapped time comes from the calibrated loop-timeline replay
+ * (sim/loop_timeline.h): the site's shapes are reduced to per-kernel
+ * seconds mirroring what SchedGraph would compute for the emitted
+ * loop, and the replay walks the loop's dependency graph under the
+ * engine's channel semantics. comm_t_ring is the predicted serialized
+ * wire time, extra_t the span's residual over max(comp_t, comm_t_ring)
+ * — so benefit() compares comp_t + comm_t against the replay span.
  */
 CostBreakdown
 EstimateBenefit(const Site& site, const CostModel& cost,
@@ -101,66 +143,90 @@ EstimateBenefit(const Site& site, const CostModel& cost,
     int64_t n = site.group_size;
     bool bidi_enabled = allow_bidirectional && options.bidirectional &&
                         !options.force_unidirectional;
-    bool bidi =
-        bidi_enabled && BidirectionalRingEligible(n, site.shard_extent);
+    double n_d = static_cast<double>(n);
+    double oh = cost.spec().op_overhead;
     int64_t shard_bytes =
         site.is_allgather
             ? site.collective->operand(0)->shape().byte_size()
             : site.collective->shape().byte_size();
-    int64_t loop_steps, extra_steps;
+
+    LoopShape shape;
+    shape.structure = StructureFor(site, options, bidi_enabled);
+    shape.ring = n;
+    shape.wire_seconds = cost.WireSeconds(shard_bytes);
+    shape.hop_latency_seconds = cost.HopLatencySeconds();
+    // One partial einsum carries 1/N of the FLOPs plus its own launch.
+    shape.partial_seconds = (comp_t - oh) / n_d + oh;
+    shape.op_overhead_seconds = oh;
+    shape.max_in_flight = cost.spec().max_in_flight_async;
+    shape.has_copies = !options.unroll;
+    shape.copy_seconds =
+        cost.ElementwiseBytesSeconds(2.0 * static_cast<double>(shard_bytes));
+
     if (site.is_allgather) {
-        loop_steps = bidi ? n / 2 - 1 : n - 1;
-        extra_steps = bidi ? 1 : 0;  // prologue
-        if (bidi_enabled && TwoWayExchangeEligible(n, site.shard_extent)) {
-            // Two-way half-shard exchange: one concurrent step
-            // carrying half the shard per direction.
-            shard_bytes /= 2;
-            loop_steps = 1;
-            extra_steps = 0;
+        double out_bytes =
+            static_cast<double>(site.einsum->shape().byte_size());
+        double other_bytes = static_cast<double>(
+            site.einsum->operand(1 - site.side)->shape().byte_size());
+        shape.zeros_seconds = cost.ElementwiseBytesSeconds(out_bytes);
+        if (site.kind == EinsumDimKind::kContracting) {
+            // Case 2 accumulates into the full result every iteration —
+            // N passes over the output — which is what makes
+            // decomposing large-N weight gathers unprofitable.
+            shape.combine_seconds =
+                cost.ElementwiseBytesSeconds(3.0 * out_bytes);
+            shape.combine_is_full_add = true;
+        } else {
+            // Cases 1/3 DynamicUpdateSlice one 1/N output block.
+            shape.combine_seconds =
+                cost.ElementwiseBytesSeconds(2.0 * out_bytes / n_d);
         }
-    } else {
-        loop_steps = bidi ? n / 2 : n;
-        extra_steps = bidi || options.unroll ? 1 : 0;  // epilogue
-    }
-    double ring_t = cost.RingSequenceSeconds(shard_bytes, loop_steps);
-    // Prologue/epilogue permutes (conservatively un-overlapped),
-    // per-iteration launch overheads, and the element-wise combine
-    // traffic the loop adds. The combine cost depends on the case:
-    // DynamicUpdateSlices touch each output element once in total, but
-    // a *contracting*-dimension AllGather loop accumulates into the
-    // full result every iteration — N passes over the output — which
-    // is what makes decomposing large-N weight gathers unprofitable.
-    double output_bytes = static_cast<double>(
-        site.is_allgather ? site.einsum->shape().byte_size()
-                          : site.collective->shape().byte_size());
-    double combine_passes =
-        site.is_allgather && site.kind == EinsumDimKind::kContracting
-            ? 0.5 * static_cast<double>(n)
-            : 1.5;
-    double elem_bytes =
-        (1.0 + combine_passes) * output_bytes;  // zero-fill + adds
-    // Cases that DynamicSlice an operand each iteration: AG with a
-    // contracting/batch partitioned label slices the *other* operand,
-    // the RS loop slices the operand owning the scattered label.
-    if (site.is_allgather) {
         if (site.kind == EinsumDimKind::kContracting ||
             site.kind == EinsumDimKind::kBatch) {
-            elem_bytes += 2.0 * static_cast<double>(
-                                    site.einsum->operand(1 - site.side)
-                                        ->shape()
-                                        .byte_size());
+            shape.slices_per_partial = 1;
+            shape.slice_seconds =
+                cost.ElementwiseBytesSeconds(2.0 * other_bytes / n_d);
+        }
+        if (shape.structure == LoopStructure::kAllGatherTwoWay) {
+            // Each direction carries half the shard concurrently; the
+            // two static Slices splitting it run on the device.
+            shape.wire_seconds = cost.WireSeconds(shard_bytes / 2);
+            shape.send_slice_seconds = cost.ElementwiseBytesSeconds(
+                static_cast<double>(shard_bytes));
+            // The aliasing copies move half a shard each; on
+            // launch-overhead-dominated sites they are a third of the
+            // whole span, so they are not negligible at N == 2.
+            shape.copy_seconds = cost.ElementwiseBytesSeconds(
+                static_cast<double>(shard_bytes));
         }
     } else {
-        elem_bytes += 2.0 * static_cast<double>(
-                                site.einsum->operand(site.side)
-                                    ->shape()
-                                    .byte_size());
+        double rs_bytes = static_cast<double>(shard_bytes);
+        double sliced_bytes = static_cast<double>(
+            site.einsum->operand(site.side)->shape().byte_size());
+        shape.zeros_seconds = cost.ElementwiseBytesSeconds(rs_bytes);
+        shape.combine_seconds =
+            cost.ElementwiseBytesSeconds(3.0 * rs_bytes);
+        shape.slices_per_partial = 1;
+        shape.slice_seconds =
+            cost.ElementwiseBytesSeconds(2.0 * sliced_bytes / n_d);
     }
-    double extra_t =
-        cost.RingSequenceSeconds(shard_bytes, extra_steps) +
-        static_cast<double>(n) * 2.0 * cost.spec().op_overhead +
-        elem_bytes / (cost.spec().mem_bandwidth * cost.compute_derate());
-    return CostBreakdown{comp_t, comm_t, ring_t, extra_t};
+
+    CalibratedCostModel calibrated(options.calibration);
+    LoopTimeline timeline = calibrated.Predict(shape);
+    CostBreakdown breakdown;
+    breakdown.comp_t = comp_t;
+    breakdown.comm_t = comm_t;
+    breakdown.comm_t_ring = timeline.wire_seconds;
+    // Mapped so max(comp_t, comm_t_ring) + extra_t reproduces the
+    // replay span bit-exactly (the SiteDecision::RecomputedBenefit
+    // invariant); the replay guarantees span >= both terms.
+    breakdown.extra_t = std::max(
+        0.0, timeline.span_seconds -
+                 std::max(comp_t, timeline.wire_seconds));
+    breakdown.predicted_hidden_fraction = timeline.HiddenFraction();
+    breakdown.margin = options.decision_margin * (comp_t + comm_t);
+    breakdown.shape = shape;
+    return breakdown;
 }
 
 /** Copies a breakdown into the site's recorded §5.5 terms. */
@@ -172,6 +238,9 @@ AssignBreakdown(Site* site, const CostBreakdown& breakdown)
     site->comm_t = breakdown.comm_t;
     site->comm_t_ring = breakdown.comm_t_ring;
     site->extra_t = breakdown.extra_t;
+    site->predicted_hidden_fraction = breakdown.predicted_hidden_fraction;
+    site->gate_margin = breakdown.margin;
+    site->loop_shape = breakdown.shape;
 }
 
 /** Labels of the einsum operand on the given side. */
@@ -718,6 +787,9 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
         decision.comm_t = best.comm_t;
         decision.comm_t_ring = best.comm_t_ring;
         decision.extra_t = best.extra_t;
+        decision.predicted_hidden_fraction = best.predicted_hidden_fraction;
+        decision.gate_margin = best.gate_margin;
+        decision.loop_shape = best.loop_shape;
         if (options_.use_cost_model && best.benefit < 0.0) {
             if (faulted && nominal_best >= 0.0) {
                 // Profitable on a healthy pod, but the degraded ring no

@@ -6,6 +6,7 @@
 #include "hlo/computation.h"
 #include "sim/cost_model.h"
 #include "sim/fault_model.h"
+#include "sim/loop_timeline.h"
 #include "support/status.h"
 #include "tensor/mesh.h"
 
@@ -45,6 +46,28 @@ struct DecomposeOptions {
      * ablation bench).
      */
     bool use_cost_model = true;
+
+    /**
+     * Calibration coefficients of the loop-timeline replay behind the
+     * gate's overlapped-time estimate (sim/loop_timeline.h, DESIGN.md
+     * §15). Defaults to the fit against traced simulation over the
+     * difftest site space; CalibrationFit::Identity() gives the raw
+     * uncalibrated replay.
+     */
+    CalibrationFit calibration = CalibrationFit::Fitted();
+
+    /**
+     * Decision margin of the §5.5 gate, as a fraction of the blocking
+     * time comp_t + comm_t. The calibrated replay still carries a
+     * residual prediction error (bounded by the calibration fit's
+     * worst-case relative residual, DESIGN.md §15), so a predicted
+     * benefit inside that error bar is noise, not signal: the gate
+     * only decomposes when benefit > decision_margin * (comp_t +
+     * comm_t). This is what rejects tiny sites whose predicted win is
+     * a few hundred picoseconds — rewriting the graph for a benefit
+     * the model cannot resolve is never worth it.
+     */
+    double decision_margin = 0.02;
 
     /**
      * Forcing hook for the differential-equivalence harness: emit every
@@ -110,26 +133,52 @@ struct SiteDecision {
     /// §5.5 cost inputs the verdict was computed from, under the model
     /// the gate actually used (derated when a fault model is attached)
     /// and for the structure the gate settled on (unidirectional when
-    /// lowered). benefit_derated always equals
-    /// (comp_t + comm_t) - (max(comp_t, comm_t_ring) + extra_t); the
-    /// overlap-report invariant test recomputes the verdict from these
-    /// logged inputs.
+    /// lowered). comm_t_ring and extra_t come from the calibrated
+    /// loop-timeline replay: comm_t_ring is the predicted serialized
+    /// wire time (union of in-flight transfer intervals across both
+    /// ring channels) and extra_t the replay span's residual over
+    /// max(comp_t, comm_t_ring), so the predicted overlapped time is
+    /// exactly max(comp_t, comm_t_ring) + extra_t. benefit_derated
+    /// always equals (comp_t + comm_t) - that sum; the overlap-report
+    /// invariant test recomputes the verdict from these logged inputs.
     double comp_t = 0.0;       ///< einsum kernel time
     double comm_t = 0.0;       ///< blocking-collective time
-    double comm_t_ring = 0.0;  ///< decomposed ring-sequence wire time
-    double extra_t = 0.0;      ///< prologue/epilogue + overheads + combines
+    double comm_t_ring = 0.0;  ///< predicted serialized wire time
+    double extra_t = 0.0;      ///< replay span over max(comp, ring)
+
+    /// The replay's predicted hidden share of comm_t_ring — compared
+    /// against the traced simulator's measurement in the overlap
+    /// report's prediction-error section.
+    double predicted_hidden_fraction = 0.0;
+
+    /// The gate's decision margin in seconds
+    /// (DecomposeOptions::decision_margin * (comp_t + comm_t)) under
+    /// the model the verdict used. A site is decomposed only when the
+    /// raw predicted benefit exceeds this error bar, so
+    /// RecomputedBenefit() subtracts it.
+    double gate_margin = 0.0;
+
+    /// The exact replay input the verdict's comm_t_ring / extra_t /
+    /// predicted_hidden_fraction came from (loop structure included),
+    /// so the calibration driver can re-predict this site under any
+    /// candidate CalibrationFit without recompiling.
+    LoopShape loop_shape;
 
     /// Loop group tagged onto the emitted loop's instructions (-1 when
     /// not decomposed) — the join key between this decision and the
     /// simulator's TraceEvents in the overlap-efficiency report.
     int64_t loop_group = -1;
 
-    /** The §5.5 inequality re-evaluated from the logged cost inputs. */
+    /**
+     * The §5.5 inequality re-evaluated from the logged cost inputs,
+     * net of the decision margin: positive iff the predicted win
+     * exceeds the model's error bar, matching the verdict's sign.
+     */
     double RecomputedBenefit() const
     {
         double overlapped =
             (comp_t > comm_t_ring ? comp_t : comm_t_ring) + extra_t;
-        return (comp_t + comm_t) - overlapped;
+        return (comp_t + comm_t) - overlapped - gate_margin;
     }
 };
 

@@ -63,6 +63,36 @@ class CostModel {
     double PermuteStepSeconds(int64_t bytes) const;
 
     /**
+     * The channel-occupancy part of one ring hop (no arrival latency),
+     * under the current link derating — what the engine charges a
+     * (axis, direction) channel per transfer. The loop-timeline replay
+     * needs wire and latency separately to model chained transfers.
+     */
+    double WireSeconds(int64_t bytes) const
+    {
+        return static_cast<double>(bytes) /
+               (spec_.link_bandwidth * link_derate_);
+    }
+
+    /** Per-hop arrival latency under the current derating. */
+    double HopLatencySeconds() const
+    {
+        return spec_.link_latency * link_latency_derate_;
+    }
+
+    /**
+     * Memory-bound kernel time for a raw byte count (read+write total),
+     * same formula ElementwiseSeconds applies to an instruction — lets
+     * the §5.5 gate cost the loop's combines/slices/zero-fills before
+     * they exist as HLO.
+     */
+    double ElementwiseBytesSeconds(double bytes) const
+    {
+        return bytes / (spec_.mem_bandwidth * compute_derate_) +
+               spec_.op_overhead;
+    }
+
+    /**
      * Total wire time of a decomposed CollectivePermute sequence of
      * `steps` ring hops, each moving `shard_bytes` on one link — the
      * paper's comm_t_ring. Bidirectional transfer shows up as a halved

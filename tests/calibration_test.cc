@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Calibration regression suite (DESIGN.md §15), ctest label
+ * `calibration`: the fitted §5.5 replay must keep predicting what the
+ * traced simulator measures, and the gate decisions it drives must
+ * keep being right.
+ *
+ *   - the committed CalibrationFit::Fitted() coefficients match a
+ *     re-run of the fit over the calibration site space, and the
+ *     residuals stay inside the bounds recorded when they were fitted;
+ *   - over the overlap-report site space under the default (gated)
+ *     compiler, every decomposed verdict simulates an actual speedup
+ *     >= 1 - tolerance, and every rejection is justified (forcing the
+ *     gate open simulates no speedup worth having);
+ *   - the per-site hidden-fraction prediction error — graded against
+ *     the forced-decomposed trace for rejected sites — stays under the
+ *     0.15 mean gate;
+ *   - the GPT_32B model report decomposes sites, speeds up, and grades
+ *     its predictions inside the same mean-error gate.
+ */
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/overlap_report.h"
+#include "core/pod_runner.h"
+#include "difftest/calibration.h"
+#include "difftest/difftest.h"
+#include "models/model_config.h"
+
+namespace overlap {
+namespace {
+
+using difftest::BuildSiteModule;
+using difftest::CalibrationSiteSpace;
+using difftest::CollectCalibrationSamples;
+using difftest::FitCalibration;
+using difftest::OverlapReportSiteSpace;
+using difftest::SiteSpec;
+
+/// The fit driver's arguments behind CalibrationFit::Fitted()
+/// (bench/calibration_fit defaults).
+constexpr uint64_t kFitSeed = 11;
+constexpr int64_t kFitGeneratedSites = 16;
+
+/// Gate tolerances (DESIGN.md §15). The speedup tolerance matches the
+/// gate's own decision_margin.
+constexpr double kSpeedupTolerance = 0.02;
+constexpr double kMaxMeanHiddenFractionError = 0.15;
+
+struct GatedRun {
+    OverlapReport report;
+    double actual_speedup = 0.0;
+};
+
+/** Compiles, simulates (traced) and reports one site, plus the
+ * blocking baseline for the actual speedup. */
+GatedRun
+RunSite(const SiteSpec& spec, bool force)
+{
+    auto module = BuildSiteModule(spec);
+    EXPECT_TRUE(module.ok()) << module.status().ToString();
+    CompilerOptions options;
+    options.decompose.use_cost_model = !force;
+    auto compile = OverlapCompiler(options).Compile(module->get());
+    EXPECT_TRUE(compile.ok()) << compile.status().ToString();
+
+    PodSimulator simulator(spec.mesh(), options.hardware);
+    auto sim = simulator.Run(**module, /*collect_trace=*/true);
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+
+    auto report = BuildOverlapReport(compile.value(), sim.value());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+
+    auto blocking = BuildSiteModule(spec);
+    EXPECT_TRUE(blocking.ok());
+    auto baseline_compile =
+        OverlapCompiler(CompilerOptions::Baseline()).Compile(blocking->get());
+    EXPECT_TRUE(baseline_compile.ok());
+    auto baseline_sim = simulator.Run(**blocking);
+    EXPECT_TRUE(baseline_sim.ok());
+
+    GatedRun run;
+    run.report = std::move(report).value();
+    run.actual_speedup = sim->step_seconds > 0.0
+                             ? baseline_sim->step_seconds / sim->step_seconds
+                             : 1.0;
+    return run;
+}
+
+TEST(CalibrationTest, FittedCoefficientsMatchRefit)
+{
+    auto samples = CollectCalibrationSamples(
+        CalibrationSiteSpace(kFitSeed, kFitGeneratedSites),
+        HardwareSpec());
+    ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    ASSERT_FALSE(samples->empty());
+
+    difftest::CalibrationSummary summary = FitCalibration(*samples);
+    CalibrationFit committed = CalibrationFit::Fitted();
+    for (int s = 0; s < kNumLoopStructures; ++s) {
+        auto i = static_cast<size_t>(s);
+        EXPECT_NEAR(summary.fit.wire_scale[i], committed.wire_scale[i],
+                    1e-6)
+            << "wire scale for "
+            << LoopStructureName(static_cast<LoopStructure>(s))
+            << " drifted from the committed fit — re-run "
+               "bench/calibration_fit and update "
+               "CalibrationFit::Fitted()";
+    }
+
+    // Residual bounds recorded when the fit was committed (mean 3.0%,
+    // worst 17.9% on tiny latency-dominated unidirectional loops),
+    // with headroom so timing jitter-free model changes, not noise,
+    // trip them.
+    EXPECT_LE(summary.overall_mean_abs_error, 0.05);
+    EXPECT_LE(summary.max_abs_error, 0.25);
+
+    // Every structure the replay models is represented in the fit.
+    for (int s = 0; s < kNumLoopStructures; ++s) {
+        EXPECT_GT(summary.samples_per_structure[static_cast<size_t>(s)],
+                  0)
+            << "no calibration sample emits "
+            << LoopStructureName(static_cast<LoopStructure>(s));
+    }
+}
+
+TEST(CalibrationTest, DecomposedVerdictsSpeedUpRejectionsJustified)
+{
+    for (const SiteSpec& spec : OverlapReportSiteSpace()) {
+        GatedRun gated = RunSite(spec, /*force=*/false);
+        ASSERT_FALSE(gated.report.sites.empty())
+            << spec.ToString() << ": no matched site";
+        for (const SiteOverlapReport& site : gated.report.sites) {
+            if (site.decomposed) {
+                EXPECT_GE(gated.actual_speedup, 1.0 - kSpeedupTolerance)
+                    << spec.ToString()
+                    << ": gate accepted a site that simulates a slowdown";
+            } else {
+                // The gate said no: forcing it open must not reveal a
+                // speedup it should have taken.
+                GatedRun forced = RunSite(spec, /*force=*/true);
+                EXPECT_LT(forced.actual_speedup,
+                          1.0 + kSpeedupTolerance)
+                    << spec.ToString()
+                    << ": gate rejected a site that simulates a speedup";
+            }
+        }
+    }
+}
+
+TEST(CalibrationTest, HiddenFractionErrorUnderGate)
+{
+    double error_sum = 0.0;
+    int64_t error_count = 0;
+    for (const SiteSpec& spec : OverlapReportSiteSpace()) {
+        GatedRun gated = RunSite(spec, /*force=*/false);
+        // Rejected sites are graded against the loop they would have
+        // emitted, same as bench/overlap_report --check.
+        const OverlapReport& graded =
+            gated.report.error_sites > 0
+                ? gated.report
+                : RunSite(spec, /*force=*/true).report;
+        ASSERT_GT(graded.error_sites, 0)
+            << spec.ToString() << ": no graded prediction";
+        error_sum += graded.mean_abs_hidden_fraction_error;
+        ++error_count;
+        for (const SiteOverlapReport& site : graded.sites) {
+            if (!site.has_prediction_error) continue;
+            EXPECT_GE(site.predicted_hidden_fraction, 0.0);
+            EXPECT_LE(site.predicted_hidden_fraction, 1.0);
+            EXPECT_LE(std::fabs(site.hidden_fraction_error), 1.0);
+        }
+    }
+    ASSERT_GT(error_count, 0);
+    EXPECT_LE(error_sum / static_cast<double>(error_count),
+              kMaxMeanHiddenFractionError);
+}
+
+TEST(CalibrationTest, Gpt32BModelReportHoldsTheGate)
+{
+    const ModelConfig* model = FindModel("GPT_32B");
+    ASSERT_NE(model, nullptr);
+    auto analysis = AnalyzeModelOverlap(*model, CompilerOptions());
+    ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+    const OverlapReport& report = analysis->report;
+    EXPECT_GT(report.decomposed_sites(), 0)
+        << "calibrated gate decomposes nothing in GPT_32B";
+    EXPECT_GE(report.actual_speedup, 1.0 - kSpeedupTolerance)
+        << "decomposition made the GPT_32B layer slower";
+    EXPECT_GT(report.error_sites, 0);
+
+    // Inside a whole layer a loop's flights also hide under the
+    // *surrounding* compute, so the isolated-loop prediction is
+    // expected to be conservative there (signed error < 0). What the
+    // gate must never let back in is the old model's optimism: grade
+    // only the optimistic side of each site's error.
+    double optimism_sum = 0.0;
+    int64_t graded = 0;
+    for (const SiteOverlapReport& site : report.sites) {
+        if (!site.has_prediction_error) continue;
+        optimism_sum += std::max(0.0, site.hidden_fraction_error);
+        ++graded;
+    }
+    ASSERT_GT(graded, 0);
+    EXPECT_LE(optimism_sum / static_cast<double>(graded),
+              kMaxMeanHiddenFractionError);
+}
+
+}  // namespace
+}  // namespace overlap

@@ -1,5 +1,11 @@
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "core/overlap_report.h"
+#include "difftest/calibration.h"
+#include "difftest/difftest.h"
 #include "hlo/builder.h"
 #include "hlo/module.h"
 #include "sim/cost_model.h"
@@ -116,6 +122,151 @@ TEST_F(CostModelTest, AllToAllScalesWithSqrtGroup)
     double t64 = cost_.BlockingCollectiveSeconds(a64);
     // sqrt(64)/sqrt(4) = 4x for the same payload.
     EXPECT_NEAR(t64 / t4, 4.0, 0.2);
+}
+
+// ---------------------------------------------------------------------
+// Calibrated-replay accuracy on real sites (DESIGN.md §15): the span,
+// hidden-fraction and speedup predictions the §5.5 gate acts on must
+// track what the traced engine simulation measures, per decomposition
+// case. Runs under `ctest -L calibration`.
+// ---------------------------------------------------------------------
+
+/** The forced-decomposed compile of `spec`, graded against its own
+ * traced simulation: the decomposed verdict plus the overlap-report
+ * site row carrying predicted vs. simulated hidden fraction. */
+struct ForcedSite {
+    SiteDecision decision;
+    SiteOverlapReport report_site;
+};
+
+ForcedSite
+ForcedDecision(const difftest::SiteSpec& spec, const char* variant_name)
+{
+    ForcedSite result;
+    auto variant = difftest::FindVariant(variant_name);
+    EXPECT_TRUE(variant.ok());
+    auto module = difftest::BuildSiteModule(spec);
+    EXPECT_TRUE(module.ok()) << module.status().ToString();
+    CompilerOptions options;
+    options.decompose.use_cost_model = false;
+    options.decompose.unroll = variant->unroll;
+    options.decompose.bidirectional = variant->bidirectional;
+    options.decompose.force_unidirectional = variant->force_unidirectional;
+    auto compile = OverlapCompiler(options).Compile(module->get());
+    EXPECT_TRUE(compile.ok()) << compile.status().ToString();
+    PodSimulator simulator(spec.mesh(), options.hardware);
+    auto sim = simulator.Run(**module, /*collect_trace=*/true);
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+    auto report = BuildOverlapReport(compile.value(), sim.value());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    for (const SiteDecision& d : compile->decompose.decisions) {
+        if (d.decomposed) result.decision = d;
+    }
+    for (const SiteOverlapReport& site : report->sites) {
+        if (site.decomposed) result.report_site = site;
+    }
+    EXPECT_TRUE(result.decision.decomposed)
+        << spec.ToString() << ": no decomposed site";
+    return result;
+}
+
+TEST(CostModelSiteTest, PredictionsMatchSimulationPerCase)
+{
+    // The default lowering (bidirectional + unrolled) the gate judges:
+    // on every §5.1 case of the shared site space the predicted span
+    // is within 3% of the traced simulation, the hidden fraction
+    // within 0.05, and the predicted speedup within 0.05 of the
+    // simulated end-to-end speedup.
+    for (const difftest::SiteSpec& spec :
+         difftest::OverlapReportSiteSpace()) {
+        auto samples =
+            difftest::CollectCalibrationSamples({spec}, HardwareSpec());
+        ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+        bool saw_default = false;
+        for (const difftest::CalibrationSample& sample : *samples) {
+            if (sample.variant != "bidi_unroll") continue;
+            saw_default = true;
+            double err = difftest::RelativeSpanError(
+                sample, CalibrationFit::Fitted());
+            EXPECT_LE(std::fabs(err), 0.03)
+                << spec.ToString() << ": span error " << err;
+
+            ForcedSite forced = ForcedDecision(spec, "bidi_unroll");
+            const SiteDecision& decision = forced.decision;
+            double predicted_speedup =
+                (decision.comp_t + decision.comm_t) /
+                (std::max(decision.comp_t, decision.comm_t_ring) +
+                 decision.extra_t);
+            EXPECT_NEAR(predicted_speedup, sample.SimulatedSpeedup(),
+                        0.05)
+                << spec.ToString();
+
+            ASSERT_TRUE(forced.report_site.has_prediction_error)
+                << spec.ToString();
+            EXPECT_LE(
+                std::fabs(forced.report_site.hidden_fraction_error),
+                0.05)
+                << spec.ToString() << ": predicted hidden "
+                << forced.report_site.predicted_hidden_fraction
+                << " vs simulated "
+                << forced.report_site.sim_hidden_fraction;
+        }
+        EXPECT_TRUE(saw_default) << spec.ToString();
+    }
+}
+
+TEST(CostModelSiteTest, OddExtentSitesLowerToUnidirectionalAndPredict)
+{
+    // Odd shard extents cannot split into two bidirectional
+    // half-streams; the pass falls back to the unidirectional loop and
+    // the replay must still predict that structure. Odd-extent
+    // versions of the big report sites, unrolled lowering.
+    for (difftest::SiteSpec spec : difftest::OverlapReportSiteSpace()) {
+        spec.shard_extent += 1;  // 64→65, 2048→2049, 8→9, 256→257
+        auto samples =
+            difftest::CollectCalibrationSamples({spec}, HardwareSpec());
+        ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+        bool saw_uni = false;
+        for (const difftest::CalibrationSample& sample : *samples) {
+            if (sample.shape.structure !=
+                    LoopStructure::kAllGatherUnidirectional &&
+                sample.shape.structure !=
+                    LoopStructure::kReduceScatterSingleChain &&
+                sample.shape.structure !=
+                    LoopStructure::kReduceScatterTwoChain) {
+                continue;
+            }
+            if (sample.variant != "uni_unroll") continue;
+            saw_uni = true;
+            double err = difftest::RelativeSpanError(
+                sample, CalibrationFit::Fitted());
+            EXPECT_LE(std::fabs(err), 0.05)
+                << spec.ToString() << " (" << sample.variant
+                << "): span error " << err;
+        }
+        EXPECT_TRUE(saw_uni) << spec.ToString();
+
+        // The bidirectional request itself must come back as a
+        // unidirectional structure: an odd shard extent cannot split
+        // into two half-streams.
+        auto module = difftest::BuildSiteModule(spec);
+        ASSERT_TRUE(module.ok());
+        CompilerOptions options;
+        options.decompose.use_cost_model = false;
+        auto compile = OverlapCompiler(options).Compile(module->get());
+        ASSERT_TRUE(compile.ok());
+        for (const SiteDecision& d : compile->decompose.decisions) {
+            if (!d.decomposed) continue;
+            LoopStructure structure = d.loop_shape.structure;
+            EXPECT_TRUE(structure !=
+                            LoopStructure::kAllGatherBidirectional &&
+                        structure != LoopStructure::kAllGatherTwoWay &&
+                        structure !=
+                            LoopStructure::kReduceScatterBidirectional)
+                << spec.ToString() << ": odd extent emitted "
+                << LoopStructureName(structure);
+        }
+    }
 }
 
 }  // namespace
