@@ -38,6 +38,19 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # (including chip death mid-traffic) must run clean end to end.
 "${build_dir}/bench/service_sweep" --quick --json > /dev/null
 
+# Quick silent-data-corruption sweep under the sanitizers (DESIGN.md
+# §16): detector overhead within budget, zero false positives,
+# corruption contained (rollback to a bit-identical state) and the
+# repeat offender quarantined — all with no leaks or UB along the
+# detection/rollback path.
+"${build_dir}/bench/sdc_sweep" --quick --json > /dev/null
+
+# Seeded corruption sweep through the evaluator-level detectors: every
+# injection detected (culprit chip localized) or provably masked, zero
+# false positives on clean runs.
+"${build_dir}/src/difftest/difftest_runner" --inject-sdc --cases 96 \
+    > /dev/null
+
 # Quick perf baseline under ASan (numbers are meaningless when
 # sanitized, but the bit-identical / byte-identical cross-checks and
 # the allocation accounting must hold).

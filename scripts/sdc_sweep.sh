@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and runs the silent-data-corruption sweep (bench/sdc_sweep):
+# detector overhead vs. ABFT cadence at layer scale, detection latency,
+# rollback cost and quarantine on the elastic step program, as JSON.
+# Regenerates the committed BENCH_sdc.json when run from the repo root
+# without --out. The bench self-checks its invariants (zero false
+# positives, containment bit-equality, overhead <= 10% at the default
+# cadence) and exits nonzero on any violation.
+#
+# Usage: scripts/sdc_sweep.sh [--quick] [--out FILE] [build-dir]
+#   --quick    the small sweep the sanitize suite runs (2 cadences,
+#              8 elastic steps)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+quick_flag=""
+out_path="${repo_root}/BENCH_sdc.json"
+build_dir="${repo_root}/build"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick) quick_flag="--quick"; shift ;;
+      --out) out_path="$2"; shift 2 ;;
+      *) build_dir="$1"; shift ;;
+    esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target sdc_sweep
+
+"${build_dir}/bench/sdc_sweep" --json ${quick_flag:+${quick_flag}} \
+    --out "${out_path}"

@@ -1,5 +1,8 @@
 #include "core/pod_runner.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "core/recovery/checkpoint.h"
 #include "models/step_builder.h"
 #include "sim/trace_export.h"
@@ -123,6 +126,20 @@ RecoveryStats::ToString() const
 }
 
 std::string
+SdcStats::ToString() const
+{
+    if (detected == 0 && escaped == 0) return "no corruption";
+    std::string out = StrCat(
+        "sdc: detected=", detected, " escaped=", escaped,
+        " rollbacks=", rollbacks, " replayed=", replayed_steps,
+        " rollback_time=", HumanTime(rollback_seconds));
+    if (quarantined) {
+        out += StrCat(" quarantined_chip=", quarantined_chip);
+    }
+    return out;
+}
+
+std::string
 StepTrialReport::ToString() const
 {
     std::string out =
@@ -179,11 +196,16 @@ ElasticRunReport::AsStepTrialReport() const
 std::string
 ElasticRunReport::ToString() const
 {
-    return StrCat("elastic run: ", num_steps, " steps on ",
-                  final_mesh.ToString(), " total=",
-                  HumanTime(total_seconds),
-                  " p50_step=", HumanTime(steps.p50_step_seconds), "; ",
-                  recovery.ToString());
+    std::string out =
+        StrCat("elastic run: ", num_steps, " steps on ",
+               final_mesh.ToString(), " total=",
+               HumanTime(total_seconds),
+               " p50_step=", HumanTime(steps.p50_step_seconds), "; ",
+               recovery.ToString());
+    if (sdc.detected > 0 || sdc.escaped > 0) {
+        out += StrCat("; ", sdc.ToString());
+    }
+    return out;
 }
 
 StatusOr<ElasticRunReport>
@@ -226,6 +248,11 @@ RunElasticTraining(const Mesh& mesh, const ElasticRunOptions& options)
     // Steps below this index were already committed before the failure;
     // re-running them on the survivor mesh is replay, not progress.
     int64_t replay_until = 0;
+    // Same marker for steps re-run after an SDC rollback.
+    int64_t sdc_replay_until = 0;
+    // Detections localized per chip (current-mesh ids); hitting the
+    // strike limit quarantines the chip via a survivor-mesh replan.
+    std::unordered_map<int64_t, int64_t> sdc_strikes;
     while (step < options.num_steps) {
         auto outcome = simulator.RunStep(*program->module, step);
         if (!outcome.ok()) return outcome.status();
@@ -281,11 +308,138 @@ RunElasticTraining(const Mesh& mesh, const ElasticRunOptions& options)
             continue;
         }
 
-        auto status = AdvanceElasticState(&program.value());
-        if (!status.ok()) return status;
+        // ---- Data-model advance, with SDC containment (§16) ---------
+        //
+        // The evaluator injects the live corruptions into real tensor
+        // data and runs the detectors in line. A detection aborts the
+        // advance (state stays clean), rolls back to the newest
+        // checkpoint at or before the injection step, consumes the
+        // detected injection from the fault spec, and replays; the
+        // culprit chip collects a strike and is quarantined — evicted
+        // like a dead chip, §5.5 gate re-run on the survivor mesh — at
+        // the strike limit. Corrupted state is never committed.
+        const bool sdc_active =
+            !current_fault.silent_corruptions.empty() ||
+            current_fault.sdc.active();
+        if (sdc_active) {
+            SdcEvalConfig eval_sdc;
+            eval_sdc.corruptions = current_fault.silent_corruptions;
+            eval_sdc.detectors = current_fault.sdc;
+            eval_sdc.step = step;
+            SdcEvalSink sink;
+            EvalOptions eval_options;
+            eval_options.sdc = &eval_sdc;
+            eval_options.sdc_sink = &sink;
+            Status advanced =
+                AdvanceElasticState(&program.value(), eval_options);
+            if (!advanced.ok() && sink.detected()) {
+                const CorruptionReport primary = *sink.Primary();
+                ++report.sdc.detected;
+                ++report.sdc.rollbacks;
+                report.sdc.last_report = primary.ToString();
+                ++sdc_strikes[primary.chip];
+                // Charge the aborted step up to the (modeled) moment the
+                // detector fired.
+                if (outcome->corrupted) {
+                    report.sdc.detection_latency_seconds +=
+                        outcome->corruption_detected_at_seconds;
+                    report.total_seconds +=
+                        outcome->corruption_detected_at_seconds;
+                } else {
+                    report.total_seconds += outcome->result.step_seconds;
+                }
+
+                // Consume the detected injection so the replay is clean.
+                auto& injections = current_fault.silent_corruptions;
+                injections.erase(
+                    std::remove_if(
+                        injections.begin(), injections.end(),
+                        [&primary](const SilentCorruption& c) {
+                            return c.step == primary.injected_step &&
+                                   c.chip == primary.chip;
+                        }),
+                    injections.end());
+
+                const int64_t clean_step =
+                    store.StepAtOrBefore(primary.injected_step);
+                if (clean_step < 0) {
+                    return FailedPrecondition(StrCat(
+                        "no clean checkpoint at or before corrupted "
+                        "step ",
+                        primary.injected_step, ": ", primary.ToString()));
+                }
+                auto restored =
+                    store.RestoreAtOrBefore(primary.injected_step);
+                if (!restored.ok()) return restored.status();
+                const double restore_time =
+                    static_cast<double>(store.stored_bytes()) /
+                    options.restore_bandwidth_bytes_per_second;
+                report.sdc.rollback_seconds += restore_time;
+                report.total_seconds += restore_time;
+
+                Mesh next_mesh = current_mesh;
+                FaultSpec next_fault = current_fault;
+                const bool quarantine =
+                    sdc_strikes[primary.chip] >= options.sdc_strike_limit;
+                if (quarantine) {
+                    FailureReport quarantine_report;
+                    quarantine_report.cause =
+                        FailureCause::kSilentCorruption;
+                    quarantine_report.dead_chip = primary.chip;
+                    quarantine_report.failed_step = step;
+                    quarantine_report.last_completed_step = step - 1;
+                    auto plan = RecoveryPlanner::PlanSurvivorMesh(
+                        current_mesh, current_fault, quarantine_report);
+                    if (!plan.ok()) return plan.status();
+                    report.sdc.quarantined = true;
+                    report.sdc.quarantined_chip = primary.chip;
+                    report.recovery.survivor_plan = plan->ToString();
+                    next_mesh = plan->mesh;
+                    next_fault = plan->fault;
+                    // Strike ledger is keyed by device id; ids remap on
+                    // the survivor mesh.
+                    sdc_strikes.clear();
+                    report.sdc.rollback_seconds +=
+                        options.replan_latency_seconds;
+                    report.total_seconds += options.replan_latency_seconds;
+                }
+
+                CompilerOptions rebuild_options = options.compiler;
+                rebuild_options.fault = next_fault;
+                auto rebuilt = BuildElasticProgram(
+                    options.program, next_mesh, rebuild_options,
+                    restored.value());
+                if (!rebuilt.ok()) return rebuilt.status();
+                if (quarantine) {
+                    report.survivor_compile = rebuilt->compile;
+                }
+                program = std::move(rebuilt);
+                current_mesh = next_mesh;
+                current_fault = next_fault;
+                simulator = PodSimulator(current_mesh,
+                                         options.compiler.hardware,
+                                         FaultModel(current_fault));
+                report.sdc.replayed_steps += step - clean_step;
+                sdc_replay_until = std::max(sdc_replay_until, step);
+                step = clean_step;
+                continue;
+            }
+            if (!advanced.ok()) return advanced;
+            // Fresh injections nothing caught this step: the poisoned
+            // state has just been committed into the X shards.
+            for (const SilentCorruption& c :
+                 current_fault.silent_corruptions) {
+                if (c.step == step) ++report.sdc.escaped;
+            }
+        } else {
+            auto status = AdvanceElasticState(&program.value());
+            if (!status.ok()) return status;
+        }
         double step_time = outcome->result.step_seconds;
         report.total_seconds += step_time;
-        if (step < replay_until) {
+        if (step < sdc_replay_until) {
+            report.sdc.rollback_seconds += step_time;
+        } else if (step < replay_until) {
             report.recovery.replay_seconds += step_time;
         } else {
             committed_step_times.push_back(step_time);

@@ -142,12 +142,43 @@ struct ElasticRunOptions {
     int64_t checkpoint_interval = 2;
     ElasticProgramSpec program;
     /// Compiler configuration; `compiler.fault` carries the permanent
-    /// faults that make the run fail (and the watchdog window).
+    /// faults that make the run fail (and the watchdog window), plus the
+    /// seeded SilentCorruptions and detector config (DESIGN.md §16).
     CompilerOptions compiler;
     /// Host-to-device bandwidth the checkpoint restore is charged at.
     double restore_bandwidth_bytes_per_second = 25e9;
     /// Modeled latency of the survivor-mesh recompile.
     double replan_latency_seconds = 2e-3;
+    /// SDC containment: quarantine a chip (survivor-mesh replan, as if
+    /// it died) once this many detected corruptions localize to it.
+    int64_t sdc_strike_limit = 2;
+};
+
+/**
+ * What silent-data-corruption containment did over an elastic run
+ * (DESIGN.md §16): every detection triggers rollback to the last clean
+ * checkpoint and a replay with the consumed injection removed, so
+ * corrupted state is never committed; a chip that keeps producing
+ * corruption is quarantined like a dead chip.
+ */
+struct SdcStats {
+    /// Detections (each one also a rollback), and fresh injections no
+    /// detector covered — the poisoned state propagates for these.
+    int64_t detected = 0;
+    int64_t escaped = 0;
+    int64_t rollbacks = 0;
+    int64_t replayed_steps = 0;
+    bool quarantined = false;
+    /// Culprit chip id (in the mesh ids current at quarantine time).
+    int64_t quarantined_chip = -1;
+    /// Sum of within-step times at which detectors fired.
+    double detection_latency_seconds = 0.0;
+    /// Restore + replan + replayed-step time attributed to SDC recovery.
+    double rollback_seconds = 0.0;
+    /// CorruptionReport::ToString() of the most recent detection.
+    std::string last_report;
+
+    std::string ToString() const;
 };
 
 /** Outcome of an elastic multi-step run. */
@@ -170,6 +201,8 @@ struct ElasticRunReport {
     /// Compile report of the survivor-mesh recompile (empty when no
     /// recovery happened).
     CompileReport survivor_compile;
+    /// SDC detections, rollbacks and quarantine over the run.
+    SdcStats sdc;
 
     /** The step-trial view of this run, with recovery latency attached. */
     StepTrialReport AsStepTrialReport() const;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/strings.h"
+#include "tensor/checksum.h"
 
 namespace overlap {
 namespace {
@@ -63,9 +64,33 @@ CheckpointStore::MaybeSave(int64_t completed_steps, const Tensor& state)
 void
 CheckpointStore::Save(int64_t completed_steps, const Tensor& state)
 {
-    latest_step_ = completed_steps;
-    bytes_ = Serialize(state);
+    while (!snapshots_.empty() &&
+           snapshots_.back().step >= completed_steps) {
+        snapshots_.pop_back();
+    }
+    snapshots_.push_back({completed_steps, Serialize(state)});
     ++num_saves_;
+}
+
+int64_t
+CheckpointStore::latest_step() const
+{
+    return snapshots_.empty() ? -1 : snapshots_.back().step;
+}
+
+int64_t
+CheckpointStore::stored_bytes() const
+{
+    return snapshots_.empty()
+               ? 0
+               : static_cast<int64_t>(snapshots_.back().bytes.size());
+}
+
+std::vector<uint8_t>&
+CheckpointStore::mutable_latest_bytes()
+{
+    OVERLAP_CHECK(!snapshots_.empty());
+    return snapshots_.back().bytes;
 }
 
 StatusOr<Tensor>
@@ -74,7 +99,26 @@ CheckpointStore::Restore() const
     if (!has_checkpoint()) {
         return FailedPrecondition("checkpoint store is empty");
     }
-    return Deserialize(bytes_);
+    return Deserialize(snapshots_.back().bytes);
+}
+
+int64_t
+CheckpointStore::StepAtOrBefore(int64_t step) const
+{
+    for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+        if (it->step <= step) return it->step;
+    }
+    return -1;
+}
+
+StatusOr<Tensor>
+CheckpointStore::RestoreAtOrBefore(int64_t step) const
+{
+    for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+        if (it->step <= step) return Deserialize(it->bytes);
+    }
+    return FailedPrecondition(
+        StrCat("no checkpoint at or before step ", step));
 }
 
 std::vector<uint8_t>
@@ -93,16 +137,30 @@ CheckpointStore::Serialize(const Tensor& tensor)
         std::memcpy(&bits, &value, sizeof(bits));
         PutU32(&out, bits);
     }
+    PutU64(&out, BytesChecksum(out.data(), out.size()));
     return out;
 }
 
 StatusOr<Tensor>
 CheckpointStore::Deserialize(const std::vector<uint8_t>& bytes)
 {
-    size_t at = 0;
-    if (bytes.size() < 9) {
+    // Verify integrity before trusting any header byte: a checkpoint
+    // whose stored and recomputed checksums disagree is rejected — the
+    // SDC recovery path must never restore silently-corrupted state.
+    if (bytes.size() < 8 + 9) {
         return InvalidArgument("checkpoint truncated: missing header");
     }
+    size_t body = bytes.size() - 8;
+    uint64_t stored = GetU64(bytes, body);
+    uint64_t computed = BytesChecksum(bytes.data(), body);
+    if (stored != computed) {
+        return FailedPrecondition(StrCat(
+            "checkpoint checksum mismatch (detector=",
+            CorruptionDetectorName(CorruptionDetector::kCheckpointChecksum),
+            "): stored ", stored, ", computed ", computed,
+            " — refusing to restore corrupted state"));
+    }
+    size_t at = 0;
     auto dtype = static_cast<DType>(bytes[at]);
     at += 1;
     auto rank = static_cast<int64_t>(GetU64(bytes, at));
@@ -110,7 +168,7 @@ CheckpointStore::Deserialize(const std::vector<uint8_t>& bytes)
     if (rank < 0 || rank > 8) {
         return InvalidArgument(StrCat("checkpoint has bad rank ", rank));
     }
-    if (bytes.size() < at + static_cast<size_t>(rank) * 8) {
+    if (body < at + static_cast<size_t>(rank) * 8) {
         return InvalidArgument("checkpoint truncated: missing dims");
     }
     std::vector<int64_t> dims;
@@ -124,11 +182,11 @@ CheckpointStore::Deserialize(const std::vector<uint8_t>& bytes)
         dims.push_back(dim);
         num_elements *= dim;
     }
-    if (bytes.size() != at + static_cast<size_t>(num_elements) * 4) {
+    if (body != at + static_cast<size_t>(num_elements) * 4) {
         return InvalidArgument(
             StrCat("checkpoint payload size mismatch: want ",
                    num_elements * 4, " bytes, have ",
-                   static_cast<int64_t>(bytes.size() - at)));
+                   static_cast<int64_t>(body - at)));
     }
     std::vector<float> values;
     values.reserve(static_cast<size_t>(num_elements));

@@ -19,6 +19,14 @@ namespace overlap {
  * different shard extents). State is kept serialized — the restore path
  * always goes through deserialization, so the bitwise round-trip the
  * tests check is the path recovery actually takes.
+ *
+ * Every serialized snapshot carries a trailing FNV-1a checksum over the
+ * header + payload; Deserialize verifies it before trusting any byte, so
+ * a corrupted checkpoint is rejected with a clear error instead of
+ * silently restoring poisoned state (DESIGN.md §16). The store also
+ * keeps the full snapshot history so SDC recovery can roll back *past*
+ * the latest checkpoint when the corruption was injected earlier
+ * (RestoreAtOrBefore).
  */
 class CheckpointStore {
   public:
@@ -33,37 +41,60 @@ class CheckpointStore {
      */
     bool MaybeSave(int64_t completed_steps, const Tensor& state);
 
-    /** Unconditionally snapshots `state` at `completed_steps`. */
+    /**
+     * Unconditionally snapshots `state` at `completed_steps`. Snapshots
+     * at or after `completed_steps` are dropped first — after a rollback
+     * they describe a discarded timeline.
+     */
     void Save(int64_t completed_steps, const Tensor& state);
 
-    bool has_checkpoint() const { return latest_step_ >= 0; }
+    bool has_checkpoint() const { return !snapshots_.empty(); }
 
     /** Completed-step count of the latest snapshot; -1 when empty. */
-    int64_t latest_step() const { return latest_step_; }
+    int64_t latest_step() const;
 
-    /** Deserializes the latest snapshot. */
+    /** Deserializes (and integrity-checks) the latest snapshot. */
     StatusOr<Tensor> Restore() const;
 
+    /**
+     * Completed-step count of the newest snapshot taken at or before
+     * `step`; -1 when none qualifies. What SDC rollback restores to when
+     * the corruption was injected at `step` + 1 or later.
+     */
+    int64_t StepAtOrBefore(int64_t step) const;
+
+    /** Deserializes the newest snapshot at or before `step`. */
+    StatusOr<Tensor> RestoreAtOrBefore(int64_t step) const;
+
     /** Size of the latest serialized snapshot (restore transfer cost). */
-    int64_t stored_bytes() const
-    {
-        return static_cast<int64_t>(bytes_.size());
-    }
+    int64_t stored_bytes() const;
 
     int64_t num_saves() const { return num_saves_; }
 
     /**
-     * Wire format (little-endian): dtype byte, rank, dims, then each
-     * element's f32 bit pattern — exposed for the round-trip tests.
+     * Mutable bytes of the latest snapshot — the corruption tests' hook
+     * for flipping a byte on the real restore path. Empty store: CHECKs.
+     */
+    std::vector<uint8_t>& mutable_latest_bytes();
+
+    /**
+     * Wire format (little-endian): dtype byte, rank, dims, each
+     * element's f32 bit pattern, then the FNV-1a checksum of everything
+     * before it — exposed for the round-trip tests.
      */
     static std::vector<uint8_t> Serialize(const Tensor& tensor);
     static StatusOr<Tensor> Deserialize(const std::vector<uint8_t>& bytes);
 
   private:
+    struct Snapshot {
+        int64_t step = -1;
+        std::vector<uint8_t> bytes;
+    };
+
     int64_t interval_ = 1;
-    int64_t latest_step_ = -1;
     int64_t num_saves_ = 0;
-    std::vector<uint8_t> bytes_;
+    /// In increasing step order (Save drops >= entries first).
+    std::vector<Snapshot> snapshots_;
 };
 
 }  // namespace overlap

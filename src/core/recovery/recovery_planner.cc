@@ -20,11 +20,12 @@ StatusOr<SurvivorPlan>
 RecoveryPlanner::PlanSurvivorMesh(const Mesh& mesh, const FaultSpec& fault,
                                   const FailureReport& report)
 {
-    // The device to evict: the dead chip, or for a dead link (including
-    // an exhausted-retry channel) its source endpoint — removing one
-    // endpoint removes the link and the compacted ring re-forms without
-    // it.
-    int64_t dead = report.cause == FailureCause::kChipDeath
+    // The device to evict: the dead chip (or the quarantined SDC
+    // culprit), or for a dead link (including an exhausted-retry
+    // channel) its source endpoint — removing one endpoint removes the
+    // link and the compacted ring re-forms without it.
+    int64_t dead = report.cause == FailureCause::kChipDeath ||
+                           report.cause == FailureCause::kSilentCorruption
                        ? report.dead_chip
                        : report.dead_link_src;
     if (dead < 0 || dead >= mesh.num_devices()) {
@@ -107,6 +108,14 @@ RecoveryPlanner::PlanSurvivorMesh(const Mesh& mesh, const FaultSpec& fault,
             f.link_dst = old_to_new[f.link_dst];
         }
         plan.fault.permanent_faults.push_back(f);
+    }
+    // Quarantining the SDC culprit evicts its pending corruptions with
+    // it; corruptions on survivors follow their chip's new id.
+    plan.fault.silent_corruptions.clear();
+    for (SilentCorruption c : fault.silent_corruptions) {
+        if (!survives(c.chip)) continue;
+        c.chip = old_to_new[c.chip];
+        plan.fault.silent_corruptions.push_back(c);
     }
     return plan;
 }

@@ -117,9 +117,15 @@ BuildElasticProgram(const ElasticProgramSpec& spec, const Mesh& mesh,
 Status
 AdvanceElasticState(ElasticProgram* program)
 {
+    return AdvanceElasticState(program, EvalOptions());
+}
+
+Status
+AdvanceElasticState(ElasticProgram* program, const EvalOptions& options)
+{
     std::vector<std::vector<Tensor>> params = {program->w_shards,
                                                program->x_shards};
-    SpmdEvaluator evaluator(program->mesh);
+    SpmdEvaluator evaluator(program->mesh, options);
     auto outputs = evaluator.Evaluate(*program->module->entry(), params);
     if (!outputs.ok()) return outputs.status();
     program->x_shards = std::move(outputs).value();

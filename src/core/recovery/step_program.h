@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/overlap_compiler.h"
+#include "interp/evaluator.h"
 #include "support/status.h"
 #include "tensor/mesh.h"
 #include "tensor/tensor.h"
@@ -78,6 +79,16 @@ StatusOr<ElasticProgram> BuildElasticProgram(const ElasticProgramSpec& spec,
  * with the SPMD interpreter and replaces the X shards with the outputs.
  */
 Status AdvanceElasticState(ElasticProgram* program);
+
+/**
+ * Like above, but under explicit EvalOptions — the SDC containment loop
+ * passes `options.sdc` / `options.sdc_sink` so seeded corruptions are
+ * injected and detected during the advance. On a detection the evaluator
+ * aborts and the X shards are left untouched: corrupted state never
+ * replaces clean state.
+ */
+Status AdvanceElasticState(ElasticProgram* program,
+                           const EvalOptions& options);
 
 /**
  * The current *logical* state: X shards stitched back into the global

@@ -1,6 +1,7 @@
 #include "core/service/pod_service.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -89,6 +90,8 @@ MirrorStats(MetricsRegistry* registry, const std::string& prefix,
     registry->counter(prefix + ".slo_violations_total")
         ->Add(stats.slo_violations);
     registry->counter(prefix + ".goodput_total")->Add(stats.goodput);
+    registry->counter(prefix + ".corrupted_rejected_total")
+        ->Add(stats.corrupted_rejected);
 }
 
 }  // namespace
@@ -102,6 +105,7 @@ ClassStats::ToJson() const
                   ", \"completed\": ", completed,
                   ", \"shed_under_backlog\": ", shed_under_backlog,
                   ", \"shed_expired\": ", shed_expired,
+                  ", \"corrupted_rejected\": ", corrupted_rejected,
                   ", \"slo_violations\": ", slo_violations,
                   ", \"goodput\": ", goodput,
                   ", \"p50_latency_s\": ", p50_latency_seconds,
@@ -140,6 +144,9 @@ ServiceReport::ToJson() const
         ", \"peak_queue_depth\": ", peak_queue_depth,
         ", \"overloaded\": ", overloaded ? "true" : "false",
         ", \"degraded_blocking\": ", degraded_blocking ? "true" : "false",
+        ", \"corruption_detections\": ", corruption_detections,
+        ", \"sdc_quarantined\": ", sdc_quarantined ? "true" : "false",
+        ", \"sdc_quarantined_chip\": ", sdc_quarantined_chip,
         ", \"final_mesh\": \"", final_mesh.ToString(),
         "\",\n \"recoveries\": [", StrJoin(recovery_json, ", "),
         "],\n \"metrics\": ", metrics_json.empty() ? "{}" : metrics_json,
@@ -155,6 +162,12 @@ ServiceReport::ToString() const
         HumanTime(inference.p99_latency_seconds), "), training ",
         training.goodput, "/", training.arrivals, " in-SLO, ",
         recoveries.size(), " recoveries",
+        corruption_detections > 0
+            ? StrCat(", ", corruption_detections, " corruptions rejected")
+            : "",
+        sdc_quarantined ? StrCat(" (chip ", sdc_quarantined_chip,
+                                 " quarantined)")
+                        : "",
         degraded_blocking ? " (degraded to blocking)" : "",
         overloaded ? " OVERLOADED" : "",
         ", peak depth ", peak_queue_depth,
@@ -186,6 +199,9 @@ PodService::Run()
     }
     if (options_.max_runtime_factor < 1.0) {
         return InvalidArgument("max runtime factor must be >= 1");
+    }
+    if (options_.sdc_strike_limit < 1) {
+        return InvalidArgument("sdc strike limit must be >= 1");
     }
 
     ScopedMetricsEnable metrics_on;
@@ -252,6 +268,39 @@ PodService::Run()
     FailureReport failure;
     bool has_inflight = false;
     ServiceRequest inflight;
+
+    // SDC containment state (§16): detections localized per chip
+    // (current-mesh ids). Consuming a detected injection keeps the
+    // retry clean; hitting the strike limit quarantines the chip
+    // through the regular recovery path with a synthesized
+    // kSilentCorruption report (restore + survivor replan).
+    std::unordered_map<int64_t, int64_t> sdc_strikes;
+    auto consume_injection = [&](const CorruptionReport& rep) {
+        auto& injections = current_fault.silent_corruptions;
+        injections.erase(
+            std::remove_if(injections.begin(), injections.end(),
+                           [&rep](const SilentCorruption& c) {
+                               return c.step == rep.injected_step &&
+                                      c.chip == rep.chip;
+                           }),
+            injections.end());
+        simulator = PodSimulator(current_mesh, options_.compiler.hardware,
+                                 FaultModel(current_fault));
+    };
+    auto strike = [&](int64_t chip, int64_t at_step) {
+        if (++sdc_strikes[chip] < options_.sdc_strike_limit) return;
+        failure = FailureReport();
+        failure.cause = FailureCause::kSilentCorruption;
+        failure.dead_chip = chip;
+        failure.failed_step = at_step;
+        failure.last_completed_step = at_step - 1;
+        // Detection time was already charged when the detector fired.
+        failure.detected_at_seconds = 0.0;
+        has_failure = true;
+        report.sdc_quarantined = true;
+        report.sdc_quarantined_chip = chip;
+        sdc_strikes.clear();
+    };
 
     auto admit_up_to = [&](double time) {
         while (next_arrival < arrivals.size() &&
@@ -398,6 +447,15 @@ PodService::Run()
                 failure = outcome->failure;
                 continue;
             }
+            if (outcome->corrupted) {
+                // Corruption detected mid-replay: consume the injection
+                // and retry the same replay step on a clean draw.
+                ++report.corruption_detections;
+                now += outcome->corruption_detected_at_seconds;
+                consume_injection(outcome->corruption);
+                strike(outcome->corruption.chip, report.pod_steps);
+                continue;
+            }
             ++report.pod_steps;
             now += outcome->result.step_seconds;
             report.recoveries.back().replay_seconds +=
@@ -432,8 +490,9 @@ PodService::Run()
         const HloModule& module = request.job == JobClass::kTraining
                                       ? *program->module
                                       : *tower->module;
+        const int64_t step_index = report.pod_steps;
         auto outcome =
-            simulator.RunStep(module, report.pod_steps,
+            simulator.RunStep(module, step_index,
                               /*collect_trace=*/false,
                               RequestTrial(request));
         if (!outcome.ok()) return outcome.status();
@@ -444,11 +503,50 @@ PodService::Run()
             inflight = request;
             continue;
         }
+        if (outcome->corrupted) {
+            // Containment: the detector fired before the result left
+            // the pod — the response is rejected, never emitted, and
+            // the request lands in its own terminal bucket.
+            ++stats_of(request.job).corrupted_rejected;
+            ++report.corruption_detections;
+            now += outcome->corruption_detected_at_seconds;
+            consume_injection(outcome->corruption);
+            strike(outcome->corruption.chip, step_index);
+            continue;
+        }
         ++report.pod_steps;
         now += outcome->result.step_seconds;
         if (request.job == JobClass::kTraining) {
-            auto status = AdvanceElasticState(&program.value());
-            if (!status.ok()) return status;
+            const bool sdc_active =
+                !current_fault.silent_corruptions.empty() ||
+                current_fault.sdc.active();
+            if (sdc_active) {
+                // Inject + detect at the data level too: the evaluator
+                // aborts on detection, so corrupted shards never
+                // replace clean training state.
+                SdcEvalConfig eval_sdc;
+                eval_sdc.corruptions = current_fault.silent_corruptions;
+                eval_sdc.detectors = current_fault.sdc;
+                eval_sdc.step = step_index;
+                SdcEvalSink sink;
+                EvalOptions eval_options;
+                eval_options.sdc = &eval_sdc;
+                eval_options.sdc_sink = &sink;
+                Status advanced =
+                    AdvanceElasticState(&program.value(), eval_options);
+                if (!advanced.ok() && sink.detected()) {
+                    const CorruptionReport primary = *sink.Primary();
+                    ++stats_of(request.job).corrupted_rejected;
+                    ++report.corruption_detections;
+                    consume_injection(primary);
+                    strike(primary.chip, step_index);
+                    continue;
+                }
+                if (!advanced.ok()) return advanced;
+            } else {
+                auto status = AdvanceElasticState(&program.value());
+                if (!status.ok()) return status;
+            }
             ++committed;
             max_committed = committed;
             auto state = LogicalElasticState(*program);

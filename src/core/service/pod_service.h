@@ -45,6 +45,11 @@ struct ServiceOptions {
     double restore_bandwidth_bytes_per_second = 25e9;
     double replan_latency_seconds = 2e-3;
 
+    /// SDC containment (DESIGN.md §16): quarantine a chip — evicted via
+    /// the survivor-mesh replan, like a dead chip — once this many
+    /// detected corruptions localize to it.
+    int64_t sdc_strike_limit = 2;
+
     /// Hard stop: the service gives up (shedding everything left and
     /// reporting `overloaded`) once simulated time exceeds
     /// `arrivals.duration_seconds * max_runtime_factor` — an unstable
@@ -63,6 +68,9 @@ struct ClassStats {
     int64_t shed_under_backlog = 0;
     /// Dropped because the deadline passed while still queued.
     int64_t shed_expired = 0;
+    /// Executed, but a detector flagged silent data corruption in the
+    /// result — the response is rejected, never emitted (§16).
+    int64_t corrupted_rejected = 0;
     /// Completed, but after the deadline.
     int64_t slo_violations = 0;
     /// Completed within the deadline.
@@ -78,13 +86,15 @@ struct ClassStats {
     /**
      * The conservation laws of the accounting: arrivals == admitted +
      * shed_at_admission, admitted == completed + shed_under_backlog +
-     * shed_expired (up to the still-queued remainder mid-run; exact in
-     * a final report), completed == goodput + slo_violations.
+     * shed_expired + corrupted_rejected (up to the still-queued
+     * remainder mid-run; exact in a final report), completed == goodput
+     * + slo_violations.
      */
     bool Consistent() const
     {
         return arrivals == admitted + shed_at_admission &&
-               admitted == completed + shed_under_backlog + shed_expired &&
+               admitted == completed + shed_under_backlog + shed_expired +
+                               corrupted_rejected &&
                completed == goodput + slo_violations;
     }
 
@@ -133,6 +143,12 @@ struct ServiceReport {
     /// Any recovery left the service on blocking lowering.
     bool degraded_blocking = false;
     std::vector<ServiceRecovery> recoveries;
+    /// SDC containment under load (§16): detector firings (each one a
+    /// rejected-never-emitted response) and whether a chip hit the
+    /// strike limit and was quarantined off the mesh.
+    int64_t corruption_detections = 0;
+    bool sdc_quarantined = false;
+    int64_t sdc_quarantined_chip = -1;
     /// The mesh the service ended on (shrunk after chip/link death).
     Mesh final_mesh{1};
     /// SnapshotJson() of the service's own metrics registry.

@@ -592,5 +592,263 @@ RunDiffTest(const DiffTestConfig& config)
     return summary;
 }
 
+namespace {
+
+/**
+ * Mirror of the evaluator's exchange-op classification (the per-kind
+ * ordinal scheme SilentCorruption targets use): the ops the interpreter
+ * evaluates as a cross-device exchange.
+ */
+bool
+IsSdcExchangeOp(HloOpcode opcode)
+{
+    switch (opcode) {
+      case HloOpcode::kAllGather:
+      case HloOpcode::kReduceScatter:
+      case HloOpcode::kAllReduce:
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kCollectivePermute:
+      case HloOpcode::kCollectivePermuteStart: return true;
+      default: return false;
+    }
+}
+
+/** One SDC case's verdict, detached for pool workers. */
+struct SdcCaseOutcome {
+    CorruptionDetector detector = CorruptionDetector::kNone;
+    bool detected = false;
+    bool masked = false;
+    bool false_positive = false;
+    bool localization_error = false;
+    bool escaped = false;
+    /// Populated for any failing verdict.
+    std::string note;
+    Status error;
+};
+
+SdcCaseOutcome
+RunSdcCase(const SdcSweepConfig& config, int64_t index)
+{
+    SdcCaseOutcome out;
+    // The corruption model is f32 bit-level; pin the dtype so every
+    // case exercises it (the equivalence sweep covers bf16 separately).
+    SiteSpec spec = GenerateSiteSpec(config.seed, index);
+    spec.dtype = DType::kF32;
+
+    // Cycle the blocking form and all six decomposed variants, so both
+    // the original collective + einsum pair and the looped rewrite (with
+    // its CollectivePermute ring and partial einsums) face injections.
+    auto scenario = BuildSiteScenario(spec);
+    if (!scenario.ok()) {
+        out.error = scenario.status();
+        return out;
+    }
+    const int64_t shape = index % 7;
+    std::string form = "blocking";
+    if (shape > 0) {
+        const DecomposeVariant& variant =
+            AllDecomposeVariants()[static_cast<size_t>(shape - 1)];
+        form = variant.name;
+        out.error = TransformScenario(&scenario.value(), variant, false);
+        if (!out.error.ok()) return out;
+    }
+    const Mesh& mesh = *scenario->module->mesh();
+    const HloComputation& comp = *scenario->module->entry();
+
+    // Per-kind ordinal counts, walking the (possibly rewritten) program
+    // in the same order the evaluator names targets.
+    int64_t num_einsums = 0;
+    int64_t num_exchanges = 0;
+    for (const HloInstruction* instr : comp.instructions()) {
+        if (instr->opcode() == HloOpcode::kEinsum) ++num_einsums;
+        if (IsSdcExchangeOp(instr->opcode())) ++num_exchanges;
+    }
+    if (num_einsums == 0) {
+        out.error = Internal("SDC case has no einsum to target");
+        return out;
+    }
+
+    EvalOptions plain;
+    plain.concurrent_devices = config.concurrent_devices;
+    SpmdEvaluator baseline_eval(mesh, plain);
+    auto baseline = baseline_eval.Evaluate(comp, scenario->params);
+    if (!baseline.ok()) {
+        out.error = baseline.status();
+        return out;
+    }
+
+    SdcDetectorConfig detectors;
+    detectors.enabled = true;
+    detectors.einsum_check_cadence = 1;
+
+    auto fail = [&](const char* what, const std::string& detail) {
+        out.note = StrCat(what, " [", form, "] ", spec.ToString(),
+                          detail.empty() ? "" : StrCat(" -- ", detail));
+    };
+
+    // Clean run with every detector armed: must finish report-free and
+    // bit-identical to the detectors-off run (zero false positives).
+    {
+        SdcEvalConfig clean;
+        clean.detectors = detectors;
+        SdcEvalSink sink;
+        EvalOptions eval = plain;
+        eval.sdc = &clean;
+        eval.sdc_sink = &sink;
+        SpmdEvaluator evaluator(mesh, eval);
+        auto outputs = evaluator.Evaluate(comp, scenario->params);
+        if (!outputs.ok() || sink.detected()) {
+            out.false_positive = true;
+            fail("false positive on clean run",
+                 sink.Primary() ? sink.Primary()->ToString()
+                                : outputs.status().message());
+            return out;
+        }
+        OutputComparison same =
+            CompareOutputs(*baseline, *outputs, /*tolerance=*/0.0);
+        if (!same.equal) {
+            out.false_positive = true;
+            fail("detectors-on clean run diverged", same.ToString());
+            return out;
+        }
+    }
+
+    // One seeded injection. Every 5th case aims deliberately out of
+    // range (chip or ordinal) to prove the masked path: nothing is
+    // touched and the sweep verifies bit-equality rather than detection.
+    std::mt19937_64 rng(DeriveTaskSeed(config.seed,
+                                       static_cast<uint64_t>(index)));
+    const bool out_of_range = index % 5 == 4;
+    SilentCorruption c;
+    c.step = 0;
+    c.target = (num_exchanges > 0 && rng() % 2 == 0)
+                   ? CorruptionTarget::kTransferPayload
+                   : CorruptionTarget::kEinsumOutput;
+    const int64_t num_targets = c.target == CorruptionTarget::kEinsumOutput
+                                    ? num_einsums
+                                    : num_exchanges;
+    c.chip = static_cast<int64_t>(rng() % static_cast<uint64_t>(
+                                              mesh.num_devices()));
+    c.instruction =
+        static_cast<int64_t>(rng() % static_cast<uint64_t>(num_targets));
+    if (out_of_range) {
+        if (rng() % 2 == 0) {
+            c.chip = mesh.num_devices() + static_cast<int64_t>(rng() % 3);
+        } else {
+            c.instruction = num_targets + static_cast<int64_t>(rng() % 3);
+        }
+    }
+    c.element = static_cast<int64_t>(rng() % 1024);
+    c.kind = rng() % 4 == 0 ? CorruptionKind::kValuePerturbation
+                            : CorruptionKind::kBitFlip;
+
+    SdcEvalConfig injected;
+    injected.corruptions.push_back(c);
+    injected.detectors = detectors;
+    SdcEvalSink sink;
+    EvalOptions eval = plain;
+    eval.sdc = &injected;
+    eval.sdc_sink = &sink;
+    SpmdEvaluator evaluator(mesh, eval);
+    auto outputs = evaluator.Evaluate(comp, scenario->params);
+
+    if (!outputs.ok() && sink.detected()) {
+        const CorruptionReport report = *sink.Primary();
+        if (out_of_range) {
+            out.false_positive = true;
+            fail("detector fired on out-of-range injection",
+                 report.ToString());
+            return out;
+        }
+        out.detected = true;
+        out.detector = report.detector;
+        if (report.chip != c.chip) {
+            out.localization_error = true;
+            fail("localized the wrong chip",
+                 StrCat("injected ", c.ToString(), ", reported ",
+                        report.ToString()));
+        }
+        return out;
+    }
+    if (!outputs.ok()) {
+        out.error = outputs.status();
+        return out;
+    }
+    OutputComparison same =
+        CompareOutputs(*baseline, *outputs, /*tolerance=*/0.0);
+    if (same.equal) {
+        out.masked = true;
+        if (!out_of_range) {
+            // In-range injections of this sweep always strike a value a
+            // cadence-1 detector guards; surviving bit-identical means
+            // the injection never landed — a harness bug worth flagging.
+            out.escaped = true;
+            fail("in-range injection touched nothing", c.ToString());
+        }
+        return out;
+    }
+    out.escaped = true;
+    fail("corruption escaped into the outputs",
+         StrCat(c.ToString(), " -- ", same.ToString()));
+    return out;
+}
+
+}  // namespace
+
+std::string
+SdcSweepSummary::ToString() const
+{
+    std::string out = StrCat(
+        "sdc sweep: ", cases_run, " cases, detected=", detected,
+        " (transfer=", transfer_detections, " abft=", abft_detections,
+        "), masked=", masked, ", false_positives=", false_positives,
+        ", localization_errors=", localization_errors,
+        ", escaped=", escaped, Clean() ? " -- CLEAN" : " -- FAILING");
+    for (const std::string& f : failures) {
+        out += StrCat("\n  FAIL ", f);
+    }
+    return out;
+}
+
+StatusOr<SdcSweepSummary>
+RunSdcSweep(const SdcSweepConfig& config)
+{
+    std::vector<SdcCaseOutcome> outcomes;
+    const int64_t threads = std::min<int64_t>(
+        config.threads, std::max<int64_t>(config.num_cases, 1));
+    if (threads > 1) {
+        ThreadPool pool(static_cast<int>(threads));
+        outcomes = pool.ParallelFor(config.num_cases, [&](int64_t i) {
+            return RunSdcCase(config, i);
+        });
+    } else {
+        outcomes.reserve(static_cast<size_t>(config.num_cases));
+        for (int64_t i = 0; i < config.num_cases; ++i) {
+            outcomes.push_back(RunSdcCase(config, i));
+            if (!outcomes.back().error.ok()) break;
+        }
+    }
+
+    SdcSweepSummary summary;
+    for (const SdcCaseOutcome& out : outcomes) {
+        if (!out.error.ok()) return out.error;
+        ++summary.cases_run;
+        if (out.detected) {
+            ++summary.detected;
+            if (out.detector == CorruptionDetector::kTransferChecksum) {
+                ++summary.transfer_detections;
+            } else if (out.detector == CorruptionDetector::kEinsumAbft) {
+                ++summary.abft_detections;
+            }
+        }
+        if (out.masked) ++summary.masked;
+        if (out.false_positive) ++summary.false_positives;
+        if (out.localization_error) ++summary.localization_errors;
+        if (out.escaped) ++summary.escaped;
+        if (!out.note.empty()) summary.failures.push_back(out.note);
+    }
+    return summary;
+}
+
 }  // namespace difftest
 }  // namespace overlap

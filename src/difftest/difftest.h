@@ -160,6 +160,58 @@ struct DiffTestSummary {
 /** Runs the seeded sweep; errors only on harness bugs, not mismatches. */
 StatusOr<DiffTestSummary> RunDiffTest(const DiffTestConfig& config);
 
+/**
+ * Configuration of the seeded silent-data-corruption sweep (§16): each
+ * case builds one overlap site (cycling blocking plus all six decompose
+ * variants), proves the detectors-on clean run is report-free and
+ * bit-identical to detectors-off, then injects one corruption derived
+ * from DeriveTaskSeed(seed, index) and requires it to be either detected
+ * with the culprit chip localized, or provably masked (out-of-range
+ * target, outputs bit-identical to the clean run).
+ */
+struct SdcSweepConfig {
+    int64_t num_cases = 64;
+    uint64_t seed = 1;
+    /// Worker threads; every thread count yields a byte-identical
+    /// summary because each case's corruption derives from
+    /// DeriveTaskSeed(seed, index), never from scheduling order.
+    int64_t threads = 1;
+    bool concurrent_devices = false;
+};
+
+/** Outcome of the SDC sweep. The sweep passes iff Clean(). */
+struct SdcSweepSummary {
+    int64_t cases_run = 0;
+    /// Injections caught by a detector before any output was produced.
+    int64_t detected = 0;
+    int64_t transfer_detections = 0;
+    int64_t abft_detections = 0;
+    /// Deliberately out-of-range injections that touched nothing,
+    /// proven harmless by bit-exact comparison against the clean run.
+    int64_t masked = 0;
+    /// Detector fired on a clean (or provably untouched) run. Must be 0:
+    /// the transfer checksum is exact and the ABFT tolerance is orders
+    /// of magnitude above f32 reassociation noise.
+    int64_t false_positives = 0;
+    /// Detected, but the report blamed the wrong chip. Must be 0.
+    int64_t localization_errors = 0;
+    /// Injected in range, undetected, and the outputs differ from the
+    /// clean run — corruption would have been emitted. Must be 0.
+    int64_t escaped = 0;
+    /// One line per failing case.
+    std::vector<std::string> failures;
+
+    bool Clean() const
+    {
+        return false_positives == 0 && localization_errors == 0 &&
+               escaped == 0;
+    }
+    std::string ToString() const;
+};
+
+/** Runs the SDC sweep; errors only on harness bugs, not detections. */
+StatusOr<SdcSweepSummary> RunSdcSweep(const SdcSweepConfig& config);
+
 }  // namespace difftest
 }  // namespace overlap
 

@@ -2,7 +2,7 @@
  * Differential-equivalence sweep over the decomposition space.
  *
  *   difftest_runner [--cases N] [--seed S] [--quick] [--inject-bug]
- *                   [--threads N] [--concurrent-devices]
+ *                   [--inject-sdc] [--threads N] [--concurrent-devices]
  *                   [--out DIR] [--repro FILE]
  *
  * Generates N seeded random overlap sites, compiles each one blocking
@@ -11,6 +11,12 @@
  * `--threads N` fans cases across a worker pool (default: hardware
  * concurrency); the summary is byte-identical at every thread count,
  * and `--threads 1` runs the historical serial loop.
+ * `--inject-sdc` runs the silent-data-corruption sweep instead: each
+ * case arms the §16 detectors, proves the clean run is report-free and
+ * bit-identical to detectors-off, then injects one seeded corruption
+ * and requires it detected (with the culprit chip localized) or
+ * provably masked; exit status 1 on any false positive, localization
+ * error or escape.
  * On a mismatch the first failing case is greedily minimized and a
  * one-line repro (+ round-trippable HLO) is written under --out; exit
  * status 1. `--repro X` re-runs a previously written .spec file, or,
@@ -45,18 +51,24 @@ main(int argc, char** argv)
     config.num_cases = 5000;
     config.seed = 1;
     config.threads = DefaultThreadCount();
+    bool inject_sdc = false;
+    bool explicit_cases = false;
     std::string out_dir = "difftest_repros";
     std::string repro_file;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--cases" && i + 1 < argc) {
             config.num_cases = ParseInt(argv[++i]);
+            explicit_cases = true;
         } else if (arg == "--seed" && i + 1 < argc) {
             config.seed = static_cast<uint64_t>(ParseInt(argv[++i]));
         } else if (arg == "--quick") {
             config.num_cases = 256;
+            explicit_cases = true;
         } else if (arg == "--inject-bug") {
             config.inject_shard_id_bug = true;
+        } else if (arg == "--inject-sdc") {
+            inject_sdc = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             config.threads = ParseInt(argv[++i]);
         } else if (arg == "--concurrent-devices") {
@@ -93,6 +105,24 @@ main(int argc, char** argv)
                   << repro->spec.ToString() << " -> "
                   << comparison->ToString() << "\n";
         return comparison->equal ? 0 : 1;
+    }
+
+    if (inject_sdc) {
+        SdcSweepConfig sdc;
+        // Each SDC case runs three full evaluations; default to a
+        // smaller sweep than the equivalence oracle unless asked.
+        sdc.num_cases = explicit_cases ? config.num_cases : 512;
+        sdc.seed = config.seed;
+        sdc.threads = config.threads;
+        sdc.concurrent_devices = config.concurrent_devices;
+        auto sdc_summary = RunSdcSweep(sdc);
+        if (!sdc_summary.ok()) {
+            std::cerr << "harness error: "
+                      << sdc_summary.status().message() << "\n";
+            return 2;
+        }
+        std::cout << sdc_summary->ToString() << "\n";
+        return sdc_summary->Clean() ? 0 : 1;
     }
 
     auto summary = RunDiffTest(config);

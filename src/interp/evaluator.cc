@@ -86,6 +86,12 @@ struct ProgramInfo {
     std::unordered_map<const HloInstruction*, int64_t> index_of;
     std::vector<int64_t> last_use;
     int64_t root_index = -1;
+    /// Per-kind ordinals in program order (-1 for other opcodes): the
+    /// stable instruction naming scheme SilentCorruption targets use.
+    std::vector<int64_t> einsum_ordinal;
+    std::vector<int64_t> exchange_ordinal;
+    int64_t num_einsums = 0;
+    int64_t num_exchanges = 0;
 };
 
 ProgramInfo
@@ -96,6 +102,16 @@ AnalyzeProgram(const HloComputation& computation)
         info.index_of.emplace(instr,
                               static_cast<int64_t>(info.instrs.size()));
         info.instrs.push_back(instr);
+        if (instr->opcode() == HloOpcode::kEinsum) {
+            info.einsum_ordinal.push_back(info.num_einsums++);
+        } else {
+            info.einsum_ordinal.push_back(-1);
+        }
+        if (IsExchangeOp(instr->opcode())) {
+            info.exchange_ordinal.push_back(info.num_exchanges++);
+        } else {
+            info.exchange_ordinal.push_back(-1);
+        }
     }
     info.last_use.resize(info.instrs.size());
     for (size_t j = 0; j < info.instrs.size(); ++j) {
@@ -231,6 +247,60 @@ EvalLocalOp(const HloInstruction* instr,
     }
     return Internal(StrCat("unexpected local op ",
                            HloOpcodeName(instr->opcode())));
+}
+
+/** SDC config + sink threaded through one evaluation. */
+struct SdcRuntime {
+    const SdcEvalConfig* cfg = nullptr;
+    SdcEvalSink* sink = nullptr;
+
+    bool active() const { return cfg != nullptr; }
+};
+
+/**
+ * Post-processes one device's einsum output under the SDC runtime:
+ * injects matching corruptions, then runs the ABFT checksum-row check
+ * when this einsum ordinal is due under the cadence. A detection
+ * deposits a report and fails with FailedPrecondition, so the corrupted
+ * value never reaches the program's downstream instructions.
+ */
+Status
+ApplySdcEinsum(const SdcRuntime& rt, const ProgramInfo& info, int64_t j,
+               const HloInstruction* instr, int64_t device,
+               const Tensor& lhs, const Tensor& rhs, Tensor* out)
+{
+    const SdcEvalConfig& cfg = *rt.cfg;
+    int64_t ordinal = info.einsum_ordinal[static_cast<size_t>(j)];
+    for (const SilentCorruption& c : cfg.corruptions) {
+        if (c.target == CorruptionTarget::kEinsumOutput &&
+            c.step == cfg.step && c.instruction == ordinal &&
+            c.chip == device) {
+            ApplyCorruption(c, out);
+        }
+    }
+    const SdcDetectorConfig& det = cfg.detectors;
+    if (det.enabled && det.verify_einsums &&
+        AbftChecked(cfg.step, ordinal, info.num_einsums,
+                    det.einsum_check_cadence)) {
+        StatusOr<AbftCheckResult> check = AbftVerifyEinsum(
+            instr->einsum(), lhs, rhs, *out, det.abft_relative_tolerance);
+        if (!check.ok()) return check.status();
+        if (!check->ok) {
+            CorruptionReport report;
+            report.step = cfg.step;
+            report.chip = device;
+            report.instruction = ordinal;
+            report.detector = CorruptionDetector::kEinsumAbft;
+            report.injected_step = cfg.step;
+            report.residual = check->max_residual;
+            report.program_index = j;
+            if (rt.sink != nullptr) rt.sink->Add(report);
+            return FailedPrecondition(
+                StrCat("silent data corruption detected: ",
+                       report.ToString()));
+        }
+    }
+    return Status::Ok();
 }
 
 /**
@@ -386,6 +456,80 @@ EvalCollective(const HloInstruction* instr, const Mesh& mesh,
 }
 
 /**
+ * EvalCollective under the SDC runtime: corrupts matching in-flight
+ * payloads (on a copy — the sender checksummed the original, exactly
+ * like real corruption between NIC and wire) and runs the receiver-side
+ * checksum verification before any payload enters the collective
+ * arithmetic. A mismatch localizes the culprit source chip, deposits a
+ * report and fails with FailedPrecondition; with verification off the
+ * corrupted payload propagates into the outputs.
+ */
+Status
+EvalCollectiveSdc(const HloInstruction* instr, const Mesh& mesh,
+                  const std::vector<const Tensor*>& inputs,
+                  std::vector<Tensor>* out, const SdcRuntime& rt,
+                  int64_t exchange_ordinal, int64_t program_index)
+{
+    if (!rt.active()) return EvalCollective(instr, mesh, inputs, out);
+    const SdcEvalConfig& cfg = *rt.cfg;
+    const int64_t n = mesh.num_devices();
+
+    const bool checksummed =
+        cfg.detectors.enabled && cfg.detectors.verify_transfers;
+    std::vector<uint64_t> sent;
+    if (checksummed) {
+        sent.resize(static_cast<size_t>(n));
+        for (int64_t d = 0; d < n; ++d) {
+            sent[static_cast<size_t>(d)] =
+                PayloadChecksum(*inputs[static_cast<size_t>(d)]);
+        }
+    }
+
+    std::vector<const Tensor*> patched = inputs;
+    size_t matches = 0;
+    for (const SilentCorruption& c : cfg.corruptions) {
+        if (c.target == CorruptionTarget::kTransferPayload &&
+            c.step == cfg.step && c.instruction == exchange_ordinal &&
+            c.chip >= 0 && c.chip < n) {
+            ++matches;
+        }
+    }
+    std::vector<Tensor> copies;
+    copies.reserve(matches);
+    for (const SilentCorruption& c : cfg.corruptions) {
+        if (c.target != CorruptionTarget::kTransferPayload ||
+            c.step != cfg.step || c.instruction != exchange_ordinal ||
+            c.chip < 0 || c.chip >= n) {
+            continue;
+        }
+        copies.push_back(*patched[static_cast<size_t>(c.chip)]);
+        ApplyCorruption(c, &copies.back());
+        patched[static_cast<size_t>(c.chip)] = &copies.back();
+    }
+
+    if (checksummed) {
+        for (int64_t d = 0; d < n; ++d) {
+            if (PayloadChecksum(*patched[static_cast<size_t>(d)]) ==
+                sent[static_cast<size_t>(d)]) {
+                continue;
+            }
+            CorruptionReport report;
+            report.step = cfg.step;
+            report.chip = d;
+            report.instruction = exchange_ordinal;
+            report.detector = CorruptionDetector::kTransferChecksum;
+            report.injected_step = cfg.step;
+            report.program_index = program_index;
+            if (rt.sink != nullptr) rt.sink->Add(report);
+            return FailedPrecondition(
+                StrCat("silent data corruption detected: ",
+                       report.ToString()));
+        }
+    }
+    return EvalCollective(instr, mesh, patched, out);
+}
+
+/**
  * A single-use meeting point for one collective instruction. Each
  * device deposits its operand; the last arriver (the "leader") runs
  * EvalCollective over the deposits in device order and wakes everyone;
@@ -395,9 +539,13 @@ EvalCollective(const HloInstruction* instr, const Mesh& mesh,
  */
 class Rendezvous {
   public:
-    explicit Rendezvous(int64_t n)
+    Rendezvous(int64_t n, const SdcRuntime& sdc, int64_t exchange_ordinal,
+               int64_t program_index)
         : inputs_(static_cast<size_t>(n)),
-          outputs_(static_cast<size_t>(n)) {}
+          outputs_(static_cast<size_t>(n)),
+          sdc_(sdc),
+          exchange_ordinal_(exchange_ordinal),
+          program_index_(program_index) {}
 
     /**
      * Deposits device `d`'s input and blocks until the exchange is
@@ -424,7 +572,9 @@ class Rendezvous {
             std::vector<const Tensor*> ptrs;
             ptrs.reserve(inputs_.size());
             for (const Tensor& t : inputs_) ptrs.push_back(&t);
-            status_ = EvalCollective(instr, mesh, ptrs, &outputs_);
+            status_ = EvalCollectiveSdc(instr, mesh, ptrs, &outputs_,
+                                        sdc_, exchange_ordinal_,
+                                        program_index_);
             done_ = true;
             cv_.notify_all();
         } else {
@@ -483,6 +633,9 @@ class Rendezvous {
     bool done_ = false;
     bool cancelled_ = false;
     Status status_;
+    SdcRuntime sdc_;
+    int64_t exchange_ordinal_ = -1;
+    int64_t program_index_ = -1;
 };
 
 /** Shared state of one concurrent evaluation. */
@@ -496,6 +649,7 @@ struct ConcurrentState {
     std::vector<int64_t> error_instr;
     std::vector<Status> error_status;
     std::vector<std::exception_ptr> exception;
+    SdcRuntime sdc;
 
     void CancelAll() {
         failed.store(true, std::memory_order_relaxed);
@@ -564,6 +718,20 @@ RunDeviceProgram(int64_t d, const ProgramInfo& info, const Mesh& mesh,
                     return;
                 }
                 vals[j] = std::move(result).value();
+                if (instr->opcode() == HloOpcode::kEinsum &&
+                    state->sdc.active()) {
+                    Status sdc_status = ApplySdcEinsum(
+                        state->sdc, info, static_cast<int64_t>(j), instr,
+                        d, *operands[0], *operands[1], &vals[j]);
+                    if (!sdc_status.ok()) {
+                        state->error_instr[static_cast<size_t>(d)] =
+                            static_cast<int64_t>(j);
+                        state->error_status[static_cast<size_t>(d)] =
+                            sdc_status;
+                        state->CancelAll();
+                        return;
+                    }
+                }
             }
             for (const HloInstruction* operand : instr->operands()) {
                 size_t i = static_cast<size_t>(info.index_of.at(operand));
@@ -583,6 +751,50 @@ RunDeviceProgram(int64_t d, const ProgramInfo& info, const Mesh& mesh,
 
 }  // namespace
 
+void
+SdcEvalSink::Add(const CorruptionReport& report)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(report);
+}
+
+void
+SdcEvalSink::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.clear();
+}
+
+bool
+SdcEvalSink::detected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return !reports_.empty();
+}
+
+std::vector<CorruptionReport>
+SdcEvalSink::reports() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reports_;
+}
+
+std::optional<CorruptionReport>
+SdcEvalSink::Primary() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const CorruptionReport* best = nullptr;
+    for (const CorruptionReport& report : reports_) {
+        if (best == nullptr || report.program_index < best->program_index ||
+            (report.program_index == best->program_index &&
+             report.chip < best->chip)) {
+            best = &report;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
 StatusOr<std::vector<Tensor>>
 SpmdEvaluator::Evaluate(const HloComputation& computation,
                         const std::vector<std::vector<Tensor>>& params) const
@@ -601,6 +813,7 @@ SpmdEvaluator::EvaluateSerial(
     const int64_t n = mesh_.num_devices();
     ProgramInfo info = AnalyzeProgram(computation);
     std::vector<PerDevice> values(info.instrs.size());
+    SdcRuntime sdc{options_.sdc, options_.sdc_sink};
 
     for (size_t j = 0; j < info.instrs.size(); ++j) {
         const HloInstruction* instr = info.instrs[j];
@@ -611,8 +824,9 @@ SpmdEvaluator::EvaluateSerial(
             std::vector<const Tensor*> inputs;
             inputs.reserve(static_cast<size_t>(n));
             for (const Tensor& t : input) inputs.push_back(&t);
-            OVERLAP_RETURN_IF_ERROR(
-                EvalCollective(instr, mesh_, inputs, &out));
+            OVERLAP_RETURN_IF_ERROR(EvalCollectiveSdc(
+                instr, mesh_, inputs, &out, sdc,
+                info.exchange_ordinal[j], static_cast<int64_t>(j)));
         } else {
             std::vector<const Tensor*> operands(
                 instr->operands().size());
@@ -627,6 +841,13 @@ SpmdEvaluator::EvaluateSerial(
                     EvalLocalOp(instr, operands, d, mesh_, params);
                 if (!result.ok()) return result.status();
                 out[static_cast<size_t>(d)] = std::move(result).value();
+                if (instr->opcode() == HloOpcode::kEinsum &&
+                    sdc.active()) {
+                    OVERLAP_RETURN_IF_ERROR(ApplySdcEinsum(
+                        sdc, info, static_cast<int64_t>(j), instr, d,
+                        *operands[0], *operands[1],
+                        &out[static_cast<size_t>(d)]));
+                }
             }
         }
         values[j] = std::move(out);
@@ -653,10 +874,13 @@ SpmdEvaluator::EvaluateConcurrent(
     ProgramInfo info = AnalyzeProgram(computation);
 
     ConcurrentState state;
+    state.sdc = SdcRuntime{options_.sdc, options_.sdc_sink};
     state.rendezvous.resize(info.instrs.size());
     for (size_t j = 0; j < info.instrs.size(); ++j) {
         if (IsExchangeOp(info.instrs[j]->opcode())) {
-            state.rendezvous[j] = std::make_unique<Rendezvous>(n);
+            state.rendezvous[j] = std::make_unique<Rendezvous>(
+                n, state.sdc, info.exchange_ordinal[j],
+                static_cast<int64_t>(j));
         }
     }
     state.error_instr.assign(static_cast<size_t>(n), -1);

@@ -1,15 +1,53 @@
 #ifndef OVERLAP_INTERP_EVALUATOR_H_
 #define OVERLAP_INTERP_EVALUATOR_H_
 
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "hlo/module.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
+#include "tensor/checksum.h"
 #include "tensor/mesh.h"
 #include "tensor/tensor.h"
 
 namespace overlap {
+
+/**
+ * Silent-data-corruption injection + detection for one evaluation (one
+ * pod step; see DESIGN.md §16). `corruptions` holds the entries live at
+ * `step` — only entries whose step matches are applied (earlier
+ * corruptions that escaped detection already live in the caller's state).
+ * Instruction targets are per-kind ordinals in program order: the i-th
+ * einsum / the i-th data-exchange collective of the entry computation,
+ * identical across serial and concurrent execution.
+ */
+struct SdcEvalConfig {
+    std::vector<SilentCorruption> corruptions;
+    SdcDetectorConfig detectors;
+    int64_t step = 0;
+};
+
+/**
+ * Thread-safe sink for detection events raised during one evaluation.
+ * In concurrent mode devices that raced ahead may contribute extra
+ * reports, so the full list is mode-dependent; Primary() — the earliest
+ * report in (program index, device) order, exactly the one the serial
+ * walk stops at — is deterministic across modes.
+ */
+class SdcEvalSink {
+  public:
+    void Add(const CorruptionReport& report);
+    void Clear();
+    bool detected() const;
+    std::vector<CorruptionReport> reports() const;
+    std::optional<CorruptionReport> Primary() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<CorruptionReport> reports_;
+};
 
 /** Execution knobs for the SPMD evaluator. The default is fully serial. */
 struct EvalOptions {
@@ -31,6 +69,17 @@ struct EvalOptions {
      * itself spawn its per-device threads.
      */
     ThreadPool* batch_pool = nullptr;
+
+    /**
+     * When set, seeded corruptions are injected during evaluation and
+     * the configured detectors (transfer checksums, einsum ABFT) run in
+     * line. A detection aborts the evaluation with FailedPrecondition —
+     * corrupted values are contained, never returned — and deposits a
+     * CorruptionReport in `sdc_sink` (when provided). Both pointers must
+     * outlive the evaluation.
+     */
+    const SdcEvalConfig* sdc = nullptr;
+    SdcEvalSink* sdc_sink = nullptr;
 };
 
 /**

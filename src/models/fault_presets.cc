@@ -106,6 +106,54 @@ AgingPod(uint64_t seed)
     return scenario;
 }
 
+FaultScenario
+SdcCompute(int64_t chip, int64_t step, int64_t instruction)
+{
+    FaultScenario scenario;
+    scenario.name = "sdc_compute";
+    scenario.description =
+        "silent bit flip in one einsum output element, caught by the "
+        "ABFT checksum-row detector before the result is emitted";
+    SilentCorruption corruption;
+    corruption.step = step;
+    corruption.chip = chip;
+    corruption.instruction = instruction;
+    corruption.target = CorruptionTarget::kEinsumOutput;
+    scenario.spec.silent_corruptions.push_back(corruption);
+    scenario.spec.sdc.enabled = true;
+    return scenario;
+}
+
+FaultScenario
+SdcTransfer(int64_t chip, int64_t step, int64_t instruction)
+{
+    FaultScenario scenario;
+    scenario.name = "sdc_transfer";
+    scenario.description =
+        "silent bit flip in one in-flight collective payload, caught by "
+        "the receiver-side checksum (localizes the source chip)";
+    SilentCorruption corruption;
+    corruption.step = step;
+    corruption.chip = chip;
+    corruption.instruction = instruction;
+    corruption.target = CorruptionTarget::kTransferPayload;
+    scenario.spec.silent_corruptions.push_back(corruption);
+    scenario.spec.sdc.enabled = true;
+    return scenario;
+}
+
+FaultScenario
+SdcUndetected(int64_t chip, int64_t step, int64_t instruction)
+{
+    FaultScenario scenario = SdcCompute(chip, step, instruction);
+    scenario.name = "sdc_undetected";
+    scenario.description =
+        "the same einsum-output bit flip with every detector off: the "
+        "corruption escapes and propagates into later steps";
+    scenario.spec.sdc = SdcDetectorConfig();  // enabled = false
+    return scenario;
+}
+
 std::vector<FaultScenario>
 PodFaultScenarios(const Mesh& mesh)
 {

@@ -62,6 +62,33 @@ FaultScenario LinkDeath(const Mesh& mesh, int64_t axis = 0,
  */
 FaultScenario AgingPod(uint64_t seed = 11);
 
+/**
+ * Silent data corruption in an einsum output (DESIGN.md §16): chip
+ * `chip` flips the exponent MSB of one element of the einsum with
+ * per-kind ordinal `instruction` at step `step`. Detectors (transfer
+ * checksums + ABFT at cadence 1) are enabled so the corruption is
+ * caught before the result is emitted.
+ */
+FaultScenario SdcCompute(int64_t chip = 0, int64_t step = 1,
+                         int64_t instruction = 0);
+
+/**
+ * Silent data corruption in an in-flight collective payload: the slice
+ * chip `chip` contributes to the data-exchange collective with per-kind
+ * ordinal `instruction` is corrupted at step `step`; the receiver-side
+ * payload checksum localizes the culprit source chip.
+ */
+FaultScenario SdcTransfer(int64_t chip = 0, int64_t step = 1,
+                          int64_t instruction = 0);
+
+/**
+ * The undetectable variant: same injection as SdcCompute but every
+ * detector disabled — the corruption escapes and propagates, which is
+ * what the containment tests prove CANNOT happen when detection is on.
+ */
+FaultScenario SdcUndetected(int64_t chip = 0, int64_t step = 1,
+                            int64_t instruction = 0);
+
 /** All of the above, for sweep-style benches. */
 std::vector<FaultScenario> PodFaultScenarios(const Mesh& mesh);
 

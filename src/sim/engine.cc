@@ -169,6 +169,26 @@ CheckNoDeadlock(const std::vector<SchedUnit*>& order,
     return Status::Ok();
 }
 
+/**
+ * Ops the SDC layer counts as a data exchange when assigning transfer
+ * ordinals. Must mirror the evaluator's IsExchangeOp so a
+ * SilentCorruption's `instruction` names the same collective in both the
+ * simulator's timing model and the evaluator's data model.
+ */
+bool
+IsSdcExchangeOp(HloOpcode opcode)
+{
+    switch (opcode) {
+      case HloOpcode::kAllGather:
+      case HloOpcode::kReduceScatter:
+      case HloOpcode::kAllReduce:
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kCollectivePermute:
+      case HloOpcode::kCollectivePermuteStart: return true;
+      default: return false;
+    }
+}
+
 /** Why an async transfer can never arrive. */
 struct KilledTransfer {
     FailureCause cause = FailureCause::kChipDeath;
@@ -198,6 +218,7 @@ FailureCauseName(FailureCause cause)
       case FailureCause::kChipDeath: return "chip_death";
       case FailureCause::kLinkDeath: return "link_death";
       case FailureCause::kRetryExhaustion: return "retry_exhaustion";
+      case FailureCause::kSilentCorruption: return "silent_corruption";
     }
     return "unknown";
 }
@@ -339,9 +360,75 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                                permanent->link_dst);
     };
 
+    // ---- Silent-data-corruption modeling (DESIGN.md §16) ------------
+    //
+    // Detector time is real device time (checksum passes are memory-
+    // bound elementwise walks), charged via ElementwiseBytesSeconds:
+    // sender + receiver hash per transfer payload, one reduced-
+    // contraction pass per ABFT-checked einsum. Detection is same-step
+    // or never: ABFT validates a contraction *given its inputs*, so a
+    // corruption that slips past this step's checks (cadence-skipped
+    // ordinal, detector off) is a poisoned input from the next step on
+    // and no later check can flag it — the outcome reports it escaped.
+    const SdcDetectorConfig& sdc = fault_.sdc();
+    const bool transfer_checks = sdc.enabled && sdc.verify_transfers;
+    const bool abft_checks = sdc.enabled && sdc.verify_einsums;
+    std::vector<SilentCorruption> live_corruptions;
+    if (fault_.has_silent_corruptions()) {
+        live_corruptions = fault_.ActiveCorruptions(step_index);
+    }
+    // Per-kind ordinals over the computation's instruction list — the
+    // same program-order scheme the evaluator's AnalyzeProgram assigns,
+    // so a SilentCorruption's `instruction` names one instruction in
+    // both the timing model and the data model.
+    std::unordered_map<const HloInstruction*, int64_t> einsum_ordinals;
+    std::unordered_map<const HloInstruction*, int64_t> exchange_ordinals;
+    int64_t num_einsums = 0;
+    if (sdc.enabled) {
+        for (const HloInstruction* instr : computation.instructions()) {
+            if (instr->opcode() == HloOpcode::kEinsum) {
+                einsum_ordinals[instr] = num_einsums++;
+            } else if (IsSdcExchangeOp(instr->opcode())) {
+                exchange_ordinals[instr] =
+                    static_cast<int64_t>(exchange_ordinals.size());
+            }
+        }
+    }
+    double detect_time = std::numeric_limits<double>::infinity();
+    CorruptionReport detection;
+    auto note_detection = [&](const SilentCorruption& c,
+                              CorruptionDetector detector, int64_t ordinal,
+                              double at) {
+        if (at >= detect_time) return;
+        detect_time = at;
+        detection = CorruptionReport();
+        detection.step = step_index;
+        detection.chip = c.chip;
+        detection.instruction = ordinal;
+        detection.detector = detector;
+        detection.injected_step = c.step;
+    };
+    // A receiver-side checksum mismatch localizes the culprit source
+    // chip of fresh (this-step) payload corruption on `op`.
+    auto note_transfer_detection = [&](const HloInstruction* op,
+                                       double at) {
+        auto it = exchange_ordinals.find(op);
+        if (it == exchange_ordinals.end()) return;
+        for (const SilentCorruption& c : live_corruptions) {
+            if (c.step == step_index &&
+                c.target == CorruptionTarget::kTransferPayload &&
+                c.instruction == it->second && c.chip >= 0 &&
+                c.chip < mesh_.num_devices()) {
+                note_detection(c, CorruptionDetector::kTransferChecksum,
+                               it->second, at);
+            }
+        }
+    };
+
     int64_t transfer_index = 0;
 
     std::unordered_map<const SchedUnit*, double> arrival;
+    std::unordered_map<const SchedUnit*, double> receiver_check;
     std::unordered_map<const SchedUnit*, KilledTransfer> killed;
     std::vector<const SchedUnit*> outstanding_starts;
     StepOutcome outcome;
@@ -439,6 +526,18 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
             double retry_delay =
                 static_cast<double>(retries.failures) * wire +
                 retries.backoff_seconds;
+            if (transfer_checks) {
+                // Sender hashes the payload before putting it on the
+                // wire; the matching receiver hash runs at the Done.
+                double chk = cost_.ElementwiseBytesSeconds(bytes);
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                ++result.num_transfer_checksums;
+                receiver_check[unit] = chk;
+            }
             double& free_at = channel(route->axis, direction);
             double begin = std::max(time, free_at);
             double end_transfer = begin + retry_delay + wire;
@@ -511,6 +610,16 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 result.exposed_comm_seconds += arrived - time;
                 time = arrived;
             }
+            if (transfer_checks) {
+                double chk = receiver_check.at(start);
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                ++result.num_transfer_checksums;
+                note_transfer_detection(start->members.front(), time);
+            }
             --in_flight;
             outstanding_starts.erase(
                 std::remove(outstanding_starts.begin(),
@@ -575,6 +684,19 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 bytes * static_cast<double>(1 + retries.failures);
             result.retry.Accumulate(retries);
             time = end;
+            if (transfer_checks) {
+                // Sync permute: the device is blocked anyway, so both
+                // hashes (sender pre-send, receiver post-arrival) land
+                // at completion.
+                double chk = 2.0 * cost_.ElementwiseBytesSeconds(bytes);
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                result.num_transfer_checksums += 2;
+                note_transfer_detection(head, time);
+            }
         } else if (unit->members.size() == 1 &&
                    IsBlockingCollective(head->opcode())) {
             const auto& groups = head->attrs().groups;
@@ -618,6 +740,18 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 static_cast<double>(head->shape().byte_size());
             ++result.num_blocking_collectives;
             time = end;
+            if (transfer_checks) {
+                double chk = 2.0 * cost_.ElementwiseBytesSeconds(
+                                       static_cast<double>(
+                                           head->shape().byte_size()));
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                result.num_transfer_checksums += 2;
+                note_transfer_detection(head, time);
+            }
         } else if (unit->latency > 0.0) {
             // Compute kernel (possibly a fusion group); a straggler chip
             // stretches every kernel by the slowest chip's factor.
@@ -626,18 +760,60 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                    time + actual, unit->loop_group);
             result.compute_seconds += actual;
             result.straggler_stall_seconds += actual - unit->latency;
+            double abft_seconds = 0.0;
             for (const HloInstruction* member : unit->members) {
-                if (member->opcode() == HloOpcode::kEinsum) {
-                    result.einsum_flops += static_cast<double>(
-                        member->einsum().FlopCount(
-                            member->operand(0)->shape(),
-                            member->operand(1)->shape()));
+                if (member->opcode() != HloOpcode::kEinsum) continue;
+                result.einsum_flops += static_cast<double>(
+                    member->einsum().FlopCount(
+                        member->operand(0)->shape(),
+                        member->operand(1)->shape()));
+                if (!abft_checks) continue;
+                int64_t ord = einsum_ordinals.at(member);
+                if (!AbftChecked(step_index, ord, num_einsums,
+                                 sdc.einsum_check_cadence)) {
+                    continue;
+                }
+                // Fused checksum-row ABFT (Huang-Abraham): the lhs
+                // column-sum and the output comparison ride the main
+                // einsum's operand/epilogue streaming for free; the
+                // residual unfused work is the checksum-row contraction,
+                // which re-reads the rhs once — memory-bound, O(rhs)
+                // bytes against the contraction's O(MKN) FLOPs, so the
+                // relative cost shrinks with the lhs free extent.
+                abft_seconds += cost_.ElementwiseBytesSeconds(
+                    static_cast<double>(
+                        member->operand(1)->shape().byte_size()));
+                ++result.num_abft_checks;
+                for (const SilentCorruption& c : live_corruptions) {
+                    if (c.step == step_index &&
+                        c.target == CorruptionTarget::kEinsumOutput &&
+                        c.instruction == ord && c.chip >= 0 &&
+                        c.chip < mesh_.num_devices()) {
+                        note_detection(c, CorruptionDetector::kEinsumAbft,
+                                       ord, time + actual + abft_seconds);
+                    }
                 }
             }
-            time += actual;
+            if (abft_seconds > 0.0) {
+                record(StrCat("sdc_abft:", unit->members.back()->name()),
+                       TraceKind::kCompute, time + actual,
+                       time + actual + abft_seconds, unit->loop_group);
+                result.detector_seconds += abft_seconds;
+            }
+            time += actual + abft_seconds;
         }
     }
     result.step_seconds = time;
+    if (!live_corruptions.empty()) {
+        outcome.sdc_injected = true;
+        if (std::isfinite(detect_time)) {
+            outcome.corrupted = true;
+            outcome.corruption = detection;
+            outcome.corruption_detected_at_seconds = detect_time;
+        } else {
+            outcome.sdc_escaped = true;
+        }
+    }
     return outcome;
 }
 
@@ -651,6 +827,14 @@ PodSimulator::Run(const HloModule& module, bool collect_trace,
         // Single-step callers have no recovery path; surface the
         // watchdog's report as an error instead of a partial result.
         return FailedPrecondition(outcome->failure.ToString());
+    }
+    if (outcome->corrupted) {
+        // Containment for single-step callers: a detected corruption is
+        // never returned as a (poisoned) timing result. Multi-step
+        // callers use RunStep and the recovery layer's rollback path.
+        return FailedPrecondition(
+            StrCat("silent data corruption detected: ",
+                   outcome->corruption.ToString()));
     }
     return std::move(outcome)->result;
 }

@@ -90,6 +90,12 @@ struct SimResult {
     /// Fault model only: extra device time attributable to compute-
     /// throughput stragglers (actual minus nominal kernel time).
     double straggler_stall_seconds = 0.0;
+    /// SDC detectors only (DESIGN.md §16): device time spent hashing
+    /// transfer payloads and running ABFT checksum-row checks, and how
+    /// many of each ran. Zero when detection is off.
+    double detector_seconds = 0.0;
+    int64_t num_transfer_checksums = 0;
+    int64_t num_abft_checks = 0;
     std::vector<TraceEvent> trace;
 
     /** Model FLOPS utilization against one chip's peak. */
@@ -136,9 +142,12 @@ struct TrialStats {
 
 /** Why a simulated step could make no further progress. */
 enum class FailureCause {
-    kChipDeath,        ///< a PermanentFault chip died mid-run
-    kLinkDeath,        ///< a PermanentFault link died mid-run
-    kRetryExhaustion,  ///< a transfer failed every allowed attempt
+    kChipDeath,         ///< a PermanentFault chip died mid-run
+    kLinkDeath,         ///< a PermanentFault link died mid-run
+    kRetryExhaustion,   ///< a transfer failed every allowed attempt
+    kSilentCorruption,  ///< a chip hit its SDC strike budget and is
+                        ///< quarantined (synthesized by the recovery
+                        ///< layer, not by the engine watchdog)
 };
 
 const char* FailureCauseName(FailureCause cause);
@@ -186,6 +195,21 @@ struct StepOutcome {
     bool failed = false;
     SimResult result;
     FailureReport failure;
+
+    // ---- Silent-data-corruption outcome (DESIGN.md §16) -------------
+    //
+    // Orthogonal to `failed`: corruption crashes nothing. When the
+    // fault model carries live SilentCorruption entries this step,
+    // `sdc_injected` is set and exactly one of `corrupted` (a detector
+    // fired; `corruption` + `corruption_detected_at_seconds` say which,
+    // where and when) or `sdc_escaped` (no detector covers it — e.g.
+    // cadence skipped the ordinal, or the relevant detector is off; the
+    // poisoned state propagates) holds.
+    bool sdc_injected = false;
+    bool corrupted = false;
+    bool sdc_escaped = false;
+    CorruptionReport corruption;
+    double corruption_detected_at_seconds = 0.0;
 };
 
 /**

@@ -83,6 +83,17 @@ FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
         OVERLAP_CHECK(fault.fail_step >= 0);
         OVERLAP_CHECK(fault.fail_time_seconds >= 0.0);
     }
+    for (const SilentCorruption& corruption : spec_.silent_corruptions) {
+        OVERLAP_CHECK(corruption.step >= 0);
+        OVERLAP_CHECK(corruption.chip >= 0);
+        OVERLAP_CHECK(corruption.instruction >= 0);
+        OVERLAP_CHECK(corruption.element >= 0);
+        OVERLAP_CHECK(corruption.bit >= 0 && corruption.bit < 32);
+        OVERLAP_CHECK(corruption.kind != CorruptionKind::kValuePerturbation ||
+                      corruption.magnitude != 0.0);
+    }
+    OVERLAP_CHECK(spec_.sdc.einsum_check_cadence >= 1);
+    OVERLAP_CHECK(spec_.sdc.abft_relative_tolerance > 0.0);
     auto healthy_link = [](const LinkFault& f) {
         return f.bandwidth_factor == 1.0 && f.latency_factor == 1.0;
     };
@@ -98,7 +109,8 @@ FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec))
         spec_.straggler_probability == 0.0 && spec_.link_jitter == 0.0 &&
         spec_.compute_jitter == 0.0 &&
         spec_.transient_failure_probability == 0.0 &&
-        spec_.permanent_faults.empty();
+        spec_.permanent_faults.empty() &&
+        spec_.silent_corruptions.empty();
 }
 
 double
@@ -255,6 +267,16 @@ FaultModel::TransferOutcomeOf(int64_t transfer_index, int64_t trial) const
     }
     outcome.exhausted = true;
     return outcome;
+}
+
+std::vector<SilentCorruption>
+FaultModel::ActiveCorruptions(int64_t step) const
+{
+    std::vector<SilentCorruption> active;
+    for (const SilentCorruption& corruption : spec_.silent_corruptions) {
+        if (corruption.step <= step) active.push_back(corruption);
+    }
+    return active;
 }
 
 const PermanentFault*

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/checksum.h"
 #include "tensor/mesh.h"
 
 namespace overlap {
@@ -141,6 +142,18 @@ struct FaultSpec {
     /// Permanent chip/link deaths for multi-step elastic runs.
     std::vector<PermanentFault> permanent_faults;
 
+    /// Seeded silent data corruptions: bit flips / value perturbations in
+    /// einsum outputs or in-flight transfer payloads (DESIGN.md §16). The
+    /// evaluator applies them to real tensor data; the simulator models
+    /// their detection latency. An entry stays active from its step
+    /// onward (undetected corruption persists in the poisoned state)
+    /// until the recovery layer consumes it on rollback.
+    std::vector<SilentCorruption> silent_corruptions;
+
+    /// SDC detector configuration (transfer checksums + einsum ABFT).
+    /// Off by default so existing simulations are bit-for-bit unchanged.
+    SdcDetectorConfig sdc;
+
     /// No-progress window of the simulator's watchdog: after this much
     /// simulated time without the device retiring an instruction, the
     /// run is declared failed and a FailureReport is produced.
@@ -234,6 +247,23 @@ class FaultModel {
     {
         return !spec_.permanent_faults.empty();
     }
+
+    // ---- Silent data corruption -------------------------------------
+
+    const SdcDetectorConfig& sdc() const { return spec_.sdc; }
+
+    bool has_silent_corruptions() const
+    {
+        return !spec_.silent_corruptions.empty();
+    }
+
+    /**
+     * The corruptions live at `step`: every entry with entry.step <=
+     * step. An entry injected earlier but never detected has poisoned
+     * the propagated state, so it stays active (from instruction ordinal
+     * 0 of later steps) until recovery consumes it from the spec.
+     */
+    std::vector<SilentCorruption> ActiveCorruptions(int64_t step) const;
 
   private:
     FaultSpec spec_;

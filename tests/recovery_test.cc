@@ -86,6 +86,56 @@ TEST(CheckpointTest, DeserializeRejectsCorruptBytes)
     EXPECT_FALSE(CheckpointStore::Deserialize(bytes).ok());
 }
 
+TEST(CheckpointTest, RestoreRejectsSingleFlippedByte)
+{
+    CheckpointStore store(/*interval=*/1);
+    Tensor state = Tensor::Random(Shape({4, 3}), 21);
+    ASSERT_TRUE(store.MaybeSave(0, state));
+    ASSERT_TRUE(store.Restore().ok());
+
+    // Flip one payload byte on the stored (serialized) snapshot — the
+    // exact path recovery reads — and the trailing FNV-1a checksum must
+    // refuse it instead of restoring poisoned state (DESIGN.md §16).
+    std::vector<uint8_t>& bytes = store.mutable_latest_bytes();
+    bytes[bytes.size() / 2] ^= 0x10;
+    auto restored = store.Restore();
+    ASSERT_FALSE(restored.ok());
+    EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(restored.status().ToString().find("checksum"),
+              std::string::npos);
+
+    // Flipping it back restores integrity: the store itself was not
+    // invalidated, only the corrupted copy rejected.
+    bytes[bytes.size() / 2] ^= 0x10;
+    EXPECT_TRUE(store.Restore().ok());
+}
+
+TEST(CheckpointTest, RestoreAtOrBeforeRollsPastLatestSnapshot)
+{
+    CheckpointStore store(/*interval=*/2);
+    Tensor state0 = Tensor::Random(Shape({3, 2}), 10);
+    Tensor state2 = Tensor::Random(Shape({3, 2}), 11);
+    Tensor state4 = Tensor::Random(Shape({3, 2}), 12);
+    ASSERT_TRUE(store.MaybeSave(0, state0));
+    ASSERT_TRUE(store.MaybeSave(2, state2));
+    ASSERT_TRUE(store.MaybeSave(4, state4));
+
+    // SDC rollback restores to the snapshot at or before the corrupted
+    // step, not necessarily the latest one.
+    EXPECT_EQ(store.StepAtOrBefore(3), 2);
+    EXPECT_EQ(store.StepAtOrBefore(1), 0);
+    EXPECT_EQ(store.StepAtOrBefore(-1), -1);
+    auto rolled = store.RestoreAtOrBefore(3);
+    ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+    EXPECT_EQ(0, std::memcmp(rolled->values().data(),
+                             state2.values().data(),
+                             state2.values().size() * sizeof(float)));
+
+    // Re-saving at step 2 after a rollback drops the stale timeline.
+    store.Save(2, state2);
+    EXPECT_EQ(store.latest_step(), 2);
+}
+
 TEST(RecoveryPlannerTest, ChipDeathShrinksRingAndRemapsFaults)
 {
     Mesh mesh(4);
