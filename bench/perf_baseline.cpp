@@ -13,13 +13,18 @@
  *     requested thread count, with a byte-identical summary check;
  *   - tensor heap-allocation counts for the same evaluation with the
  *     BufferPool disabled vs. enabled (the memory-reuse win);
- *   - rendezvous wait/leader time of one concurrent evaluation from
- *     the DESIGN.md §13 metrics (the diagnosis for concurrent
- *     speedups < 1 on hosts with fewer cores than devices).
+ *   - channel wait/leader time of one concurrent evaluation from the
+ *     DESIGN.md §13 metrics (the diagnosis for concurrent speedups < 1
+ *     on hosts with fewer cores than devices);
+ *   - a per-phase breakdown of the serial evaluation (einsum seconds,
+ *     collective seconds, alloc seconds) from the evaluator's phase
+ *     timers, so a regression names the layer that slowed down.
  *
  * Writes the numbers as JSON to --out (default BENCH_perf.json) and to
- * stdout. Results depend on the host; hardware_concurrency is recorded
- * so a 1-core CI box's speedup of ~1x is interpretable.
+ * stdout. Results depend on the host; hardware_concurrency is recorded,
+ * and a 1-core box marks the whole run `"degenerate": true` — its
+ * parallel "speedups" measure scheduling, not parallelism, and
+ * perf_baseline.sh --check refuses to gate on them.
  */
 #include <chrono>
 #include <cstdio>
@@ -30,6 +35,7 @@
 
 #include "bench_util.h"
 #include "difftest/difftest.h"
+#include "interp/evaluator.h"
 #include "passes/async.h"
 #include "passes/decompose.h"
 #include "support/metrics.h"
@@ -203,7 +209,7 @@ main(int argc, char** argv)
                                        : "OUTPUTS DIFFER");
     }
 
-    // ---- 1b. Rendezvous diagnostics (DESIGN.md §13): where the
+    // ---- 1b. Channel diagnostics (DESIGN.md §13): where the
     // concurrent mode's time goes. On a host with fewer cores than
     // devices the wait histogram dominates the device-program time —
     // the direct evidence behind a concurrent speedup < 1 above.
@@ -213,28 +219,58 @@ main(int argc, char** argv)
         auto r = concurrent_eval.Evaluate(comp, scenario->params);
         if (!r.ok()) return 1;
     }
-    Counter* rendezvous_total = MetricsRegistry::Global().counter(
-        "evaluator.rendezvous_total");
-    const Histogram::Snapshot rendezvous_wait =
+    Counter* channel_total = MetricsRegistry::Global().counter(
+        "evaluator.channel_total");
+    const Histogram::Snapshot channel_wait =
         MetricsRegistry::Global()
-            .histogram("evaluator.rendezvous_wait_seconds")
+            .histogram("evaluator.channel_wait_seconds")
             ->snapshot();
-    const Histogram::Snapshot rendezvous_leader =
+    const Histogram::Snapshot channel_leader =
         MetricsRegistry::Global()
-            .histogram("evaluator.rendezvous_leader_seconds")
+            .histogram("evaluator.channel_leader_seconds")
             ->snapshot();
-    const int64_t rendezvous_count = rendezvous_total->value();
+    const int64_t channel_count = channel_total->value();
     SetMetricsEnabled(false);
     MetricsRegistry::Global().ResetAll();
     if (!json_only) {
         std::printf(
-            "rendezvous: %lld per evaluation; wait mean %.1fus "
+            "channels: %lld per evaluation; wait mean %.1fus "
             "p99 %.1fus sum %.1fms, leader mean %.1fus sum %.1fms\n",
-            static_cast<long long>(rendezvous_count),
-            rendezvous_wait.mean() * 1e6,
-            rendezvous_wait.Quantile(0.99) * 1e6,
-            rendezvous_wait.sum * 1e3, rendezvous_leader.mean() * 1e6,
-            rendezvous_leader.sum * 1e3);
+            static_cast<long long>(channel_count),
+            channel_wait.mean() * 1e6,
+            channel_wait.Quantile(0.99) * 1e6,
+            channel_wait.sum * 1e3, channel_leader.mean() * 1e6,
+            channel_leader.sum * 1e3);
+    }
+
+    // ---- 1c. Per-phase breakdown of the serial evaluation. The phase
+    // timers read the clock inside the hot path, so this runs as its
+    // own pass — the throughput numbers above stay untimed.
+    SetEvalPhaseTimingEnabled(true);
+    SetAllocTimingEnabled(true);
+    ConsumeEvalPhaseSeconds();
+    ConsumeAllocSeconds();
+    t0 = Now();
+    for (int64_t i = 0; i < eval_iters; ++i) {
+        auto r = serial_eval.Evaluate(comp, scenario->params);
+        if (!r.ok()) return 1;
+    }
+    const double phases_wall_s = Now() - t0;
+    const EvalPhaseSeconds phases = ConsumeEvalPhaseSeconds();
+    const double alloc_s = ConsumeAllocSeconds();
+    SetEvalPhaseTimingEnabled(false);
+    SetAllocTimingEnabled(false);
+    if (!json_only) {
+        std::printf(
+            "serial phases over %lld evaluations: einsum %.1fms, "
+            "collective %.1fms, alloc %.1fms, other %.1fms "
+            "(wall %.1fms)\n",
+            static_cast<long long>(eval_iters), phases.einsum_seconds * 1e3,
+            phases.collective_seconds * 1e3, alloc_s * 1e3,
+            (phases_wall_s - phases.einsum_seconds -
+             phases.collective_seconds - alloc_s) *
+                1e3,
+            phases_wall_s * 1e3);
     }
 
     // ---- 2. Allocation counts: BufferPool off vs. on. ----
@@ -331,6 +367,10 @@ main(int argc, char** argv)
     }
 
     // ---- JSON. ----
+    // A 1-core host can't run the concurrent modes in parallel: its
+    // "speedups" measure context switching. Mark the whole run so
+    // perf_baseline.sh --check (and readers) skip the gate.
+    const bool degenerate = DefaultThreadCount() == 1;
     std::string json = StrCat(
         "{\n"
         "  \"hardware_concurrency\": ",
@@ -338,6 +378,7 @@ main(int argc, char** argv)
         ",\n  \"threads\": ", threads,
         ",\n  \"oversubscribed\": ",
         JsonBool(threads > DefaultThreadCount()),
+        ",\n  \"degenerate\": ", JsonBool(degenerate),
         ",\n  \"quick\": ", JsonBool(quick),
         ",\n  \"evaluator\": {\"iters\": ", eval_iters,
         ", \"serial_cases_per_sec\": ", serial_cps,
@@ -345,12 +386,18 @@ main(int argc, char** argv)
         ", \"speedup\": ", concurrent_cps / serial_cps,
         ", \"bit_identical\": ", JsonBool(eval_bit_identical), "},");
     json += StrCat(
-        "\n  \"rendezvous\": {\"per_evaluation\": ", rendezvous_count,
-        ", \"wait_mean_seconds\": ", rendezvous_wait.mean(),
-        ", \"wait_p99_seconds\": ", rendezvous_wait.Quantile(0.99),
-        ", \"wait_sum_seconds\": ", rendezvous_wait.sum,
-        ", \"leader_mean_seconds\": ", rendezvous_leader.mean(),
-        ", \"leader_sum_seconds\": ", rendezvous_leader.sum, "},");
+        "\n  \"channels\": {\"per_evaluation\": ", channel_count,
+        ", \"wait_mean_seconds\": ", channel_wait.mean(),
+        ", \"wait_p99_seconds\": ", channel_wait.Quantile(0.99),
+        ", \"wait_sum_seconds\": ", channel_wait.sum,
+        ", \"leader_mean_seconds\": ", channel_leader.mean(),
+        ", \"leader_sum_seconds\": ", channel_leader.sum, "},");
+    json += StrCat(
+        "\n  \"phases\": {\"evaluations\": ", eval_iters,
+        ", \"einsum_seconds\": ", phases.einsum_seconds,
+        ", \"collective_seconds\": ", phases.collective_seconds,
+        ", \"alloc_seconds\": ", alloc_s,
+        ", \"wall_seconds\": ", phases_wall_s, "},");
     json += StrCat(
         "\n  \"allocations\": {\"evaluations\": ", alloc_iters,
         ", \"pool_disabled\": ", allocs_disabled,

@@ -58,6 +58,13 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
     --build-dir "${build_dir}" --out "${build_dir}/BENCH_perf.json" \
     > /dev/null
 
+# Perf regression gate against the committed BENCH_perf.json: fails on
+# a >20% throughput drop, and unconditionally re-checks the
+# bit-identical / byte-identical flags. Uses the unsanitized
+# RelWithDebInfo tree (sanitized timings are meaningless); the
+# throughput comparison auto-skips on degenerate single-core boxes.
+"${repo_root}/scripts/perf_baseline.sh" --quick --check
+
 # Overlap-report prediction-error gate under ASan (DESIGN.md §15):
 # every gate-accepted site must simulate an actual speedup >= 1 -
 # 0.02, every rejection must audit as justified when forced open, and
@@ -71,7 +78,7 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # re-fit, per-case prediction accuracy) also runs in the ASan ctest
 # pass above via the `calibration` label.
 
-# ThreadSanitizer pass over the concurrency layer: the rendezvous
+# ThreadSanitizer pass over the concurrency layer: the SPSC channel
 # evaluator, the thread pool, the thread-local buffer pool and the
 # pooled difftest sweep must be race-free.
 cmake -B "${tsan_dir}" -S "${repo_root}" \

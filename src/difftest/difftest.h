@@ -134,7 +134,7 @@ struct DiffTestConfig {
     /// harness error, failure-cap cut-off) is byte-identical to serial.
     int64_t threads = 1;
     /// Additionally run each case's per-device programs on concurrent
-    /// threads with rendezvous collectives (see EvalOptions).
+    /// threads with SPSC channel collectives (see EvalOptions).
     bool concurrent_devices = false;
 };
 

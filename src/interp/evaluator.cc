@@ -1,11 +1,14 @@
 #include "interp/evaluator.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -16,7 +19,72 @@
 #include "support/tracing.h"
 #include "tensor/buffer_pool.h"
 
+#if defined(__GNUC__) || defined(__clang__)
+#define OVERLAP_RESTRICT __restrict__
+#else
+#define OVERLAP_RESTRICT
+#endif
+
 namespace overlap {
+
+namespace {
+std::atomic<bool> phase_timing_enabled{false};
+std::atomic<int64_t> einsum_phase_nanos{0};
+std::atomic<int64_t> collective_phase_nanos{0};
+
+bool
+PhaseTimingEnabled()
+{
+    return phase_timing_enabled.load(std::memory_order_relaxed);
+}
+
+/** Accumulates wall time into one phase counter when timing is on. */
+class PhaseTimer {
+  public:
+    explicit PhaseTimer(std::atomic<int64_t>& sink)
+        : sink_(sink), enabled_(PhaseTimingEnabled())
+    {
+        if (enabled_) start_ = std::chrono::steady_clock::now();
+    }
+
+    ~PhaseTimer()
+    {
+        if (!enabled_) return;
+        auto nanos =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        sink_.fetch_add(nanos, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t>& sink_;
+    bool enabled_;
+    std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
+
+void
+SetEvalPhaseTimingEnabled(bool enabled)
+{
+    phase_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+EvalPhaseSeconds
+ConsumeEvalPhaseSeconds()
+{
+    EvalPhaseSeconds out;
+    out.einsum_seconds =
+        static_cast<double>(einsum_phase_nanos.exchange(
+            0, std::memory_order_relaxed)) *
+        1e-9;
+    out.collective_seconds =
+        static_cast<double>(collective_phase_nanos.exchange(
+            0, std::memory_order_relaxed)) *
+        1e-9;
+    return out;
+}
+
 namespace {
 
 using PerDevice = std::vector<Tensor>;
@@ -76,94 +144,546 @@ IsExchangeOp(HloOpcode opcode)
     }
 }
 
+/** Elementwise opcodes the evaluator fuses into single-pass groups. */
+bool
+IsFusableElementwise(HloOpcode opcode)
+{
+    switch (opcode) {
+      case HloOpcode::kAdd:
+      case HloOpcode::kSubtract:
+      case HloOpcode::kMultiply:
+      case HloOpcode::kDivide:
+      case HloOpcode::kMaximum:
+      case HloOpcode::kMinimum:
+      case HloOpcode::kRemainder:
+      case HloOpcode::kNegate: return true;
+      default: return false;
+    }
+}
+
+/** How the compiled walk executes one instruction (DESIGN.md §17). */
+enum class ExecKind : uint8_t {
+    kParam,          ///< bind (borrow) a caller tensor, no copy
+    kConstant,       ///< borrow the instruction's literal
+    kCopyLike,       ///< Copy / CollectivePermuteDone: move or alias
+    kLocal,          ///< per-device op through the EvalOp switch
+    kFused,          ///< leader of a fused elementwise group
+    kFusedInterior,  ///< executed by its group leader; skipped in walk
+    kExchange,       ///< cross-device collective
+    kDeferredError,  ///< statically invalid op; fails when reached
+};
+
 /**
- * Static program facts both execution modes share: instruction
- * indexing plus, for buffer recycling, the index of each value's last
- * use (its own index for dead values; "never" for the root).
+ * One member of a fused elementwise group. Input sources are encoded as
+ * `member index` (>= 0: the output of an earlier member of the same
+ * group) or `~slot` (< 0: a value slot outside the group).
  */
-struct ProgramInfo {
-    std::vector<const HloInstruction*> instrs;
-    std::unordered_map<const HloInstruction*, int64_t> index_of;
+struct FusedMember {
+    HloOpcode opcode = HloOpcode::kAdd;
+    int32_t a = 0;
+    int32_t b = 0;
+    /// Program slot this member writes (for escapes / recycling).
+    int32_t slot = 0;
+    /// True when the value is read outside the group (or is the root):
+    /// it materializes as a Tensor. Interior values live only in a
+    /// block-sized scratch lane.
+    bool escapes = false;
+};
+
+/**
+ * A maximal run of program-order-consecutive elementwise instructions
+ * over equal-element-count shapes, executed as ONE blockwise pass: per
+ * ~512-element block every member computes in order, interior results
+ * staying in scratch lanes. One dispatch, zero interior allocations.
+ */
+struct FusedGroup {
+    std::vector<FusedMember> members;
+    /// Program-index range [begin, end) the group covers.
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t num_elements = 0;
+};
+
+/**
+ * How the concurrent mode synchronizes one exchange instruction (see
+ * DESIGN.md §17). Chosen statically at compile time.
+ */
+struct ExchangePlan {
+    enum class Kind : uint8_t {
+        kNone,
+        /// Group-wise collective: each replica group has its own channel;
+        /// the group's first member is the leader.
+        kGroup,
+        /// CollectivePermute: one handoff slot per source-target pair;
+        /// senders never block.
+        kPermute,
+        /// SDC-instrumented evaluation: a single all-device channel led
+        /// by device 0, because checksums and injection target global
+        /// chip ids across the whole instruction.
+        kAllDevice,
+    };
+
+    Kind kind = Kind::kNone;
+    /// kGroup: per device, the replica group index / position within it
+    /// (-1: the device takes no part in the exchange).
+    std::vector<int32_t> group_of;
+    std::vector<int32_t> pos_of;
+    const std::vector<std::vector<int64_t>>* groups = nullptr;
+    /// kPermute: per device, the pair index it sends on / receives on
+    /// (-1: none).
+    std::vector<int32_t> send_pair;
+    std::vector<int32_t> recv_pair;
+};
+
+/**
+ * One instruction of a compiled program: opcode class plus operand
+ * value-slot indices, resolved once — the hot walk never touches a hash
+ * map or re-derives shapes.
+ */
+struct CompiledOp {
+    const HloInstruction* instr = nullptr;
+    ExecKind kind = ExecKind::kLocal;
+    std::vector<int32_t> operands;
+    int64_t einsum_ordinal = -1;
+    int64_t exchange_ordinal = -1;
+    /// kFused: index into CompiledProgram::groups.
+    int32_t fused_group = -1;
+    /// kDeferredError: the statically detected failure, returned when
+    /// program order reaches this instruction (so errors keep the exact
+    /// serial-walk ordering).
+    Status deferred_error = Status::Ok();
+};
+
+/**
+ * The pre-resolved execution form of one computation, shared by the
+ * serial and concurrent modes: operand slots, liveness, fused
+ * elementwise groups, per-exchange channel plans, and static
+ * validation results.
+ */
+struct CompiledProgram {
+    std::vector<CompiledOp> ops;
+    /// Program index of each slot's last reader (own index for dead
+    /// values, "never" for the root).
     std::vector<int64_t> last_use;
-    int64_t root_index = -1;
-    /// Per-kind ordinals in program order (-1 for other opcodes): the
-    /// stable instruction naming scheme SilentCorruption targets use.
-    std::vector<int64_t> einsum_ordinal;
-    std::vector<int64_t> exchange_ordinal;
+    std::vector<FusedGroup> groups;
+    std::vector<ExchangePlan> plans;
+    int64_t root = -1;
     int64_t num_einsums = 0;
     int64_t num_exchanges = 0;
 };
 
-ProgramInfo
-AnalyzeProgram(const HloComputation& computation)
-{
-    ProgramInfo info;
-    for (const HloInstruction* instr : computation.instructions()) {
-        info.index_of.emplace(instr,
-                              static_cast<int64_t>(info.instrs.size()));
-        info.instrs.push_back(instr);
-        if (instr->opcode() == HloOpcode::kEinsum) {
-            info.einsum_ordinal.push_back(info.num_einsums++);
-        } else {
-            info.einsum_ordinal.push_back(-1);
-        }
-        if (IsExchangeOp(instr->opcode())) {
-            info.exchange_ordinal.push_back(info.num_exchanges++);
-        } else {
-            info.exchange_ordinal.push_back(-1);
-        }
-    }
-    info.last_use.resize(info.instrs.size());
-    for (size_t j = 0; j < info.instrs.size(); ++j) {
-        info.last_use[j] = static_cast<int64_t>(j);
-        for (const HloInstruction* operand : info.instrs[j]->operands()) {
-            info.last_use[static_cast<size_t>(info.index_of.at(operand))] =
-                static_cast<int64_t>(j);
-        }
-    }
-    info.root_index = info.index_of.at(computation.root());
-    info.last_use[static_cast<size_t>(info.root_index)] =
-        std::numeric_limits<int64_t>::max();
-    return info;
-}
-
 /**
- * Evaluates a device-local (non-collective) instruction for one device.
- * `operands[i]` is operand i's value on that device.
+ * Validates the static facts of an exchange instruction (permute pair
+ * sanity, all-to-all divisibility) exactly as the runtime checks used
+ * to, so a compiled deferred error carries the identical Status.
  */
-StatusOr<Tensor>
-EvalLocalOp(const HloInstruction* instr,
-            const std::vector<const Tensor*>& operands, int64_t device,
-            const Mesh& mesh,
-            const std::vector<std::vector<Tensor>>& params)
+Status
+ValidateExchangeStatic(const HloInstruction* instr, const Mesh& mesh)
 {
     const int64_t n = mesh.num_devices();
     switch (instr->opcode()) {
-      case HloOpcode::kParameter: {
-          int64_t p = instr->attrs().parameter_number;
-          if (p < 0 || p >= static_cast<int64_t>(params.size())) {
-              return InvalidArgument(StrCat("no value for parameter ", p));
+      case HloOpcode::kAllToAll: {
+          int64_t dim = instr->attrs().dim;
+          for (const auto& group : instr->attrs().groups) {
+              int64_t g = static_cast<int64_t>(group.size());
+              if (instr->operand(0)->shape().dim(dim) % g != 0) {
+                  return InvalidArgument(
+                      "all-to-all dim not divisible by group size");
+              }
           }
-          const auto& provided = params[static_cast<size_t>(p)];
-          if (static_cast<int64_t>(provided.size()) != n &&
-              provided.size() != 1) {
-              return InvalidArgument(StrCat("parameter ", p, " needs 1 or ",
-                                            n, " values, got ",
-                                            provided.size()));
-          }
-          const Tensor& v = provided.size() == 1
-                                ? provided[0]
-                                : provided[static_cast<size_t>(device)];
-          if (!v.shape().SameDims(instr->shape())) {
-              return InvalidArgument(
-                  StrCat("parameter ", p, " shape ", v.shape().ToString(),
-                         " != declared ", instr->shape().ToString()));
-          }
-          return v;
+          return Status::Ok();
       }
 
-      case HloOpcode::kConstant: return *instr->attrs().literal;
+      case HloOpcode::kCollectivePermute:
+      case HloOpcode::kCollectivePermuteStart: {
+          // A device may appear at most once as a source and once
+          // as a target; a duplicate target would make the result
+          // depend on pair order, so it is an error (as in XLA),
+          // not a silent overwrite.
+          std::vector<bool> seen_src(static_cast<size_t>(n), false);
+          std::vector<bool> seen_dst(static_cast<size_t>(n), false);
+          for (const auto& [src, dst] :
+               instr->attrs().source_target_pairs) {
+              if (src < 0 || src >= n || dst < 0 || dst >= n) {
+                  return InvalidArgument(StrCat(
+                      instr->name(), ": source-target pair {", src, ",",
+                      dst, "} outside the ", n, "-device mesh"));
+              }
+              if (seen_src[static_cast<size_t>(src)]) {
+                  return InvalidArgument(StrCat(instr->name(),
+                                                ": duplicate source ", src,
+                                                " in source-target pairs"));
+              }
+              if (seen_dst[static_cast<size_t>(dst)]) {
+                  return InvalidArgument(StrCat(instr->name(),
+                                                ": duplicate target ", dst,
+                                                " in source-target pairs"));
+              }
+              seen_src[static_cast<size_t>(src)] = true;
+              seen_dst[static_cast<size_t>(dst)] = true;
+          }
+          return Status::Ok();
+      }
 
+      default: return Status::Ok();
+    }
+}
+
+ExchangePlan
+BuildExchangePlan(const HloInstruction* instr, const Mesh& mesh,
+                  bool sdc_active)
+{
+    const size_t n = static_cast<size_t>(mesh.num_devices());
+    ExchangePlan plan;
+    if (sdc_active) {
+        plan.kind = ExchangePlan::Kind::kAllDevice;
+        return plan;
+    }
+    if (instr->opcode() == HloOpcode::kCollectivePermute ||
+        instr->opcode() == HloOpcode::kCollectivePermuteStart) {
+        plan.kind = ExchangePlan::Kind::kPermute;
+        plan.send_pair.assign(n, -1);
+        plan.recv_pair.assign(n, -1);
+        const auto& pairs = instr->attrs().source_target_pairs;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            plan.send_pair[static_cast<size_t>(pairs[i].first)] =
+                static_cast<int32_t>(i);
+            plan.recv_pair[static_cast<size_t>(pairs[i].second)] =
+                static_cast<int32_t>(i);
+        }
+        return plan;
+    }
+    plan.kind = ExchangePlan::Kind::kGroup;
+    plan.groups = &instr->attrs().groups;
+    plan.group_of.assign(n, -1);
+    plan.pos_of.assign(n, -1);
+    for (size_t g = 0; g < plan.groups->size(); ++g) {
+        const auto& group = (*plan.groups)[g];
+        for (size_t p = 0; p < group.size(); ++p) {
+            plan.group_of[static_cast<size_t>(group[p])] =
+                static_cast<int32_t>(g);
+            plan.pos_of[static_cast<size_t>(group[p])] =
+                static_cast<int32_t>(p);
+        }
+    }
+    return plan;
+}
+
+/**
+ * Compiles `computation` into its pre-resolved execution form. The
+ * only hash lookups of an evaluation happen here, once, instead of
+ * per-instruction per-device in the hot walk.
+ */
+CompiledProgram
+Compile(const HloComputation& computation, const Mesh& mesh,
+        bool sdc_active)
+{
+    CompiledProgram prog;
+    std::unordered_map<const HloInstruction*, int32_t> index_of;
+    for (const HloInstruction* instr : computation.instructions()) {
+        index_of.emplace(instr,
+                         static_cast<int32_t>(prog.ops.size()));
+        CompiledOp op;
+        op.instr = instr;
+        op.operands.reserve(instr->operands().size());
+        for (const HloInstruction* operand : instr->operands()) {
+            op.operands.push_back(index_of.at(operand));
+        }
+        switch (instr->opcode()) {
+          case HloOpcode::kParameter: op.kind = ExecKind::kParam; break;
+          case HloOpcode::kConstant:
+              op.kind = ExecKind::kConstant;
+              break;
+          case HloOpcode::kCopy:
+          case HloOpcode::kCollectivePermuteDone:
+              op.kind = ExecKind::kCopyLike;
+              break;
+          default:
+              op.kind = IsExchangeOp(instr->opcode())
+                            ? ExecKind::kExchange
+                            : ExecKind::kLocal;
+              break;
+        }
+        if (instr->opcode() == HloOpcode::kEinsum) {
+            op.einsum_ordinal = prog.num_einsums++;
+        }
+        if (op.kind == ExecKind::kExchange) {
+            op.exchange_ordinal = prog.num_exchanges++;
+            Status valid = ValidateExchangeStatic(instr, mesh);
+            if (!valid.ok()) {
+                op.kind = ExecKind::kDeferredError;
+                op.deferred_error = std::move(valid);
+            }
+        }
+        prog.ops.push_back(std::move(op));
+    }
+
+    const size_t count = prog.ops.size();
+    prog.last_use.resize(count);
+    for (size_t j = 0; j < count; ++j) {
+        prog.last_use[j] = static_cast<int64_t>(j);
+        for (int32_t s : prog.ops[j].operands) {
+            prog.last_use[static_cast<size_t>(s)] =
+                static_cast<int64_t>(j);
+        }
+    }
+    prog.root = index_of.at(computation.root());
+    prog.last_use[static_cast<size_t>(prog.root)] =
+        std::numeric_limits<int64_t>::max();
+
+    // Channel plans (after liveness: plans don't depend on it, but the
+    // walk below reads last_use for fusion escapes).
+    prog.plans.resize(count);
+    for (size_t j = 0; j < count; ++j) {
+        if (prog.ops[j].kind == ExecKind::kExchange) {
+            prog.plans[j] =
+                BuildExchangePlan(prog.ops[j].instr, mesh, sdc_active);
+        }
+    }
+
+    // Fusion: greedy maximal runs of consecutive fusable elementwise
+    // ops whose operand shapes match their output shape (elementwise
+    // proper — no implicit broadcast) and whose element counts agree
+    // across the run.
+    auto fusable = [&](size_t j) {
+        const CompiledOp& op = prog.ops[j];
+        if (op.kind != ExecKind::kLocal ||
+            !IsFusableElementwise(op.instr->opcode())) {
+            return false;
+        }
+        for (const HloInstruction* operand : op.instr->operands()) {
+            if (!operand->shape().SameDims(op.instr->shape())) {
+                return false;
+            }
+        }
+        return true;
+    };
+    for (size_t j = 0; j < count;) {
+        if (!fusable(j)) {
+            ++j;
+            continue;
+        }
+        const int64_t elems = prog.ops[j].instr->shape().num_elements();
+        size_t end = j + 1;
+        while (end < count && fusable(end) &&
+               prog.ops[end].instr->shape().num_elements() == elems) {
+            ++end;
+        }
+        FusedGroup group;
+        group.begin = static_cast<int64_t>(j);
+        group.end = static_cast<int64_t>(end);
+        group.num_elements = elems;
+        std::unordered_map<int32_t, int32_t> member_of;
+        for (size_t k = j; k < end; ++k) {
+            FusedMember member;
+            member.opcode = prog.ops[k].instr->opcode();
+            member.slot = static_cast<int32_t>(k);
+            const auto& operands = prog.ops[k].operands;
+            auto encode = [&](int32_t slot) {
+                auto it = member_of.find(slot);
+                return it != member_of.end() ? it->second : ~slot;
+            };
+            member.a = encode(operands[0]);
+            member.b = operands.size() > 1 ? encode(operands[1])
+                                           : member.a;
+            member.escapes =
+                prog.last_use[k] >= static_cast<int64_t>(end) ||
+                static_cast<int64_t>(k) == prog.root;
+            member_of.emplace(static_cast<int32_t>(k),
+                              static_cast<int32_t>(group.members.size()));
+            group.members.push_back(member);
+            prog.ops[k].kind = k == j ? ExecKind::kFused
+                                      : ExecKind::kFusedInterior;
+        }
+        prog.ops[j].fused_group =
+            static_cast<int32_t>(prog.groups.size());
+        prog.groups.push_back(std::move(group));
+        j = end;
+    }
+    return prog;
+}
+
+/**
+ * One device's value slots. A slot is either *owned* (the walk
+ * materialized a tensor into `owned[s]`) or *borrowed* (`view[s]`
+ * points at caller-owned storage — a parameter binding or a constant
+ * literal — and `owned[s]` stays empty). Operand reads always go
+ * through `view`; recycling only ever touches owned slots.
+ */
+struct Slots {
+    std::vector<Tensor> owned;
+    std::vector<const Tensor*> view;
+
+    explicit Slots(size_t n) : owned(n), view(n, nullptr) {}
+
+    void SetOwned(size_t s, Tensor t)
+    {
+        owned[s] = std::move(t);
+        view[s] = &owned[s];
+    }
+
+    void SetBorrowed(size_t s, const Tensor* t) { view[s] = t; }
+
+    bool IsOwned(size_t s) const { return view[s] == &owned[s]; }
+};
+
+/** Recycles every operand of op `j` whose last use is `j`. */
+void
+RecycleDead(const CompiledProgram& prog, size_t j, Slots* slots)
+{
+    for (int32_t s : prog.ops[j].operands) {
+        if (prog.last_use[static_cast<size_t>(s)] !=
+            static_cast<int64_t>(j)) {
+            continue;
+        }
+        if (slots->IsOwned(static_cast<size_t>(s))) {
+            Tensor::Recycle(std::move(slots->owned[static_cast<size_t>(s)]));
+        }
+        slots->view[static_cast<size_t>(s)] = nullptr;
+    }
+}
+
+/**
+ * Executes one fused elementwise group for one device: a single pass
+ * over ~512-element blocks, every member computing in program order,
+ * interior values staying in scratch lanes (no Tensor, no allocation,
+ * no std::function per element). Escaping members write straight into
+ * their output tensors. Per element the arithmetic is exactly the
+ * seed's ApplyBinary expression, so results are bitwise unchanged.
+ */
+Status
+ExecFusedGroup(const CompiledProgram& prog, const FusedGroup& group,
+               Slots* slots)
+{
+    constexpr int64_t kBlock = 512;
+    const size_t m = group.members.size();
+    const int64_t count = group.num_elements;
+
+    struct Resolved {
+        const float* a_ext = nullptr;
+        const float* b_ext = nullptr;
+        float* lane = nullptr;  ///< block-local output (scratch or out)
+        float* out = nullptr;   ///< full output base when escaping
+    };
+    std::vector<Resolved> r(m);
+
+    // Materialize escaping outputs first; owned[] has stable addresses
+    // (it never grows), so operand pointers resolved next stay valid.
+    for (size_t i = 0; i < m; ++i) {
+        const FusedMember& member = group.members[i];
+        if (!member.escapes) continue;
+        slots->SetOwned(
+            static_cast<size_t>(member.slot),
+            Tensor::Uninitialized(
+                prog.ops[static_cast<size_t>(member.slot)]
+                    .instr->shape()));
+        r[i].out =
+            slots->owned[static_cast<size_t>(member.slot)].data();
+    }
+    size_t num_interior = 0;
+    for (size_t i = 0; i < m; ++i) {
+        const FusedMember& member = group.members[i];
+        if (!member.escapes) ++num_interior;
+        if (member.a < 0) {
+            size_t s = static_cast<size_t>(~member.a);
+            if (slots->view[s] == nullptr) {
+                return Internal("fused operand slot unset");
+            }
+            r[i].a_ext = slots->view[s]->data();
+        }
+        if (member.b < 0) {
+            size_t s = static_cast<size_t>(~member.b);
+            if (slots->view[s] == nullptr) {
+                return Internal("fused operand slot unset");
+            }
+            r[i].b_ext = slots->view[s]->data();
+        }
+    }
+
+    std::vector<float> scratch;
+    if (num_interior > 0) {
+        scratch = ThreadLocalBufferPool().Acquire(
+            num_interior * static_cast<size_t>(kBlock));
+        size_t lane = 0;
+        for (size_t i = 0; i < m; ++i) {
+            if (group.members[i].escapes) continue;
+            r[i].lane =
+                scratch.data() + lane * static_cast<size_t>(kBlock);
+            ++lane;
+        }
+    }
+
+    for (int64_t b0 = 0; b0 < count; b0 += kBlock) {
+        const int64_t len = std::min(kBlock, count - b0);
+        for (size_t i = 0; i < m; ++i) {
+            const FusedMember& member = group.members[i];
+            const float* a =
+                member.a >= 0
+                    ? (group.members[static_cast<size_t>(member.a)]
+                               .escapes
+                           ? r[static_cast<size_t>(member.a)].out + b0
+                           : r[static_cast<size_t>(member.a)].lane)
+                    : r[i].a_ext + b0;
+            const float* bp =
+                member.b >= 0
+                    ? (group.members[static_cast<size_t>(member.b)]
+                               .escapes
+                           ? r[static_cast<size_t>(member.b)].out + b0
+                           : r[static_cast<size_t>(member.b)].lane)
+                    : r[i].b_ext + b0;
+            float* OVERLAP_RESTRICT o =
+                member.escapes ? r[i].out + b0 : r[i].lane;
+            switch (member.opcode) {
+              case HloOpcode::kAdd:
+                  for (int64_t v = 0; v < len; ++v) o[v] = a[v] + bp[v];
+                  break;
+              case HloOpcode::kSubtract:
+                  for (int64_t v = 0; v < len; ++v) o[v] = a[v] - bp[v];
+                  break;
+              case HloOpcode::kMultiply:
+                  for (int64_t v = 0; v < len; ++v) o[v] = a[v] * bp[v];
+                  break;
+              case HloOpcode::kDivide:
+                  for (int64_t v = 0; v < len; ++v) o[v] = a[v] / bp[v];
+                  break;
+              case HloOpcode::kMaximum:
+                  for (int64_t v = 0; v < len; ++v) {
+                      o[v] = a[v] > bp[v] ? a[v] : bp[v];
+                  }
+                  break;
+              case HloOpcode::kMinimum:
+                  for (int64_t v = 0; v < len; ++v) {
+                      o[v] = a[v] < bp[v] ? a[v] : bp[v];
+                  }
+                  break;
+              case HloOpcode::kRemainder:
+                  for (int64_t v = 0; v < len; ++v) {
+                      o[v] = std::fmod(a[v], bp[v]);
+                  }
+                  break;
+              case HloOpcode::kNegate:
+                  for (int64_t v = 0; v < len; ++v) o[v] = -a[v];
+                  break;
+              default: return Internal("unexpected fused opcode");
+            }
+        }
+    }
+    if (num_interior > 0) {
+        ThreadLocalBufferPool().Release(std::move(scratch));
+    }
+    return Status::Ok();
+}
+
+/**
+ * Evaluates a device-local (non-collective, non-fused) instruction for
+ * one device. `operands[i]` is operand i's value on that device.
+ */
+StatusOr<Tensor>
+EvalOp(const HloInstruction* instr,
+       const std::vector<const Tensor*>& operands, int64_t device,
+       const Mesh& mesh)
+{
+    switch (instr->opcode()) {
       case HloOpcode::kPartitionId:
           return Tensor(Shape(DType::kS32, {}),
                         {static_cast<float>(device)});
@@ -180,9 +700,6 @@ EvalLocalOp(const HloInstruction* instr,
 
       case HloOpcode::kNegate:
           return operands[0]->Map([](float v) { return -v; });
-
-      case HloOpcode::kCopy:
-      case HloOpcode::kCollectivePermuteDone: return *operands[0];
 
       case HloOpcode::kAdd:
       case HloOpcode::kSubtract:
@@ -238,8 +755,10 @@ EvalLocalOp(const HloInstruction* instr,
                                           GatherStarts(operands, 2, rank));
       }
 
-      case HloOpcode::kEinsum:
+      case HloOpcode::kEinsum: {
+          PhaseTimer timer(einsum_phase_nanos);
           return instr->einsum().Evaluate(*operands[0], *operands[1]);
+      }
 
       case HloOpcode::kTuple: return Tensor::Scalar(0.0f);
 
@@ -265,12 +784,12 @@ struct SdcRuntime {
  * value never reaches the program's downstream instructions.
  */
 Status
-ApplySdcEinsum(const SdcRuntime& rt, const ProgramInfo& info, int64_t j,
-               const HloInstruction* instr, int64_t device,
-               const Tensor& lhs, const Tensor& rhs, Tensor* out)
+ApplySdcEinsum(const SdcRuntime& rt, int64_t ordinal, int64_t num_einsums,
+               int64_t program_index, const HloInstruction* instr,
+               int64_t device, const Tensor& lhs, const Tensor& rhs,
+               Tensor* out)
 {
     const SdcEvalConfig& cfg = *rt.cfg;
-    int64_t ordinal = info.einsum_ordinal[static_cast<size_t>(j)];
     for (const SilentCorruption& c : cfg.corruptions) {
         if (c.target == CorruptionTarget::kEinsumOutput &&
             c.step == cfg.step && c.instruction == ordinal &&
@@ -280,7 +799,7 @@ ApplySdcEinsum(const SdcRuntime& rt, const ProgramInfo& info, int64_t j,
     }
     const SdcDetectorConfig& det = cfg.detectors;
     if (det.enabled && det.verify_einsums &&
-        AbftChecked(cfg.step, ordinal, info.num_einsums,
+        AbftChecked(cfg.step, ordinal, num_einsums,
                     det.einsum_check_cadence)) {
         StatusOr<AbftCheckResult> check = AbftVerifyEinsum(
             instr->einsum(), lhs, rhs, *out, det.abft_relative_tolerance);
@@ -293,7 +812,7 @@ ApplySdcEinsum(const SdcRuntime& rt, const ProgramInfo& info, int64_t j,
             report.detector = CorruptionDetector::kEinsumAbft;
             report.injected_step = cfg.step;
             report.residual = check->max_residual;
-            report.program_index = j;
+            report.program_index = program_index;
             if (rt.sink != nullptr) rt.sink->Add(report);
             return FailedPrecondition(
                 StrCat("silent data corruption detected: ",
@@ -303,12 +822,128 @@ ApplySdcEinsum(const SdcRuntime& rt, const ProgramInfo& info, int64_t j,
     return Status::Ok();
 }
 
+/** Concatenates pointed-at parts along `dim` (Tensor::Concatenate with
+ * no up-front copies; same UpdateSliceInPlace writes, so bitwise the
+ * same output). */
+Tensor
+ConcatParts(const std::vector<const Tensor*>& parts, int64_t dim)
+{
+    OVERLAP_CHECK(!parts.empty());
+    const Shape& first = parts[0]->shape();
+    int64_t total = 0;
+    for (const Tensor* p : parts) total += p->shape().dim(dim);
+    std::vector<int64_t> out_dims = first.dims();
+    out_dims[static_cast<size_t>(dim)] = total;
+    Tensor out = Tensor::Uninitialized(Shape(first.dtype(), out_dims));
+    int64_t offset = 0;
+    for (const Tensor* p : parts) {
+        std::vector<int64_t> starts(
+            static_cast<size_t>(first.rank()), 0);
+        starts[static_cast<size_t>(dim)] = offset;
+        out.UpdateSliceInPlace(*p, starts);
+        offset += p->shape().dim(dim);
+    }
+    return out;
+}
+
+/**
+ * Evaluates one replica group of a group-wise collective. `inputs` are
+ * the members' operands in group order; the return holds one output per
+ * member, same order. This is THE group arithmetic — the serial walk
+ * and every concurrent group leader run this identical code, always
+ * iterating members in ascending group position, which is what keeps
+ * the two modes (and any thread interleaving) bitwise identical.
+ */
+StatusOr<std::vector<Tensor>>
+EvalGroupCollective(const HloInstruction* instr,
+                    const std::vector<const Tensor*>& inputs)
+{
+    const size_t k = inputs.size();
+    std::vector<Tensor> outs(k);
+    switch (instr->opcode()) {
+      case HloOpcode::kAllGather: {
+          Tensor gathered = ConcatParts(inputs, instr->attrs().dim);
+          for (size_t i = 0; i + 1 < k; ++i) outs[i] = gathered;
+          outs[k - 1] = std::move(gathered);
+          return outs;
+      }
+
+      case HloOpcode::kReduceScatter: {
+          int64_t dim = instr->attrs().dim;
+          Tensor sum = *inputs[0];
+          float* acc = sum.data();
+          const int64_t elems = sum.num_elements();
+          for (size_t i = 1; i < k; ++i) {
+              const float* OVERLAP_RESTRICT add = inputs[i]->data();
+              for (int64_t v = 0; v < elems; ++v) acc[v] += add[v];
+          }
+          int64_t shard = instr->shape().dim(dim);
+          for (size_t i = 0; i < k; ++i) {
+              std::vector<int64_t> starts(
+                  static_cast<size_t>(sum.shape().rank()), 0);
+              starts[static_cast<size_t>(dim)] =
+                  static_cast<int64_t>(i) * shard;
+              std::vector<int64_t> sizes = sum.shape().dims();
+              sizes[static_cast<size_t>(dim)] = shard;
+              outs[i] = sum.Slice(starts, sizes);
+          }
+          Tensor::Recycle(std::move(sum));
+          return outs;
+      }
+
+      case HloOpcode::kAllReduce: {
+          Tensor sum = *inputs[0];
+          float* acc = sum.data();
+          const int64_t elems = sum.num_elements();
+          for (size_t i = 1; i < k; ++i) {
+              const float* OVERLAP_RESTRICT add = inputs[i]->data();
+              for (int64_t v = 0; v < elems; ++v) acc[v] += add[v];
+          }
+          for (size_t i = 0; i + 1 < k; ++i) outs[i] = sum;
+          outs[k - 1] = std::move(sum);
+          return outs;
+      }
+
+      case HloOpcode::kAllToAll: {
+          int64_t dim = instr->attrs().dim;
+          int64_t g = static_cast<int64_t>(k);
+          const Shape& in_shape = instr->operand(0)->shape();
+          if (in_shape.dim(dim) % g != 0) {
+              return InvalidArgument(
+                  "all-to-all dim not divisible by group size");
+          }
+          int64_t piece = in_shape.dim(dim) / g;
+          for (int64_t i = 0; i < g; ++i) {
+              std::vector<Tensor> parts;
+              parts.reserve(k);
+              for (int64_t j = 0; j < g; ++j) {
+                  std::vector<int64_t> starts(
+                      static_cast<size_t>(in_shape.rank()), 0);
+                  starts[static_cast<size_t>(dim)] = i * piece;
+                  std::vector<int64_t> sizes = in_shape.dims();
+                  sizes[static_cast<size_t>(dim)] = piece;
+                  parts.push_back(
+                      inputs[static_cast<size_t>(j)]->Slice(starts,
+                                                            sizes));
+              }
+              outs[static_cast<size_t>(i)] =
+                  Tensor::Concatenate(parts, dim);
+          }
+          return outs;
+      }
+
+      default: break;
+    }
+    return Internal(StrCat("unexpected group collective ",
+                           HloOpcodeName(instr->opcode())));
+}
+
 /**
  * Evaluates a collective for all devices at once: `inputs[d]` is the
  * operand value on device d, `out` receives every device's result.
- * Arithmetic always runs in fixed group/device order, which is what
- * makes the rendezvous-based concurrent mode bit-identical to the
- * serial walk — the exchange never depends on thread arrival order.
+ * Arithmetic always runs in fixed group/device order (through
+ * EvalGroupCollective — the same code the concurrent group leaders
+ * run), so results never depend on thread arrival order.
  */
 Status
 EvalCollective(const HloInstruction* instr, const Mesh& mesh,
@@ -317,93 +952,22 @@ EvalCollective(const HloInstruction* instr, const Mesh& mesh,
 {
     const int64_t n = mesh.num_devices();
     switch (instr->opcode()) {
-      case HloOpcode::kAllGather: {
-          for (const auto& group : instr->attrs().groups) {
-              std::vector<Tensor> parts;
-              parts.reserve(group.size());
-              for (int64_t member : group) {
-                  parts.push_back(*inputs[static_cast<size_t>(member)]);
-              }
-              Tensor gathered =
-                  Tensor::Concatenate(parts, instr->attrs().dim);
-              for (int64_t member : group) {
-                  (*out)[static_cast<size_t>(member)] = gathered;
-              }
-          }
-          return Status::Ok();
-      }
-
-      case HloOpcode::kReduceScatter: {
-          int64_t dim = instr->attrs().dim;
-          for (const auto& group : instr->attrs().groups) {
-              Tensor sum = *inputs[static_cast<size_t>(group[0])];
-              for (size_t i = 1; i < group.size(); ++i) {
-                  Tensor next = Tensor::BinaryOp(
-                      sum, *inputs[static_cast<size_t>(group[i])],
-                      [](float a, float b) { return a + b; });
-                  Tensor::Recycle(std::move(sum));
-                  sum = std::move(next);
-              }
-              int64_t shard = instr->shape().dim(dim);
-              for (size_t i = 0; i < group.size(); ++i) {
-                  std::vector<int64_t> starts(
-                      static_cast<size_t>(sum.shape().rank()), 0);
-                  starts[static_cast<size_t>(dim)] =
-                      static_cast<int64_t>(i) * shard;
-                  std::vector<int64_t> sizes = sum.shape().dims();
-                  sizes[static_cast<size_t>(dim)] = shard;
-                  (*out)[static_cast<size_t>(group[i])] =
-                      sum.Slice(starts, sizes);
-              }
-              Tensor::Recycle(std::move(sum));
-          }
-          return Status::Ok();
-      }
-
-      case HloOpcode::kAllReduce: {
-          for (const auto& group : instr->attrs().groups) {
-              Tensor sum = *inputs[static_cast<size_t>(group[0])];
-              for (size_t i = 1; i < group.size(); ++i) {
-                  Tensor next = Tensor::BinaryOp(
-                      sum, *inputs[static_cast<size_t>(group[i])],
-                      [](float a, float b) { return a + b; });
-                  Tensor::Recycle(std::move(sum));
-                  sum = std::move(next);
-              }
-              for (int64_t member : group) {
-                  (*out)[static_cast<size_t>(member)] = sum;
-              }
-          }
-          return Status::Ok();
-      }
-
+      case HloOpcode::kAllGather:
+      case HloOpcode::kReduceScatter:
+      case HloOpcode::kAllReduce:
       case HloOpcode::kAllToAll: {
-          int64_t dim = instr->attrs().dim;
           for (const auto& group : instr->attrs().groups) {
-              int64_t g = static_cast<int64_t>(group.size());
-              const Shape& in_shape = instr->operand(0)->shape();
-              if (in_shape.dim(dim) % g != 0) {
-                  return InvalidArgument(
-                      "all-to-all dim not divisible by group size");
+              std::vector<const Tensor*> group_inputs;
+              group_inputs.reserve(group.size());
+              for (int64_t member : group) {
+                  group_inputs.push_back(
+                      inputs[static_cast<size_t>(member)]);
               }
-              int64_t piece = in_shape.dim(dim) / g;
-              for (int64_t i = 0; i < g; ++i) {
-                  std::vector<Tensor> parts;
-                  parts.reserve(static_cast<size_t>(g));
-                  for (int64_t j = 0; j < g; ++j) {
-                      std::vector<int64_t> starts(
-                          static_cast<size_t>(in_shape.rank()), 0);
-                      starts[static_cast<size_t>(dim)] = i * piece;
-                      std::vector<int64_t> sizes = in_shape.dims();
-                      sizes[static_cast<size_t>(dim)] = piece;
-                      parts.push_back(
-                          inputs[static_cast<size_t>(
-                                     group[static_cast<size_t>(j)])]
-                              ->Slice(starts, sizes));
-                  }
-                  (*out)[static_cast<size_t>(
-                      group[static_cast<size_t>(i)])] =
-                      Tensor::Concatenate(parts, dim);
+              auto outs = EvalGroupCollective(instr, group_inputs);
+              if (!outs.ok()) return outs.status();
+              for (size_t i = 0; i < group.size(); ++i) {
+                  (*out)[static_cast<size_t>(group[i])] =
+                      std::move((*outs)[i]);
               }
           }
           return Status::Ok();
@@ -411,40 +975,19 @@ EvalCollective(const HloInstruction* instr, const Mesh& mesh,
 
       case HloOpcode::kCollectivePermute:
       case HloOpcode::kCollectivePermuteStart: {
-          // A device may appear at most once as a source and once
-          // as a target; a duplicate target would make the result
-          // depend on pair order, so it is an error (as in XLA),
-          // not a silent overwrite.
-          std::vector<bool> seen_src(static_cast<size_t>(n), false);
-          std::vector<bool> seen_dst(static_cast<size_t>(n), false);
+          OVERLAP_RETURN_IF_ERROR(ValidateExchangeStatic(instr, mesh));
+          std::vector<bool> receives(static_cast<size_t>(n), false);
           for (const auto& [src, dst] :
                instr->attrs().source_target_pairs) {
-              if (src < 0 || src >= n || dst < 0 || dst >= n) {
-                  return InvalidArgument(StrCat(
-                      instr->name(), ": source-target pair {", src, ",",
-                      dst, "} outside the ", n, "-device mesh"));
-              }
-              if (seen_src[static_cast<size_t>(src)]) {
-                  return InvalidArgument(StrCat(instr->name(),
-                                                ": duplicate source ", src,
-                                                " in source-target pairs"));
-              }
-              if (seen_dst[static_cast<size_t>(dst)]) {
-                  return InvalidArgument(StrCat(instr->name(),
-                                                ": duplicate target ", dst,
-                                                " in source-target pairs"));
-              }
-              seen_src[static_cast<size_t>(src)] = true;
-              seen_dst[static_cast<size_t>(dst)] = true;
-          }
-          for (int64_t d = 0; d < n; ++d) {
-              (*out)[static_cast<size_t>(d)] = Tensor(instr->shape());
-          }
-          for (const auto& [src, dst] :
-               instr->attrs().source_target_pairs) {
-              Tensor::Recycle(std::move((*out)[static_cast<size_t>(dst)]));
+              receives[static_cast<size_t>(dst)] = true;
               (*out)[static_cast<size_t>(dst)] =
                   *inputs[static_cast<size_t>(src)];
+          }
+          for (int64_t d = 0; d < n; ++d) {
+              if (!receives[static_cast<size_t>(d)]) {
+                  (*out)[static_cast<size_t>(d)] =
+                      Tensor(instr->shape());
+              }
           }
           return Status::Ok();
       }
@@ -530,119 +1073,192 @@ EvalCollectiveSdc(const HloInstruction* instr, const Mesh& mesh,
 }
 
 /**
- * A single-use meeting point for one collective instruction. Each
- * device deposits its operand; the last arriver (the "leader") runs
- * EvalCollective over the deposits in device order and wakes everyone;
- * each device then takes its own output. Cancel() releases waiters
- * when another device fails so nobody blocks on a peer that will never
- * arrive.
+ * Executes one non-exchange op for one device against its slots.
+ * Shared verbatim between the serial walk and every concurrent device
+ * thread.
  */
-class Rendezvous {
-  public:
-    Rendezvous(int64_t n, const SdcRuntime& sdc, int64_t exchange_ordinal,
-               int64_t program_index)
-        : inputs_(static_cast<size_t>(n)),
-          outputs_(static_cast<size_t>(n)),
-          sdc_(sdc),
-          exchange_ordinal_(exchange_ordinal),
-          program_index_(program_index) {}
+Status
+ExecLocalForDevice(const CompiledProgram& prog, size_t j,
+                   Slots* slots, int64_t d, const Mesh& mesh,
+                   const std::vector<std::vector<Tensor>>& params,
+                   const SdcRuntime& sdc)
+{
+    const CompiledOp& op = prog.ops[j];
+    const HloInstruction* instr = op.instr;
+    const int64_t n = mesh.num_devices();
+    switch (op.kind) {
+      case ExecKind::kParam: {
+          int64_t p = instr->attrs().parameter_number;
+          if (p < 0 || p >= static_cast<int64_t>(params.size())) {
+              return InvalidArgument(
+                  StrCat("no value for parameter ", p));
+          }
+          const auto& provided = params[static_cast<size_t>(p)];
+          if (static_cast<int64_t>(provided.size()) != n &&
+              provided.size() != 1) {
+              return InvalidArgument(
+                  StrCat("parameter ", p, " needs 1 or ", n,
+                         " values, got ", provided.size()));
+          }
+          const Tensor& v = provided.size() == 1
+                                ? provided[0]
+                                : provided[static_cast<size_t>(d)];
+          if (!v.shape().SameDims(instr->shape())) {
+              return InvalidArgument(
+                  StrCat("parameter ", p, " shape ",
+                         v.shape().ToString(), " != declared ",
+                         instr->shape().ToString()));
+          }
+          // Parameters are borrowed, never copied: the caller's tensor
+          // outlives the evaluation and slots are read-only views.
+          slots->SetBorrowed(j, &v);
+          return Status::Ok();
+      }
 
-    /**
-     * Deposits device `d`'s input and blocks until the exchange is
-     * computed (returning this device's output) or the evaluation is
-     * cancelled (returning an error that the caller must *not* report —
-     * the failing device owns the real error).
-     */
-    StatusOr<Tensor> Exchange(int64_t d, Tensor input,
-                              const HloInstruction* instr,
-                              const Mesh& mesh) {
-        // Observability (DESIGN.md §13): how long this device sat at
-        // the meeting point. Waiters measure peer imbalance (the
-        // concurrent mode's dominant overhead on small programs); the
-        // last arriver measures the exchange computation it leads. Off
-        // by default: no clock read, one relaxed load.
-        const bool observe = MetricsEnabled() || TracingEnabled();
-        const double t0 = observe ? TraceRecorder::NowSeconds() : 0.0;
-        bool leader = false;
-        std::unique_lock<std::mutex> lock(mu_);
-        if (cancelled_) return FailedPrecondition("evaluation cancelled");
-        inputs_[static_cast<size_t>(d)] = std::move(input);
-        if (++arrived_ == static_cast<int64_t>(inputs_.size())) {
-            leader = true;
-            std::vector<const Tensor*> ptrs;
-            ptrs.reserve(inputs_.size());
-            for (const Tensor& t : inputs_) ptrs.push_back(&t);
-            status_ = EvalCollectiveSdc(instr, mesh, ptrs, &outputs_,
-                                        sdc_, exchange_ordinal_,
-                                        program_index_);
-            done_ = true;
-            cv_.notify_all();
-        } else {
-            cv_.wait(lock, [this]() { return done_ || cancelled_; });
-        }
-        if (observe) RecordRendezvous(d, instr, leader, t0);
-        if (!done_) return FailedPrecondition("evaluation cancelled");
-        if (!status_.ok()) return status_;
-        return std::move(outputs_[static_cast<size_t>(d)]);
+      case ExecKind::kConstant:
+          slots->SetBorrowed(j, &*instr->attrs().literal);
+          return Status::Ok();
+
+      case ExecKind::kCopyLike: {
+          size_t s = static_cast<size_t>(op.operands[0]);
+          if (slots->view[s] == nullptr) {
+              return Internal("copy operand slot unset");
+          }
+          if (!slots->IsOwned(s)) {
+              // Borrowed stays borrowed — a Copy of a parameter costs
+              // nothing.
+              slots->SetBorrowed(j, slots->view[s]);
+          } else if (prog.last_use[s] == static_cast<int64_t>(j)) {
+              slots->SetOwned(j, std::move(slots->owned[s]));
+          } else {
+              slots->SetOwned(j, *slots->view[s]);
+          }
+          return Status::Ok();
+      }
+
+      case ExecKind::kFused: {
+          return ExecFusedGroup(
+              prog, prog.groups[static_cast<size_t>(op.fused_group)],
+              slots);
+      }
+
+      case ExecKind::kDeferredError: return op.deferred_error;
+
+      default: break;
     }
 
-    void Cancel() {
+    std::vector<const Tensor*> operands;
+    operands.reserve(op.operands.size());
+    for (int32_t s : op.operands) {
+        operands.push_back(slots->view[static_cast<size_t>(s)]);
+    }
+    auto result = EvalOp(instr, operands, d, mesh);
+    if (!result.ok()) return result.status();
+    slots->SetOwned(j, std::move(result).value());
+    if (instr->opcode() == HloOpcode::kEinsum && sdc.active()) {
+        OVERLAP_RETURN_IF_ERROR(ApplySdcEinsum(
+            sdc, op.einsum_ordinal, prog.num_einsums,
+            static_cast<int64_t>(j), instr, d, *operands[0],
+            *operands[1], &slots->owned[j]));
+    }
+    return Status::Ok();
+}
+
+/** Moves (or copies, for a borrowed slot) the root value out. */
+Tensor
+TakeRoot(const CompiledProgram& prog, Slots* slots)
+{
+    size_t root = static_cast<size_t>(prog.root);
+    if (slots->IsOwned(root)) return std::move(slots->owned[root]);
+    return *slots->view[root];
+}
+
+// ---------------------------------------------------------------------
+// SPSC channel machinery for the concurrent mode (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+/**
+ * A one-shot single-producer/single-consumer handoff: the producer
+ * pushes exactly one (status, tensor), the consumer takes it exactly
+ * once. The fast path is a release-store / acquire-load on `ready` —
+ * no lock; the slow path parks on the slot's own condition variable,
+ * so a Push wakes exactly its consumer (notify_one), never the other
+ * devices parked at unrelated slots. Cancellation (CancelAll) walks
+ * every slot and broadcasts, releasing whoever is parked anywhere.
+ */
+class HandoffSlot {
+  public:
+    void Push(Status status, Tensor value)
+    {
+        status_ = std::move(status);
+        value_ = std::move(value);
         {
+            // Empty-body critical section orders the store against a
+            // consumer that is deciding to park: it either sees ready
+            // before sleeping or sleeps before the notify.
             std::lock_guard<std::mutex> lock(mu_);
-            cancelled_ = true;
+            ready_.store(true, std::memory_order_release);
         }
+        cv_.notify_one();
+    }
+
+    /**
+     * Blocks until the slot is filled or the evaluation is cancelled.
+     * Returns false on cancellation with the slot still empty.
+     */
+    bool Wait(const std::atomic<bool>& cancelled, int spin)
+    {
+        for (int i = 0; i < spin; ++i) {
+            if (ready_.load(std::memory_order_acquire)) return true;
+            if (cancelled.load(std::memory_order_relaxed)) break;
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+            return ready_.load(std::memory_order_relaxed) ||
+                   cancelled.load(std::memory_order_relaxed);
+        });
+        return ready_.load(std::memory_order_acquire);
+    }
+
+    /** Wakes a parked consumer after `cancelled` was set. */
+    void Cancel()
+    {
+        { std::lock_guard<std::mutex> lock(mu_); }
         cv_.notify_all();
     }
 
-    /** Metrics + trace span for one device's stay at the rendezvous. */
-    static void RecordRendezvous(int64_t d, const HloInstruction* instr,
-                                 bool leader, double t0) {
-        const double t1 = TraceRecorder::NowSeconds();
-        if (MetricsEnabled()) {
-            // Resolved once; the registry hands out stable pointers.
-            static Counter* total =
-                MetricsRegistry::Global().counter(
-                    "evaluator.rendezvous_total");
-            static Histogram* wait_hist =
-                MetricsRegistry::Global().histogram(
-                    "evaluator.rendezvous_wait_seconds");
-            static Histogram* leader_hist =
-                MetricsRegistry::Global().histogram(
-                    "evaluator.rendezvous_leader_seconds");
-            total->Add();
-            (leader ? leader_hist : wait_hist)->Record(t1 - t0);
-        }
-        if (TracingEnabled()) {
-            TraceSpan span;
-            span.name = instr->name();
-            span.category =
-                leader ? "rendezvous_leader" : "rendezvous_wait";
-            span.lane = d;
-            span.start_seconds = t0;
-            span.end_seconds = t1;
-            TraceRecorder::Global().Record(std::move(span));
-        }
-    }
+    Status TakeStatus() { return std::move(status_); }
+    Tensor TakeValue() { return std::move(value_); }
 
   private:
     std::mutex mu_;
     std::condition_variable cv_;
-    std::vector<Tensor> inputs_;
-    std::vector<Tensor> outputs_;
-    int64_t arrived_ = 0;
-    bool done_ = false;
-    bool cancelled_ = false;
-    Status status_;
-    SdcRuntime sdc_;
-    int64_t exchange_ordinal_ = -1;
-    int64_t program_index_ = -1;
+    std::atomic<bool> ready_{false};
+    Status status_ = Status::Ok();
+    Tensor value_;
+};
+
+/**
+ * The runtime channels of one exchange instruction, built from its
+ * ExchangePlan. Deques because HandoffSlot is immovable.
+ */
+struct ChannelSet {
+    struct GroupCh {
+        std::deque<HandoffSlot> to_leader;  ///< indexed by member pos
+        std::deque<HandoffSlot> results;    ///< indexed by member pos
+    };
+    /// kGroup: one per replica group. kAllDevice: groups[0], indexed by
+    /// device id, led by device 0.
+    std::deque<GroupCh> groups;
+    /// kPermute: one slot per source-target pair.
+    std::deque<HandoffSlot> pairs;
 };
 
 /** Shared state of one concurrent evaluation. */
 struct ConcurrentState {
-    /// One rendezvous per collective instruction (null for local ops).
-    std::vector<std::unique_ptr<Rendezvous>> rendezvous;
-    std::atomic<bool> failed{false};
+    std::atomic<bool> cancelled{false};
+    /// One channel set per exchange instruction (null elsewhere).
+    std::vector<std::unique_ptr<ChannelSet>> channels;
     /// Per-device first error (instruction index, status) and any
     /// escaped exception; merged after join into the serial-equivalent
     /// first failure.
@@ -650,98 +1266,294 @@ struct ConcurrentState {
     std::vector<Status> error_status;
     std::vector<std::exception_ptr> exception;
     SdcRuntime sdc;
+    /// Spin iterations before parking (0 on single-core hosts, where
+    /// spinning only steals cycles from the thread being waited on).
+    int spin = 0;
 
-    void CancelAll() {
-        failed.store(true, std::memory_order_relaxed);
-        for (auto& rz : rendezvous) {
-            if (rz) rz->Cancel();
+    void CancelAll()
+    {
+        cancelled.store(true, std::memory_order_release);
+        for (auto& ch : channels) {
+            if (ch == nullptr) continue;
+            for (auto& group : ch->groups) {
+                for (auto& slot : group.to_leader) slot.Cancel();
+                for (auto& slot : group.results) slot.Cancel();
+            }
+            for (auto& slot : ch->pairs) slot.Cancel();
         }
     }
 };
 
+constexpr const char* kCancelled = "evaluation cancelled";
+
+/** Metrics + trace span for one device's stay at a channel. */
+void
+RecordChannel(int64_t d, const HloInstruction* instr,
+              const char* category, bool leader, double t0)
+{
+    const double t1 = TraceRecorder::NowSeconds();
+    if (PhaseTimingEnabled()) {
+        collective_phase_nanos.fetch_add(
+            static_cast<int64_t>((t1 - t0) * 1e9),
+            std::memory_order_relaxed);
+    }
+    if (MetricsEnabled()) {
+        // Resolved once; the registry hands out stable pointers.
+        static Counter* total =
+            MetricsRegistry::Global().counter("evaluator.channel_total");
+        static Histogram* wait_hist =
+            MetricsRegistry::Global().histogram(
+                "evaluator.channel_wait_seconds");
+        static Histogram* leader_hist =
+            MetricsRegistry::Global().histogram(
+                "evaluator.channel_leader_seconds");
+        total->Add();
+        (leader ? leader_hist : wait_hist)->Record(t1 - t0);
+    }
+    if (TracingEnabled()) {
+        TraceSpan span;
+        span.name = instr->name();
+        span.category = category;
+        span.lane = d;
+        span.start_seconds = t0;
+        span.end_seconds = t1;
+        TraceRecorder::Global().Record(std::move(span));
+    }
+}
+
+/**
+ * Runs one exchange instruction for one device through its channels.
+ * A returned error with message `kCancelled` means "a peer failed, stay
+ * quiet"; any other error is this device's own and must be reported.
+ *
+ * Synchronization is *per channel*: a group collective only meets the
+ * devices of that replica group, a permute only its pair endpoints —
+ * never the whole mesh. Determinism is preserved because each group
+ * leader evaluates its group's arithmetic in fixed member order
+ * (EvalGroupCollective), regardless of push arrival order.
+ */
+StatusOr<Tensor>
+ExchangeViaChannels(const CompiledProgram& prog, size_t j, int64_t d,
+                    Tensor input, const Mesh& mesh,
+                    ConcurrentState* state)
+{
+    const CompiledOp& op = prog.ops[j];
+    const HloInstruction* instr = op.instr;
+    const ExchangePlan& plan = prog.plans[j];
+    ChannelSet& ch = *state->channels[j];
+    const bool observe = MetricsEnabled() || TracingEnabled() ||
+                         PhaseTimingEnabled();
+    const double t0 = observe ? TraceRecorder::NowSeconds() : 0.0;
+
+    auto finish = [&](const char* category, bool leader) {
+        if (observe) RecordChannel(d, instr, category, leader, t0);
+    };
+
+    switch (plan.kind) {
+      case ExchangePlan::Kind::kAllDevice: {
+          ChannelSet::GroupCh& all = ch.groups[0];
+          const int64_t n = mesh.num_devices();
+          if (d != 0) {
+              all.to_leader[static_cast<size_t>(d)].Push(
+                  Status::Ok(), std::move(input));
+              HandoffSlot& slot = all.results[static_cast<size_t>(d)];
+              if (!slot.Wait(state->cancelled, state->spin)) {
+                  finish("channel_wait", false);
+                  return FailedPrecondition(kCancelled);
+              }
+              Status status = slot.TakeStatus();
+              finish("channel_wait", false);
+              if (!status.ok()) return status;
+              return slot.TakeValue();
+          }
+          std::vector<Tensor> inputs(static_cast<size_t>(n));
+          inputs[0] = std::move(input);
+          for (int64_t e = 1; e < n; ++e) {
+              HandoffSlot& slot = all.to_leader[static_cast<size_t>(e)];
+              if (!slot.Wait(state->cancelled, state->spin)) {
+                  finish("channel_leader", true);
+                  return FailedPrecondition(kCancelled);
+              }
+              inputs[static_cast<size_t>(e)] = slot.TakeValue();
+          }
+          std::vector<const Tensor*> ptrs;
+          ptrs.reserve(inputs.size());
+          for (const Tensor& t : inputs) ptrs.push_back(&t);
+          std::vector<Tensor> outs(static_cast<size_t>(n));
+          Status status = EvalCollectiveSdc(
+              instr, mesh, ptrs, &outs, state->sdc,
+              op.exchange_ordinal, static_cast<int64_t>(j));
+          for (int64_t e = 1; e < n; ++e) {
+              all.results[static_cast<size_t>(e)].Push(
+                  status,
+                  status.ok() ? std::move(outs[static_cast<size_t>(e)])
+                              : Tensor());
+          }
+          finish("channel_leader", true);
+          if (!status.ok()) return status;
+          return std::move(outs[0]);
+      }
+
+      case ExchangePlan::Kind::kGroup: {
+          int32_t g = plan.group_of[static_cast<size_t>(d)];
+          if (g < 0) {
+              // Not in any replica group: the exchange is a local no-op
+              // producing the empty tensor, exactly like the serial
+              // walk's untouched output slot.
+              finish("channel_send", false);
+              return Tensor();
+          }
+          ChannelSet::GroupCh& gc = ch.groups[static_cast<size_t>(g)];
+          const auto& group = (*plan.groups)[static_cast<size_t>(g)];
+          const size_t k = group.size();
+          int32_t pos = plan.pos_of[static_cast<size_t>(d)];
+          if (pos != 0) {
+              gc.to_leader[static_cast<size_t>(pos)].Push(
+                  Status::Ok(), std::move(input));
+              HandoffSlot& slot = gc.results[static_cast<size_t>(pos)];
+              if (!slot.Wait(state->cancelled, state->spin)) {
+                  finish("channel_wait", false);
+                  return FailedPrecondition(kCancelled);
+              }
+              Status status = slot.TakeStatus();
+              finish("channel_wait", false);
+              if (!status.ok()) return status;
+              return slot.TakeValue();
+          }
+          // Leader (first group member): collect inputs in ascending
+          // member order, run the group arithmetic, scatter results.
+          std::vector<Tensor> inputs(k);
+          inputs[0] = std::move(input);
+          for (size_t p = 1; p < k; ++p) {
+              HandoffSlot& slot = gc.to_leader[p];
+              if (!slot.Wait(state->cancelled, state->spin)) {
+                  finish("channel_leader", true);
+                  return FailedPrecondition(kCancelled);
+              }
+              inputs[p] = slot.TakeValue();
+          }
+          std::vector<const Tensor*> ptrs;
+          ptrs.reserve(k);
+          for (const Tensor& t : inputs) ptrs.push_back(&t);
+          auto outs = EvalGroupCollective(instr, ptrs);
+          Status status =
+              outs.ok() ? Status::Ok() : outs.status();
+          for (size_t p = 1; p < k; ++p) {
+              gc.results[p].Push(
+                  status,
+                  status.ok() ? std::move((*outs)[p]) : Tensor());
+          }
+          finish("channel_leader", true);
+          if (!status.ok()) return status;
+          return std::move((*outs)[0]);
+      }
+
+      case ExchangePlan::Kind::kPermute: {
+          // Pure data movement: the sender deposits and moves on (it
+          // never blocks on its target); only receivers wait, and only
+          // on their own pair's slot.
+          int32_t send = plan.send_pair[static_cast<size_t>(d)];
+          int32_t recv = plan.recv_pair[static_cast<size_t>(d)];
+          if (send >= 0) {
+              ch.pairs[static_cast<size_t>(send)].Push(
+                  Status::Ok(), std::move(input));
+          }
+          if (recv < 0) {
+              finish("channel_send", false);
+              return Tensor(instr->shape());
+          }
+          HandoffSlot& slot = ch.pairs[static_cast<size_t>(recv)];
+          if (!slot.Wait(state->cancelled, state->spin)) {
+              finish("channel_wait", false);
+              return FailedPrecondition(kCancelled);
+          }
+          finish("channel_wait", false);
+          return slot.TakeValue();
+      }
+
+      default: break;
+    }
+    return Internal("exchange without a channel plan");
+}
+
 /** One device's full program walk in the concurrent mode. */
 void
-RunDeviceProgram(int64_t d, const ProgramInfo& info, const Mesh& mesh,
+RunDeviceProgram(int64_t d, const CompiledProgram& prog, const Mesh& mesh,
                  const std::vector<std::vector<Tensor>>& params,
                  ConcurrentState* state, Tensor* root_out)
 {
     ScopedTraceSpan program_span(StrCat("device", d), "device_program",
                                  d,
-                                 static_cast<int64_t>(info.instrs.size()));
+                                 static_cast<int64_t>(prog.ops.size()));
     try {
-        std::vector<Tensor> vals(info.instrs.size());
-        for (size_t j = 0; j < info.instrs.size(); ++j) {
-            if (state->failed.load(std::memory_order_relaxed)) return;
-            const HloInstruction* instr = info.instrs[j];
-            if (IsExchangeOp(instr->opcode())) {
-                int64_t op_idx = info.index_of.at(instr->operand(0));
-                // The rendezvous consumes the operand; keep a copy only
-                // if a later instruction still reads it.
-                Tensor input =
-                    info.last_use[static_cast<size_t>(op_idx)] ==
-                            static_cast<int64_t>(j)
-                        ? std::move(vals[static_cast<size_t>(op_idx)])
-                        : vals[static_cast<size_t>(op_idx)];
-                auto result = state->rendezvous[j]->Exchange(
-                    d, std::move(input), instr, mesh);
-                if (!result.ok()) {
-                    // Collective errors are reported by every arriving
-                    // device with the same (instr, status); cancelled
-                    // waits are not errors of this device.
-                    if (result.status().message() !=
-                        "evaluation cancelled") {
-                        state->error_instr[static_cast<size_t>(d)] =
-                            static_cast<int64_t>(j);
-                        state->error_status[static_cast<size_t>(d)] =
-                            result.status();
-                        state->CancelAll();
-                    }
-                    return;
-                }
-                vals[j] = std::move(result).value();
-            } else {
-                std::vector<const Tensor*> operands;
-                operands.reserve(instr->operands().size());
-                for (const HloInstruction* operand : instr->operands()) {
-                    operands.push_back(
-                        &vals[static_cast<size_t>(
-                            info.index_of.at(operand))]);
-                }
-                auto result =
-                    EvalLocalOp(instr, operands, d, mesh, params);
-                if (!result.ok()) {
-                    state->error_instr[static_cast<size_t>(d)] =
-                        static_cast<int64_t>(j);
-                    state->error_status[static_cast<size_t>(d)] =
-                        result.status();
-                    state->CancelAll();
-                    return;
-                }
-                vals[j] = std::move(result).value();
-                if (instr->opcode() == HloOpcode::kEinsum &&
-                    state->sdc.active()) {
-                    Status sdc_status = ApplySdcEinsum(
-                        state->sdc, info, static_cast<int64_t>(j), instr,
-                        d, *operands[0], *operands[1], &vals[j]);
-                    if (!sdc_status.ok()) {
-                        state->error_instr[static_cast<size_t>(d)] =
-                            static_cast<int64_t>(j);
-                        state->error_status[static_cast<size_t>(d)] =
-                            sdc_status;
-                        state->CancelAll();
-                        return;
-                    }
-                }
+        Slots slots(prog.ops.size());
+        auto fail = [&](size_t j, Status status) {
+            state->error_instr[static_cast<size_t>(d)] =
+                static_cast<int64_t>(j);
+            state->error_status[static_cast<size_t>(d)] =
+                std::move(status);
+            state->CancelAll();
+        };
+        for (size_t j = 0; j < prog.ops.size(); ++j) {
+            if (state->cancelled.load(std::memory_order_relaxed)) {
+                return;
             }
-            for (const HloInstruction* operand : instr->operands()) {
-                size_t i = static_cast<size_t>(info.index_of.at(operand));
-                if (info.last_use[i] == static_cast<int64_t>(j)) {
-                    Tensor::Recycle(std::move(vals[i]));
-                }
+            const CompiledOp& op = prog.ops[j];
+            switch (op.kind) {
+              case ExecKind::kFusedInterior: continue;
+
+              case ExecKind::kFused: {
+                  const FusedGroup& group =
+                      prog.groups[static_cast<size_t>(op.fused_group)];
+                  Status status = ExecFusedGroup(prog, group, &slots);
+                  if (!status.ok()) {
+                      fail(j, std::move(status));
+                      return;
+                  }
+                  for (int64_t jj = group.begin; jj < group.end; ++jj) {
+                      RecycleDead(prog, static_cast<size_t>(jj),
+                                  &slots);
+                  }
+                  break;
+              }
+
+              case ExecKind::kExchange: {
+                  size_t s = static_cast<size_t>(op.operands[0]);
+                  // The channel consumes the operand; move it only if
+                  // it is owned and dies here.
+                  Tensor input =
+                      slots.IsOwned(s) &&
+                              prog.last_use[s] == static_cast<int64_t>(j)
+                          ? std::move(slots.owned[s])
+                          : Tensor(*slots.view[s]);
+                  auto result = ExchangeViaChannels(
+                      prog, j, d, std::move(input), mesh, state);
+                  if (!result.ok()) {
+                      // Cancelled waits are not errors of this device;
+                      // the failing device owns the real error.
+                      if (result.status().message() != kCancelled) {
+                          fail(j, result.status());
+                      }
+                      return;
+                  }
+                  slots.SetOwned(j, std::move(result).value());
+                  RecycleDead(prog, j, &slots);
+                  break;
+              }
+
+              default: {
+                  Status status = ExecLocalForDevice(
+                      prog, j, &slots, d, mesh, params, state->sdc);
+                  if (!status.ok()) {
+                      fail(j, std::move(status));
+                      return;
+                  }
+                  RecycleDead(prog, j, &slots);
+                  break;
+              }
             }
         }
-        *root_out =
-            std::move(vals[static_cast<size_t>(info.root_index)]);
+        *root_out = TakeRoot(prog, &slots);
     } catch (...) {
         state->exception[static_cast<size_t>(d)] =
             std::current_exception();
@@ -811,58 +1623,82 @@ SpmdEvaluator::EvaluateSerial(
     const std::vector<std::vector<Tensor>>& params) const
 {
     const int64_t n = mesh_.num_devices();
-    ProgramInfo info = AnalyzeProgram(computation);
-    std::vector<PerDevice> values(info.instrs.size());
     SdcRuntime sdc{options_.sdc, options_.sdc_sink};
+    CompiledProgram prog = Compile(computation, mesh_, sdc.active());
 
-    for (size_t j = 0; j < info.instrs.size(); ++j) {
-        const HloInstruction* instr = info.instrs[j];
-        PerDevice out(static_cast<size_t>(n));
-        if (IsExchangeOp(instr->opcode())) {
-            const PerDevice& input = values[static_cast<size_t>(
-                info.index_of.at(instr->operand(0)))];
-            std::vector<const Tensor*> inputs;
-            inputs.reserve(static_cast<size_t>(n));
-            for (const Tensor& t : input) inputs.push_back(&t);
-            OVERLAP_RETURN_IF_ERROR(EvalCollectiveSdc(
-                instr, mesh_, inputs, &out, sdc,
-                info.exchange_ordinal[j], static_cast<int64_t>(j)));
-        } else {
-            std::vector<const Tensor*> operands(
-                instr->operands().size());
-            for (int64_t d = 0; d < n; ++d) {
-                for (size_t i = 0; i < instr->operands().size(); ++i) {
-                    operands[i] =
-                        &values[static_cast<size_t>(info.index_of.at(
-                            instr->operands()[i]))]
-                               [static_cast<size_t>(d)];
-                }
-                auto result =
-                    EvalLocalOp(instr, operands, d, mesh_, params);
-                if (!result.ok()) return result.status();
-                out[static_cast<size_t>(d)] = std::move(result).value();
-                if (instr->opcode() == HloOpcode::kEinsum &&
-                    sdc.active()) {
-                    OVERLAP_RETURN_IF_ERROR(ApplySdcEinsum(
-                        sdc, info, static_cast<int64_t>(j), instr, d,
-                        *operands[0], *operands[1],
-                        &out[static_cast<size_t>(d)]));
-                }
-            }
-        }
-        values[j] = std::move(out);
-        for (const HloInstruction* operand : instr->operands()) {
-            size_t i = static_cast<size_t>(info.index_of.at(operand));
-            if (info.last_use[i] == static_cast<int64_t>(j)) {
-                for (Tensor& dead : values[i]) {
-                    Tensor::Recycle(std::move(dead));
-                }
-                values[i].clear();
-            }
+    std::vector<Slots> devices;
+    devices.reserve(static_cast<size_t>(n));
+    for (int64_t d = 0; d < n; ++d) devices.emplace_back(prog.ops.size());
+
+    for (size_t j = 0; j < prog.ops.size(); ++j) {
+        const CompiledOp& op = prog.ops[j];
+        switch (op.kind) {
+          case ExecKind::kFusedInterior: continue;
+
+          case ExecKind::kDeferredError: return op.deferred_error;
+
+          case ExecKind::kFused: {
+              const FusedGroup& group =
+                  prog.groups[static_cast<size_t>(op.fused_group)];
+              for (int64_t d = 0; d < n; ++d) {
+                  OVERLAP_RETURN_IF_ERROR(ExecFusedGroup(
+                      prog, group, &devices[static_cast<size_t>(d)]));
+              }
+              for (int64_t jj = group.begin; jj < group.end; ++jj) {
+                  for (int64_t d = 0; d < n; ++d) {
+                      RecycleDead(prog, static_cast<size_t>(jj),
+                                  &devices[static_cast<size_t>(d)]);
+                  }
+              }
+              break;
+          }
+
+          case ExecKind::kExchange: {
+              size_t s = static_cast<size_t>(op.operands[0]);
+              std::vector<const Tensor*> inputs;
+              inputs.reserve(static_cast<size_t>(n));
+              for (int64_t d = 0; d < n; ++d) {
+                  inputs.push_back(
+                      devices[static_cast<size_t>(d)].view[s]);
+              }
+              std::vector<Tensor> outs(static_cast<size_t>(n));
+              {
+                  PhaseTimer timer(collective_phase_nanos);
+                  OVERLAP_RETURN_IF_ERROR(EvalCollectiveSdc(
+                      op.instr, mesh_, inputs, &outs, sdc,
+                      op.exchange_ordinal, static_cast<int64_t>(j)));
+              }
+              for (int64_t d = 0; d < n; ++d) {
+                  devices[static_cast<size_t>(d)].SetOwned(
+                      j, std::move(outs[static_cast<size_t>(d)]));
+              }
+              for (int64_t d = 0; d < n; ++d) {
+                  RecycleDead(prog, j, &devices[static_cast<size_t>(d)]);
+              }
+              break;
+          }
+
+          default: {
+              for (int64_t d = 0; d < n; ++d) {
+                  OVERLAP_RETURN_IF_ERROR(ExecLocalForDevice(
+                      prog, j, &devices[static_cast<size_t>(d)], d,
+                      mesh_, params, sdc));
+              }
+              for (int64_t d = 0; d < n; ++d) {
+                  RecycleDead(prog, j, &devices[static_cast<size_t>(d)]);
+              }
+              break;
+          }
         }
     }
 
-    return std::move(values[static_cast<size_t>(info.root_index)]);
+    std::vector<Tensor> roots;
+    roots.reserve(static_cast<size_t>(n));
+    for (int64_t d = 0; d < n; ++d) {
+        roots.push_back(
+            TakeRoot(prog, &devices[static_cast<size_t>(d)]));
+    }
+    return roots;
 }
 
 StatusOr<std::vector<Tensor>>
@@ -871,36 +1707,67 @@ SpmdEvaluator::EvaluateConcurrent(
     const std::vector<std::vector<Tensor>>& params) const
 {
     const int64_t n = mesh_.num_devices();
-    ProgramInfo info = AnalyzeProgram(computation);
+    SdcRuntime sdc{options_.sdc, options_.sdc_sink};
+    CompiledProgram prog = Compile(computation, mesh_, sdc.active());
 
     ConcurrentState state;
-    state.sdc = SdcRuntime{options_.sdc, options_.sdc_sink};
-    state.rendezvous.resize(info.instrs.size());
-    for (size_t j = 0; j < info.instrs.size(); ++j) {
-        if (IsExchangeOp(info.instrs[j]->opcode())) {
-            state.rendezvous[j] = std::make_unique<Rendezvous>(
-                n, state.sdc, info.exchange_ordinal[j],
-                static_cast<int64_t>(j));
+    state.sdc = sdc;
+    state.spin =
+        std::thread::hardware_concurrency() > 1 ? 1024 : 0;
+    state.channels.resize(prog.ops.size());
+    for (size_t j = 0; j < prog.ops.size(); ++j) {
+        if (prog.ops[j].kind != ExecKind::kExchange) continue;
+        const ExchangePlan& plan = prog.plans[j];
+        auto ch = std::make_unique<ChannelSet>();
+        switch (plan.kind) {
+          case ExchangePlan::Kind::kAllDevice: {
+              ch->groups.emplace_back();
+              for (int64_t d = 0; d < n; ++d) {
+                  ch->groups[0].to_leader.emplace_back();
+                  ch->groups[0].results.emplace_back();
+              }
+              break;
+          }
+          case ExchangePlan::Kind::kGroup: {
+              for (const auto& group : *plan.groups) {
+                  ch->groups.emplace_back();
+                  for (size_t p = 0; p < group.size(); ++p) {
+                      ch->groups.back().to_leader.emplace_back();
+                      ch->groups.back().results.emplace_back();
+                  }
+              }
+              break;
+          }
+          case ExchangePlan::Kind::kPermute: {
+              const auto& pairs =
+                  prog.ops[j].instr->attrs().source_target_pairs;
+              for (size_t i = 0; i < pairs.size(); ++i) {
+                  ch->pairs.emplace_back();
+              }
+              break;
+          }
+          default: break;
         }
+        state.channels[j] = std::move(ch);
     }
     state.error_instr.assign(static_cast<size_t>(n), -1);
     state.error_status.assign(static_cast<size_t>(n), Status::Ok());
     state.exception.assign(static_cast<size_t>(n), nullptr);
 
     // One dedicated thread per device (device 0 runs on the caller).
-    // Devices block on each other at every rendezvous, so they must
-    // all be runnable at once — a bounded shared pool could park a
-    // peer forever and deadlock the exchange.
+    // Devices block on each other at channels, so they must all be
+    // runnable at once — a bounded shared pool could park a peer
+    // forever and deadlock the exchange.
     std::vector<Tensor> roots(static_cast<size_t>(n));
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(n) - 1);
     for (int64_t d = 1; d < n; ++d) {
         threads.emplace_back([&, d]() {
-            RunDeviceProgram(d, info, mesh_, params, &state,
+            RunDeviceProgram(d, prog, mesh_, params, &state,
                              &roots[static_cast<size_t>(d)]);
         });
     }
-    RunDeviceProgram(0, info, mesh_, params, &state, &roots[0]);
+    RunDeviceProgram(0, prog, mesh_, params, &state, &roots[0]);
     for (std::thread& t : threads) t.join();
 
     for (int64_t d = 0; d < n; ++d) {

@@ -53,12 +53,15 @@ class SdcEvalSink {
 struct EvalOptions {
     /**
      * Run the per-device programs on concurrent threads (one dedicated
-     * thread per device), with collectives implemented as rendezvous
-     * channels: every device deposits its operand, the last arriver
-     * computes the exchange for the whole group in fixed device order,
-     * and all pick up their share. Results are bit-identical to the
-     * serial lock-step walk because the collective arithmetic runs once,
-     * over inputs indexed by device id — never in arrival order.
+     * thread per device), with collectives implemented as per-channel
+     * SPSC handoffs: each replica group (or permute pair) has its own
+     * channel, members push their operands to the group's leader, the
+     * leader computes the exchange for its group in fixed member order
+     * and pushes results back. Only the devices of a channel ever
+     * synchronize — a permute pair never waits for the rest of the
+     * mesh. Results are bit-identical to the serial lock-step walk
+     * because the group arithmetic runs once, over inputs indexed by
+     * group position — never in arrival order.
      */
     bool concurrent_devices = false;
 
@@ -98,10 +101,13 @@ struct EvalOptions {
  * Two execution modes produce identical outputs (see EvalOptions):
  * a serial lock-step walk (one instruction at a time across all
  * devices) and a concurrent mode where each device runs its own program
- * on a dedicated thread and meets the others at rendezvous channels for
- * collectives. Both modes recycle dead intermediate buffers through the
- * thread-local BufferPool, so a decomposed loop's partial einsums and
- * DynamicUpdateSlice chain reuse allocations across iterations.
+ * on a dedicated thread and meets its peers at per-channel SPSC
+ * handoffs for collectives. Both modes execute a *compiled* form of the
+ * program — operand slots, liveness and fused elementwise groups
+ * resolved once up front (DESIGN.md §17) — and recycle dead
+ * intermediate buffers through the thread-local BufferPool, so a
+ * decomposed loop's partial einsums and DynamicUpdateSlice chain reuse
+ * allocations across iterations.
  *
  * This interpreter is the semantic ground truth the test suite uses to
  * prove that the Looped CollectiveEinsum decomposition (in every variant)
@@ -156,6 +162,30 @@ class SpmdEvaluator {
  */
 StatusOr<Tensor> EvaluateGlobal(const HloComputation& computation,
                                 const std::vector<Tensor>& params);
+
+/**
+ * Wall-clock seconds an evaluation spent in its two hot phases, for the
+ * perf baseline's breakdown (allocation time is accounted separately by
+ * the buffer pool; see SetAllocTimingEnabled).
+ */
+struct EvalPhaseSeconds {
+    /// Time inside einsum kernel evaluation (all devices summed).
+    double einsum_seconds = 0;
+    /// Time in collective exchanges: serial collective evaluation, or —
+    /// concurrently — each device's full stay at a channel (wait +
+    /// leader compute), all devices summed.
+    double collective_seconds = 0;
+};
+
+/**
+ * Turns per-phase wall-clock accounting on. Off by default: the timers
+ * read the clock in the evaluator hot path, so only the perf baseline
+ * enables them.
+ */
+void SetEvalPhaseTimingEnabled(bool enabled);
+
+/** Returns the seconds accumulated since the last call, and resets. */
+EvalPhaseSeconds ConsumeEvalPhaseSeconds();
 
 }  // namespace overlap
 

@@ -35,7 +35,7 @@ std::string TraceToChromeJson(const SimResult& result,
  *                             loop group in their args when they belong
  *                             to an emitted loop;
  *   pid 2 "spmd_evaluator"  — one thread lane per device: the device
- *                             program span plus rendezvous wait/leader
+ *                             program span plus channel wait/leader/send
  *                             spans recorded by the concurrent mode.
  *
  * Every section is optional — pass an empty vector / nullptr for the

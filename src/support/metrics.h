@@ -17,7 +17,7 @@ namespace overlap {
  *
  * Disabled (the default), every instrument degrades to a single relaxed
  * atomic load and no clock is ever read — cheap enough for the
- * evaluator's per-rendezvous hot path. Tests and tools that want
+ * evaluator's per-channel hot path. Tests and tools that want
  * numbers flip it on around the region of interest.
  */
 bool MetricsEnabled();
@@ -132,7 +132,7 @@ class Histogram {
  * instruments once and then touch only the instrument itself.
  *
  * Naming convention: dotted paths grouped by subsystem, e.g.
- * "evaluator.rendezvous_wait_seconds", "compiler.pass_seconds".
+ * "evaluator.channel_wait_seconds", "compiler.pass_seconds".
  */
 class MetricsRegistry {
   public:
@@ -152,8 +152,8 @@ class MetricsRegistry {
 
     /**
      * One JSON object keyed by instrument name, e.g.
-     * {"evaluator.rendezvous_total": 12,
-     *  "evaluator.rendezvous_wait_seconds":
+     * {"evaluator.channel_total": 12,
+     *  "evaluator.channel_wait_seconds":
      *      {"count":12,"sum":3e-4,"min":...,"max":...,"mean":...,
      *       "p50":...,"p99":...,"p999":...}}.
      * Gauges render as bare numbers, counters as integers; histogram

@@ -40,7 +40,7 @@ uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index);
  * cases, sweep points, batch evaluations). It must not be used for
  * work items that block on each other: with fewer threads than
  * mutually-waiting tasks the pool deadlocks. The SpmdEvaluator's
- * rendezvous-based device concurrency therefore runs on dedicated
+ * channel-based device concurrency therefore runs on dedicated
  * threads (one per device), not on a shared pool.
  */
 class ThreadPool {

@@ -15,7 +15,7 @@ namespace overlap {
  */
 struct TraceSpan {
     std::string name;
-    /// Chrome "cat" field: "pass", "rendezvous", "device_program", ...
+    /// Chrome "cat" field: "pass", "channel_wait", "device_program", ...
     std::string category;
     /// Lane within the subsystem (device id for evaluator spans,
     /// always 0 for compiler passes).
@@ -58,7 +58,7 @@ void SetTracingEnabled(bool enabled);
 /**
  * Thread-safe sink for spans recorded on concurrent threads (the
  * evaluator's per-device programs). Recording is mutex-guarded, which
- * is fine because instrumented sites (rendezvous, whole device
+ * is fine because instrumented sites (channel waits, whole device
  * programs) already serialize on locks of their own; do not put it on
  * per-element paths.
  */

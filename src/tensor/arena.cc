@@ -1,0 +1,120 @@
+#include "tensor/arena.h"
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace overlap {
+
+std::string
+BufferArena::Stats::ToString() const
+{
+    return StrCat("refills=", refills, " flushes=", flushes,
+                  " over_cap_drops=", over_cap_drops);
+}
+
+BufferArena&
+BufferArena::Global()
+{
+    // Leaked on purpose: thread-local pool destructors flush here and
+    // may run after static destruction (see class comment).
+    static BufferArena* arena = new BufferArena();
+    return *arena;
+}
+
+int
+BufferArena::BucketFor(size_t n)
+{
+    int bucket = 0;
+    size_t cap = 1;
+    while (cap < n && bucket < kNumBuckets - 1) {
+        cap <<= 1;
+        ++bucket;
+    }
+    return bucket;
+}
+
+bool
+BufferArena::Acquire(size_t n, std::vector<float>* out)
+{
+    if (n == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int b = BucketFor(n); b < kNumBuckets; ++b) {
+        if (buckets_[b].empty()) continue;
+        *out = std::move(buckets_[b].back());
+        buckets_[b].pop_back();
+        retained_bytes_ -=
+            static_cast<int64_t>(out->capacity() * sizeof(float));
+        ++stats_.refills;
+#ifdef OVERLAP_SANITIZE
+        pooled_ptrs_.erase(out->data());
+#endif
+        out->resize(n);
+        return true;
+    }
+    return false;
+}
+
+void
+BufferArena::Release(std::vector<float>&& buffer)
+{
+    if (buffer.capacity() == 0) return;
+    int64_t bytes =
+        static_cast<int64_t>(buffer.capacity() * sizeof(float));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (retained_bytes_ + bytes > max_retained_bytes_) {
+        ++stats_.over_cap_drops;
+        return;  // buffer frees on scope exit
+    }
+    int bucket = BucketFor(buffer.capacity());
+    if (buffer.capacity() < (size_t{1} << bucket)) --bucket;
+    if (bucket < 0) bucket = 0;
+#ifdef OVERLAP_SANITIZE
+    OVERLAP_CHECK(pooled_ptrs_.insert(buffer.data()).second);
+#endif
+    retained_bytes_ += bytes;
+    ++stats_.flushes;
+    buckets_[bucket].push_back(std::move(buffer));
+}
+
+void
+BufferArena::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& bucket : buckets_) bucket.clear();
+    retained_bytes_ = 0;
+#ifdef OVERLAP_SANITIZE
+    pooled_ptrs_.clear();
+#endif
+}
+
+int64_t
+BufferArena::retained_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return retained_bytes_;
+}
+
+BufferArena::Stats
+BufferArena::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+#ifdef OVERLAP_SANITIZE
+void
+BufferArena::RegisterPooled(const void* base)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    OVERLAP_CHECK(pooled_ptrs_.insert(base).second);
+}
+
+void
+BufferArena::UnregisterPooled(const void* base)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    pooled_ptrs_.erase(base);
+}
+#endif
+
+}  // namespace overlap

@@ -5,6 +5,30 @@
 
 #include "support/strings.h"
 
+// No-aliasing annotation for the einsum kernels: the lhs/rhs/out
+// buffers are always distinct allocations (Tensor never shares
+// buffers), and telling the compiler so is what lets it keep the saxpy
+// accumulator run in vector registers.
+#if defined(__GNUC__) || defined(__clang__)
+#define OVERLAP_RESTRICT __restrict__
+#else
+#define OVERLAP_RESTRICT
+#endif
+
+// Runtime ISA dispatch for the vectorized kernel: the build targets
+// baseline x86-64 (SSE2), so without clones the saxpy loop caps at 4
+// lanes. target_clones emits an AVX2 copy picked by ifunc at load time.
+// AVX2 alone (deliberately *not* fma) keeps mul and add as separate
+// rounding steps, and einsum.cc is compiled with -ffp-contract=off, so
+// every clone — and every host — produces bitwise identical floats.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(OVERLAP_SANITIZE) && !defined(__SANITIZE_THREAD__)
+#define OVERLAP_TARGET_CLONES \
+    __attribute__((target_clones("default", "avx2")))
+#else
+#define OVERLAP_TARGET_CLONES
+#endif
+
 namespace overlap {
 namespace {
 
@@ -197,40 +221,63 @@ struct OffsetTable {
     int64_t count = 1;
 };
 
-}  // namespace
+/**
+ * The per-evaluation plan both kernels share: the output shape and the
+ * four label-class offset tables, plus the contiguous-run length the
+ * vectorized kernel keys on. Labels keep the deterministic all_-labels
+ * order within each class, which fixes the floating-point accumulation
+ * order independent of blocking or vectorization.
+ */
+struct EinsumPlan {
+    Shape out_shape;
+    OffsetTable batch;
+    OffsetTable mfree;
+    OffsetTable nfree;
+    OffsetTable contract;
+    /// Length of a contiguous rhs-free run: the extent of the innermost
+    /// rhs-free label when it has stride 1 in both the rhs and the
+    /// output, else 1 (scalar fallback).
+    int64_t n_run = 1;
+};
 
-StatusOr<Tensor>
-EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
+/**
+ * Builds the offset tables for one evaluation. Partitions the label
+ * space into the four classes of the paper's einsum taxonomy: every
+ * output element is indexed by exactly (batch, lhs-free, rhs-free),
+ * and its value is a sum over the contracting space — so the kernels
+ * write each output once and need no zero-initialized accumulator
+ * tensor.
+ */
+StatusOr<EinsumPlan>
+BuildPlan(const EinsumSpec& spec, const Shape& lhs, const Shape& rhs)
 {
-    auto out_shape = InferOutputShape(lhs.shape(), rhs.shape());
+    auto out_shape = spec.InferOutputShape(lhs, rhs);
     if (!out_shape.ok()) return out_shape.status();
 
+    EinsumPlan plan;
+    plan.out_shape = std::move(out_shape).value();
+
     std::map<char, int64_t> sizes;
-    for (size_t i = 0; i < lhs_.size(); ++i) {
-        sizes[lhs_[i]] = lhs.shape().dim(static_cast<int64_t>(i));
+    const std::string& lhs_labels = spec.lhs_labels();
+    const std::string& rhs_labels = spec.rhs_labels();
+    for (size_t i = 0; i < lhs_labels.size(); ++i) {
+        sizes[lhs_labels[i]] = lhs.dim(static_cast<int64_t>(i));
     }
-    for (size_t i = 0; i < rhs_.size(); ++i) {
-        sizes[rhs_[i]] = rhs.shape().dim(static_cast<int64_t>(i));
+    for (size_t i = 0; i < rhs_labels.size(); ++i) {
+        sizes[rhs_labels[i]] = rhs.dim(static_cast<int64_t>(i));
     }
 
-    std::vector<int64_t> lhs_strides = RowMajorStrides(lhs.shape().dims());
-    std::vector<int64_t> rhs_strides = RowMajorStrides(rhs.shape().dims());
+    std::vector<int64_t> lhs_strides = RowMajorStrides(lhs.dims());
+    std::vector<int64_t> rhs_strides = RowMajorStrides(rhs.dims());
     std::vector<int64_t> out_strides =
-        RowMajorStrides(out_shape->dims());
+        RowMajorStrides(plan.out_shape.dims());
 
-    // Partition the label space into the four classes of the paper's
-    // einsum taxonomy. Every output element is indexed by exactly
-    // (batch, lhs-free, rhs-free), and its value is a sum over the
-    // contracting space — so the kernel writes each output once and
-    // needs no zero-initialized accumulator tensor. Labels keep the
-    // deterministic all_-labels order within each class, which fixes
-    // the floating-point accumulation order independent of blocking.
     auto build_table = [&](EinsumDimKind kind) {
         OffsetTable table;
         std::vector<char> labels;
         std::vector<int64_t> extents;
-        for (char c : all_) {
-            if (KindOf(c) != kind) continue;
+        for (char c : spec.all_labels()) {
+            if (spec.KindOf(c) != kind) continue;
             labels.push_back(c);
             extents.push_back(sizes.at(c));
             table.count *= sizes.at(c);
@@ -243,9 +290,9 @@ EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
             int64_t l = 0, r = 0, o = 0;
             for (size_t d = 0; d < labels.size(); ++d) {
                 char c = labels[d];
-                int64_t lp = LhsDimOf(c);
-                int64_t rp = RhsDimOf(c);
-                int64_t op = OutDimOf(c);
+                int64_t lp = spec.LhsDimOf(c);
+                int64_t rp = spec.RhsDimOf(c);
+                int64_t op = spec.OutDimOf(c);
                 if (lp >= 0) l += idx[d] * lhs_strides[static_cast<size_t>(lp)];
                 if (rp >= 0) r += idx[d] * rhs_strides[static_cast<size_t>(rp)];
                 if (op >= 0) o += idx[d] * out_strides[static_cast<size_t>(op)];
@@ -264,22 +311,45 @@ EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
         }
         return table;
     };
-    OffsetTable batch = build_table(EinsumDimKind::kBatch);
-    OffsetTable mfree = build_table(EinsumDimKind::kLhsFree);
-    OffsetTable nfree = build_table(EinsumDimKind::kRhsFree);
-    OffsetTable contract = build_table(EinsumDimKind::kContracting);
+    plan.batch = build_table(EinsumDimKind::kBatch);
+    plan.mfree = build_table(EinsumDimKind::kLhsFree);
+    plan.nfree = build_table(EinsumDimKind::kRhsFree);
+    plan.contract = build_table(EinsumDimKind::kContracting);
 
-    Tensor out = Tensor::Uninitialized(out_shape.value());
-    if (out.num_elements() == 0) return out;
-    const float* lhs_data = lhs.data();
-    const float* rhs_data = rhs.data();
-    float* out_data = out.data();
+    // The vectorized kernel needs the innermost rhs-free label to be
+    // unit-stride in both the rhs and the output, so that consecutive
+    // n entries are contiguous saxpy lanes. Every matmul-like spec the
+    // decomposition emits ("bf,fh->bh" and friends) qualifies.
+    char inner = 0;
+    for (char c : spec.all_labels()) {
+        if (spec.KindOf(c) == EinsumDimKind::kRhsFree) inner = c;
+    }
+    if (inner != 0) {
+        const int64_t rp = spec.RhsDimOf(inner);
+        const int64_t op = spec.OutDimOf(inner);
+        if (rhs_strides[static_cast<size_t>(rp)] == 1 &&
+            out_strides[static_cast<size_t>(op)] == 1) {
+            plan.n_run = sizes.at(inner);
+        }
+    }
+    return plan;
+}
 
-    // Cache-blocked over the contracting (k) and rhs-free (n) spaces:
-    // one k-panel of the rhs is reused across every n in the block
-    // before the walk moves on, instead of streaming the whole rhs per
-    // output row. Blocks split the k loop sequentially, so per-element
-    // accumulation order (and thus the float result) is unchanged.
+/**
+ * The scalar cache-blocked kernel (the seed evaluator's loop, kept
+ * verbatim): one k-panel of the rhs is reused across every n in the
+ * block before the walk moves on, instead of streaming the whole rhs
+ * per output row. Blocks split the k loop sequentially, so per-element
+ * accumulation order (and thus the float result) is unchanged.
+ */
+void
+ScalarKernel(const EinsumPlan& plan, const float* lhs_data,
+             const float* rhs_data, float* out_data)
+{
+    const OffsetTable& batch = plan.batch;
+    const OffsetTable& mfree = plan.mfree;
+    const OffsetTable& nfree = plan.nfree;
+    const OffsetTable& contract = plan.contract;
     constexpr int64_t kBlockK = 64;
     constexpr int64_t kBlockN = 64;
     for (int64_t b = 0; b < batch.count; ++b) {
@@ -322,6 +392,254 @@ EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
             }
         }
     }
+}
+
+/**
+ * The vectorized kernel: same (batch, k-panel, m) walk as ScalarKernel,
+ * but inside a tile the loop order is k outer / n inner, so the
+ * innermost loop is a contiguous saxpy over one rhs-free run
+ * (out[v] += a * rhs[v]) that the compiler turns into SIMD.
+ *
+ * Two blocking layers sit on top of the saxpy form, and neither
+ * changes a single bit of the result, because every output element
+ * still accumulates its contracting terms in ascending k order —
+ * blocking only regroups *independent* output elements:
+ *
+ *  - Register tiling: a kTileN-wide slice of the output run lives in
+ *    an accumulator array (vector registers once unrolled) across the
+ *    whole k panel, so partial sums never round-trip through memory.
+ *  - m-blocking: kBlockM output rows advance through the k panel
+ *    together, so each rhs row fetched from cache feeds kBlockM saxpy
+ *    updates instead of one.
+ *
+ * Unaligned bases and tails shorter than the hardware vector width
+ * are the compiler's problem (unaligned loads + a scalar epilogue),
+ * not a correctness concern; run/m tails that don't fill a tile take
+ * the plain in-memory saxpy.
+ */
+OVERLAP_TARGET_CLONES
+void
+VectorKernel(const EinsumPlan& plan,
+             const float* OVERLAP_RESTRICT lhs_data,
+             const float* OVERLAP_RESTRICT rhs_data,
+             float* OVERLAP_RESTRICT out_data)
+{
+    const OffsetTable& batch = plan.batch;
+    const OffsetTable& mfree = plan.mfree;
+    const OffsetTable& nfree = plan.nfree;
+    const OffsetTable& contract = plan.contract;
+    const int64_t run = plan.n_run;
+    constexpr int64_t kBlockK = 64;
+    constexpr int64_t kBlockM = 4;
+    constexpr int64_t kTileN = 16;
+    for (int64_t b = 0; b < batch.count; ++b) {
+        const int64_t lb = batch.lhs[static_cast<size_t>(b)];
+        const int64_t rb = batch.rhs[static_cast<size_t>(b)];
+        const int64_t ob = batch.out[static_cast<size_t>(b)];
+        for (int64_t k0 = 0; k0 < contract.count; k0 += kBlockK) {
+            const int64_t k1 = std::min(k0 + kBlockK, contract.count);
+            const bool first_panel = k0 == 0;
+            int64_t m = 0;
+            for (; m + kBlockM <= mfree.count; m += kBlockM) {
+                int64_t lm[kBlockM];
+                int64_t om[kBlockM];
+                for (int64_t i = 0; i < kBlockM; ++i) {
+                    lm[i] = lb +
+                            mfree.lhs[static_cast<size_t>(m + i)];
+                    om[i] = ob +
+                            mfree.out[static_cast<size_t>(m + i)];
+                }
+                // Whole runs only: n_run is the innermost rhs-free
+                // label's extent, so it divides nfree.count.
+                for (int64_t n0 = 0; n0 < nfree.count; n0 += run) {
+                    const int64_t rn =
+                        rb + nfree.rhs[static_cast<size_t>(n0)];
+                    const int64_t on =
+                        nfree.out[static_cast<size_t>(n0)];
+                    if (first_panel) {
+                        for (int64_t i = 0; i < kBlockM; ++i) {
+                            float* OVERLAP_RESTRICT o =
+                                out_data +
+                                static_cast<size_t>(om[i] + on);
+                            for (int64_t v = 0; v < run; ++v) {
+                                o[v] = 0.0f;
+                            }
+                        }
+                    }
+                    int64_t t = 0;
+                    for (; t + kTileN <= run; t += kTileN) {
+                        float acc[kBlockM][kTileN];
+                        for (int64_t i = 0; i < kBlockM; ++i) {
+                            const float* o =
+                                out_data +
+                                static_cast<size_t>(om[i] + on + t);
+                            for (int64_t v = 0; v < kTileN; ++v) {
+                                acc[i][v] = o[v];
+                            }
+                        }
+                        for (int64_t k = k0; k < k1; ++k) {
+                            const int64_t cl =
+                                contract.lhs[static_cast<size_t>(k)];
+                            const float* OVERLAP_RESTRICT r =
+                                rhs_data +
+                                static_cast<size_t>(
+                                    rn +
+                                    contract
+                                        .rhs[static_cast<size_t>(k)] +
+                                    t);
+                            for (int64_t i = 0; i < kBlockM; ++i) {
+                                const float a =
+                                    lhs_data[static_cast<size_t>(
+                                        lm[i] + cl)];
+                                for (int64_t v = 0; v < kTileN; ++v) {
+                                    acc[i][v] += a * r[v];
+                                }
+                            }
+                        }
+                        for (int64_t i = 0; i < kBlockM; ++i) {
+                            float* o =
+                                out_data +
+                                static_cast<size_t>(om[i] + on + t);
+                            for (int64_t v = 0; v < kTileN; ++v) {
+                                o[v] = acc[i][v];
+                            }
+                        }
+                    }
+                    // Tail lanes (run not a multiple of kTileN) take
+                    // the plain in-memory saxpy.
+                    if (t < run) {
+                        for (int64_t k = k0; k < k1; ++k) {
+                            const int64_t cl =
+                                contract.lhs[static_cast<size_t>(k)];
+                            const float* OVERLAP_RESTRICT r =
+                                rhs_data +
+                                static_cast<size_t>(
+                                    rn +
+                                    contract
+                                        .rhs[static_cast<size_t>(k)]);
+                            for (int64_t i = 0; i < kBlockM; ++i) {
+                                const float a =
+                                    lhs_data[static_cast<size_t>(
+                                        lm[i] + cl)];
+                                float* OVERLAP_RESTRICT o =
+                                    out_data +
+                                    static_cast<size_t>(om[i] + on);
+                                for (int64_t v = t; v < run; ++v) {
+                                    o[v] += a * r[v];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Leftover output rows (mfree.count not a multiple of
+            // kBlockM): single-row register-tiled walk.
+            for (; m < mfree.count; ++m) {
+                const int64_t lm =
+                    lb + mfree.lhs[static_cast<size_t>(m)];
+                const int64_t om =
+                    ob + mfree.out[static_cast<size_t>(m)];
+                for (int64_t n0 = 0; n0 < nfree.count; n0 += run) {
+                    const int64_t rn =
+                        rb + nfree.rhs[static_cast<size_t>(n0)];
+                    const int64_t on =
+                        om + nfree.out[static_cast<size_t>(n0)];
+                    float* OVERLAP_RESTRICT o =
+                        out_data + static_cast<size_t>(on);
+                    if (first_panel) {
+                        for (int64_t v = 0; v < run; ++v) o[v] = 0.0f;
+                    }
+                    int64_t t = 0;
+                    for (; t + kTileN <= run; t += kTileN) {
+                        float acc[kTileN];
+                        for (int64_t v = 0; v < kTileN; ++v) {
+                            acc[v] = o[t + v];
+                        }
+                        for (int64_t k = k0; k < k1; ++k) {
+                            const float a =
+                                lhs_data[static_cast<size_t>(
+                                    lm +
+                                    contract
+                                        .lhs[static_cast<size_t>(k)])];
+                            const float* OVERLAP_RESTRICT r =
+                                rhs_data +
+                                static_cast<size_t>(
+                                    rn +
+                                    contract
+                                        .rhs[static_cast<size_t>(k)]) +
+                                t;
+                            for (int64_t v = 0; v < kTileN; ++v) {
+                                acc[v] += a * r[v];
+                            }
+                        }
+                        for (int64_t v = 0; v < kTileN; ++v) {
+                            o[t + v] = acc[v];
+                        }
+                    }
+                    if (t < run) {
+                        for (int64_t k = k0; k < k1; ++k) {
+                            const float a =
+                                lhs_data[static_cast<size_t>(
+                                    lm +
+                                    contract
+                                        .lhs[static_cast<size_t>(k)])];
+                            const float* OVERLAP_RESTRICT r =
+                                rhs_data +
+                                static_cast<size_t>(
+                                    rn +
+                                    contract
+                                        .rhs[static_cast<size_t>(k)]);
+                            for (int64_t v = t; v < run; ++v) {
+                                o[v] += a * r[v];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+StatusOr<Tensor>
+EinsumSpec::Evaluate(const Tensor& lhs, const Tensor& rhs) const
+{
+    auto plan = BuildPlan(*this, lhs.shape(), rhs.shape());
+    if (!plan.ok()) return plan.status();
+
+    Tensor out = Tensor::Uninitialized(plan->out_shape);
+    if (out.num_elements() == 0) return out;
+    if (plan->contract.count == 0) {
+        // An extent-0 contracting dim: every output element is the sum
+        // of an empty set, i.e. zero (the k loops would never write
+        // the output at all).
+        std::fill(out.values().begin(), out.values().end(), 0.0f);
+        return out;
+    }
+    // Runs of length 1 (a transposed or absent rhs-free inner dim) gain
+    // nothing from the saxpy form; both kernels are bitwise identical,
+    // so dispatch is purely a performance choice.
+    if (plan->n_run > 1) {
+        VectorKernel(*plan, lhs.data(), rhs.data(), out.data());
+    } else {
+        ScalarKernel(*plan, lhs.data(), rhs.data(), out.data());
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+EinsumSpec::EvaluateReference(const Tensor& lhs, const Tensor& rhs) const
+{
+    auto plan = BuildPlan(*this, lhs.shape(), rhs.shape());
+    if (!plan.ok()) return plan.status();
+    Tensor out = Tensor::Uninitialized(plan->out_shape);
+    if (out.num_elements() == 0) return out;
+    if (plan->contract.count == 0) {
+        std::fill(out.values().begin(), out.values().end(), 0.0f);
+        return out;
+    }
+    ScalarKernel(*plan, lhs.data(), rhs.data(), out.data());
     return out;
 }
 

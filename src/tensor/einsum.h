@@ -64,8 +64,24 @@ class EinsumSpec {
      */
     int64_t FlopCount(const Shape& lhs, const Shape& rhs) const;
 
-    /** Reference execution used by the interpreter. */
+    /**
+     * Executes the einsum. Dispatches to a vectorized kernel when the
+     * innermost rhs-free label is contiguous in both the rhs and the
+     * output (the layout every matmul-like contraction in the paper
+     * has); otherwise falls back to the scalar reference kernel. Both
+     * paths accumulate each output element over the contracting space
+     * in the identical ascending order, so the result is bitwise equal
+     * to EvaluateReference for every spec and shape.
+     */
     StatusOr<Tensor> Evaluate(const Tensor& lhs, const Tensor& rhs) const;
+
+    /**
+     * The scalar reference kernel (the seed evaluator's cache-blocked
+     * loop, kept verbatim). The golden test suite asserts the
+     * vectorized path is bitwise identical to this oracle.
+     */
+    StatusOr<Tensor> EvaluateReference(const Tensor& lhs,
+                                       const Tensor& rhs) const;
 
     /**
      * Returns a spec string equal to this one with the operands swapped

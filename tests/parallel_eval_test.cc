@@ -94,7 +94,7 @@ TEST(ParallelEvalTest, ObservabilityDoesNotPerturbConcurrentResults)
 {
     // Observer-effect check for the DESIGN.md §13 instruments: with
     // metrics + tracing enabled the concurrent evaluator must stay bit
-    // identical to the untraced serial walk, while the rendezvous
+    // identical to the untraced serial walk, while the channel
     // counters and wait histograms actually fill in. This is the
     // measurement half of diagnosing concurrent speedups < 1 on
     // single-core hosts — the numbers must be trustworthy before the
@@ -132,17 +132,17 @@ TEST(ParallelEvalTest, ObservabilityDoesNotPerturbConcurrentResults)
     ASSERT_TRUE(got.ok());
     EXPECT_TRUE(BitIdentical(*want, *got));
 
-    // One rendezvous record per device at the single AllGather, split
+    // One channel record per device at the single AllGather, split
     // between exactly the leader and wait histograms.
     Counter* total = MetricsRegistry::Global().counter(
-        "evaluator.rendezvous_total");
+        "evaluator.channel_total");
     Histogram::Snapshot waits =
         MetricsRegistry::Global()
-            .histogram("evaluator.rendezvous_wait_seconds")
+            .histogram("evaluator.channel_wait_seconds")
             ->snapshot();
     Histogram::Snapshot leads =
         MetricsRegistry::Global()
-            .histogram("evaluator.rendezvous_leader_seconds")
+            .histogram("evaluator.channel_leader_seconds")
             ->snapshot();
     EXPECT_EQ(total->value(), 4);
     EXPECT_EQ(waits.count + leads.count, total->value());
@@ -162,9 +162,9 @@ TEST(ParallelEvalTest, ObservabilityDoesNotPerturbConcurrentResults)
 
 TEST(ParallelEvalTest, ConcurrentErrorMatchesSerialWithoutDeadlock)
 {
-    // The invalid permute is discovered at the rendezvous; every device
-    // must be released (not left waiting for a peer that errored) and
-    // the reported Status must be the serial one.
+    // The invalid permute is rejected before any channel is entered;
+    // every device must be released (not left waiting for a peer that
+    // errored) and the reported Status must be the serial one.
     Mesh mesh(3);
     HloModule module("m");
     HloComputation* comp = module.AddEntryComputation("main");
@@ -181,6 +181,121 @@ TEST(ParallelEvalTest, ConcurrentErrorMatchesSerialWithoutDeadlock)
     opts.concurrent_devices = true;
     SpmdEvaluator concurrent(mesh, opts);
     auto parallel_result = concurrent.Evaluate(*comp, {inputs});
+    ASSERT_FALSE(parallel_result.ok());
+    EXPECT_EQ(parallel_result.status().code(),
+              serial_result.status().code());
+    EXPECT_EQ(parallel_result.status().message(),
+              serial_result.status().message());
+}
+
+TEST(ParallelEvalTest, ChannelWaitersReleasedWhenPeerFailsBeforePush)
+{
+    // Device 2's parameter has the wrong shape, so it dies before ever
+    // pushing into the AllReduce channel. Devices 0 and 1 are parked in
+    // that channel (0 as group leader waiting for member inputs) and
+    // must be woken by cancellation, and the merged error must be the
+    // failing device's own Status — identical to the serial walk's.
+    Mesh mesh(3);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({4}));
+    comp->set_root(b.AllReduce(p, mesh.Groups(0)));
+    std::vector<std::vector<Tensor>> params(1);
+    params[0] = {Tensor(Shape({4}), {1, 2, 3, 4}),
+                 Tensor(Shape({4}), {5, 6, 7, 8}),
+                 Tensor(Shape({5}), {9, 10, 11, 12, 13})};
+
+    SpmdEvaluator serial(mesh);
+    auto serial_result = serial.Evaluate(*comp, params);
+    ASSERT_FALSE(serial_result.ok());
+
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto parallel_result = concurrent.Evaluate(*comp, params);
+    ASSERT_FALSE(parallel_result.ok());
+    EXPECT_EQ(parallel_result.status().code(),
+              serial_result.status().code());
+    EXPECT_EQ(parallel_result.status().message(),
+              serial_result.status().message());
+}
+
+TEST(ParallelEvalTest, PermuteReceiverReleasedWhenSenderFails)
+{
+    // A permute receiver waits only on its own pair's SPSC slot; if the
+    // sender fails before pushing, cancellation must release the
+    // receiver with the sender's error, never a deadlock or a zeroed
+    // "nothing received" result.
+    Mesh mesh(2);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({3}));
+    comp->set_root(b.CollectivePermute(p, {{1, 0}}));
+    std::vector<std::vector<Tensor>> params(1);
+    params[0] = {Tensor(Shape({3}), {1, 2, 3}),
+                 Tensor(Shape({2}), {4, 5})};  // device 1: bad shape
+
+    SpmdEvaluator serial(mesh);
+    auto serial_result = serial.Evaluate(*comp, params);
+    ASSERT_FALSE(serial_result.ok());
+
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto parallel_result = concurrent.Evaluate(*comp, params);
+    ASSERT_FALSE(parallel_result.ok());
+    EXPECT_EQ(parallel_result.status().code(),
+              serial_result.status().code());
+    EXPECT_EQ(parallel_result.status().message(),
+              serial_result.status().message());
+}
+
+TEST(ParallelEvalTest, ChannelLeaderErrorReachesAllGroupMembers)
+{
+    // Under SDC instrumentation the exchange leader runs the transfer
+    // checksum verification; a detection must propagate through the
+    // result slots to every member so the evaluation fails with the
+    // serial walk's exact FailedPrecondition, not a hang or a partial
+    // result.
+    Mesh mesh(4);
+    HloModule module("m");
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8}));
+    comp->set_root(b.AllReduce(p, mesh.Groups(0)));
+    std::vector<std::vector<Tensor>> params(1);
+    for (int64_t d = 0; d < 4; ++d) {
+        params[0].push_back(Tensor::Random(
+            Shape({8}), static_cast<uint64_t>(d) + 11));
+    }
+
+    SdcEvalConfig sdc;
+    sdc.step = 0;
+    SilentCorruption corruption;
+    corruption.step = 0;
+    corruption.chip = 2;
+    corruption.instruction = 0;
+    corruption.target = CorruptionTarget::kTransferPayload;
+    sdc.corruptions = {corruption};
+    sdc.detectors.enabled = true;
+    sdc.detectors.verify_transfers = true;
+    sdc.detectors.verify_einsums = false;
+
+    EvalOptions serial_opts;
+    serial_opts.sdc = &sdc;
+    SpmdEvaluator serial(mesh, serial_opts);
+    auto serial_result = serial.Evaluate(*comp, params);
+    ASSERT_FALSE(serial_result.ok());
+    EXPECT_EQ(serial_result.status().code(),
+              StatusCode::kFailedPrecondition);
+
+    EvalOptions opts;
+    opts.concurrent_devices = true;
+    opts.sdc = &sdc;
+    SpmdEvaluator concurrent(mesh, opts);
+    auto parallel_result = concurrent.Evaluate(*comp, params);
     ASSERT_FALSE(parallel_result.ok());
     EXPECT_EQ(parallel_result.status().code(),
               serial_result.status().code());

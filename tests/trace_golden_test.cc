@@ -4,7 +4,7 @@
  * through the full pipeline with metrics + tracing on, and the unified
  * trace must keep its shape — the compiler lane lists the pipeline
  * passes in order, simulator events pair every async Start with its
- * Done-wait inside the in-flight window, evaluator rendezvous spans
+ * Done-wait inside the in-flight window, evaluator channel spans
  * nest inside their device-program span, and the set of simulator
  * event names matches the golden list committed under tests/golden/.
  *
@@ -241,7 +241,7 @@ TEST(TraceGoldenTest, SimulatorEventNamesMatchGoldenList)
     }
 }
 
-TEST(TraceGoldenTest, RendezvousSpansNestInsideDeviceprograms)
+TEST(TraceGoldenTest, ChannelSpansNestInsideDevicePrograms)
 {
     TracedRun run = RunTraced();
     const Mesh& mesh = *run.fixture.module->mesh();
@@ -260,7 +260,8 @@ TEST(TraceGoldenTest, RendezvousSpansNestInsideDeviceprograms)
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     std::vector<TraceSpan> spans = TraceRecorder::Global().Drain();
 
-    // One program span per device, bounding that device's rendezvous.
+    // One program span per device, bounding that device's channel
+    // spans.
     std::map<int64_t, TraceSpan> programs;
     for (const TraceSpan& span : spans) {
         if (span.category == "device_program") {
@@ -271,13 +272,18 @@ TEST(TraceGoldenTest, RendezvousSpansNestInsideDeviceprograms)
     EXPECT_EQ(static_cast<int64_t>(programs.size()), mesh.num_devices());
 
     // Every exchange instruction appears once per device, with at least
-    // one leader (the last arriver computes) and the rest waiting.
+    // one leader (a group's first member computes), the other group
+    // members waiting, and any device outside every channel recorded as
+    // a pure send.
     std::map<std::string, int64_t> per_name;
     std::map<std::string, int64_t> leaders;
     std::map<std::string, std::set<int64_t>> lanes;
     for (const TraceSpan& span : spans) {
-        const bool leader = span.category == "rendezvous_leader";
-        if (!leader && span.category != "rendezvous_wait") continue;
+        const bool leader = span.category == "channel_leader";
+        if (!leader && span.category != "channel_wait" &&
+            span.category != "channel_send") {
+            continue;
+        }
         ++per_name[span.name];
         if (leader) ++leaders[span.name];
         EXPECT_TRUE(lanes[span.name].insert(span.lane).second)
@@ -291,12 +297,18 @@ TEST(TraceGoldenTest, RendezvousSpansNestInsideDeviceprograms)
     ASSERT_FALSE(per_name.empty());
     for (const auto& [name, count] : per_name) {
         EXPECT_EQ(count, mesh.num_devices()) << name;
-        EXPECT_GE(leaders[name], 1) << name;
+        // Group collectives elect a leader per replica group; permutes
+        // are pure point-to-point sends with no leader at all.
+        if (name.find("permute") == std::string::npos) {
+            EXPECT_GE(leaders[name], 1) << name;
+        } else {
+            EXPECT_EQ(leaders[name], 0) << name;
+        }
     }
 
-    // The rendezvous metrics moved in lock-step with the spans.
+    // The channel metrics moved in lock-step with the spans.
     std::string metrics = MetricsRegistry::Global().SnapshotJson();
-    EXPECT_NE(metrics.find("evaluator.rendezvous_total"),
+    EXPECT_NE(metrics.find("evaluator.channel_total"),
               std::string::npos)
         << metrics;
 
