@@ -51,6 +51,18 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 "${build_dir}/src/difftest/difftest_runner" --inject-sdc --cases 96 \
     > /dev/null
 
+# Quick MoE AllToAll overlap sweep under the sanitizers (DESIGN.md
+# §18): the §5.5 gate must emit ring-decomposed A2A loops and both the
+# decomposed and the micro-batch pipelined arm must beat the blocking
+# exchange somewhere on the grid.
+"${build_dir}/bench/moe_sweep" --quick --json > /dev/null
+
+# The §18 AllToAll difftest wall: 512 seeded dispatch/combine sites,
+# every decomposed/pipelined lowering bit-compared against the
+# blocking reference evaluation.
+"${build_dir}/src/difftest/difftest_runner" --only-case a2a \
+    --cases 512 > /dev/null
+
 # Quick perf baseline under ASan (numbers are meaningless when
 # sanitized, but the bit-identical / byte-identical cross-checks and
 # the allocation accounting must hold).

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the MoE AllToAll overlap sweep (bench/moe_sweep):
+# blocking exchange vs §18 ring-decomposed dispatch/combine vs
+# micro-batch pipelined async exchanges, across pod sizes and expert
+# counts, as JSON. Regenerates the committed BENCH_moe.json when run
+# from the repo root without --out. The bench self-checks the §18
+# acceptance gate (the decomposed arm must emit ring loops and each
+# treatment must beat blocking somewhere on the grid) and exits
+# nonzero on any violation.
+#
+# Usage: scripts/moe_sweep.sh [--quick] [--out FILE] [build-dir]
+#   --quick    the small grid the sanitize suite runs (2 pod sizes,
+#              1 expert count)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+quick_flag=""
+out_path="${repo_root}/BENCH_moe.json"
+build_dir="${repo_root}/build"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick) quick_flag="--quick"; shift ;;
+      --out) out_path="$2"; shift 2 ;;
+      *) build_dir="$1"; shift ;;
+    esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target moe_sweep
+
+"${build_dir}/bench/moe_sweep" --json ${quick_flag:+${quick_flag}} \
+    --out "${out_path}"

@@ -62,6 +62,15 @@ OverlapCompiler::Compile(HloModule* module) const
                  report.async_permutes = async.value();
                  return Status::Ok();
              }});
+        if (options_.async_all_to_all) {
+            pipeline.push_back(
+                {"async-a2a-creation", [&]() -> Status {
+                     auto async = CreateAsyncAllToAlls(module->entry());
+                     if (!async.ok()) return async.status();
+                     report.async_all_to_alls = async.value();
+                     return Status::Ok();
+                 }});
+        }
         // §5.4.3 local rewrites that make operand pre-processing
         // fusable with the consumer einsums.
         pipeline.push_back(

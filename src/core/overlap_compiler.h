@@ -44,6 +44,17 @@ struct CompilerOptions {
     HardwareSpec hardware;
 
     /**
+     * Split the blocking AllToAlls that survive decomposition into
+     * AllToAllStart/Done pairs (DESIGN.md §18), so the scheduler can
+     * hide one micro-batch's MoE dispatch/combine exchange behind
+     * another micro-batch's dense compute. Off by default: a module
+     * with a single A2A per step gains nothing from the async form,
+     * and the blocking form is the baseline every bench compares
+     * against.
+     */
+    bool async_all_to_all = false;
+
+    /**
      * Pod degradation the compiler should be robust to. A non-trivial
      * spec makes the §5.5 gate variance-aware (each site is re-costed
      * against the slowest link/chip of its ring and falls back to the
@@ -93,6 +104,8 @@ struct PassDiagnostic {
 struct CompileReport {
     DecomposeStats decompose;
     int64_t async_permutes = 0;
+    /// Blocking AllToAlls split into Start/Done pairs (§18).
+    int64_t async_all_to_alls = 0;
     int64_t fusion_groups = 0;
     /// §5.4.3 Concatenate -> Max(Pad, Pad) rewrites applied.
     int64_t concat_rewrites = 0;

@@ -74,6 +74,39 @@ OverlapReportSiteSpace()
         spec.free0 = 1;
         specs.push_back(spec);
     }
+    {
+        // MoE dispatch (§18): AllToAll (16e x c) feeding einsum
+        // (16e x c) . (c x f1). The decomposed form serializes 3B/4
+        // per ring direction where the torus-routed blocking A2A moves
+        // B/2, so it only wins where the partial einsums hide the
+        // chunk permutes outright (f1 above ~7000 on v4 numbers) while
+        // the per-chunk DUS traffic stays below the saved exchange
+        // (f1 below 4c).
+        SiteSpec spec;
+        spec.site_case = SiteCase::kAllToAll;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.side = 0;
+        spec.shard_extent = 512;  // per-device tokens = 4 * 512
+        spec.contract = 8192;
+        spec.free1 = 8192;
+        spec.free0 = 1;
+        specs.push_back(spec);
+    }
+    {
+        // MoE combine (§18): einsum (16e x c) . (c x f1) feeding the
+        // AllToAll on its output rows; same proportions as dispatch.
+        SiteSpec spec;
+        spec.site_case = SiteCase::kAllToAll;
+        spec.mesh_dims = {4};
+        spec.data_seed = 7;
+        spec.side = 1;
+        spec.shard_extent = 512;
+        spec.contract = 8192;
+        spec.free1 = 8192;
+        spec.free0 = 1;
+        specs.push_back(spec);
+    }
     return specs;
 }
 

@@ -1,5 +1,6 @@
 #include "difftest/difftest.h"
 
+#include <algorithm>
 #include <random>
 
 #include "hlo/builder.h"
@@ -51,6 +52,7 @@ SiteCaseName(SiteCase c)
       case SiteCase::kAllGatherContracting: return "ag_contract";
       case SiteCase::kAllGatherBatch: return "ag_batch";
       case SiteCase::kReduceScatter: return "rs";
+      case SiteCase::kAllToAll: return "a2a";
     }
     OVERLAP_CHECK(false);
     return "";
@@ -79,6 +81,8 @@ SiteSpec::reduction_extent() const
       case SiteCase::kAllGatherContracting:
           return ring_size() * shard_extent;
       case SiteCase::kReduceScatter: return ring_size() * contract;
+      // The A2A-adjacent einsum contracts only the local 'd' label.
+      case SiteCase::kAllToAll: return contract;
     }
     OVERLAP_CHECK(false);
     return 1;
@@ -122,6 +126,8 @@ SiteSpec::Parse(const std::string& line)
                 spec.site_case = SiteCase::kAllGatherBatch;
             } else if (value == "rs") {
                 spec.site_case = SiteCase::kReduceScatter;
+            } else if (value == "a2a") {
+                spec.site_case = SiteCase::kAllToAll;
             } else {
                 return InvalidArgument(
                     StrCat("unknown site case '", value, "'"));
@@ -170,6 +176,13 @@ SiteSpec::Parse(const std::string& line)
 SiteSpec
 GenerateSiteSpec(uint64_t seed, int64_t index)
 {
+    return GenerateSiteSpecForCase(
+        seed, index, static_cast<SiteCase>(index % kNumSiteCases));
+}
+
+SiteSpec
+GenerateSiteSpecForCase(uint64_t seed, int64_t index, SiteCase site_case)
+{
     std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL +
                         static_cast<uint64_t>(index) + 1);
     auto pick = [&rng](int64_t lo, int64_t hi) -> int64_t {
@@ -177,9 +190,9 @@ GenerateSiteSpec(uint64_t seed, int64_t index)
                                                      hi - lo + 1));
     };
     SiteSpec spec;
-    spec.site_case = static_cast<SiteCase>(index % 4);
-    // Stratified parity: indices 0-3 even extents, 4-7 odd, repeating.
-    bool odd = (index / 4) % 2 == 1;
+    spec.site_case = site_case;
+    // Stratified parity: indices 0-4 even extents, 5-9 odd, repeating.
+    bool odd = (index / kNumSiteCases) % 2 == 1;
     spec.shard_extent = odd ? (pick(0, 1) == 0 ? 1 : 3)
                             : (pick(0, 1) == 0 ? 2 : 4);
     int64_t ring = pick(2, 8);
@@ -252,6 +265,20 @@ ShapesFor(const SiteSpec& spec)
         return InvalidArgument("site-spec extents must be >= 1");
     }
     SiteShapes shapes;
+    if (spec.site_case == SiteCase::kAllToAll) {
+        // "td,dh->th" with the token dimension 't' exchanged all-to-all
+        // along the ring: each device holds n blocks of `shard_extent`
+        // tokens, so the per-device extent n * shard_extent is always
+        // divisible by the group size. `side` 0 places the AllToAll
+        // before the einsum (dispatch); 1 after it (combine).
+        shapes.einsum_spec = "td,dh->th";
+        shapes.lhs_global = Shape(
+            spec.dtype, {n * n * spec.shard_extent, spec.contract});
+        shapes.rhs_global = Shape(spec.dtype, {spec.contract, spec.free1});
+        shapes.lhs_sharding = TensorSharding::OnDim(2, 0, spec.axis);
+        shapes.rhs_sharding = TensorSharding::Replicated(2);
+        return shapes;
+    }
     if (spec.site_case == SiteCase::kReduceScatter) {
         // "bf,fh->bh" with 'f' sharded; scatter along 'b' (side 0) or
         // 'h' (side 1).
@@ -329,6 +356,22 @@ BuildSiteModule(const SiteSpec& spec)
     HloComputation* comp = module->AddEntryComputation("main");
     HloBuilder b(comp);
 
+    if (spec.site_case == SiteCase::kAllToAll) {
+        auto* tokens = b.Parameter(
+            0, shapes->lhs_sharding.ShardShape(shapes->lhs_global, mesh),
+            "tokens_shard");
+        auto* weights = b.Parameter(1, shapes->rhs_global, "weights");
+        if (spec.side == 0) {
+            auto* a2a = b.AllToAll(tokens, 0, mesh.Groups(spec.axis));
+            comp->set_root(b.Einsum(a2a, weights, shapes->einsum_spec));
+        } else {
+            auto* einsum = b.Einsum(tokens, weights, shapes->einsum_spec);
+            comp->set_root(
+                b.AllToAll(einsum, 0, mesh.Groups(spec.axis)));
+        }
+        return module;
+    }
+
     if (spec.site_case == SiteCase::kReduceScatter) {
         auto* lhs = b.Parameter(
             0, shapes->lhs_sharding.ShardShape(shapes->lhs_global, mesh));
@@ -375,6 +418,61 @@ BuildSiteScenario(const SiteSpec& spec)
     Tensor lhs_data = Tensor::Random(shapes->lhs_global, spec.data_seed + 1);
     Tensor rhs_data = Tensor::Random(shapes->rhs_global, spec.data_seed + 2);
     auto parsed = EinsumSpec::Parse(shapes->einsum_spec);
+
+    if (spec.site_case == SiteCase::kAllToAll) {
+        // Analytic AllToAll ground truth, computed per ring group: the
+        // member at position i's output block j is member j's input
+        // block i (block = shard_extent rows; rows are contiguous in
+        // the row-major buffers, so blocks copy as flat ranges).
+        const int64_t n = spec.ring_size();
+        const int64_t block = spec.shard_extent;
+        std::vector<Tensor> token_shards =
+            ShardTensor(lhs_data, shapes->lhs_sharding, mesh);
+        s.expected.resize(static_cast<size_t>(mesh.num_devices()));
+        std::vector<Tensor> einsum_outs;
+        if (spec.side == 1) {
+            // Combine: the einsum runs on the un-exchanged shard.
+            for (int64_t d = 0; d < mesh.num_devices(); ++d) {
+                auto out = parsed->Evaluate(
+                    token_shards[static_cast<size_t>(d)], rhs_data);
+                if (!out.ok()) return out.status();
+                einsum_outs.push_back(std::move(out).value());
+            }
+        }
+        for (const auto& group : mesh.Groups(spec.axis)) {
+            for (size_t i = 0; i < group.size(); ++i) {
+                const std::vector<Tensor>& sources =
+                    spec.side == 0 ? token_shards : einsum_outs;
+                const int64_t row =
+                    sources[0].shape().dim(1);  // contract or free1
+                Tensor exchanged(Shape(
+                    spec.dtype, {n * block, sources[0].shape().dim(1)}));
+                for (size_t j = 0; j < group.size(); ++j) {
+                    const auto& src =
+                        sources[static_cast<size_t>(group[j])].values();
+                    std::copy(
+                        src.begin() + static_cast<int64_t>(i) * block * row,
+                        src.begin() +
+                            static_cast<int64_t>(i + 1) * block * row,
+                        exchanged.values().begin() +
+                            static_cast<int64_t>(j) * block * row);
+                }
+                if (spec.side == 0) {
+                    auto out = parsed->Evaluate(exchanged, rhs_data);
+                    if (!out.ok()) return out.status();
+                    s.expected[static_cast<size_t>(group[i])] =
+                        std::move(out).value();
+                } else {
+                    s.expected[static_cast<size_t>(group[i])] =
+                        std::move(exchanged);
+                }
+            }
+        }
+        s.params.push_back(std::move(token_shards));
+        s.params.push_back({rhs_data});
+        return s;
+    }
+
     auto global = parsed->Evaluate(lhs_data, rhs_data);
     if (!global.ok()) return global.status();
 
@@ -474,7 +572,8 @@ DiffTestSummary::ToString() const
         "difftest: ", cases_run, " cases, ", variants_run, " variants, ",
         mismatches, " mismatches; coverage ag_free=", cases_by_site[0],
         " ag_contract=", cases_by_site[1], " ag_batch=", cases_by_site[2],
-        " rs=", cases_by_site[3], " odd_extent=", odd_extent_cases,
+        " rs=", cases_by_site[3], " a2a=", cases_by_site[4],
+        " odd_extent=", odd_extent_cases,
         " even_extent=", even_extent_cases);
     for (const CaseFailure& f : failures) {
         out += StrCat("\n  FAIL [", f.variant, "] ", f.spec.ToString(),
@@ -495,6 +594,16 @@ struct CaseOutcome {
     std::vector<OutputComparison> comparisons;
     Status error;
 };
+
+/** The sweep's spec source: the stratified cycle, or one pinned case. */
+SiteSpec
+SpecFor(const DiffTestConfig& config, int64_t index)
+{
+    return config.only_case
+               ? GenerateSiteSpecForCase(config.seed, index,
+                                         *config.only_case)
+               : GenerateSiteSpec(config.seed, index);
+}
 
 CaseOutcome
 RunCase(const DiffTestConfig& config, const SiteSpec& spec)
@@ -530,14 +639,13 @@ RunDiffTest(const DiffTestConfig& config)
     if (threads > 1) {
         ThreadPool pool(static_cast<int>(threads));
         outcomes = pool.ParallelFor(config.num_cases, [&](int64_t i) {
-            return RunCase(config, GenerateSiteSpec(config.seed, i));
+            return RunCase(config, SpecFor(config, i));
         });
     } else {
         outcomes.reserve(static_cast<size_t>(config.num_cases));
         int64_t failed = 0;
         for (int64_t i = 0; i < config.num_cases; ++i) {
-            outcomes.push_back(
-                RunCase(config, GenerateSiteSpec(config.seed, i)));
+            outcomes.push_back(RunCase(config, SpecFor(config, i)));
             // Serial mode keeps the historical early exits: stop
             // building outcomes once an error or the failure cap makes
             // the merge below ignore the remaining cases anyway.
@@ -557,8 +665,7 @@ RunDiffTest(const DiffTestConfig& config)
     // order, then its harness error, then the failure-cap cut-off.
     DiffTestSummary summary;
     for (size_t i = 0; i < outcomes.size(); ++i) {
-        SiteSpec spec =
-            GenerateSiteSpec(config.seed, static_cast<int64_t>(i));
+        SiteSpec spec = SpecFor(config, static_cast<int64_t>(i));
         ++summary.cases_run;
         ++summary.cases_by_site[static_cast<size_t>(spec.site_case)];
         if (spec.shard_extent % 2 == 1) {
@@ -608,7 +715,8 @@ IsSdcExchangeOp(HloOpcode opcode)
       case HloOpcode::kAllReduce:
       case HloOpcode::kAllToAll:
       case HloOpcode::kCollectivePermute:
-      case HloOpcode::kCollectivePermuteStart: return true;
+      case HloOpcode::kCollectivePermuteStart:
+      case HloOpcode::kAllToAllStart: return true;
       default: return false;
     }
 }

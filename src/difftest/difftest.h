@@ -3,6 +3,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,16 +18,22 @@ namespace overlap {
 namespace difftest {
 
 /**
- * The four overlap-site shapes of §5.1: the three AllGather-Einsum
- * cases (gathered operand partitioned along a non-contracting /
- * contracting / batch dimension) and the Einsum-ReduceScatter case.
+ * The five overlap-site shapes: the three AllGather-Einsum cases of
+ * §5.1 (gathered operand partitioned along a non-contracting /
+ * contracting / batch dimension), the Einsum-ReduceScatter case, and
+ * the AllToAll-Einsum case of §18 (`side` 0: dispatch, the AllToAll
+ * feeds the einsum; `side` 1: combine, the einsum feeds the AllToAll).
  */
 enum class SiteCase {
     kAllGatherFree = 0,
     kAllGatherContracting = 1,
     kAllGatherBatch = 2,
     kReduceScatter = 3,
+    kAllToAll = 4,
 };
+
+/** Number of SiteCase values (coverage arrays index by case). */
+inline constexpr int64_t kNumSiteCases = 5;
 
 const char* SiteCaseName(SiteCase c);
 
@@ -41,7 +48,8 @@ struct SiteSpec {
     /// Mesh dims (1 or 2 axes); `axis` is the ring the collective runs on.
     std::vector<int64_t> mesh_dims = {4};
     int64_t axis = 0;
-    /// Operand carrying the gathered (AG) or scattered (RS) label.
+    /// Operand carrying the gathered (AG) or scattered (RS) label; for
+    /// the A2A case, 0 selects the dispatch position and 1 the combine.
     int64_t side = 0;
     /// Per-device extent of the partitioned label (odd extents stress
     /// the bidirectional-eligibility predicates).
@@ -65,11 +73,20 @@ struct SiteSpec {
 
 /**
  * Deterministic stratified generator: case index `index` under `seed`
- * cycles through the four site cases and both shard-extent parities
- * (so any 8 consecutive indices cover all case x parity combinations),
+ * cycles through the five site cases and both shard-extent parities
+ * (so any 10 consecutive indices cover all case x parity combinations),
  * with ring size, mesh rank, dims, dtype and data drawn pseudo-randomly.
  */
 SiteSpec GenerateSiteSpec(uint64_t seed, int64_t index);
+
+/**
+ * Like GenerateSiteSpec but pinned to one site case: the remaining
+ * fields (parity stratification, ring, mesh rank, dtype, data) draw
+ * from the same deterministic stream. Used to mass-produce A2A sites
+ * for the §18 equivalence wall without paying for a 5x larger sweep.
+ */
+SiteSpec GenerateSiteSpecForCase(uint64_t seed, int64_t index,
+                                 SiteCase site_case);
 
 /** One decomposition configuration the driver compiles a case under. */
 struct DecomposeVariant {
@@ -124,6 +141,9 @@ StatusOr<OutputComparison> RunSingleCase(const SiteSpec& spec,
 struct DiffTestConfig {
     int64_t num_cases = 64;
     uint64_t seed = 1;
+    /// When set, every generated spec is pinned to this site case
+    /// (GenerateSiteSpecForCase) instead of cycling through all five.
+    std::optional<SiteCase> only_case;
     /// Forward the deliberate off-by-one to the pass (minimizer tests).
     bool inject_shard_id_bug = false;
     /// Stop after this many failing (spec, variant) pairs (0 = no cap).
@@ -150,7 +170,7 @@ struct DiffTestSummary {
     int64_t mismatches = 0;
     std::vector<CaseFailure> failures;
     /// Coverage: cases per SiteCase, and per shard-extent parity.
-    std::array<int64_t, 4> cases_by_site = {0, 0, 0, 0};
+    std::array<int64_t, kNumSiteCases> cases_by_site = {0, 0, 0, 0, 0};
     int64_t odd_extent_cases = 0;
     int64_t even_extent_cases = 0;
 

@@ -2,12 +2,15 @@
  * Differential-equivalence sweep over the decomposition space.
  *
  *   difftest_runner [--cases N] [--seed S] [--quick] [--inject-bug]
- *                   [--inject-sdc] [--threads N] [--concurrent-devices]
- *                   [--out DIR] [--repro FILE]
+ *                   [--inject-sdc] [--only-case NAME] [--threads N]
+ *                   [--concurrent-devices] [--out DIR] [--repro FILE]
  *
  * Generates N seeded random overlap sites, compiles each one blocking
  * vs. decomposed under all six {unroll, bidirectional, forced-uni}
  * variants, and diffs per-device outputs through the SpmdEvaluator.
+ * `--only-case NAME` (ag_free, ag_contract, ag_batch, rs, a2a) pins
+ * every generated site to one case — the §18 AllToAll wall runs
+ * `--only-case a2a --cases 512` without paying for a 5x larger sweep.
  * `--threads N` fans cases across a worker pool (default: hardware
  * concurrency); the summary is byte-identical at every thread count,
  * and `--threads 1` runs the historical serial loop.
@@ -69,6 +72,15 @@ main(int argc, char** argv)
             config.inject_shard_id_bug = true;
         } else if (arg == "--inject-sdc") {
             inject_sdc = true;
+        } else if (arg == "--only-case" && i + 1 < argc) {
+            // Reuse the spec parser's case-name vocabulary.
+            auto spec = SiteSpec::Parse(
+                std::string("case=") + argv[++i]);
+            if (!spec.ok()) {
+                std::cerr << spec.status().message() << "\n";
+                return 2;
+            }
+            config.only_case = spec->site_case;
         } else if (arg == "--threads" && i + 1 < argc) {
             config.threads = ParseInt(argv[++i]);
         } else if (arg == "--concurrent-devices") {

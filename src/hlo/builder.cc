@@ -267,6 +267,28 @@ HloBuilder::AllToAll(HloInstruction* operand, int64_t dim,
 }
 
 HloInstruction*
+HloBuilder::AllToAllStart(HloInstruction* operand, int64_t dim,
+                          std::vector<std::vector<int64_t>> groups)
+{
+    InstrAttrs attrs;
+    attrs.dim = dim;
+    attrs.groups = std::move(groups);
+    return AddInferred(HloOpcode::kAllToAllStart, {operand},
+                       std::move(attrs));
+}
+
+HloInstruction*
+HloBuilder::AllToAllDone(HloInstruction* start)
+{
+    // The Done carries its Start's channel so the verifier can match the
+    // pair; dim/groups stay on the Start and are read through the operand
+    // edge where pricing needs them.
+    InstrAttrs attrs;
+    attrs.channel_id = start->attrs().channel_id;
+    return AddInferred(HloOpcode::kAllToAllDone, {start}, std::move(attrs));
+}
+
+HloInstruction*
 HloBuilder::CollectivePermute(HloInstruction* operand,
                               std::vector<std::pair<int64_t, int64_t>> pairs)
 {

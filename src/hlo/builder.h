@@ -108,6 +108,9 @@ class HloBuilder {
                               std::vector<std::vector<int64_t>> groups);
     HloInstruction* AllToAll(HloInstruction* operand, int64_t dim,
                              std::vector<std::vector<int64_t>> groups);
+    HloInstruction* AllToAllStart(HloInstruction* operand, int64_t dim,
+                                  std::vector<std::vector<int64_t>> groups);
+    HloInstruction* AllToAllDone(HloInstruction* start);
     HloInstruction* CollectivePermute(
         HloInstruction* operand,
         std::vector<std::pair<int64_t, int64_t>> pairs);

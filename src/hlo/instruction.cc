@@ -159,6 +159,7 @@ HloInstruction::ToString() const
       case HloOpcode::kAllGather:
       case HloOpcode::kReduceScatter:
       case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart:
       case HloOpcode::kAllReduce: {
           if (opcode_ != HloOpcode::kAllReduce) {
               out += StrCat(", dim=", attrs_.dim);
@@ -192,6 +193,9 @@ HloInstruction::ToString() const
     }
     if (attrs_.channel_id >= 0) {
         out += StrCat(", channel=", attrs_.channel_id);
+    }
+    if (attrs_.a2a_chunk >= 0) {
+        out += StrCat(", chunk=", attrs_.a2a_chunk);
     }
     if (sharding_.has_value()) {
         out += StrCat(", sharding=", sharding_->ToString());
@@ -420,12 +424,55 @@ InferInstructionShape(HloOpcode opcode,
           return out;
       }
 
-      case HloOpcode::kAllReduce:
-      case HloOpcode::kAllToAll: {
+      case HloOpcode::kAllReduce: {
           OVERLAP_RETURN_IF_ERROR(CheckOperandCount(opcode, operands, 1));
           if (GroupSize(attrs) <= 0) {
               return InvalidArgument(
                   StrCat(HloOpcodeName(opcode), " requires explicit groups"));
+          }
+          return operands[0]->shape();
+      }
+
+      case HloOpcode::kAllToAll: {
+          OVERLAP_RETURN_IF_ERROR(CheckOperandCount(opcode, operands, 1));
+          int64_t group = GroupSize(attrs);
+          if (group <= 0) {
+              return InvalidArgument("all-to-all requires explicit groups");
+          }
+          const Shape& in = operands[0]->shape();
+          if (attrs.dim < 0 || attrs.dim >= in.rank()) {
+              return InvalidArgument("all-to-all dim out of range");
+          }
+          if (in.dim(attrs.dim) % group != 0) {
+              return InvalidArgument(
+                  "all-to-all dim not divisible by group size");
+          }
+          return in;
+      }
+
+      case HloOpcode::kAllToAllStart: {
+          OVERLAP_RETURN_IF_ERROR(CheckOperandCount(opcode, operands, 1));
+          int64_t group = GroupSize(attrs);
+          if (group <= 0) {
+              return InvalidArgument(
+                  "all-to-all-start requires explicit groups");
+          }
+          const Shape& in = operands[0]->shape();
+          if (attrs.dim < 0 || attrs.dim >= in.rank()) {
+              return InvalidArgument("all-to-all-start dim out of range");
+          }
+          if (in.dim(attrs.dim) % group != 0) {
+              return InvalidArgument(
+                  "all-to-all-start dim not divisible by group size");
+          }
+          return in;
+      }
+
+      case HloOpcode::kAllToAllDone: {
+          OVERLAP_RETURN_IF_ERROR(CheckOperandCount(opcode, operands, 1));
+          if (operands[0]->opcode() != HloOpcode::kAllToAllStart) {
+              return InvalidArgument(
+                  "all-to-all-done operand must be an all-to-all-start");
           }
           return operands[0]->shape();
       }

@@ -62,6 +62,12 @@ struct InstrAttrs {
     /// its Done carry the same id; the printer/parser round-trip it.
     int64_t channel_id = -1;
 
+    /// Ring-decomposed AllToAll: which per-peer chunk (ring offset k in
+    /// [1, ring)) a CollectivePermute emitted by the A2A loop carries.
+    /// -1 everywhere else; diagnostic metadata the printer/parser
+    /// round-trip and the verifier range-checks.
+    int64_t a2a_chunk = -1;
+
     /// kAxisIndex: which mesh axis's coordinate to return.
     int64_t mesh_axis = -1;
 };

@@ -37,6 +37,8 @@ HloOpcodeName(HloOpcode opcode)
           return "collective-permute-start";
       case HloOpcode::kCollectivePermuteDone:
           return "collective-permute-done";
+      case HloOpcode::kAllToAllStart: return "all-to-all-start";
+      case HloOpcode::kAllToAllDone: return "all-to-all-done";
       case HloOpcode::kTuple: return "tuple";
     }
     return "unknown";
@@ -70,6 +72,8 @@ IsCollective(HloOpcode opcode)
       case HloOpcode::kCollectivePermute:
       case HloOpcode::kCollectivePermuteStart:
       case HloOpcode::kCollectivePermuteDone:
+      case HloOpcode::kAllToAllStart:
+      case HloOpcode::kAllToAllDone:
           return true;
       default:
           return false;
@@ -88,6 +92,20 @@ IsBlockingCollective(HloOpcode opcode)
       default:
           return false;
     }
+}
+
+bool
+IsAsyncStart(HloOpcode opcode)
+{
+    return opcode == HloOpcode::kCollectivePermuteStart ||
+           opcode == HloOpcode::kAllToAllStart;
+}
+
+bool
+IsAsyncDone(HloOpcode opcode)
+{
+    return opcode == HloOpcode::kCollectivePermuteDone ||
+           opcode == HloOpcode::kAllToAllDone;
 }
 
 }  // namespace overlap

@@ -56,6 +56,12 @@ enum class HloOpcode : uint8_t {
     kCollectivePermute,
     kCollectivePermuteStart,
     kCollectivePermuteDone,
+    /// Async AllToAll pair: Start issues the exchange (occupying both
+    /// direction channels of its mesh axis like the blocking form) and
+    /// returns immediately; Done waits for delivery. Produced by
+    /// CreateAsyncAllToAlls for micro-batch pipelined MoE overlap.
+    kAllToAllStart,
+    kAllToAllDone,
 
     /// Keeps several values live as one root (scalar result). Stands in
     /// for XLA's tuple in step graphs whose backward outputs have no
@@ -74,6 +80,12 @@ bool IsCollective(HloOpcode opcode);
 
 /** True for the blocking (non-decomposed) collectives AG/RS/AR/A2A. */
 bool IsBlockingCollective(HloOpcode opcode);
+
+/** True for the Start half of an async pair (permute or all-to-all). */
+bool IsAsyncStart(HloOpcode opcode);
+
+/** True for the Done half of an async pair (permute or all-to-all). */
+bool IsAsyncDone(HloOpcode opcode);
 
 }  // namespace overlap
 

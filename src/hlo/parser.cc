@@ -296,6 +296,8 @@ class Parser {
             attrs->mesh_axis = as_int();
         } else if (key == "channel") {
             attrs->channel_id = as_int();
+        } else if (key == "chunk") {
+            attrs->a2a_chunk = as_int();
         } else if (key == "fusion") {
             *fusion_group = as_int();
         } else if (key == "loop") {

@@ -58,7 +58,10 @@ Status
 VerifyCollective(const HloInstruction* instr, int64_t num_devices)
 {
     const InstrAttrs& attrs = instr->attrs();
-    if (IsBlockingCollective(instr->opcode())) {
+    // all-to-all-start shares the blocking form's group layout, so it goes
+    // through the same group sanity checks.
+    if (IsBlockingCollective(instr->opcode()) ||
+        instr->opcode() == HloOpcode::kAllToAllStart) {
         if (attrs.groups.empty()) {
             return InvalidArgument(
                 StrCat("collective without groups at %", instr->name()));
@@ -112,33 +115,47 @@ VerifyCollective(const HloInstruction* instr, int64_t num_devices)
             }
         }
     }
-    if (instr->opcode() == HloOpcode::kCollectivePermuteStart) {
+    if (IsAsyncStart(instr->opcode())) {
+        const HloOpcode want_done =
+            instr->opcode() == HloOpcode::kCollectivePermuteStart
+                ? HloOpcode::kCollectivePermuteDone
+                : HloOpcode::kAllToAllDone;
         int64_t done_users = 0;
         for (const HloInstruction* user : instr->users()) {
-            if (user->opcode() == HloOpcode::kCollectivePermuteDone) {
+            if (user->opcode() == want_done) {
                 ++done_users;
             } else {
                 return InvalidArgument(
-                    StrCat("collective-permute-start used by non-done %",
-                           user->name()));
+                    StrCat(HloOpcodeName(instr->opcode()),
+                           " used by non-done %", user->name()));
             }
         }
         if (done_users != 1) {
             return InvalidArgument(
-                StrCat("collective-permute-start needs exactly one done "
-                       "user at %",
-                       instr->name()));
+                StrCat(HloOpcodeName(instr->opcode()),
+                       " needs exactly one done user at %", instr->name()));
         }
     }
-    if (instr->opcode() == HloOpcode::kCollectivePermuteDone &&
-        instr->operand_count() == 1 &&
+    if (IsAsyncDone(instr->opcode()) && instr->operand_count() == 1 &&
         instr->operand(0)->attrs().channel_id !=
             instr->attrs().channel_id) {
         return InvalidArgument(
-            StrCat("collective-permute-done channel ",
+            StrCat(HloOpcodeName(instr->opcode()), " channel ",
                    instr->attrs().channel_id, " != its start's channel ",
                    instr->operand(0)->attrs().channel_id, " at %",
                    instr->name()));
+    }
+    if (attrs.a2a_chunk != -1) {
+        if (instr->opcode() != HloOpcode::kCollectivePermute &&
+            instr->opcode() != HloOpcode::kCollectivePermuteStart &&
+            instr->opcode() != HloOpcode::kCollectivePermuteDone) {
+            return InvalidArgument(
+                StrCat("chunk attribute on non-permute %", instr->name()));
+        }
+        if (attrs.a2a_chunk < 1) {
+            return InvalidArgument(
+                StrCat("chunk attribute out of range at %", instr->name()));
+        }
     }
     return Status::Ok();
 }

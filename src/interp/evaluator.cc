@@ -138,6 +138,7 @@ IsExchangeOp(HloOpcode opcode)
       case HloOpcode::kReduceScatter:
       case HloOpcode::kAllReduce:
       case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart:
       case HloOpcode::kCollectivePermute:
       case HloOpcode::kCollectivePermuteStart: return true;
       default: return false;
@@ -282,7 +283,8 @@ ValidateExchangeStatic(const HloInstruction* instr, const Mesh& mesh)
 {
     const int64_t n = mesh.num_devices();
     switch (instr->opcode()) {
-      case HloOpcode::kAllToAll: {
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart: {
           int64_t dim = instr->attrs().dim;
           for (const auto& group : instr->attrs().groups) {
               int64_t g = static_cast<int64_t>(group.size());
@@ -396,6 +398,7 @@ Compile(const HloComputation& computation, const Mesh& mesh,
               break;
           case HloOpcode::kCopy:
           case HloOpcode::kCollectivePermuteDone:
+          case HloOpcode::kAllToAllDone:
               op.kind = ExecKind::kCopyLike;
               break;
           default:
@@ -904,7 +907,10 @@ EvalGroupCollective(const HloInstruction* instr,
           return outs;
       }
 
-      case HloOpcode::kAllToAll: {
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart: {
+          // The async Start moves the data (like a permute Start); the
+          // matching Done is a local copy.
           int64_t dim = instr->attrs().dim;
           int64_t g = static_cast<int64_t>(k);
           const Shape& in_shape = instr->operand(0)->shape();
@@ -955,7 +961,8 @@ EvalCollective(const HloInstruction* instr, const Mesh& mesh,
       case HloOpcode::kAllGather:
       case HloOpcode::kReduceScatter:
       case HloOpcode::kAllReduce:
-      case HloOpcode::kAllToAll: {
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart: {
           for (const auto& group : instr->attrs().groups) {
               std::vector<const Tensor*> group_inputs;
               group_inputs.reserve(group.size());

@@ -40,6 +40,16 @@ struct ModelConfig {
     int64_t mesh_x = 0;
     int64_t mesh_y = 0;
     int64_t num_experts = 0;  ///< MoE only
+    /**
+     * MoE only: number of micro-batches the FFN token stream is split
+     * into (DESIGN.md §18). 1 (the default) keeps the single
+     * dispatch/combine AllToAll pair per direction. With M > 1 each
+     * micro-batch gets its own dispatch -> expert -> combine chain, so
+     * one micro-batch's AllToAll can hide behind another's expert
+     * compute once the compiler makes the exchanges asynchronous
+     * (CompilerOptions::async_all_to_all).
+     */
+    int64_t moe_micro_batches = 1;
 
     Mesh mesh() const { return Mesh(mesh_x, mesh_y); }
     int64_t num_heads() const { return model_dim / head_dim; }

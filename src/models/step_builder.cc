@@ -175,8 +175,69 @@ class DenseLayerBuilder {
     const ModelConfig& config_;
 };
 
+/**
+ * Splits `value` along tensor dim 0 into `parts` equal local slices
+ * (micro-batches). The slices partition the local shard, so each keeps
+ * the parent's sharding with a proportionally smaller global extent.
+ */
+StatusOr<std::vector<ShardedValue>>
+SplitDim0(SpmdBuilder& spmd, const ShardedValue& value, int64_t parts)
+{
+    const Shape& local = value.local->shape();
+    if (local.dim(0) % parts != 0) {
+        return InvalidArgument(
+            StrCat("micro-batching needs local dim 0 (", local.dim(0),
+                   ") divisible by ", parts, " micro-batches"));
+    }
+    const int64_t piece = local.dim(0) / parts;
+    std::vector<ShardedValue> chunks;
+    chunks.reserve(static_cast<size_t>(parts));
+    for (int64_t m = 0; m < parts; ++m) {
+        std::vector<int64_t> starts(
+            static_cast<size_t>(local.rank()), 0);
+        starts[0] = m * piece;
+        std::vector<int64_t> sizes = local.dims();
+        sizes[0] = piece;
+        ShardedValue chunk = value;
+        chunk.local = spmd.hlo().Slice(value.local, starts, sizes);
+        chunk.global.set_dim(0, value.global.dim(0) / parts);
+        chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+}
+
+/** Concatenates per-micro-batch values back along tensor dim 0. */
+ShardedValue
+ConcatDim0(SpmdBuilder& spmd, const std::vector<ShardedValue>& chunks)
+{
+    if (chunks.size() == 1) return chunks[0];
+    std::vector<HloInstruction*> locals;
+    locals.reserve(chunks.size());
+    int64_t global_dim0 = 0;
+    for (const ShardedValue& chunk : chunks) {
+        locals.push_back(chunk.local);
+        global_dim0 += chunk.global.dim(0);
+    }
+    ShardedValue out = chunks[0];
+    out.local = spmd.hlo().Concatenate(locals, 0);
+    out.global.set_dim(0, global_dim0);
+    return out;
+}
+
 /** MoE FFN block (GLaM-style): AllToAll dispatch, expert matmuls,
- *  AllToAll combine — forward and backward. */
+ *  AllToAll combine — forward and backward. With
+ *  `config.moe_micro_batches > 1` the token stream is split into
+ *  micro-batches, each with its own dispatch -> expert -> combine
+ *  chain (DESIGN.md §18).
+ *
+ *  Sharding: experts live along mesh y (the AllToAll ring); each
+ *  expert's FFN is Megatron-sharded along x (w1 column-parallel, w2
+ *  with the model dim split), with the expert weights replicated along
+ *  y — each y position holds its own experts' values. Token features
+ *  are AllGathered over x *before* the dispatch exchange, so the
+ *  AllToAll lands directly adjacent to the expert einsum it feeds (and
+ *  the second einsum directly feeds the combine AllToAll) — the §18
+ *  decomposition sites. */
 Status
 BuildMoeFfn(SpmdBuilder& spmd, const ModelConfig& config, int64_t* p,
             std::vector<HloInstruction*>* roots)
@@ -192,10 +253,10 @@ BuildMoeFfn(SpmdBuilder& spmd, const ModelConfig& config, int64_t* p,
     auto w_gate = spmd.Parameter(
         (*p)++, BF16({D, E}), TensorSharding::OnDim(2, 0, kX), "w_gate");
     auto w1 = spmd.Parameter((*p)++, BF16({D, H}),
-                             TensorSharding::OnDims(2, 0, kY, 1, kX),
+                             TensorSharding::OnDim(2, 1, kX),
                              "w_expert1");
     auto w2 = spmd.Parameter((*p)++, BF16({H, D}),
-                             TensorSharding::OnDims(2, 0, kX, 1, kY),
+                             TensorSharding::OnDim(2, 1, kX),
                              "w_expert2");
     auto d_moe = spmd.Parameter((*p)++, BF16({T, D}), act_sh, "d_moe");
     if (!tokens.ok()) return tokens.status();
@@ -218,38 +279,105 @@ BuildMoeFfn(SpmdBuilder& spmd, const ModelConfig& config, int64_t* p,
         {tokens->local, tokens->local}, 0);
     doubled.global.set_dim(0, 2 * T);
 
-    // Dispatch: tokens move to their experts' devices (not decomposable,
-    // stays exposed — the GLaM discussion in §6.1).
-    auto dispatched = spmd.AllToAllDim(doubled, 0, kY);
-    if (!dispatched.ok()) return dispatched.status();
-    auto h1 = spmd.Einsum(*dispatched, *w1, "td,dh->th",
-                          TensorSharding::OnDims(2, 0, kY, 1, kX));
-    if (!h1.ok()) return h1.status();
-    auto h2 = spmd.Einsum(*h1, *w2, "th,hd->td", act_sh);
-    if (!h2.ok()) return h2.status();
-    auto combined = spmd.AllToAllDim(*h2, 0, kY);
-    if (!combined.ok()) return combined.status();
-    roots->push_back(combined->local);
+    // Token features are gathered over x up front so every exchange
+    // below moves feature-complete rows and lands directly against the
+    // expert einsums (no resharding collective in between).
+    auto gathered = spmd.AllGatherDim(doubled, 1);
+    if (!gathered.ok()) return gathered.status();
+
+    // Dispatch: tokens move to their experts' devices (the blocking
+    // form stays exposed — the GLaM discussion in §6.1; the ring
+    // decomposition and micro-batch pipelining of §18 attack it).
+    const int64_t M = config.moe_micro_batches > 1
+                          ? config.moe_micro_batches
+                          : int64_t{1};
+    ShardedValue h1g;  // [2T, H] expert hidden, feature-gathered
+    ShardedValue combined;
+    if (M <= 1) {
+        auto disp = spmd.AllToAllDim(*gathered, 0, kY);
+        if (!disp.ok()) return disp.status();
+        auto h1 = spmd.Einsum(*disp, *w1, "td,dh->th", act_sh);
+        if (!h1.ok()) return h1.status();
+        auto h1gv = spmd.AllGatherDim(*h1, 1);
+        if (!h1gv.ok()) return h1gv.status();
+        auto h2 = spmd.Einsum(*h1gv, *w2, "th,hd->td", act_sh);
+        if (!h2.ok()) return h2.status();
+        auto comb = spmd.AllToAllDim(*h2, 0, kY);
+        if (!comb.ok()) return comb.status();
+        h1g = *h1gv;
+        combined = *comb;
+    } else {
+        // Micro-batch pipelining (§18): each micro-batch runs its own
+        // dispatch -> expert -> combine chain; with async AllToAlls the
+        // scheduler hides micro-batch k's exchanges behind micro-batch
+        // k±1's expert compute.
+        auto chunks = SplitDim0(spmd, *gathered, M);
+        if (!chunks.ok()) return chunks.status();
+        std::vector<ShardedValue> h1g_chunks;
+        std::vector<ShardedValue> comb_chunks;
+        for (const ShardedValue& chunk : *chunks) {
+            auto disp = spmd.AllToAllDim(chunk, 0, kY);
+            if (!disp.ok()) return disp.status();
+            auto h1 = spmd.Einsum(*disp, *w1, "td,dh->th", act_sh);
+            if (!h1.ok()) return h1.status();
+            auto h1gv = spmd.AllGatherDim(*h1, 1);
+            if (!h1gv.ok()) return h1gv.status();
+            auto h2 = spmd.Einsum(*h1gv, *w2, "th,hd->td", act_sh);
+            if (!h2.ok()) return h2.status();
+            auto comb = spmd.AllToAllDim(*h2, 0, kY);
+            if (!comb.ok()) return comb.status();
+            h1g_chunks.push_back(*h1gv);
+            comb_chunks.push_back(*comb);
+        }
+        h1g = ConcatDim0(spmd, h1g_chunks);
+        combined = ConcatDim0(spmd, comb_chunks);
+    }
+    roots->push_back(combined.local);
 
     // Backward: combine-grad A2A, expert matmul grads, dispatch-grad A2A.
     ShardedValue d_doubled = *d_moe;
     d_doubled.local =
         spmd.hlo().Concatenate({d_moe->local, d_moe->local}, 0);
     d_doubled.global.set_dim(0, 2 * T);
-    auto d_comb = spmd.AllToAllDim(d_doubled, 0, kY);
+    auto micro_batched_a2a =
+        [&](const ShardedValue& value) -> StatusOr<ShardedValue> {
+        if (M <= 1) return spmd.AllToAllDim(value, 0, kY);
+        auto chunks = SplitDim0(spmd, value, M);
+        if (!chunks.ok()) return chunks.status();
+        std::vector<ShardedValue> outs;
+        outs.reserve(chunks->size());
+        for (const ShardedValue& chunk : *chunks) {
+            auto moved = spmd.AllToAllDim(chunk, 0, kY);
+            if (!moved.ok()) return moved.status();
+            outs.push_back(*moved);
+        }
+        return ConcatDim0(spmd, outs);
+    };
+    auto d_gathered = spmd.AllGatherDim(d_doubled, 1);
+    if (!d_gathered.ok()) return d_gathered.status();
+    // The combine-grad exchange is rematerialized per consumer (and the
+    // dispatch exchange re-run for the weight gradient) so each
+    // AllToAll stays single-use and can fuse into its consumer's ring
+    // loop — the activation-rematerialization idiom.
+    auto d_comb = micro_batched_a2a(*d_gathered);
     if (!d_comb.ok()) return d_comb.status();
-    auto d_h1 = spmd.Einsum(*d_comb, *w2, "td,hd->th",
-                            TensorSharding::OnDims(2, 0, kY, 1, kX));
+    auto d_comb2 = micro_batched_a2a(*d_gathered);
+    if (!d_comb2.ok()) return d_comb2.status();
+    auto d_h1 = spmd.Einsum(*d_comb, *w2, "td,hd->th", act_sh);
     if (!d_h1.ok()) return d_h1.status();
-    auto d_w2 = spmd.Einsum(*h1, *d_comb, "th,td->hd",
-                            TensorSharding::OnDims(2, 0, kX, 1, kY));
+    auto d_w2 = spmd.Einsum(h1g, *d_comb2, "th,td->hd",
+                            TensorSharding::OnDim(2, 0, kX));
     if (!d_w2.ok()) return d_w2.status();
-    auto d_tokens = spmd.Einsum(*d_h1, *w1, "th,dh->td", act_sh);
+    auto d_h1g = spmd.AllGatherDim(*d_h1, 1);
+    if (!d_h1g.ok()) return d_h1g.status();
+    auto d_tokens = spmd.Einsum(*d_h1g, *w1, "th,dh->td", act_sh);
     if (!d_tokens.ok()) return d_tokens.status();
-    auto d_w1 = spmd.Einsum(*dispatched, *d_h1, "td,th->dh",
-                            TensorSharding::OnDims(2, 0, kY, 1, kX));
+    auto disp2 = micro_batched_a2a(*gathered);
+    if (!disp2.ok()) return disp2.status();
+    auto d_w1 = spmd.Einsum(*disp2, *d_h1, "td,th->dh",
+                            TensorSharding::OnDim(2, 1, kX));
     if (!d_w1.ok()) return d_w1.status();
-    auto d_dispatch = spmd.AllToAllDim(*d_tokens, 0, kY);
+    auto d_dispatch = micro_batched_a2a(*d_tokens);
     if (!d_dispatch.ok()) return d_dispatch.status();
     roots->push_back(d_w2->local);
     roots->push_back(d_w1->local);

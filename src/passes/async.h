@@ -20,6 +20,18 @@ namespace overlap {
  */
 StatusOr<int64_t> CreateAsyncCollectivePermutes(HloComputation* computation);
 
+/**
+ * Splits every blocking AllToAll into an AllToAllStart / AllToAllDone
+ * pair (DESIGN.md §18). The Start occupies the exchange's channels like
+ * the blocking form but does not stall the device; the Done waits for
+ * delivery. This is what lets one micro-batch's dispatch/combine
+ * exchange hide behind another micro-batch's dense compute in the MoE
+ * pipelined schedule.
+ *
+ * @return the number of all-to-alls converted.
+ */
+StatusOr<int64_t> CreateAsyncAllToAlls(HloComputation* computation);
+
 }  // namespace overlap
 
 #endif  // OVERLAP_PASSES_ASYNC_H_

@@ -25,26 +25,48 @@ RingShiftPairs(const Mesh& mesh, int64_t axis, int64_t step)
 }
 
 bool
+ChunkSplitEligible(int64_t parts, int64_t extent)
+{
+    return parts >= 2 && extent > 0 && extent % parts == 0;
+}
+
+bool
 BidirectionalRingEligible(int64_t ring_size, int64_t shard_extent)
 {
-    return ring_size >= 4 && ring_size % 2 == 0 && shard_extent % 2 == 0;
+    return ring_size >= 4 && ring_size % 2 == 0 &&
+           ChunkSplitEligible(2, shard_extent);
 }
 
 bool
 TwoWayExchangeEligible(int64_t ring_size, int64_t shard_extent)
 {
-    return ring_size == 2 && shard_extent % 2 == 0;
+    return ring_size == 2 && ChunkSplitEligible(2, shard_extent);
+}
+
+bool
+AllToAllRingEligible(int64_t ring_size, int64_t dim_extent)
+{
+    return ChunkSplitEligible(ring_size, dim_extent);
 }
 
 namespace {
 
-/** A matched AllGather-Einsum or Einsum-ReduceScatter overlap site. */
+/**
+ * A matched AllGather-Einsum, Einsum-ReduceScatter, AllToAll-Einsum
+ * (MoE dispatch) or Einsum-AllToAll (MoE combine) overlap site.
+ */
 struct Site {
     HloInstruction* einsum = nullptr;
-    HloInstruction* collective = nullptr;  // the AG or RS to decompose
+    /// The AG, RS or A2A to decompose.
+    HloInstruction* collective = nullptr;
     bool is_allgather = false;
-    /// Einsum operand index of the gathered operand (AG case) or of the
-    /// operand that carries the scattered output label (RS case).
+    /// AllToAll site (DESIGN.md §18): a2a_dispatch when the A2A feeds
+    /// the einsum, combine when it consumes it.
+    bool is_all_to_all = false;
+    bool a2a_dispatch = false;
+    /// Einsum operand index of the gathered/exchanged operand (AG and
+    /// A2A-dispatch cases) or of the operand that carries the scattered
+    /// or exchanged output label (RS and A2A-combine cases).
     int64_t side = 0;
     int64_t mesh_axis = -1;
     int64_t group_size = 0;  // N
@@ -103,6 +125,13 @@ StructureFor(const Site& site, const DecomposeOptions& options,
              bool bidi_enabled)
 {
     int64_t n = site.group_size;
+    if (site.is_all_to_all) {
+        // The per-peer chunk exchanges route each chunk its shorter way
+        // around the ring, so there is no bidirectional/unidirectional
+        // structural distinction to pick from.
+        return site.a2a_dispatch ? LoopStructure::kAllToAllDispatch
+                                 : LoopStructure::kAllToAllCombine;
+    }
     bool bidi =
         bidi_enabled && BidirectionalRingEligible(n, site.shard_extent);
     if (site.is_allgather) {
@@ -163,7 +192,55 @@ EstimateBenefit(const Site& site, const CostModel& cost,
     shape.copy_seconds =
         cost.ElementwiseBytesSeconds(2.0 * static_cast<double>(shard_bytes));
 
-    if (site.is_allgather) {
+    if (site.is_all_to_all) {
+        // The exchanged buffer splits into N equal per-peer chunks;
+        // each chunk travels its own permute (shorter way around), so
+        // the per-hop occupancy and the aliasing copy shrink to 1/N.
+        int64_t chunk_bytes = shard_bytes / n;
+        shape.wire_seconds = cost.WireSeconds(chunk_bytes);
+        shape.copy_seconds = cost.ElementwiseBytesSeconds(
+            2.0 * static_cast<double>(chunk_bytes));
+        double out_bytes =
+            static_cast<double>(site.einsum->shape().byte_size());
+        if (site.a2a_dispatch) {
+            // Sender-side DynamicSlice carving each chunk out of the
+            // loop input.
+            shape.send_slice_seconds = cost.ElementwiseBytesSeconds(
+                2.0 * static_cast<double>(chunk_bytes));
+            shape.zeros_seconds = cost.ElementwiseBytesSeconds(out_bytes);
+            if (site.kind == EinsumDimKind::kContracting) {
+                shape.combine_seconds =
+                    cost.ElementwiseBytesSeconds(3.0 * out_bytes);
+                shape.combine_is_full_add = true;
+            } else {
+                shape.combine_seconds =
+                    cost.ElementwiseBytesSeconds(2.0 * out_bytes / n_d);
+            }
+            if (site.kind == EinsumDimKind::kContracting ||
+                site.kind == EinsumDimKind::kBatch) {
+                double other_bytes = static_cast<double>(
+                    site.einsum->operand(1 - site.side)
+                        ->shape()
+                        .byte_size());
+                shape.slices_per_partial = 1;
+                shape.slice_seconds =
+                    cost.ElementwiseBytesSeconds(2.0 * other_bytes / n_d);
+            }
+        } else {
+            // Combine: the accumulator is the A2A buffer itself; each
+            // received chunk is DUSed into one 1/N block of it, and
+            // every partial slices the label-carrying operand.
+            double sliced_bytes = static_cast<double>(
+                site.einsum->operand(site.side)->shape().byte_size());
+            shape.zeros_seconds = cost.ElementwiseBytesSeconds(
+                static_cast<double>(shard_bytes));
+            shape.combine_seconds = cost.ElementwiseBytesSeconds(
+                2.0 * static_cast<double>(shard_bytes) / n_d);
+            shape.slices_per_partial = 1;
+            shape.slice_seconds =
+                cost.ElementwiseBytesSeconds(2.0 * sliced_bytes / n_d);
+        }
+    } else if (site.is_allgather) {
         double out_bytes =
             static_cast<double>(site.einsum->shape().byte_size());
         double other_bytes = static_cast<double>(
@@ -281,7 +358,10 @@ class LoopEmitter {
         HloInstruction* result;
         bool bidi = options_.bidirectional &&
                     BidirectionalRingEligible(n_, site_.shard_extent);
-        if (site_.is_allgather) {
+        if (site_.is_all_to_all) {
+            result = site_.a2a_dispatch ? EmitAllToAllDispatch()
+                                        : EmitAllToAllCombine();
+        } else if (site_.is_allgather) {
             if (options_.bidirectional &&
                 TwoWayExchangeEligible(n_, site_.shard_extent)) {
                 // 2-way parallelism: circulate the two halves of the
@@ -362,6 +442,22 @@ class LoopEmitter {
         if (((step % n_) + n_) % n_ == 0) return value;  // identity
         return builder_.CollectivePermute(
             MaybeCopy(value), RingShiftPairs(mesh_, site_.mesh_axis, step));
+    }
+
+    /**
+     * The chunk-k permute of a ring-decomposed AllToAll: a step-k ring
+     * shift (the engine routes each pair its shorter way around), tagged
+     * with the chunk index so the text form records which peer offset
+     * the exchange serves. k == 0 is the device's own chunk — no
+     * transfer.
+     */
+    HloInstruction* ChunkPermute(HloInstruction* value, int64_t k)
+    {
+        if (((k % n_) + n_) % n_ == 0) return value;
+        HloInstruction* permute = builder_.CollectivePermute(
+            MaybeCopy(value), RingShiftPairs(mesh_, site_.mesh_axis, k));
+        permute->mutable_attrs().a2a_chunk = k;
+        return permute;
     }
 
     // ---- AllGather-Einsum ------------------------------------------------
@@ -517,6 +613,64 @@ class LoopEmitter {
             acc = CombineAllGatherPartial(acc, partial_right, id_right);
             data_left = next_left;
             data_right = next_right;
+        }
+        return acc;
+    }
+
+    // ---- AllToAll-Einsum / Einsum-AllToAll (MoE, DESIGN.md §18) ----------
+
+    /**
+     * Ring-decomposed dispatch (AllToAll feeding the einsum): the
+     * blocking A2A's output block j holds, for a device at ring
+     * position i, peer j's input block i. Chunk k of the loop slices
+     * the local input at block (i - k), ships it k positions down the
+     * ring (so the device receives peer (i + k)'s block i), and the
+     * partial einsum over the received chunk combines at output block
+     * (i + k). k == 0 is the device's own block and needs no transfer;
+     * every chunk is sliced straight from the loop input, so all N - 1
+     * exchanges are in flight at once, spread over both ring
+     * directions by each chunk's shorter way around.
+     */
+    HloInstruction* EmitAllToAllDispatch()
+    {
+        HloInstruction* input = site_.collective->operand(0);
+        int64_t dim = site_.collective->attrs().dim;
+        HloInstruction* acc = builder_.Zeros(site_.einsum->shape());
+        for (int64_t k = 0; k < n_; ++k) {
+            HloInstruction* src_id = ShardId(-k);
+            HloInstruction* dst_id = ShardId(k);
+            HloInstruction* chunk = builder_.DynamicSliceOnDim(
+                input, dim, OffsetOf(src_id), site_.shard_extent);
+            HloInstruction* received = ChunkPermute(chunk, k);
+            HloInstruction* partial =
+                PartialEinsum(received, OtherOperandFor(dst_id));
+            acc = CombineAllGatherPartial(acc, partial, dst_id);
+        }
+        return acc;
+    }
+
+    /**
+     * Ring-decomposed combine (einsum feeding the AllToAll): chunk k
+     * einsums the label-carrying operand's block (i - k) — the output
+     * block destined for peer (i - k) — ships the partial k positions
+     * down the ring, and DUSes the received block (peer (i + k)'s
+     * block i) into accumulator position (i + k). The partial einsums
+     * are independent, so chunk k + 1 computes while chunk k flies.
+     */
+    HloInstruction* EmitAllToAllCombine()
+    {
+        const EinsumSpec& spec = site_.einsum->einsum();
+        int64_t out_dim = spec.OutDimOf(site_.label);
+        HloInstruction* other = site_.einsum->operand(1 - site_.side);
+        HloInstruction* acc = builder_.Zeros(site_.collective->shape());
+        for (int64_t k = 0; k < n_; ++k) {
+            HloInstruction* src_id = ShardId(-k);
+            HloInstruction* dst_id = ShardId(k);
+            HloInstruction* partial =
+                PartialEinsum(SlicedOperandFor(src_id), other);
+            HloInstruction* received = ChunkPermute(partial, k);
+            acc = builder_.DynamicUpdateSliceOnDim(acc, received, out_dim,
+                                                   OffsetOf(dst_id));
         }
         return acc;
     }
@@ -677,6 +831,81 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
             candidates.push_back(site);
         }
 
+        // AllToAll feeding either operand (MoE dispatch, §18).
+        for (int64_t side = 0; side < 2 && options_.all_to_all; ++side) {
+            HloInstruction* operand = einsum->operand(side);
+            if (operand->opcode() != HloOpcode::kAllToAll) continue;
+            if (operand->users().size() != 1 ||
+                einsum->operand(0) == einsum->operand(1)) {
+                ++stats.skipped_unsupported;
+                continue;
+            }
+            int64_t axis = mesh_.InferGroupsAxis(operand->attrs().groups);
+            if (axis < 0) {
+                ++stats.skipped_unsupported;
+                continue;
+            }
+            int64_t n = mesh_.axis_size(axis);
+            if (n <= 1) continue;
+            int64_t extent =
+                operand->shape().dim(operand->attrs().dim);
+            if (!AllToAllRingEligible(n, extent)) {
+                ++stats.skipped_unsupported;
+                continue;
+            }
+            Site site;
+            site.einsum = einsum;
+            site.collective = operand;
+            site.is_all_to_all = true;
+            site.a2a_dispatch = true;
+            site.side = side;
+            site.mesh_axis = axis;
+            site.group_size = n;
+            site.label = SideLabels(
+                spec, side)[static_cast<size_t>(operand->attrs().dim)];
+            site.kind = spec.KindOf(site.label);
+            site.shard_extent = extent / n;
+            candidates.push_back(site);
+        }
+
+        // AllToAll consuming the einsum (MoE combine, §18). Like the
+        // ReduceScatter case, the exchanged output label must belong to
+        // exactly one operand so the partial einsums can slice it.
+        if (options_.all_to_all && einsum->users().size() == 1 &&
+            einsum->users()[0]->opcode() == HloOpcode::kAllToAll) {
+            HloInstruction* a2a = einsum->users()[0];
+            int64_t axis = mesh_.InferGroupsAxis(a2a->attrs().groups);
+            char label = spec.out_labels()[static_cast<size_t>(
+                a2a->attrs().dim)];
+            EinsumDimKind kind = spec.KindOf(label);
+            int64_t extent = a2a->shape().dim(a2a->attrs().dim);
+            if (axis < 0) {
+                ++stats.skipped_unsupported;
+            } else if (kind != EinsumDimKind::kLhsFree &&
+                       kind != EinsumDimKind::kRhsFree) {
+                ++stats.skipped_unsupported;
+            } else if (mesh_.axis_size(axis) > 1) {
+                if (!AllToAllRingEligible(mesh_.axis_size(axis), extent)) {
+                    ++stats.skipped_unsupported;
+                } else {
+                    Site site;
+                    site.einsum = einsum;
+                    site.collective = a2a;
+                    site.is_all_to_all = true;
+                    site.a2a_dispatch = false;
+                    site.side =
+                        kind == EinsumDimKind::kLhsFree ? 0 : 1;
+                    site.mesh_axis = axis;
+                    site.group_size = mesh_.axis_size(axis);
+                    site.label = label;
+                    site.kind = kind;
+                    site.shard_extent =
+                        extent / mesh_.axis_size(axis);
+                    candidates.push_back(site);
+                }
+            }
+        }
+
         // ReduceScatter consuming the einsum.
         if (einsum->users().size() == 1 &&
             einsum->users()[0]->opcode() == HloOpcode::kReduceScatter) {
@@ -745,6 +974,14 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
                     EstimateBenefit(site, bidi_cost, options_,
                                     /*allow_bidirectional=*/true);
                 double benefit_bidi = bidi_breakdown.benefit();
+                if (site.is_all_to_all) {
+                    // A2A chunks route both directions regardless of
+                    // options, so the worst-of-both derating is the
+                    // only sound verdict; there is no unidirectional
+                    // lowering to fall back to.
+                    AssignBreakdown(&site, bidi_breakdown);
+                    continue;
+                }
                 CostModel uni_cost = *cost_model_;
                 uni_cost.SetFaultDerating(chip, f0, l0);
                 CostBreakdown uni_breakdown =
@@ -815,7 +1052,8 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
         // structure would actually have been bidirectional — otherwise
         // the "lowering" changes nothing and must not be counted.
         best.force_unidirectional =
-            best.force_unidirectional && options_.use_cost_model &&
+            best.force_unidirectional && !best.is_all_to_all &&
+            options_.use_cost_model &&
             options_.bidirectional && !options_.force_unidirectional &&
             (BidirectionalRingEligible(best.group_size,
                                        best.shard_extent) ||
@@ -850,10 +1088,18 @@ CollectiveEinsumDecomposer::Run(HloComputation* computation)
                 break;
             }
         }
+        // Dispatch-shaped sites (AG-einsum, A2A-einsum) replace the
+        // einsum; consumer-shaped sites (einsum-RS, einsum-A2A) replace
+        // the collective.
+        bool replaces_einsum =
+            site.is_allgather ||
+            (site.is_all_to_all && site.a2a_dispatch);
         HloInstruction* replaced =
-            site.is_allgather ? site.einsum : site.collective;
+            replaces_einsum ? site.einsum : site.collective;
         computation->ReplaceAllUsesWith(replaced, replacement);
-        if (site.is_allgather) {
+        if (site.is_all_to_all) {
+            ++stats.all_to_all_sites;
+        } else if (site.is_allgather) {
             ++stats.allgather_sites;
         } else {
             ++stats.reduce_scatter_sites;

@@ -40,6 +40,15 @@ struct DecomposeOptions {
     bool bidirectional = true;
 
     /**
+     * Match AllToAll dispatch/combine sites for the §18 ring
+     * decomposition. Off, every AllToAll stays a blocking collective
+     * (it can still be split into Start/Done pairs by
+     * CompilerOptions::async_all_to_all) — the "blocking exchange" arm
+     * of the MoE ablation in bench/moe_sweep.
+     */
+    bool all_to_all = true;
+
+    /**
      * §5.5 gating: decompose a site only when
      * comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t. When false,
      * every matched site is decomposed unconditionally (used by the
@@ -106,6 +115,24 @@ bool BidirectionalRingEligible(int64_t ring_size, int64_t shard_extent);
  * an even shard extent (each direction carries half the shard).
  */
 bool TwoWayExchangeEligible(int64_t ring_size, int64_t shard_extent);
+
+/**
+ * The shared divisibility core of every split-eligibility predicate:
+ * an extent can be carved into `parts` equal chunks. The two-stream
+ * predicates above call it with parts == 2; the AllToAll ring
+ * decomposition with parts == ring size. Factored so the gate, the
+ * emitter and the verifier-facing shape inference can never disagree
+ * about what "splits evenly" means.
+ */
+bool ChunkSplitEligible(int64_t parts, int64_t extent);
+
+/**
+ * True when the ring-decomposed AllToAll (DESIGN.md §18) is
+ * structurally legal: at least two partitions and the exchanged
+ * dimension's extent divisible by the ring size, so every device can
+ * carve one equal chunk per peer.
+ */
+bool AllToAllRingEligible(int64_t ring_size, int64_t dim_extent);
 
 /**
  * The §5.5 gate's verdict for one matched overlap site, including the
@@ -186,17 +213,19 @@ struct SiteDecision {
  * What the pass did, for logging, tests and the ablation benches.
  *
  * Every gated site lands in exactly one of three buckets — decomposed
- * (allgather_sites + reduce_scatter_sites), rejected_by_cost_model, or
- * fault_fallbacks — so `decisions.size() == total_decomposed() +
- * rejected_by_cost_model + fault_fallbacks` always holds (asserted in
- * compiler_guard_test). `fault_lowered` is a sub-count of the
- * decomposed bucket (sites emitted unidirectionally by the gate), never
- * a fourth bucket; a site the gate lowers and *then* sends back to the
- * blocking collective counts only as a fallback.
+ * (allgather_sites + reduce_scatter_sites + all_to_all_sites),
+ * rejected_by_cost_model, or fault_fallbacks — so `decisions.size() ==
+ * total_decomposed() + rejected_by_cost_model + fault_fallbacks` always
+ * holds (asserted in compiler_guard_test). `fault_lowered` is a
+ * sub-count of the decomposed bucket (sites emitted unidirectionally by
+ * the gate), never a fourth bucket; a site the gate lowers and *then*
+ * sends back to the blocking collective counts only as a fallback.
  */
 struct DecomposeStats {
     int64_t allgather_sites = 0;       ///< AllGather-Einsum loops built
     int64_t reduce_scatter_sites = 0;  ///< Einsum-ReduceScatter loops built
+    /// Ring-decomposed AllToAll dispatch/combine loops built (§18).
+    int64_t all_to_all_sites = 0;
     int64_t rejected_by_cost_model = 0;
     int64_t skipped_unsupported = 0;
     /// Sites the variance-aware gate sent back to the blocking
@@ -212,7 +241,7 @@ struct DecomposeStats {
 
     int64_t total_decomposed() const
     {
-        return allgather_sites + reduce_scatter_sites;
+        return allgather_sites + reduce_scatter_sites + all_to_all_sites;
     }
 
     /**
@@ -235,9 +264,11 @@ struct DecomposeStats {
  *
  * Handles the three AllGather cases (gathered operand partitioned along a
  * non-contracting / contracting / batch dimension), the ReduceScatter
- * case, loop unrolling, and bidirectional transfer. Emitted
- * CollectivePermutes are synchronous; the AsyncCollectiveCreator pass
- * later splits them into Start/Done pairs (§5.2).
+ * case, loop unrolling, and bidirectional transfer; AllToAll-Einsum and
+ * Einsum-AllToAll pairs (MoE dispatch/combine, DESIGN.md §18) decompose
+ * into per-peer chunk exchanges interleaved with expert einsum slices.
+ * Emitted CollectivePermutes are synchronous; the AsyncCollectiveCreator
+ * pass later splits them into Start/Done pairs (§5.2).
  *
  * When an Einsum has several overlap candidates (two AllGathers, or an
  * AllGather and a ReduceScatter), the candidate with the higher estimated

@@ -84,7 +84,7 @@ BottomUpSchedule(const SchedGraph& graph,
     // pending queue until enough computation has been scheduled between
     // them to hide the transfer.
     auto spacing_latency = [](const SchedUnit* u) {
-        return u->IsPermuteDone() ? u->transfer_seconds : u->latency;
+        return u->IsAsyncDone() ? u->transfer_seconds : u->latency;
     };
 
     std::unordered_map<const SchedUnit*, int64_t> unscheduled_users;
@@ -111,10 +111,10 @@ BottomUpSchedule(const SchedGraph& graph,
     // pending spacing has already guaranteed the overlap window), then
     // users of Dones, then everything else.
     auto priority_class = [](const SchedUnit* u) {
-        if (u->IsPermuteDone()) return 0;
-        if (u->IsPermuteStart()) return 1;
+        if (u->IsAsyncDone()) return 0;
+        if (u->IsAsyncStart()) return 1;
         for (const SchedUnit* operand : u->operands) {
-            if (operand->IsPermuteDone()) return 2;
+            if (operand->IsAsyncDone()) return 2;
         }
         return 3;
     };
@@ -163,10 +163,10 @@ BottomUpSchedule(const SchedGraph& graph,
         available.erase(
             std::find(available.begin(), available.end(), candidate));
         reversed.push_back(candidate);
-        if (candidate->IsPermuteStart()) --in_flight;
+        if (candidate->IsAsyncStart()) --in_flight;
         current_time = std::max(current_time, ready_time.at(candidate)) +
                        candidate->latency;
-        if (candidate->IsPermuteDone()) {
+        if (candidate->IsAsyncDone()) {
             ++in_flight;
             start_allowed[candidate->operands.front()] =
                 current_time + candidate->transfer_seconds;
@@ -219,8 +219,8 @@ TopDownSchedule(const SchedGraph& graph,
     auto emit = [&](SchedUnit* unit) {
         ready.erase(std::find(ready.begin(), ready.end(), unit));
         order.push_back(unit);
-        if (unit->IsPermuteStart()) ++in_flight;
-        if (unit->IsPermuteDone()) --in_flight;
+        if (unit->IsAsyncStart()) ++in_flight;
+        if (unit->IsAsyncDone()) --in_flight;
         for (SchedUnit* user : unit->users) {
             if (--missing.at(user) == 0) ready.push_back(user);
         }
@@ -239,7 +239,7 @@ TopDownSchedule(const SchedGraph& graph,
         // Rule 1: issue ready Starts as early as possible.
         SchedUnit* pick = nullptr;
         for (SchedUnit* u : ready) {
-            if (!u->IsPermuteStart() || in_flight >= eager_window) {
+            if (!u->IsAsyncStart() || in_flight >= eager_window) {
                 continue;
             }
             if (pick == nullptr || input_pos.at(u) < input_pos.at(pick)) {
@@ -249,7 +249,7 @@ TopDownSchedule(const SchedGraph& graph,
         // Rule 2: release Dones whose transfer has (estimatedly) landed.
         if (pick == nullptr) {
             for (SchedUnit* u : ready) {
-                if (!u->IsPermuteDone()) continue;
+                if (!u->IsAsyncDone()) continue;
                 double arrived = arrival.at(u->operands.front());
                 if (arrived > clock) continue;
                 if (pick == nullptr ||
@@ -261,7 +261,7 @@ TopDownSchedule(const SchedGraph& graph,
         // Rule 3: other work in input order.
         if (pick == nullptr) {
             for (SchedUnit* u : ready) {
-                if (u->IsPermuteDone() || u->IsPermuteStart()) continue;
+                if (u->IsAsyncDone() || u->IsAsyncStart()) continue;
                 if (pick == nullptr ||
                     input_pos.at(u) < input_pos.at(pick)) {
                     pick = u;
@@ -271,7 +271,7 @@ TopDownSchedule(const SchedGraph& graph,
         // Rule 4: nothing else — wait on the oldest outstanding transfer.
         if (pick == nullptr) {
             for (SchedUnit* u : ready) {
-                if (!u->IsPermuteDone()) continue;
+                if (!u->IsAsyncDone()) continue;
                 if (pick == nullptr ||
                     arrival.at(u->operands.front()) <
                         arrival.at(pick->operands.front())) {
@@ -280,10 +280,10 @@ TopDownSchedule(const SchedGraph& graph,
             }
         }
         if (pick == nullptr) pick = ready.front();  // budget-blocked Starts
-        if (pick->IsPermuteStart()) {
+        if (pick->IsAsyncStart()) {
             arrival[pick] = clock + pick->transfer_seconds;
         }
-        if (pick->IsPermuteDone()) {
+        if (pick->IsAsyncDone()) {
             clock = std::max(clock, arrival.at(pick->operands.front()));
         }
         clock += pick->latency;

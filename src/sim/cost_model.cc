@@ -91,11 +91,13 @@ CostModel::BlockingCollectiveSeconds(const HloInstruction* instr) const
           return 2.0 * ((g - 1.0) * bytes / (g * 2.0 * bw)) +
                  2.0 * (g - 1.0) * lat;
       }
-      case HloOpcode::kAllToAll: {
+      case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart: {
           // Uniform all-to-all. XLA routes A2A over the full torus, so a
           // G-device group behaves like a sqrt(G) x sqrt(G) sub-torus:
           // the bisection carries ~B/2 of the traffic over ~2*sqrt(G)
-          // link-directions, i.e. t ~ B * sqrt(G) / (4 * bw).
+          // link-directions, i.e. t ~ B * sqrt(G) / (4 * bw). The async
+          // Start occupies the channels for the same duration.
           double bytes = static_cast<double>(
               instr->operand(0)->shape().byte_size());
           double side = std::sqrt(g);
@@ -147,12 +149,16 @@ CostModel::InstructionSeconds(const HloInstruction* instr) const
       case HloOpcode::kCollectivePermute:
           return PermuteStepSeconds(instr->shape().byte_size());
       case HloOpcode::kCollectivePermuteStart:
+      case HloOpcode::kAllToAllStart:
           // Issues the DMA and returns immediately.
           return 0.0;
       case HloOpcode::kCollectivePermuteDone:
           // Scheduler's view of the worst-case wait; the simulator models
           // the actual remaining transfer time.
           return PermuteStepSeconds(instr->shape().byte_size());
+      case HloOpcode::kAllToAllDone:
+          // Worst-case wait: the whole exchange still in flight.
+          return BlockingCollectiveSeconds(instr->operand(0));
       default:
           if (IsScalarShaped(instr)) return 0.0;  // index arithmetic
           return ElementwiseSeconds(instr);

@@ -102,10 +102,10 @@ GroupsInvolveChip(const std::vector<std::vector<int64_t>>& groups,
  * a real runtime would spin forever on these schedules, the simulator
  * must instead terminate with a diagnostic naming the blocked
  * instructions). Catches:
- *  - a CollectivePermuteDone whose Start is not scheduled before it
- *    (orphaned pair / permute cycle),
- *  - a CollectivePermuteStart with no matching Done (its transfer and
- *    hardware sync flag never retire),
+ *  - an async Done (permute or all-to-all) whose Start is not scheduled
+ *    before it (orphaned pair / permute cycle),
+ *  - an async Start with no matching Done (its transfer and hardware
+ *    sync flag never retire),
  *  - async in-flight budget starvation: a Start issued while every
  *    hardware sync flag is held by a transfer whose Done is scheduled
  *    later (the device can never reach the Done that would free one).
@@ -117,7 +117,7 @@ CheckNoDeadlock(const std::vector<SchedUnit*>& order,
     std::unordered_set<const SchedUnit*> started;
     std::vector<const SchedUnit*> outstanding;
     for (const SchedUnit* unit : order) {
-        if (unit->IsPermuteStart()) {
+        if (unit->IsAsyncStart()) {
             if (max_in_flight > 0 &&
                 static_cast<int64_t>(outstanding.size()) >=
                     max_in_flight) {
@@ -135,17 +135,17 @@ CheckNoDeadlock(const std::vector<SchedUnit*>& order,
             }
             started.insert(unit);
             outstanding.push_back(unit);
-        } else if (unit->IsPermuteDone()) {
+        } else if (unit->IsAsyncDone()) {
             if (unit->operands.empty()) {
                 return FailedPrecondition(StrCat(
-                    "no progress possible: CollectivePermuteDone '",
+                    "no progress possible: async Done '",
                     unit->members.front()->name(),
                     "' has no Start operand"));
             }
             const SchedUnit* start = unit->operands.front();
             if (started.count(start) == 0) {
                 return FailedPrecondition(StrCat(
-                    "no progress possible: CollectivePermuteDone '",
+                    "no progress possible: async Done '",
                     unit->members.front()->name(),
                     "' waits on Start '", start->members.front()->name(),
                     "' which is not scheduled before it (orphaned "
@@ -162,7 +162,7 @@ CheckNoDeadlock(const std::vector<SchedUnit*>& order,
             names.push_back(s->members.front()->name());
         }
         return FailedPrecondition(StrCat(
-            "no progress possible: CollectivePermuteStart(s) without a "
+            "no progress possible: async Start(s) without a "
             "matching Done never retire their transfers: ",
             StrJoin(names, ", ")));
     }
@@ -183,6 +183,7 @@ IsSdcExchangeOp(HloOpcode opcode)
       case HloOpcode::kReduceScatter:
       case HloOpcode::kAllReduce:
       case HloOpcode::kAllToAll:
+      case HloOpcode::kAllToAllStart:
       case HloOpcode::kCollectivePermute:
       case HloOpcode::kCollectivePermuteStart: return true;
       default: return false;
@@ -599,6 +600,105 @@ PodSimulator::RunStep(const HloModule& module, int64_t step_index,
                 // The paired Start's transfer will never arrive: the
                 // device is stuck here; the watchdog turns the stall
                 // into a structured report.
+                fail_at(unit, killed_it->second,
+                        {start->members.front()->name()});
+                return outcome;
+            }
+            double arrived = arrival.at(start);
+            if (arrived > time) {
+                record(head->name(), TraceKind::kTransferWait, time,
+                       arrived, unit->loop_group);
+                result.exposed_comm_seconds += arrived - time;
+                time = arrived;
+            }
+            if (transfer_checks) {
+                double chk = receiver_check.at(start);
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                ++result.num_transfer_checksums;
+                note_transfer_detection(start->members.front(), time);
+            }
+            --in_flight;
+            outstanding_starts.erase(
+                std::remove(outstanding_starts.begin(),
+                            outstanding_starts.end(), start),
+                outstanding_starts.end());
+        } else if (unit->IsAsyncStart()) {
+            // Async all-to-all Start (permute Starts matched above): the
+            // exchange occupies both ring directions of its group axis
+            // for the blocking form's duration, but the device does not
+            // stall — the wait, if any, lands on the matching Done.
+            const auto& groups = head->attrs().groups;
+            int64_t group_size =
+                groups.empty() ? 1
+                               : static_cast<int64_t>(groups[0].size());
+            double duration = cost_.BlockingCollectiveSeconds(head);
+            double bytes = static_cast<double>(
+                head->operand(0)->shape().byte_size());
+            if (transfer_checks) {
+                // Sender hashes the payload before the exchange; the
+                // matching receiver hash runs at the Done.
+                double chk = cost_.ElementwiseBytesSeconds(bytes);
+                record(StrCat("sdc_checksum:", head->name()),
+                       TraceKind::kCompute, time, time + chk,
+                       unit->loop_group);
+                time += chk;
+                result.detector_seconds += chk;
+                ++result.num_transfer_checksums;
+                receiver_check[unit] = chk;
+            }
+            double begin = time;
+            bool exchange_killed = false;
+            if (group_size > 1) {
+                int64_t axis = mesh_.InferGroupsAxis(groups);
+                size_t first = axis >= 0 ? static_cast<size_t>(axis * 2)
+                                         : 0;
+                size_t last = axis >= 0 ? first + 2 : channel_free.size();
+                for (size_t c = first; c < last; ++c) {
+                    begin = std::max(begin, channel_free[c]);
+                }
+                if (collective_involves_dead(groups, axis) &&
+                    begin + duration > dead_from) {
+                    KilledTransfer info;
+                    info.cause = permanent->IsChip()
+                                     ? FailureCause::kChipDeath
+                                     : FailureCause::kLinkDeath;
+                    info.dead_link_src = permanent->link_src;
+                    info.dead_link_dst = permanent->link_dst;
+                    info.fail_time_seconds = dead_from;
+                    killed[unit] = info;
+                    arrival[unit] =
+                        std::numeric_limits<double>::infinity();
+                    exchange_killed = true;
+                } else {
+                    for (size_t c = first; c < last; ++c) {
+                        channel_free[c] = begin + duration;
+                    }
+                    arrival[unit] = begin + duration;
+                }
+            } else {
+                arrival[unit] = begin + duration;
+            }
+            if (!exchange_killed) {
+                // In-flight interval from the issue time so every
+                // Done-wait interval stays a subset of its exchange's
+                // in-flight interval (see the permute Start above).
+                record(head->name(), TraceKind::kTransferInFlight, time,
+                       arrival.at(unit), unit->loop_group);
+                result.transferred_bytes += bytes;
+            }
+            ++result.num_async_transfers;
+            ++in_flight;
+            outstanding_starts.push_back(unit);
+            result.peak_in_flight =
+                std::max(result.peak_in_flight, in_flight);
+        } else if (unit->IsAsyncDone()) {
+            const SchedUnit* start = unit->operands.front();
+            auto killed_it = killed.find(start);
+            if (killed_it != killed.end()) {
                 fail_at(unit, killed_it->second,
                         {start->members.front()->name()});
                 return outcome;

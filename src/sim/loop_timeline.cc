@@ -94,6 +94,12 @@ class UnitBuilder {
           case LoopStructure::kReduceScatterBidirectional:
               ReduceScatterBidirectional();
               break;
+          case LoopStructure::kAllToAllDispatch:
+              AllToAllDispatch();
+              break;
+          case LoopStructure::kAllToAllCombine:
+              AllToAllCombine();
+              break;
         }
         return std::move(units_);
     }
@@ -368,6 +374,155 @@ class UnitBuilder {
         Compute(combine_, {acc_l, epilogue});
     }
 
+    /**
+     * Hop count of the A2A chunk-k permute (step +k on an N-ring): the
+     * engine routes source→target pairs the short way around, so chunk
+     * k travels min(k, N-k) hops.
+     */
+    int ChunkHops(int64_t k) const
+    {
+        return static_cast<int>(std::min(k, s_.ring - k));
+    }
+
+    /**
+     * Channel direction of the chunk-k permute: direction 0 for the
+     * clockwise short way, 1 counter-clockwise, -1 when antipodal (the
+     * engine load-balances those onto the freer channel).
+     */
+    int ChunkDirection(int64_t k) const
+    {
+        if (2 * k == s_.ring) return -1;
+        return k < s_.ring - k ? 0 : 1;
+    }
+
+    void AllToAllDispatch()
+    {
+        // A2A feeding an einsum operand: all N send slices come
+        // straight off the loop input, so nothing data-chains between
+        // exchanges. The bottom-up scheduler still staggers the
+        // launches — it holds each Start until enough compute sits
+        // between it and its Done (the transfer-spacing pass) — and
+        // the engine traces pin the pattern: the first permute goes
+        // out once chunk N-3's send slice exists, the second after the
+        // last send slice (its deferred copy, without unrolling), the
+        // third behind the own-chunk fused partial+DUS, and each later
+        // one behind one more partial group. Without unrolling the
+        // loop-carried copies for chunks <= N-3 run inline after their
+        // slices; the last two are deferred past all the slices.
+        int64_t n = s_.ring;
+        double send = s_.send_slice_seconds * fit_.elementwise_scale;
+        int acc = Compute(zeros_, {});
+        std::vector<int> sl(static_cast<size_t>(n), -1);
+        std::vector<int> cp(static_cast<size_t>(n), -1);
+        for (int64_t k = 0; k < n; ++k) {
+            sl[static_cast<size_t>(k)] = Compute(send, {});
+            if (s_.has_copies && k >= 1 && k <= n - 3) {
+                cp[static_cast<size_t>(k)] =
+                    Compute(copy_, {sl[static_cast<size_t>(k)]});
+            }
+        }
+        if (s_.has_copies) {
+            for (int64_t k = std::max<int64_t>(1, n - 2); k < n; ++k) {
+                if (cp[static_cast<size_t>(k)] < 0) {
+                    cp[static_cast<size_t>(k)] =
+                        Compute(copy_, {sl[static_cast<size_t>(k)]});
+                }
+            }
+        }
+        auto chunk_data = [&](int64_t k) {
+            return s_.has_copies ? cp[static_cast<size_t>(k)]
+                                 : sl[static_cast<size_t>(k)];
+        };
+        auto launch = [&](int64_t k, int gate) {
+            return Transfer(ChunkHops(k), ChunkDirection(k),
+                            {chunk_data(k), gate});
+        };
+        std::vector<int> recv(static_cast<size_t>(n), -1);
+        int gate1 = s_.has_copies
+                        ? sl[static_cast<size_t>(n - 1)]
+                        : (n >= 4 ? sl[static_cast<size_t>(n - 3)] : -1);
+        recv[1] = launch(1, gate1);
+        if (n >= 3) {
+            recv[2] = launch(2, s_.has_copies
+                                    ? cp[static_cast<size_t>(n - 1)]
+                                    : sl[static_cast<size_t>(n - 1)]);
+        }
+        // Own chunk first among the partials; its DUS reads no Done
+        // and fuses (the later ones read their chunk's Done directly
+        // through the fused einsum, like the AllGather loops).
+        int osl = s_.slices_per_partial > 0 ? Compute(slice_, {}) : -1;
+        acc = Compute(partial_ + disc_ * combine_, {sl[0], osl, acc});
+        if (n >= 4) recv[3] = launch(3, acc);
+        for (int64_t k = 1; k < n; ++k) {
+            int psl = s_.slices_per_partial > 0 ? Compute(slice_, {}) : -1;
+            acc = Compute(partial_ + disc_ * combine_,
+                          {recv[static_cast<size_t>(k)], psl, acc});
+            if (k + 3 < n) recv[static_cast<size_t>(k + 3)] =
+                launch(k + 3, acc);
+        }
+    }
+
+    void AllToAllCombine()
+    {
+        // Einsum feeding an A2A: partial k einsums an operand chunk,
+        // chunk k != 0 is permuted to its peer, and every received
+        // chunk is DUSed into the accumulator. Those DUSes read the
+        // Done directly, so they stay unfused (the RS pattern); the
+        // own-chunk DUS reads no Done, fuses with its partial, and the
+        // scheduler sinks it below every peer partial — it is the
+        // compute that hides the last flights. All N operand slices
+        // hoist to the top. Launches stagger like dispatch: the first
+        // two permutes go out behind peer partial N-2, the rest behind
+        // partial N-1 (without unrolling, behind the deferred copies
+        // of chunks N-2 and N-1; copies for chunks <= N-3 run inline).
+        int64_t n = s_.ring;
+        int acc = Compute(zeros_, {});
+        std::vector<int> sl(static_cast<size_t>(n), -1);
+        std::vector<int> pe(static_cast<size_t>(n), -1);
+        std::vector<int> cp(static_cast<size_t>(n), -1);
+        for (int64_t k = 0; k < n; ++k) {
+            sl[static_cast<size_t>(k)] = Compute(slice_, {});
+        }
+        for (int64_t k = 1; k < n; ++k) {
+            pe[static_cast<size_t>(k)] =
+                Compute(partial_, {sl[static_cast<size_t>(k)]});
+            if (s_.has_copies && k <= n - 3) {
+                cp[static_cast<size_t>(k)] =
+                    Compute(copy_, {pe[static_cast<size_t>(k)]});
+            }
+        }
+        if (s_.has_copies) {
+            for (int64_t k = std::max<int64_t>(1, n - 2); k < n; ++k) {
+                if (cp[static_cast<size_t>(k)] < 0) {
+                    cp[static_cast<size_t>(k)] =
+                        Compute(copy_, {pe[static_cast<size_t>(k)]});
+                }
+            }
+        }
+        std::vector<int> recv(static_cast<size_t>(n), -1);
+        for (int64_t k = 1; k < n; ++k) {
+            int gate;
+            if (s_.has_copies) {
+                gate = k == 1 ? pe[static_cast<size_t>(n - 1)]
+                       : k == 2
+                           ? (n >= 3 ? cp[static_cast<size_t>(n - 2)] : -1)
+                           : cp[static_cast<size_t>(n - 1)];
+            } else {
+                gate = k <= 2
+                           ? (n >= 3 ? pe[static_cast<size_t>(n - 2)] : -1)
+                           : pe[static_cast<size_t>(n - 1)];
+            }
+            int data = s_.has_copies ? cp[static_cast<size_t>(k)]
+                                     : pe[static_cast<size_t>(k)];
+            recv[static_cast<size_t>(k)] =
+                Transfer(ChunkHops(k), ChunkDirection(k), {data, gate});
+        }
+        acc = Compute(partial_ + disc_ * combine_, {sl[0], acc});
+        for (int64_t k = 1; k < n; ++k) {
+            acc = Compute(combine_, {recv[static_cast<size_t>(k)], acc});
+        }
+    }
+
     const LoopShape& s_;
     const CalibrationFit& fit_;
     std::vector<Unit> units_;
@@ -399,6 +554,10 @@ LoopStructureName(LoopStructure structure)
           return "rs_two_chain";
       case LoopStructure::kReduceScatterBidirectional:
           return "rs_bidirectional";
+      case LoopStructure::kAllToAllDispatch:
+          return "a2a_dispatch";
+      case LoopStructure::kAllToAllCombine:
+          return "a2a_combine";
     }
     return "unknown";
 }
@@ -413,14 +572,15 @@ CalibrationFit
 CalibrationFit::Fitted()
 {
     // Produced by the calibration driver (difftest/calibration.cc,
-    // `bench/calibration_fit`, seed 11, 16 generated sites + the four
+    // `bench/calibration_fit`, seed 11, 16 generated sites + the six
     // overlap-report sites); see DESIGN.md §15. Most structures replay
     // the engine exactly after the launch-order fixes, so their scales
-    // sit at 1.0; the bidirectional AG loop and the two-chain RS
-    // interleave run ~2% more wire-bound than the walk because the
-    // bottom-up scheduler quantizes compute between Done waits on
-    // their paired streams. calibration_test fails if these drift
-    // from what the driver reproduces.
+    // sit at 1.0 — including both A2A loops, whose launch stagger the
+    // replay copies from engine traces; the bidirectional AG loop and
+    // the two-chain RS interleave run ~2% more wire-bound than the
+    // walk because the bottom-up scheduler quantizes compute between
+    // Done waits on their paired streams. calibration_test fails if
+    // these drift from what the driver reproduces.
     CalibrationFit fit;
     fit.wire_scale[static_cast<size_t>(
         LoopStructure::kAllGatherUnidirectional)] = 1.000;
@@ -434,6 +594,10 @@ CalibrationFit::Fitted()
         LoopStructure::kReduceScatterTwoChain)] = 1.020;
     fit.wire_scale[static_cast<size_t>(
         LoopStructure::kReduceScatterBidirectional)] = 1.000;
+    fit.wire_scale[static_cast<size_t>(LoopStructure::kAllToAllDispatch)] =
+        1.000;
+    fit.wire_scale[static_cast<size_t>(LoopStructure::kAllToAllCombine)] =
+        1.000;
     return fit;
 }
 

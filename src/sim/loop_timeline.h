@@ -8,12 +8,19 @@
 namespace overlap {
 
 /**
- * The six loop structures the decomposer can emit (passes/decompose.cc,
+ * The loop structures the decomposer can emit (passes/decompose.cc,
  * LoopEmitter). The cost model's timeline replay is specialized per
  * structure because the dependency shape — which transfers chain on
  * which channel, which combines fuse into the partial einsums, where
  * the prologue/epilogue sits — is what the old closed-form §5.5
  * estimate got wrong.
+ *
+ * The two AllToAll structures (DESIGN.md §18) differ from the ring
+ * loops in that their per-peer exchanges do not chain: every chunk is
+ * sliced straight from the loop input (dispatch) or produced by an
+ * independent partial einsum (combine), so all of them can be in
+ * flight at once, spread over both ring directions by each chunk's
+ * shorter way around.
  */
 enum class LoopStructure {
     kAllGatherUnidirectional = 0,
@@ -22,9 +29,11 @@ enum class LoopStructure {
     kReduceScatterSingleChain = 3,
     kReduceScatterTwoChain = 4,
     kReduceScatterBidirectional = 5,
+    kAllToAllDispatch = 6,
+    kAllToAllCombine = 7,
 };
 
-inline constexpr int kNumLoopStructures = 6;
+inline constexpr int kNumLoopStructures = 8;
 
 const char* LoopStructureName(LoopStructure structure);
 
@@ -70,8 +79,10 @@ struct LoopShape {
     double copy_seconds = 0.0;
     bool has_copies = false;
     double op_overhead_seconds = 0.0;
-    /// Two-way exchange only: the static Slice splitting the local
-    /// shard into the two halves sent in opposite directions.
+    /// Two-way exchange: the static Slice splitting the local shard
+    /// into the two halves sent in opposite directions. AllToAll
+    /// dispatch: one sender-side DynamicSlice carving a per-peer chunk
+    /// out of the loop input.
     double send_slice_seconds = 0.0;
     /// Contracting-dimension AllGather: every combine is a full-output
     /// Add (so the two-way half-combines don't shrink with the shard).
@@ -119,7 +130,7 @@ struct LoopTimeline {
  */
 struct CalibrationFit {
     std::array<double, kNumLoopStructures> wire_scale{
-        {1.0, 1.0, 1.0, 1.0, 1.0, 1.0}};
+        {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}};
     double compute_scale = 1.0;
     double elementwise_scale = 1.0;
 

@@ -46,11 +46,19 @@ SchedGraph::SchedGraph(const HloComputation& computation,
         }
         // A Done's wait time is decided by the link engine / scheduler
         // heuristics, not charged as kernel time.
-        if (unit->IsPermuteDone()) latency = 0.0;
+        if (unit->IsAsyncDone()) latency = 0.0;
         unit->latency = latency;
         if (unit->IsPermuteStart() || unit->IsPermuteDone()) {
             unit->transfer_seconds =
                 cost.PermuteStepSeconds(unit->TransferBytes());
+        } else if (unit->IsAsyncStart() || unit->IsAsyncDone()) {
+            // Async all-to-all: the exchange occupies the channels for
+            // the blocking form's duration.
+            const HloInstruction* start =
+                unit->members[0]->opcode() == HloOpcode::kAllToAllStart
+                    ? unit->members[0]
+                    : unit->members[0]->operand(0);
+            unit->transfer_seconds = cost.BlockingCollectiveSeconds(start);
         }
     }
 

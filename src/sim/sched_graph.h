@@ -45,6 +45,18 @@ struct SchedUnit {
         return members.size() == 1 &&
                members[0]->opcode() == HloOpcode::kCollectivePermuteDone;
     }
+    /** The Start half of any async pair (permute or all-to-all). */
+    bool IsAsyncStart() const
+    {
+        return members.size() == 1 &&
+               overlap::IsAsyncStart(members[0]->opcode());
+    }
+    /** The Done half of any async pair (permute or all-to-all). */
+    bool IsAsyncDone() const
+    {
+        return members.size() == 1 &&
+               overlap::IsAsyncDone(members[0]->opcode());
+    }
     /** Bytes a Start unit puts on the wire. */
     int64_t TransferBytes() const
     {

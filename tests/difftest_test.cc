@@ -10,29 +10,63 @@ namespace difftest {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Tier-1 sweep: 64 seeded cases x all six decomposition variants. The
-// stratified generator guarantees every 8 consecutive indices cover all
-// four site cases under both shard-extent parities.
+// Tier-1 sweep: 70 seeded cases x all six decomposition variants. The
+// stratified generator guarantees every 10 consecutive indices cover all
+// five site cases under both shard-extent parities.
 // ---------------------------------------------------------------------------
 
 TEST(DiffTest, Tier1SweepHasZeroMismatches)
 {
     DiffTestConfig config;
-    config.num_cases = 64;
+    config.num_cases = 70;
     config.seed = 42;
     auto summary = RunDiffTest(config);
     ASSERT_TRUE(summary.ok()) << summary.status().message();
-    EXPECT_EQ(summary->cases_run, 64);
+    EXPECT_EQ(summary->cases_run, 70);
     EXPECT_EQ(summary->variants_run,
-              64 * static_cast<int64_t>(AllDecomposeVariants().size()));
+              70 * static_cast<int64_t>(AllDecomposeVariants().size()));
     EXPECT_EQ(summary->mismatches, 0) << summary->ToString();
-    // Coverage: all four site cases, both parities.
-    for (size_t c = 0; c < 4; ++c) {
-        EXPECT_EQ(summary->cases_by_site[c], 16)
+    // Coverage: all five site cases, both parities.
+    for (size_t c = 0; c < static_cast<size_t>(kNumSiteCases); ++c) {
+        EXPECT_EQ(summary->cases_by_site[c], 14)
             << "site case " << c << " under-covered";
     }
-    EXPECT_EQ(summary->odd_extent_cases, 32);
-    EXPECT_EQ(summary->even_extent_cases, 32);
+    EXPECT_EQ(summary->odd_extent_cases, 35);
+    EXPECT_EQ(summary->even_extent_cases, 35);
+}
+
+// ---------------------------------------------------------------------------
+// §18 equivalence wall: a pinned-case sweep mass-produces AllToAll
+// sites (GenerateSiteSpecForCase keeps the stratified stream, only the
+// case is fixed) and demands blocking/decomposed agreement under every
+// variant. check_sanitize.sh runs this at >= 512 sites; the unit test
+// keeps a fast representative slice.
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, AllToAllOnlySweepHasZeroMismatches)
+{
+    DiffTestConfig config;
+    config.num_cases = 32;
+    config.seed = 42;
+    config.only_case = SiteCase::kAllToAll;
+    auto summary = RunDiffTest(config);
+    ASSERT_TRUE(summary.ok()) << summary.status().message();
+    EXPECT_EQ(summary->cases_run, 32);
+    EXPECT_EQ(summary->mismatches, 0) << summary->ToString();
+    EXPECT_EQ(summary->cases_by_site[4], 32);
+    EXPECT_GT(summary->odd_extent_cases, 0);
+    EXPECT_GT(summary->even_extent_cases, 0);
+}
+
+TEST(DiffTest, AllToAllSpecLineRoundTrips)
+{
+    for (int64_t i = 0; i < 16; ++i) {
+        SiteSpec spec = GenerateSiteSpecForCase(99, i, SiteCase::kAllToAll);
+        EXPECT_EQ(spec.site_case, SiteCase::kAllToAll);
+        auto parsed = SiteSpec::Parse(spec.ToString());
+        ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+        EXPECT_EQ(parsed->ToString(), spec.ToString());
+    }
 }
 
 TEST(DiffTest, SweepIsDeterministicPerSeed)

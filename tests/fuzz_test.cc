@@ -331,6 +331,166 @@ TEST(VerifierFuzz, DeclaredShapeMismatchIsRejected)
         << status.ToString();
 }
 
+/** Valid async AllToAll pair (§18 micro-batch pipelining) on a 4-ring. */
+std::unique_ptr<HloModule>
+BuildAllToAllPairModule(HloInstruction** start_out = nullptr,
+                        HloInstruction** done_out = nullptr)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    Mesh mesh(4);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    auto* start = b.AllToAllStart(p, 0, mesh.Groups(0));
+    start->mutable_attrs().channel_id = comp->NextChannelId();
+    auto* done = b.AllToAllDone(start);
+    comp->set_root(done);
+    if (start_out != nullptr) *start_out = start;
+    if (done_out != nullptr) *done_out = done;
+    return module;
+}
+
+TEST(VerifierFuzz, AllToAllStartWithoutDoneIsRejected)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    module->set_mesh(Mesh(4));
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    b.AllToAllStart(p, 0, Mesh(4).Groups(0));
+    comp->set_root(p);
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("exactly one done"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, AllToAllStartConsumedByNonDoneIsRejected)
+{
+    HloInstruction* start = nullptr;
+    auto module = BuildAllToAllPairModule(&start);
+    HloBuilder b(module->entry());
+    module->entry()->set_root(b.Negate(start));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("non-done"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, AllToAllDonePairedWithPermuteStartIsRejected)
+{
+    // A done must retire an exchange of its own kind: pairing an
+    // all-to-all-done with a collective-permute-start is the classic
+    // cross-wired Start/Done bug an async-splitting pass could emit.
+    // The start's side of the check fires: its user is not a
+    // collective-permute-done.
+    HloInstruction* start = nullptr;
+    auto module = BuildPermuteModule(&start);
+    HloComputation* comp = module->entry();
+    comp->set_root(comp->AddInstruction(HloOpcode::kAllToAllDone,
+                                        start->shape(), {start}));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("non-done"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, AllToAllDoneWithoutAStartIsRejected)
+{
+    // The done side of the same cross-wiring: an all-to-all-done whose
+    // operand is ordinary data.
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    module->set_mesh(Mesh(4));
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    auto* neg = b.Negate(p);
+    comp->set_root(comp->AddInstruction(HloOpcode::kAllToAllDone,
+                                        neg->shape(), {neg}));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("all-to-all-start"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, AllToAllDoneChannelMismatchIsRejected)
+{
+    HloInstruction* start = nullptr;
+    HloInstruction* done = nullptr;
+    auto module = BuildAllToAllPairModule(&start, &done);
+    done->mutable_attrs().channel_id = start->attrs().channel_id + 1;
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("channel"), std::string::npos)
+        << status.ToString();
+    done->mutable_attrs().channel_id = start->attrs().channel_id;
+    EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(VerifierFuzz, NonDivisibleAllToAllDimIsRejected)
+{
+    // 6 rows across a 4-group exchange: no equal per-peer chunk exists.
+    // The builder's shape inference refuses to construct this, so feed
+    // the verifier the raw instruction.
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    Mesh mesh(4);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({6, 8}));
+    InstrAttrs attrs;
+    attrs.dim = 0;
+    attrs.groups = mesh.Groups(0);
+    comp->set_root(comp->AddInstruction(HloOpcode::kAllToAll, Shape({6, 8}),
+                                        {p}, std::move(attrs)));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("not divisible"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, NonDivisibleAllToAllStartDimIsRejected)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    Mesh mesh(4);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({6, 8}));
+    InstrAttrs attrs;
+    attrs.dim = 0;
+    attrs.groups = mesh.Groups(0);
+    auto* start = comp->AddInstruction(HloOpcode::kAllToAllStart,
+                                       Shape({6, 8}), {p},
+                                       std::move(attrs));
+    InstrAttrs done_attrs;
+    comp->set_root(comp->AddInstruction(HloOpcode::kAllToAllDone,
+                                        Shape({6, 8}), {start},
+                                        std::move(done_attrs)));
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("not divisible"), std::string::npos)
+        << status.ToString();
+}
+
+TEST(VerifierFuzz, ChunkAttributeOnNonPermuteIsRejected)
+{
+    auto module = std::make_unique<HloModule>("verifier_fuzz");
+    Mesh mesh(4);
+    module->set_mesh(mesh);
+    HloComputation* comp = module->AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape({8, 8}));
+    auto* ag = b.AllGather(p, 0, mesh.Groups(0));
+    ag->mutable_attrs().a2a_chunk = 1;
+    comp->set_root(ag);
+    Status status = VerifyModule(*module);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("non-permute"), std::string::npos)
+        << status.ToString();
+}
+
 /**
  * Seeded corruption loop: start from a valid module, apply one random
  * corruption, and require an error Status (no crash, no throw, no false

@@ -120,6 +120,62 @@ TEST(ParserTest, RoundTripsDecomposedLoop)
     EXPECT_TRUE(VerifyModule(**parsed).ok());
 }
 
+TEST(ParserTest, RoundTripsDecomposedAllToAllLoop)
+{
+    // The §18 form: a ring-decomposed MoE dispatch whose chunk permutes
+    // carry `chunk=` attributes (which peer offset each exchange
+    // serves), then the async split's channel ids on top.
+    HloModule module("a2a_loop");
+    Mesh mesh(4);
+    module.set_mesh(mesh);
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* tokens = b.Parameter(0, Shape(DType::kBF16, {8, 16}));
+    auto* w = b.Parameter(1, Shape(DType::kBF16, {16, 8}));
+    auto* a2a = b.AllToAll(tokens, 0, mesh.Groups(0));
+    comp->set_root(b.Einsum(a2a, w, "td,dh->th"));
+    CostModel cost{HardwareSpec{}};
+    DecomposeOptions options;
+    options.use_cost_model = false;
+    CollectiveEinsumDecomposer decomposer(mesh, &cost, options);
+    auto stats = decomposer.Run(comp);
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats->all_to_all_sites, 1);
+    ASSERT_TRUE(CreateAsyncCollectivePermutes(comp).ok());
+
+    std::string text = module.ToString();
+    EXPECT_NE(text.find("chunk="), std::string::npos) << text;
+    auto parsed = ParseHloModule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ((*parsed)->ToString(), text);
+    EXPECT_TRUE(VerifyModule(**parsed).ok());
+}
+
+TEST(ParserTest, RoundTripsAsyncAllToAllPair)
+{
+    // The §18 micro-batch pipelined form: a blocking exchange split
+    // into an AllToAllStart/Done pair sharing a channel.
+    HloModule module("a2a_async");
+    Mesh mesh(4);
+    module.set_mesh(mesh);
+    HloComputation* comp = module.AddEntryComputation("main");
+    HloBuilder b(comp);
+    auto* p = b.Parameter(0, Shape(DType::kBF16, {8, 16}));
+    auto* start = b.AllToAllStart(p, 0, mesh.Groups(0));
+    start->mutable_attrs().channel_id = comp->NextChannelId();
+    auto* done = b.AllToAllDone(start);
+    comp->set_root(done);
+    ASSERT_TRUE(VerifyModule(module).ok());
+
+    std::string text = module.ToString();
+    EXPECT_NE(text.find("all-to-all-start"), std::string::npos) << text;
+    EXPECT_NE(text.find("all-to-all-done"), std::string::npos) << text;
+    auto parsed = ParseHloModule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ((*parsed)->ToString(), text);
+    EXPECT_TRUE(VerifyModule(**parsed).ok());
+}
+
 TEST(ParserTest, RoundTripsChannelIds)
 {
     HloModule module("chan");
@@ -180,7 +236,7 @@ TEST(ParserTest, FuzzRoundTripsCollectiveAttributes)
         HloInstruction* value = p;
         int64_t ops = 1 + static_cast<int64_t>(rng() % 4);
         for (int64_t i = 0; i < ops; ++i) {
-            switch (rng() % 5) {
+            switch (rng() % 8) {
               case 0: {
                   auto* ag = b.AllGather(value, 0, mesh.Groups(axis));
                   if (rng() % 2 == 0) {
@@ -219,6 +275,36 @@ TEST(ParserTest, FuzzRoundTripsCollectiveAttributes)
                           static_cast<int64_t>(rng() % 100);
                   }
                   value = ar;
+                  break;
+              }
+              case 4: {
+                  // Blocking MoE exchange (§18); dim 1 has extent n, so
+                  // the per-peer chunks always split evenly.
+                  auto* a2a = b.AllToAll(value, 1, mesh.Groups(axis));
+                  if (rng() % 2 == 0) {
+                      a2a->mutable_attrs().channel_id =
+                          static_cast<int64_t>(rng() % 100);
+                  }
+                  value = a2a;
+                  break;
+              }
+              case 5: {
+                  auto* start = b.AllToAllStart(value, 1,
+                                                mesh.Groups(axis));
+                  auto* done = b.AllToAllDone(start);
+                  int64_t channel = static_cast<int64_t>(rng() % 100);
+                  start->mutable_attrs().channel_id = channel;
+                  done->mutable_attrs().channel_id = channel;
+                  value = done;
+                  break;
+              }
+              case 6: {
+                  // A §18 ring-loop chunk permute: step-k shift tagged
+                  // with the peer offset it serves.
+                  int64_t k = 1 + static_cast<int64_t>(rng() % (n - 1));
+                  value = b.CollectivePermute(
+                      value, RingShiftPairs(mesh, axis, k));
+                  value->mutable_attrs().a2a_chunk = k;
                   break;
               }
               default:
